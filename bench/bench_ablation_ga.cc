@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: genetic-algorithm parameter sensitivity (paper Insight 3).
+ *
+ * Sweeps GA population size and generation count on two applications
+ * and reports evaluated configurations and achieved speedup. The
+ * paper notes GA's analysis time is the most predictable — bounded by
+ * its termination criterion — but that a small iteration budget can
+ * prevent it from finding configurations with speedups.
+ */
+
+#include "bench/bench_util.h"
+#include "search/genetic.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+    options.tuner.threshold = 1e-6;
+
+    const std::size_t populations[] = {4, 6, 10};
+    const std::size_t generations[] = {2, 4, 8};
+    const char* apps[] = {"hotspot", "lavamd"};
+
+    std::cout << "Ablation: GA population/generation sweep"
+                 " (threshold 1e-6)\n";
+    support::Table table({"application", "population", "generations",
+                          "evaluated", "speedup"});
+    for (const char* name : apps) {
+        for (std::size_t pop : populations) {
+            for (std::size_t gen : generations) {
+                auto bench =
+                    benchmarks::BenchmarkRegistry::instance().create(
+                        name);
+                core::BenchmarkTuner tuner(*bench, options.tuner);
+                search::GaOptions gaOptions;
+                gaOptions.population = pop;
+                gaOptions.generations = gen;
+                search::GeneticSearch ga(gaOptions);
+                auto result = search::runSearch(
+                    tuner.clusterProblem(), ga, options.tuner.budget);
+                double speedup = 1.0;
+                if (result.foundImprovement) {
+                    auto eval = tuner.finalMeasure(result.best);
+                    speedup = eval.speedup;
+                }
+                table.addRow(
+                    {name,
+                     support::Table::cell(static_cast<long>(pop)),
+                     support::Table::cell(static_cast<long>(gen)),
+                     support::Table::cell(
+                         static_cast<long>(result.evaluated)),
+                     support::Table::cell(speedup, 2)});
+            }
+        }
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates **Figure 2a**: correlation between application analysis
+ * complexity (total clusters, x-axis) and the number of configurations
+ * the search evaluated (y-axis), for DD and GA at each quality
+ * threshold. Emitted as one series table (or CSV with --csv) suitable
+ * for plotting.
+ *
+ * Expected shape: GA's evaluated count stays nearly flat across
+ * complexities and thresholds (its termination criterion bounds it);
+ * DD's count rises with complexity and tightening thresholds, except
+ * where the whole application converts trivially.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+
+    const double thresholds[] = {1e-3, 1e-6, 1e-8};
+    const char* algorithms[] = {"DD", "GA"};
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+
+    std::cout << "Figure 2a: clusters vs evaluated configurations"
+                 " (DD vs GA)\n";
+    support::Table table({"application", "clusters", "threshold",
+                          "algorithm", "evaluated"});
+    for (const auto& name : registry.applicationNames()) {
+        for (double threshold : thresholds) {
+            for (const char* algorithm : algorithms) {
+                auto bench = registry.create(name);
+                core::TunerOptions tunerOptions = options.tuner;
+                tunerOptions.threshold = threshold;
+                core::BenchmarkTuner tuner(*bench, tunerOptions);
+                auto outcome = tuner.tune(algorithm);
+                table.addRow(
+                    {name,
+                     support::Table::cell(
+                         static_cast<long>(tuner.clusterCount())),
+                     support::sciCompact(threshold), algorithm,
+                     support::Table::cell(static_cast<long>(
+                         outcome.search.evaluated))});
+            }
+        }
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

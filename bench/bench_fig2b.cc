@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates **Figure 2b**: correlation between application analysis
+ * complexity (total clusters) and the speedup obtained by DD and GA
+ * at each quality threshold.
+ *
+ * Expected shape: both algorithms usually land on configurations with
+ * similar execution times; DD's extra evaluations only occasionally
+ * buy a slightly faster configuration than GA's.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+
+    const double thresholds[] = {1e-3, 1e-6, 1e-8};
+    const char* algorithms[] = {"DD", "GA"};
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+
+    std::cout << "Figure 2b: clusters vs speedup (DD vs GA)\n";
+    support::Table table({"application", "clusters", "threshold",
+                          "algorithm", "speedup"});
+    for (const auto& name : registry.applicationNames()) {
+        for (double threshold : thresholds) {
+            for (const char* algorithm : algorithms) {
+                auto bench = registry.create(name);
+                core::TunerOptions tunerOptions = options.tuner;
+                tunerOptions.threshold = threshold;
+                core::BenchmarkTuner tuner(*bench, tunerOptions);
+                auto outcome = tuner.tune(algorithm);
+                table.addRow(
+                    {name,
+                     support::Table::cell(
+                         static_cast<long>(tuner.clusterCount())),
+                     support::sciCompact(threshold), algorithm,
+                     support::Table::cell(outcome.finalSpeedup, 2)});
+            }
+        }
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates **Figure 3**: scatter of achieved speedup versus the
+ * number of configurations the search evaluated (a proxy for analysis
+ * time), across every application x algorithm x threshold search
+ * scenario.
+ *
+ * Expected shape: the bulk of scenarios lands in the 1.0-1.2x speedup
+ * band regardless of how many configurations were tested; only a
+ * handful of scenarios (Hotspot, LavaMD at relaxed thresholds) reach
+ * higher speedups.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "support/stats.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+
+    const double thresholds[] = {1e-3, 1e-6, 1e-8};
+    const char* algorithms[] = {"CM", "DD", "HR", "HC", "GA"};
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+
+    std::cout << "Figure 3: speedup vs configurations tested"
+                 " (all search scenarios)\n";
+    support::Table table({"application", "algorithm", "threshold",
+                          "evaluated", "search-seconds", "speedup"});
+    std::size_t band = 0;
+    std::size_t total = 0;
+    std::vector<double> speedups;
+    for (const auto& name : registry.applicationNames()) {
+        for (const char* algorithm : algorithms) {
+            for (double threshold : thresholds) {
+                auto bench = registry.create(name);
+                core::TunerOptions tunerOptions = options.tuner;
+                tunerOptions.threshold = threshold;
+                core::BenchmarkTuner tuner(*bench, tunerOptions);
+                auto outcome = tuner.tune(algorithm);
+                table.addRow(
+                    {name, algorithm, support::sciCompact(threshold),
+                     support::Table::cell(static_cast<long>(
+                         outcome.search.evaluated)),
+                     support::Table::cell(
+                         outcome.search.searchSeconds, 2),
+                     support::Table::cell(outcome.finalSpeedup, 2)});
+                ++total;
+                speedups.push_back(outcome.finalSpeedup);
+                if (outcome.finalSpeedup >= 1.0 &&
+                    outcome.finalSpeedup <= 1.2)
+                    ++band;
+            }
+        }
+    }
+    benchutil::emit(table, options);
+    auto stats = support::summarize(speedups);
+    std::cout << "\nscenarios in the 1.0-1.2x band: " << band << "/"
+              << total << "\n"
+              << "speedup distribution: median "
+              << support::Table::cell(stats.median, 2) << ", mean "
+              << support::Table::cell(stats.mean, 2) << " +- "
+              << support::Table::cell(stats.stddev, 2) << ", max "
+              << support::Table::cell(stats.max, 2) << "\n";
+    return 0;
+}

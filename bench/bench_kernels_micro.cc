@@ -1,0 +1,68 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: native double-precision versus
+ * all-single-precision throughput of every kernel and application in
+ * the suite. These are the raw runtime samples behind the speedup
+ * columns of Tables III-V.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/registry.h"
+
+namespace {
+
+using hpcmixp::benchmarks::Benchmark;
+using hpcmixp::benchmarks::BenchmarkRegistry;
+using hpcmixp::benchmarks::PrecisionMap;
+using hpcmixp::runtime::Precision;
+
+/** Lower every bound knob of a benchmark to single precision. */
+PrecisionMap
+allSingle(const Benchmark& bench)
+{
+    PrecisionMap pm;
+    for (const auto& var : bench.programModel().variables())
+        if (!var.bindKey.empty())
+            pm.set(var.bindKey, Precision::Float32);
+    return pm;
+}
+
+void
+runDouble(benchmark::State& state, const std::string& name)
+{
+    auto bench = BenchmarkRegistry::instance().create(name);
+    PrecisionMap pm;
+    for (auto _ : state) {
+        auto out = bench->run(pm);
+        benchmark::DoNotOptimize(out.values.data());
+    }
+}
+
+void
+runSingle(benchmark::State& state, const std::string& name)
+{
+    auto bench = BenchmarkRegistry::instance().create(name);
+    PrecisionMap pm = allSingle(*bench);
+    for (auto _ : state) {
+        auto out = bench->run(pm);
+        benchmark::DoNotOptimize(out.values.data());
+    }
+}
+
+const bool kRegistered = [] {
+    for (const auto& name : BenchmarkRegistry::instance().names()) {
+        benchmark::RegisterBenchmark((name + "/double").c_str(),
+                                     runDouble, name)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark((name + "/single").c_str(),
+                                     runSingle, name)
+            ->Unit(benchmark::kMillisecond);
+    }
+    return true;
+}();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates **Table II**: Total Variables (TV) and Total Clusters
+ * (TC) identified by the Typeforge-analogue analysis for every kernel
+ * and application in the suite.
+ *
+ * Expected shape (paper Section IV-A): kernels have single-digit TV
+ * and very few clusters; CFD-style pointer-parameter-heavy apps
+ * cluster strongly (TC << TV) while the scalar-heavy Blackscholes
+ * barely clusters at all (TC ~= TV).
+ */
+
+#include "bench/bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+
+    std::cout << "Table II: benchmark analysis complexity\n";
+    support::Table table(
+        {"benchmark", "kind", "TV", "TC", "reduction"});
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+    for (const auto& name : registry.names()) {
+        auto bench = registry.create(name);
+        auto row = typeforge::complexity(bench->programModel());
+        double reduction =
+            static_cast<double>(row.totalVariables) /
+            static_cast<double>(row.totalClusters);
+        table.addRow({name, bench->isKernel() ? "kernel" : "app",
+                      support::Table::cell(
+                          static_cast<long>(row.totalVariables)),
+                      support::Table::cell(
+                          static_cast<long>(row.totalClusters)),
+                      support::Table::cell(reduction, 2)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

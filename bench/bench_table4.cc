@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates **Table IV**: per-application speedup and quality loss
+ * when the entire program runs in single precision, compared to the
+ * double-precision original. This bounds what any mixed-precision
+ * search can achieve.
+ *
+ * Expected shape: LavaMD shows the largest speedup (SIMD + working-set
+ * effects on its interaction loop); Hotspot benefits with negligible
+ * quality loss; SRAD's quality is destroyed (NaN) by binary32
+ * overflow; K-means keeps MCR = 0 yet gains little; HPCCG and
+ * Blackscholes sit near 1x.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv);
+    options.tuner.threshold = 1e-3; // irrelevant: we profile, not search
+
+    std::cout << "Table IV: application speedup and quality loss,"
+                 " single vs double precision\n";
+    support::Table table(
+        {"application", "speedup", "metric", "quality-loss"});
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+    for (const auto& name : registry.applicationNames()) {
+        auto bench = registry.create(name);
+        core::BenchmarkTuner tuner(*bench, options.tuner);
+        auto all =
+            search::Config::allLowered(tuner.clusterCount());
+        auto eval = tuner.finalMeasure(all);
+        table.addRow({name, support::Table::cell(eval.speedup, 2),
+                      bench->qualityMetric(),
+                      support::Table::cellSci(eval.qualityLoss)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

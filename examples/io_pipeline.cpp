@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The runtime library in action: the paper's Listing 2 -> Listing 3
+ * transformation.
+ *
+ * A pipeline reads a binary input file written in double precision,
+ * computes on it, and writes a binary output file — with the memory
+ * precision chosen at runtime. mp_fread / mp_fwrite handle all
+ * conversions between the fixed disk format and the configured memory
+ * type, which is exactly what makes such code tunable by a
+ * mixed-precision tool (paper Section III-A.a).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+#include "runtime/mp_io.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace hpcmixp;
+using runtime::Buffer;
+using runtime::Precision;
+
+/** The computation of Listing 2's performComputation(). */
+template <class T>
+void
+performComputation(std::span<T> data)
+{
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = data[i] * data[i] + T(0.5);
+}
+
+/** Listing 3's foo(): read -> compute -> write, at @p memoryType. */
+void
+pipeline(const std::string& inputPath, const std::string& outputPath,
+         std::size_t elements, Precision memoryType)
+{
+    // *ptr = (double*) mp_malloc(elements, *ptr);
+    // mp_fread(*ptr, DOUBLE, elements, fd);
+    Buffer data = runtime::mpReadFile(inputPath, Precision::Float64,
+                                      elements, memoryType);
+
+    runtime::dispatch1(data.precision(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        performComputation(data.as<T>());
+    });
+
+    // mp_fwrite(*ptr, DOUBLE, elements, fd);
+    runtime::mpWriteFile(data, Precision::Float64, outputPath);
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    const std::size_t elements = 1 << 16;
+    auto dir = fs::temp_directory_path();
+    std::string input = (dir / "hpcmixp_input.bin").string();
+    std::string doubleOut = (dir / "hpcmixp_out_double.bin").string();
+    std::string singleOut = (dir / "hpcmixp_out_single.bin").string();
+
+    // Produce the double-precision input file.
+    support::Pcg32 rng(7);
+    std::vector<double> raw(elements);
+    support::fillUniform(rng, raw, 0.0, 1.0);
+    runtime::mpWriteFile(
+        Buffer::fromDoubles(raw, Precision::Float64),
+        Precision::Float64, input);
+
+    // Same pipeline, two memory precisions — no source changes.
+    pipeline(input, doubleOut, elements, Precision::Float64);
+    pipeline(input, singleOut, elements, Precision::Float32);
+
+    // Compare the two outputs the way the verification library would.
+    Buffer a = runtime::mpReadFile(doubleOut, Precision::Float64,
+                                   elements, Precision::Float64);
+    Buffer b = runtime::mpReadFile(singleOut, Precision::Float64,
+                                   elements, Precision::Float64);
+    double mae = 0.0;
+    for (std::size_t i = 0; i < elements; ++i)
+        mae += std::abs(a.loadDouble(i) - b.loadDouble(i));
+    mae /= static_cast<double>(elements);
+
+    std::cout << "elements          : " << elements << "\n"
+              << "double output     : " << doubleOut << "\n"
+              << "single output     : " << singleOut << "\n"
+              << "MAE (single vs double memory): " << mae << "\n"
+              << "disk format stayed binary64 in both runs.\n";
+
+    fs::remove(input);
+    fs::remove(doubleOut);
+    fs::remove(singleOut);
+    return 0;
+}

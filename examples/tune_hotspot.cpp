@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compare all six search algorithms on the Hotspot thermal simulation
+ * at the paper's three quality thresholds — a miniature Table V for a
+ * single application, printed as one table per threshold.
+ *
+ * Usage: tune_hotspot [--benchmark hotspot] [--budget 400]
+ */
+
+#include <iostream>
+
+#include "core/mixpbench.h"
+#include "support/cli.h"
+#include "support/string_util.h"
+#include "support/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    support::CommandLine cl(argc, argv);
+    std::string name = cl.getString("benchmark", "hotspot");
+    auto budget =
+        static_cast<std::size_t>(cl.getLong("budget", 400));
+
+    const double thresholds[] = {1e-3, 1e-6, 1e-8};
+    const char* algorithms[] = {"CB", "CM", "DD", "HR", "HC", "GA"};
+
+    for (double threshold : thresholds) {
+        std::cout << "\n=== " << name << " @ quality threshold "
+                  << support::sciCompact(threshold) << " ===\n";
+        support::Table table({"algorithm", "speedup", "EV",
+                              "compile-fails", "quality", "status"});
+        for (const char* algorithm : algorithms) {
+            auto benchmark =
+                benchmarks::BenchmarkRegistry::instance().create(name);
+            core::TunerOptions options;
+            options.threshold = threshold;
+            options.budget = {budget, 0.0};
+            core::BenchmarkTuner tuner(*benchmark, options);
+            auto outcome = tuner.tune(algorithm);
+            table.addRow(
+                {algorithm,
+                 support::Table::cell(outcome.finalSpeedup, 2),
+                 support::Table::cell(
+                     static_cast<long>(outcome.search.evaluated)),
+                 support::Table::cell(static_cast<long>(
+                     outcome.search.compileFailures)),
+                 support::Table::cellSci(outcome.finalQualityLoss),
+                 outcome.search.timedOut ? "timeout" : "ok"});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,30 @@
+#ifndef HPCMIXP_BENCHMARKS_APPS_APPS_H_
+#define HPCMIXP_BENCHMARKS_APPS_APPS_H_
+
+/**
+ * @file
+ * Factories for the seven proxy-application benchmarks (Section III-B).
+ *
+ * The applications come from the PARSEC / Rodinia / Mantevo lineages
+ * the paper selects from. Their original input files are replaced by
+ * seeded synthetic generators that preserve the numeric ranges and
+ * access patterns driving both speedup and accuracy (DESIGN.md §2).
+ */
+
+#include <memory>
+
+#include "benchmarks/benchmark.h"
+
+namespace hpcmixp::benchmarks {
+
+std::unique_ptr<Benchmark> makeBlackscholes(); ///< PARSEC option pricing
+std::unique_ptr<Benchmark> makeCfd();          ///< Rodinia euler3d
+std::unique_ptr<Benchmark> makeHotspot();      ///< Rodinia thermal sim
+std::unique_ptr<Benchmark> makeHpccg();        ///< Mantevo CG solver
+std::unique_ptr<Benchmark> makeKmeans();       ///< Rodinia clustering
+std::unique_ptr<Benchmark> makeLavaMd();       ///< Rodinia particle MD
+std::unique_ptr<Benchmark> makeSrad();         ///< Rodinia despeckling
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_APPS_APPS_H_

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * blackscholes — PARSEC European option pricing.
+ *
+ * Prices a portfolio of options with the closed-form Black-Scholes
+ * formula (a PDE solution). The program is scalar-heavy: the formula
+ * and the CNDF helper declare dozens of scalar locals, each its own
+ * type-dependence cluster — the weak-clustering outlier of Table II.
+ *
+ * Execution knobs:
+ *  - one knob per input array (sptprice, strike, rate, volatility,
+ *    otime): storage precision; arrays are converted to the formula's
+ *    working precision at the region boundary (a genuine cast pass);
+ *  - "locals": the working precision of the pricing formula;
+ *  - "cndf": the working precision of the CNDF polynomial;
+ *  - "prices": storage precision of the output array.
+ * Remaining scalar clusters are cold (searchable, no runtime effect),
+ * mirroring the many irrelevant scalars of the real program.
+ */
+
+#include <cmath>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+/**
+ * Cumulative normal distribution (Abramowitz-Stegun polynomial).
+ *
+ * The polynomial coefficients are deliberately left as raw double
+ * literals: Typeforge does not transform literals (paper Section
+ * IV-B), so even in a lowered configuration these products evaluate
+ * in binary64 with casts at every use — the effect the paper reports
+ * capping the achievable speedup of literal-heavy code.
+ */
+template <class T>
+T
+cndf(T x)
+{
+    bool negative = x < T{0};
+    if (negative)
+        x = -x;
+    auto k = 1.0 / (1.0 + 0.2316419 * x);
+    auto poly =
+        k * (0.319381530 +
+             k * (-0.356563782 +
+                  k * (1.781477937 +
+                       k * (-1.821255978 + k * 1.330274429))));
+    auto nPrime = kInvSqrt2Pi * std::exp(-0.5 * x * x);
+    auto result = 1.0 - nPrime * poly;
+    return static_cast<T>(negative ? 1.0 - result : result);
+}
+
+/**
+ * Pricing region: inputs already converted to the working type TS,
+ * CNDF evaluated at TC with casts at the call boundary.
+ */
+template <class TS, class TC>
+void
+priceRegion(const std::vector<TS>& sptprice,
+            const std::vector<TS>& strike, const std::vector<TS>& rate,
+            const std::vector<TS>& volatility,
+            const std::vector<TS>& otime,
+            const std::vector<int>& otype, std::vector<TS>& prices)
+{
+    std::size_t n = prices.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        TS s = sptprice[i];
+        TS k = strike[i];
+        TS r = rate[i];
+        TS v = volatility[i];
+        TS t = otime[i];
+
+        TS sqrtT = std::sqrt(t);
+        TS logTerm = std::log(s / k);
+        // 0.5 is an untransformed literal (see cndf above): the whole
+        // d1/d2 chain promotes to binary64 in lowered configurations,
+        // exactly as in the PARSEC source the paper analyzed.
+        auto powerTerm = 0.5 * v * v;
+        auto d1 = (logTerm + (r + powerTerm) * t) / (v * sqrtT);
+        auto d2 = d1 - v * sqrtT;
+
+        TS nD1 = static_cast<TS>(cndf<TC>(static_cast<TC>(d1)));
+        TS nD2 = static_cast<TS>(cndf<TC>(static_cast<TC>(d2)));
+        TS futureValue = k * std::exp(-r * t);
+        if (otype[i] == 0) {
+            prices[i] = s * nD1 - futureValue * nD2;
+        } else {
+            prices[i] = futureValue * (TS{1} - nD2) -
+                        s * (TS{1} - nD1);
+        }
+    }
+}
+
+/** Convert an mp::Buffer into a working vector of type T. */
+template <class T>
+std::vector<T>
+toWorking(const runtime::Buffer& buffer)
+{
+    std::vector<T> out(buffer.size());
+    runtime::dispatch1(buffer.precision(), [&](auto tag) {
+        using Src = typename decltype(tag)::type;
+        auto view = buffer.as<Src>();
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = static_cast<T>(view[i]);
+    });
+    return out;
+}
+
+class Blackscholes final : public Benchmark {
+  public:
+    Blackscholes() : model_("blackscholes")
+    {
+        n_ = scaled(100000);
+        sptData_ = uniformVector(0xA1001, n_, 0.8, 1.2);
+        strikeData_ = uniformVector(0xA1002, n_, 0.8, 1.2);
+        rateData_ = uniformVector(0xA1003, n_, 0.02, 0.1);
+        volData_ = uniformVector(0xA1004, n_, 0.1, 0.6);
+        timeData_ = uniformVector(0xA1005, n_, 0.25, 2.0);
+        support::Pcg32 rng(0xA1006);
+        otype_.resize(n_);
+        for (auto& t : otype_)
+            t = rng.chance(0.5) ? 1 : 0;
+        buildModel();
+    }
+
+    std::string name() const override { return "blackscholes"; }
+
+    std::string
+    description() const override
+    {
+        return "European option pricing via the Black-Scholes PDE";
+    }
+
+    bool isKernel() const override { return false; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer spt = Buffer::fromDoubles(sptData_, pm.get("sptprice"));
+        Buffer strike = Buffer::fromDoubles(strikeData_,
+                                            pm.get("strike"));
+        Buffer rate = Buffer::fromDoubles(rateData_, pm.get("rate"));
+        Buffer vol = Buffer::fromDoubles(volData_,
+                                         pm.get("volatility"));
+        Buffer otime = Buffer::fromDoubles(timeData_, pm.get("otime"));
+        Buffer prices(n_, pm.get("prices"));
+
+        runtime::dispatch2(
+            pm.get("locals"), pm.get("cndf"), [&](auto ts, auto tc) {
+                using TS = typename decltype(ts)::type;
+                using TC = typename decltype(tc)::type;
+                auto s = toWorking<TS>(spt);
+                auto k = toWorking<TS>(strike);
+                auto r = toWorking<TS>(rate);
+                auto v = toWorking<TS>(vol);
+                auto t = toWorking<TS>(otime);
+                std::vector<TS> out(n_);
+                priceRegion<TS, TC>(s, k, r, v, t, otype_, out);
+                for (std::size_t i = 0; i < n_; ++i)
+                    prices.storeDouble(i,
+                                       static_cast<double>(out[i]));
+            });
+        return {prices.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("blackscholes.c");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        const char* arrays[] = {"sptprice", "strike", "rate",
+                                "volatility", "otime", "prices"};
+        for (const char* a : arrays)
+            model_.addVariable(fmain, a, realPointer(), a);
+
+        // BlkSchlsEqEuroNoDiv: scalar parameters (passed by value) and
+        // a forest of scalar locals -> singleton clusters galore.
+        FunctionId fbs =
+            model_.addFunction(m, "BlkSchlsEqEuroNoDiv");
+        const char* bsParams[] = {"sptprice_p", "strike_p", "rate_p",
+                                  "volatility_p", "time_p"};
+        for (const char* p : bsParams)
+            model_.addParameter(fbs, p, realScalar());
+        const char* bsLocals[] = {
+            "xStockPrice", "xStrikePrice", "xRiskFreeRate",
+            "xVolatility", "xTime",        "xSqrtTime",
+            "logValues",   "xLogTerm",     "xPowerTerm",
+            "xDen",        "d1",           "d2",
+            "futureValueX", "nofXd1",      "nofXd2",
+            "negNofXd1",   "negNofXd2",    "optionPrice"};
+        for (const char* l : bsLocals)
+            model_.addVariable(fbs, l, realScalar());
+        // xD1 is the representative cluster driving the formula's
+        // working precision.
+        model_.addVariable(fbs, "xD1", realScalar(), "locals");
+
+        // CNDF: one scalar parameter and polynomial locals.
+        FunctionId fcndf = model_.addFunction(m, "CNDF");
+        model_.addParameter(fcndf, "inputX", realScalar());
+        const char* cndfLocals[] = {
+            "outputX", "xInput",   "xNPrimeofX", "expValues",
+            "xK2",     "xK2_2",    "xK2_3",      "xK2_4",
+            "xK2_5",   "xLocal_1", "xLocal_2",   "xLocal_3"};
+        for (const char* l : cndfLocals)
+            model_.addVariable(fcndf, l, realScalar());
+        model_.addVariable(fcndf, "xLocal", realScalar(), "cndf");
+    }
+
+    model::ProgramModel model_;
+    std::size_t n_;
+    std::vector<double> sptData_;
+    std::vector<double> strikeData_;
+    std::vector<double> rateData_;
+    std::vector<double> volData_;
+    std::vector<double> timeData_;
+    std::vector<int> otype_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeBlackscholes()
+{
+    return std::make_unique<Blackscholes>();
+}
+
+} // namespace hpcmixp::benchmarks

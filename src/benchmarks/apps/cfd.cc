@@ -1,0 +1,380 @@
+/**
+ * @file
+ * cfd — Rodinia euler3d: unstructured-grid finite-volume solver for
+ * the three-dimensional Euler equations (compressible flow).
+ *
+ * The original fvcorr mesh file is replaced by a synthetic structured
+ * torus expressed in unstructured form (per-cell neighbour lists and
+ * face normals), preserving the indirect access pattern. Conserved
+ * variables per cell: density, momentum (x,y,z), energy density.
+ *
+ * Nearly every function takes the solution arrays as pointer
+ * parameters, so clustering collapses the many variables into a few
+ * clusters — the strong-clustering outlier of Table II.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <tuple>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+#include "runtime/profiler.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr std::size_t kVars = 5;   // rho, mx, my, mz, e
+constexpr std::size_t kFaces = 6;  // structured torus: 6 neighbours
+constexpr double kGamma = 1.4;
+constexpr double kCfl = 0.2;
+
+template <class T>
+T
+pressureOf(T rho, T mx, T my, T mz, T e)
+{
+    T gm1 = T(kGamma) - T{1};
+    return gm1 * (e - T(0.5) * (mx * mx + my * my + mz * mz) / rho);
+}
+
+/** step_factors[i] = CFL / (|u| + c) per cell. */
+template <class TV, class TS>
+void
+computeStepFactor(std::span<const TV> variables, std::span<TS> stepFactors,
+                  std::size_t cells)
+{
+    runtime::ScopedRegion profileRegion("cfd/compute_step_factor");
+    for (std::size_t i = 0; i < cells; ++i) {
+        const TV* v = &variables[i * kVars];
+        TV rho = v[0];
+        TV speedSqd = (v[1] * v[1] + v[2] * v[2] + v[3] * v[3]) /
+                      (rho * rho);
+        TV pressure = pressureOf(rho, v[1], v[2], v[3], v[4]);
+        TV soundSpeed = std::sqrt(TV(kGamma) * pressure / rho);
+        stepFactors[i] = static_cast<TS>(
+            TV(kCfl) / (std::sqrt(speedSqd) + soundSpeed));
+    }
+}
+
+/** Accumulate upwinded face fluxes into `fluxes`. */
+template <class TV, class TN, class TF>
+void
+computeFlux(std::span<const TV> variables,
+            std::span<const std::int32_t> neighbors,
+            std::span<const TN> normals, std::span<TF> fluxes,
+            std::size_t cells)
+{
+    runtime::ScopedRegion profileRegion("cfd/compute_flux");
+    for (std::size_t i = 0; i < cells; ++i) {
+        const TV* vi = &variables[i * kVars];
+        TV rhoI = vi[0];
+        TV pI = pressureOf(rhoI, vi[1], vi[2], vi[3], vi[4]);
+        TF acc[kVars] = {};
+
+        for (std::size_t f = 0; f < kFaces; ++f) {
+            auto nb = static_cast<std::size_t>(
+                neighbors[i * kFaces + f]);
+            const TV* vj = &variables[nb * kVars];
+            const TN* nrm = &normals[(i * kFaces + f) * 3];
+            TV rhoJ = vj[0];
+            TV pJ = pressureOf(rhoJ, vj[1], vj[2], vj[3], vj[4]);
+
+            // Central flux with scalar dissipation (Rusanov-like).
+            TV uxI = vi[1] / rhoI, uyI = vi[2] / rhoI,
+               uzI = vi[3] / rhoI;
+            TV uxJ = vj[1] / rhoJ, uyJ = vj[2] / rhoJ,
+               uzJ = vj[3] / rhoJ;
+            TV unI = uxI * TV(nrm[0]) + uyI * TV(nrm[1]) +
+                     uzI * TV(nrm[2]);
+            TV unJ = uxJ * TV(nrm[0]) + uyJ * TV(nrm[1]) +
+                     uzJ * TV(nrm[2]);
+            TV cI = std::sqrt(TV(kGamma) * pI / rhoI);
+            TV cJ = std::sqrt(TV(kGamma) * pJ / rhoJ);
+            TV smax = std::max(std::abs(unI) + cI,
+                               std::abs(unJ) + cJ);
+
+            TV fluxRho = TV(0.5) * (rhoI * unI + rhoJ * unJ) -
+                         TV(0.5) * smax * (rhoJ - rhoI);
+            TV fluxMx = TV(0.5) * (vi[1] * unI + vj[1] * unJ +
+                                   (pI + pJ) * TV(nrm[0])) -
+                        TV(0.5) * smax * (vj[1] - vi[1]);
+            TV fluxMy = TV(0.5) * (vi[2] * unI + vj[2] * unJ +
+                                   (pI + pJ) * TV(nrm[1])) -
+                        TV(0.5) * smax * (vj[2] - vi[2]);
+            TV fluxMz = TV(0.5) * (vi[3] * unI + vj[3] * unJ +
+                                   (pI + pJ) * TV(nrm[2])) -
+                        TV(0.5) * smax * (vj[3] - vi[3]);
+            TV fluxE = TV(0.5) * ((vi[4] + pI) * unI +
+                                  (vj[4] + pJ) * unJ) -
+                       TV(0.5) * smax * (vj[4] - vi[4]);
+
+            acc[0] += static_cast<TF>(fluxRho);
+            acc[1] += static_cast<TF>(fluxMx);
+            acc[2] += static_cast<TF>(fluxMy);
+            acc[3] += static_cast<TF>(fluxMz);
+            acc[4] += static_cast<TF>(fluxE);
+        }
+        for (std::size_t k = 0; k < kVars; ++k)
+            fluxes[i * kVars + k] = acc[k];
+    }
+}
+
+/** variables = old_variables - dt * fluxes. */
+template <class TV, class TF, class TS>
+void
+timeStep(std::span<TV> variables, std::span<const TV> oldVariables,
+         std::span<const TF> fluxes, std::span<const TS> stepFactors,
+         std::size_t cells)
+{
+    runtime::ScopedRegion profileRegion("cfd/time_step");
+    for (std::size_t i = 0; i < cells; ++i) {
+        TV dt = static_cast<TV>(stepFactors[i]);
+        for (std::size_t k = 0; k < kVars; ++k)
+            variables[i * kVars + k] =
+                oldVariables[i * kVars + k] -
+                dt * static_cast<TV>(fluxes[i * kVars + k]);
+    }
+}
+
+class Cfd final : public Benchmark {
+  public:
+    Cfd() : model_("cfd")
+    {
+        nx_ = scaled(20, 8);
+        cells_ = nx_ * nx_ * nx_;
+        iterations_ = 3;
+        buildMesh();
+        buildInitialState();
+        buildModel();
+    }
+
+    std::string name() const override { return "cfd"; }
+
+    std::string
+    description() const override
+    {
+        return "Unstructured-grid 3D Euler solver for compressible flow";
+    }
+
+    bool isKernel() const override { return false; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer variables = Buffer::fromDoubles(initState_,
+                                               pm.get("variables"));
+        Buffer oldVariables(initState_.size(), pm.get("variables"));
+        Buffer fluxes(initState_.size(), pm.get("fluxes"));
+        Buffer stepFactors(cells_, pm.get("step_factors"));
+        Buffer normals = Buffer::fromDoubles(normalData_,
+                                             pm.get("normals"));
+
+        runtime::dispatch4(
+            variables.precision(), fluxes.precision(),
+            stepFactors.precision(), normals.precision(),
+            [&](auto tv, auto tf, auto ts, auto tn) {
+                using TV = typename decltype(tv)::type;
+                using TF = typename decltype(tf)::type;
+                using TS = typename decltype(ts)::type;
+                using TN = typename decltype(tn)::type;
+                auto vars = variables.as<TV>();
+                auto oldVars = oldVariables.as<TV>();
+                for (std::size_t it = 0; it < iterations_; ++it) {
+                    std::copy(vars.begin(), vars.end(),
+                              oldVars.begin());
+                    computeStepFactor<TV, TS>(
+                        std::span<const TV>(vars),
+                        stepFactors.as<TS>(), cells_);
+                    // Three-step Runge-Kutta as in euler3d.
+                    for (int rk = 0; rk < 3; ++rk) {
+                        computeFlux<TV, TN, TF>(
+                            std::span<const TV>(vars), neighborData_,
+                            std::span<const TN>(normals.as<TN>()),
+                            fluxes.as<TF>(), cells_);
+                        timeStep<TV, TF, TS>(
+                            vars, std::span<const TV>(oldVars),
+                            std::span<const TF>(fluxes.as<TF>()),
+                            std::span<const TS>(stepFactors.as<TS>()),
+                            cells_);
+                    }
+                }
+            });
+        return {variables.toDoubles()};
+    }
+
+  private:
+    void
+    buildMesh()
+    {
+        // Structured periodic torus in unstructured representation.
+        auto idx = [&](std::size_t i, std::size_t j, std::size_t k) {
+            return (k * nx_ + j) * nx_ + i;
+        };
+        neighborData_.resize(cells_ * kFaces);
+        normalData_.resize(cells_ * kFaces * 3);
+        const double faceArea = 0.05;
+        for (std::size_t k = 0; k < nx_; ++k) {
+            for (std::size_t j = 0; j < nx_; ++j) {
+                for (std::size_t i = 0; i < nx_; ++i) {
+                    std::size_t c = idx(i, j, k);
+                    const std::array<std::array<int, 3>, kFaces> dirs{
+                        {{+1, 0, 0},
+                         {-1, 0, 0},
+                         {0, +1, 0},
+                         {0, -1, 0},
+                         {0, 0, +1},
+                         {0, 0, -1}}};
+                    for (std::size_t f = 0; f < kFaces; ++f) {
+                        auto [di, dj, dk] = std::tuple{
+                            dirs[f][0], dirs[f][1], dirs[f][2]};
+                        std::size_t ni = (i + nx_ +
+                                          static_cast<std::size_t>(
+                                              di + 1) - 1) % nx_;
+                        std::size_t nj = (j + nx_ +
+                                          static_cast<std::size_t>(
+                                              dj + 1) - 1) % nx_;
+                        std::size_t nk = (k + nx_ +
+                                          static_cast<std::size_t>(
+                                              dk + 1) - 1) % nx_;
+                        neighborData_[c * kFaces + f] =
+                            static_cast<std::int32_t>(idx(ni, nj, nk));
+                        normalData_[(c * kFaces + f) * 3 + 0] =
+                            faceArea * dirs[f][0];
+                        normalData_[(c * kFaces + f) * 3 + 1] =
+                            faceArea * dirs[f][1];
+                        normalData_[(c * kFaces + f) * 3 + 2] =
+                            faceArea * dirs[f][2];
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    buildInitialState()
+    {
+        // Smooth density/energy perturbation around a uniform flow.
+        initState_.resize(cells_ * kVars);
+        for (std::size_t c = 0; c < cells_; ++c) {
+            double phase =
+                2.0 * M_PI * static_cast<double>(c % nx_) /
+                static_cast<double>(nx_);
+            double rho = 1.0 + 0.05 * std::sin(phase);
+            double ux = 0.3;
+            double uy = 0.02 * std::cos(phase);
+            double uz = 0.0;
+            double pressure = 1.0;
+            initState_[c * kVars + 0] = rho;
+            initState_[c * kVars + 1] = rho * ux;
+            initState_[c * kVars + 2] = rho * uy;
+            initState_[c * kVars + 3] = rho * uz;
+            initState_[c * kVars + 4] =
+                pressure / (kGamma - 1.0) +
+                0.5 * rho * (ux * ux + uy * uy + uz * uz);
+        }
+    }
+
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("euler3d.cpp");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        VarId vars = model_.addVariable(fmain, "variables",
+                                        realPointer(), "variables");
+        VarId oldVars = model_.addVariable(fmain, "old_variables",
+                                           realPointer(), "variables");
+        VarId fluxes = model_.addVariable(fmain, "fluxes",
+                                          realPointer(), "fluxes");
+        VarId steps = model_.addVariable(fmain, "step_factors",
+                                         realPointer(), "step_factors");
+        VarId normals = model_.addVariable(fmain, "normals",
+                                           realPointer(), "normals");
+
+        FunctionId fcopy = model_.addFunction(m, "copy");
+        VarId cDst = model_.addParameter(fcopy, "dst", realPointer(),
+                                         "variables");
+        VarId cSrc = model_.addParameter(fcopy, "src", realPointer(),
+                                         "variables");
+        model_.addCallBind(oldVars, cDst);
+        model_.addCallBind(vars, cSrc);
+        // Inside copy() the two pointers alias (dst = src walks), so
+        // their base types unify.
+        model_.addAssign(cDst, cSrc);
+
+        FunctionId fsf = model_.addFunction(m, "compute_step_factor");
+        VarId sfVars = model_.addParameter(fsf, "variables",
+                                           realPointer(), "variables");
+        VarId sfOut = model_.addParameter(fsf, "step_factors",
+                                          realPointer(),
+                                          "step_factors");
+        model_.addCallBind(vars, sfVars);
+        model_.addCallBind(steps, sfOut);
+        const char* sfLocals[] = {"density", "speed_sqd", "pressure",
+                                  "speed_of_sound"};
+        for (const char* l : sfLocals)
+            model_.addVariable(fsf, l, realScalar());
+
+        FunctionId fflux = model_.addFunction(m, "compute_flux");
+        VarId flVars = model_.addParameter(fflux, "variables",
+                                           realPointer(), "variables");
+        VarId flNorm = model_.addParameter(fflux, "normals",
+                                           realPointer(), "normals");
+        VarId flOut = model_.addParameter(fflux, "fluxes",
+                                          realPointer(), "fluxes");
+        model_.addCallBind(vars, flVars);
+        model_.addCallBind(normals, flNorm);
+        model_.addCallBind(fluxes, flOut);
+        const char* flLocals[] = {
+            "smax",       "factor",     "density_i", "density_nb",
+            "pressure_i", "pressure_nb", "velocity_i", "velocity_nb",
+            "flux_density", "flux_energy", "de_p"};
+        for (const char* l : flLocals)
+            model_.addVariable(fflux, l, realScalar());
+
+        FunctionId fts = model_.addFunction(m, "time_step");
+        VarId tsVars = model_.addParameter(fts, "variables",
+                                           realPointer(), "variables");
+        VarId tsOld = model_.addParameter(fts, "old_variables",
+                                          realPointer(), "variables");
+        VarId tsFlux = model_.addParameter(fts, "fluxes",
+                                           realPointer(), "fluxes");
+        VarId tsSteps = model_.addParameter(fts, "step_factors",
+                                            realPointer(),
+                                            "step_factors");
+        model_.addCallBind(vars, tsVars);
+        model_.addCallBind(oldVars, tsOld);
+        model_.addCallBind(fluxes, tsFlux);
+        model_.addCallBind(steps, tsSteps);
+        model_.addVariable(fts, "factor", realScalar());
+    }
+
+    model::ProgramModel model_;
+    std::size_t nx_;
+    std::size_t cells_;
+    std::size_t iterations_;
+    std::vector<std::int32_t> neighborData_;
+    std::vector<double> normalData_;
+    std::vector<double> initState_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeCfd()
+{
+    return std::make_unique<Cfd>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * hotspot — Rodinia thermal simulation.
+ *
+ * Iteratively solves the heat-dissipation differential equations on a
+ * processor floor plan: each grid cell's temperature is updated from
+ * its four neighbours, its own power draw, and the ambient sink. The
+ * iteration is dissipative, so single-precision rounding does not
+ * accumulate — the reason the paper finds Hotspot tunable even at the
+ * strictest 1e-8 quality threshold.
+ *
+ * The two ping-pong temperature grids are swapped by pointer, so they
+ * sit in one type-dependence cluster ("temp"); the power map is its
+ * own cluster ("power").
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+#include "runtime/profiler.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+// Thermal RC constants (normalized units).
+constexpr double kStepDivCap = 0.5;
+constexpr double kInvRx = 0.2;
+constexpr double kInvRy = 0.2;
+constexpr double kInvRz = 0.1;
+constexpr double kAmbient = 0.0;
+
+template <class TT, class TP>
+void
+hotspotRegion(std::span<TT> temp, std::span<TT> result,
+              std::span<const TP> power, std::size_t rows,
+              std::size_t cols, std::size_t iterations)
+{
+    runtime::ScopedRegion profileRegion("hotspot/compute_tran_temp");
+    // Pin the thermal constants to the grid's working type so the
+    // whole update runs natively at TT (double literals would silently
+    // promote every operation back to binary64).
+    const TT stepDivCap = TT(kStepDivCap);
+    const TT invRx = TT(kInvRx);
+    const TT invRy = TT(kInvRy);
+    const TT invRz = TT(kInvRz);
+    const TT ambient = TT(kAmbient);
+
+    TT* src = temp.data();
+    TT* dst = result.data();
+    for (std::size_t it = 0; it < iterations; ++it) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                std::size_t idx = r * cols + c;
+                TT center = src[idx];
+                TT north = r > 0 ? src[idx - cols] : center;
+                TT south = r + 1 < rows ? src[idx + cols] : center;
+                TT west = c > 0 ? src[idx - 1] : center;
+                TT east = c + 1 < cols ? src[idx + 1] : center;
+
+                TT delta = static_cast<TT>(
+                    stepDivCap *
+                    (power[idx] +
+                     (south + north - TT{2} * center) * invRy +
+                     (east + west - TT{2} * center) * invRx +
+                     (ambient - center) * invRz));
+                dst[idx] = center + delta;
+            }
+        }
+        std::swap(src, dst);
+    }
+    // Make sure the final state is in `temp` regardless of parity.
+    if (iterations % 2 != 0)
+        std::copy(result.begin(), result.end(), temp.begin());
+}
+
+class Hotspot final : public Benchmark {
+  public:
+    Hotspot() : model_("hotspot")
+    {
+        rows_ = scaled(256, 32);
+        cols_ = rows_;
+        iterations_ = 60;
+        tempData_ = uniformVector(0xA2001, rows_ * cols_, 0.0, 0.1);
+        powerData_ = uniformVector(0xA2002, rows_ * cols_, 0.0, 0.02);
+        buildModel();
+    }
+
+    std::string name() const override { return "hotspot"; }
+
+    std::string
+    description() const override
+    {
+        return "Processor thermal simulation on a floor plan";
+    }
+
+    bool isKernel() const override { return false; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer temp = Buffer::fromDoubles(tempData_, pm.get("temp"));
+        Buffer result(tempData_.size(), pm.get("temp"));
+        Buffer power = Buffer::fromDoubles(powerData_,
+                                           pm.get("power"));
+
+        runtime::dispatch2(
+            temp.precision(), power.precision(), [&](auto tt, auto tp) {
+                using TT = typename decltype(tt)::type;
+                using TP = typename decltype(tp)::type;
+                hotspotRegion<TT, TP>(temp.as<TT>(), result.as<TT>(),
+                                      power.as<TP>(), rows_, cols_,
+                                      iterations_);
+            });
+        return {temp.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("hotspot.c");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        VarId temp = model_.addVariable(fmain, "temp", realPointer(),
+                                        "temp");
+        VarId result = model_.addVariable(fmain, "result",
+                                          realPointer(), "temp");
+        VarId power = model_.addVariable(fmain, "power", realPointer(),
+                                         "power");
+        // Ping-pong swap: temp and result exchange pointers.
+        model_.addAssign(temp, result);
+
+        FunctionId fcompute =
+            model_.addFunction(m, "compute_tran_temp");
+        VarId pTemp = model_.addParameter(fcompute, "temp_src",
+                                          realPointer(), "temp");
+        VarId pResult = model_.addParameter(fcompute, "temp_dst",
+                                            realPointer(), "temp");
+        VarId pPower = model_.addParameter(fcompute, "power",
+                                           realPointer(), "power");
+        model_.addCallBind(temp, pTemp);
+        model_.addCallBind(result, pResult);
+        model_.addCallBind(power, pPower);
+
+        const char* locals[] = {"delta", "tc", "tn", "ts", "te", "tw"};
+        for (const char* l : locals)
+            model_.addVariable(fcompute, l, realScalar());
+        model_.addVariable(fcompute, "step_div_cap", realScalar());
+    }
+
+    model::ProgramModel model_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t iterations_;
+    std::vector<double> tempData_;
+    std::vector<double> powerData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeHotspot()
+{
+    return std::make_unique<Hotspot>();
+}
+
+} // namespace hpcmixp::benchmarks

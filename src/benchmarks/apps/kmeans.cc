@@ -1,0 +1,205 @@
+/**
+ * @file
+ * kmeans — Rodinia clustering.
+ *
+ * Lloyd's algorithm over well-separated synthetic Gaussian blobs. The
+ * output is the discrete cluster assignment, verified with the
+ * Misclassification Rate (MCR): with separated blobs, full single
+ * precision changes no assignment (MCR = 0) yet buys little speed —
+ * the "no-win" extreme of Table IV.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TF, class TC>
+void
+kmeansRegion(std::span<const TF> features, std::span<TC> centroids,
+             std::vector<int>& membership, std::size_t points,
+             std::size_t dims, std::size_t k, std::size_t iterations)
+{
+    std::vector<TC> sums(k * dims);
+    std::vector<int> counts(k);
+
+    for (std::size_t it = 0; it < iterations; ++it) {
+        // Assignment step.
+        for (std::size_t p = 0; p < points; ++p) {
+            const TF* fp = &features[p * dims];
+            TC bestDist = std::numeric_limits<TC>::max();
+            int best = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const TC* cp = &centroids[c * dims];
+                TC dist{};
+                for (std::size_t d = 0; d < dims; ++d) {
+                    TC diff = static_cast<TC>(fp[d]) - cp[d];
+                    dist += diff * diff;
+                }
+                if (dist < bestDist) {
+                    bestDist = dist;
+                    best = static_cast<int>(c);
+                }
+            }
+            membership[p] = best;
+        }
+        // Update step.
+        std::fill(sums.begin(), sums.end(), TC{});
+        std::fill(counts.begin(), counts.end(), 0);
+        for (std::size_t p = 0; p < points; ++p) {
+            int c = membership[p];
+            ++counts[static_cast<std::size_t>(c)];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[static_cast<std::size_t>(c) * dims + d] +=
+                    static_cast<TC>(features[p * dims + d]);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dims; ++d)
+                centroids[c * dims + d] =
+                    sums[c * dims + d] / static_cast<TC>(counts[c]);
+        }
+    }
+}
+
+class Kmeans final : public Benchmark {
+  public:
+    Kmeans() : model_("kmeans")
+    {
+        points_ = scaled(8000);
+        dims_ = 8;
+        k_ = 5;
+        iterations_ = 10;
+        generateBlobs();
+        buildModel();
+    }
+
+    std::string name() const override { return "kmeans"; }
+
+    std::string
+    description() const override
+    {
+        return "K-means clustering of data objects into K sub-clusters";
+    }
+
+    bool isKernel() const override { return false; }
+
+    std::string qualityMetric() const override { return "MCR"; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer features = Buffer::fromDoubles(featureData_,
+                                              pm.get("features"));
+        Buffer centroids = Buffer::fromDoubles(centroidData_,
+                                               pm.get("clusters"));
+        std::vector<int> membership(points_, 0);
+
+        runtime::dispatch2(
+            features.precision(), centroids.precision(),
+            [&](auto tf, auto tc) {
+                using TF = typename decltype(tf)::type;
+                using TC = typename decltype(tc)::type;
+                kmeansRegion<TF, TC>(
+                    std::span<const TF>(features.as<TF>()),
+                    centroids.as<TC>(), membership, points_, dims_,
+                    k_, iterations_);
+            });
+
+        RunOutput out;
+        out.values.reserve(points_);
+        for (int m : membership)
+            out.values.push_back(static_cast<double>(m));
+        return out;
+    }
+
+  private:
+    void
+    generateBlobs()
+    {
+        support::Pcg32 rng(0xA3001);
+        // Blob centers spread far apart relative to the unit spread.
+        std::vector<double> centers(k_ * dims_);
+        for (auto& c : centers)
+            c = rng.uniform(-10.0, 10.0);
+        featureData_.resize(points_ * dims_);
+        for (std::size_t p = 0; p < points_; ++p) {
+            std::size_t blob = rng.nextBounded(
+                static_cast<std::uint32_t>(k_));
+            for (std::size_t d = 0; d < dims_; ++d)
+                featureData_[p * dims_ + d] =
+                    centers[blob * dims_ + d] + 0.3 * rng.normal();
+        }
+        // Initial centroids: the first K points (Rodinia's choice).
+        centroidData_.assign(featureData_.begin(),
+                             featureData_.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     k_ * dims_));
+    }
+
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("kmeans.c");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        VarId feat = model_.addVariable(fmain, "features",
+                                        realPointer(2), "features");
+        VarId clus = model_.addVariable(fmain, "clusters",
+                                        realPointer(2), "clusters");
+
+        FunctionId fcluster = model_.addFunction(m, "kmeans_clustering");
+        VarId pFeat = model_.addParameter(fcluster, "feature",
+                                          realPointer(2), "features");
+        VarId pClus = model_.addParameter(fcluster, "clusters",
+                                          realPointer(2), "clusters");
+        model_.addCallBind(feat, pFeat);
+        model_.addCallBind(clus, pClus);
+        VarId newCenters = model_.addVariable(
+            fcluster, "new_centers", realPointer(2), "clusters");
+        model_.addAssign(pClus, newCenters);
+
+        FunctionId fdist = model_.addFunction(m, "euclid_dist_2");
+        VarId pPt = model_.addParameter(fdist, "pt", realPointer(),
+                                        "features");
+        VarId pCenter = model_.addParameter(fdist, "pt2", realPointer(),
+                                            "clusters");
+        model_.addCallBind(pFeat, pPt);
+        model_.addCallBind(pClus, pCenter);
+        model_.addVariable(fdist, "ans", realScalar());
+    }
+
+    model::ProgramModel model_;
+    std::size_t points_;
+    std::size_t dims_;
+    std::size_t k_;
+    std::size_t iterations_;
+    std::vector<double> featureData_;
+    std::vector<double> centroidData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeKmeans()
+{
+    return std::make_unique<Kmeans>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * lavamd — Rodinia particle potential / relocation.
+ *
+ * Particles live in a 3D lattice of boxes; each particle interacts
+ * with every particle in its home box and the 26 surrounding boxes
+ * (periodic wrap), within an exponential cutoff kernel. The
+ * interaction inner loop re-reads neighbour particle data many times,
+ * so the precision of the particle arrays governs both the SIMD width
+ * and the resident working-set size — the source of the largest
+ * speedup in Table IV.
+ */
+
+#include <cmath>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+#include "runtime/profiler.h"
+#include "support/env.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr double kAlpha = 0.5;
+
+/**
+ * Vectorizable exponential: 10th-order Taylor-Horner expansion,
+ * adequate on the bounded argument range of the interaction kernel
+ * (|u2| <= ~1.5). Using an inline polynomial instead of the libm call
+ * lets the interaction loop auto-vectorize, which is where single
+ * precision earns its doubled SIMD width (DESIGN.md, Section 2).
+ * Both precisions evaluate the same polynomial, so accuracy loss is
+ * pure rounding.
+ */
+template <class T>
+inline T
+polyExp(T x)
+{
+    T r = T(1.0 / 3628800.0);
+    r = r * x + T(1.0 / 362880.0);
+    r = r * x + T(1.0 / 40320.0);
+    r = r * x + T(1.0 / 5040.0);
+    r = r * x + T(1.0 / 720.0);
+    r = r * x + T(1.0 / 120.0);
+    r = r * x + T(1.0 / 24.0);
+    r = r * x + T(1.0 / 6.0);
+    r = r * x + T(0.5);
+    r = r * x + T(1);
+    r = r * x + T(1);
+    return r;
+}
+
+/**
+ * Force/potential region. rv holds particle state in SoA layout —
+ * x[total], y[total], z[total], v[total] — as vectorized MD kernels
+ * store it; qv the charges; fv the accumulated output, also SoA
+ * (potential, fx, fy, fz). The SoA layout plus the inline polyExp let
+ * the neighbour loop auto-vectorize.
+ */
+template <class TR, class TQ, class TF>
+void
+lavamdRegion(std::span<const TR> rv, std::span<const TQ> qv,
+             std::span<TF> fv, std::size_t boxes1d,
+             std::size_t particlesPerBox)
+{
+    runtime::ScopedRegion profileRegion("lavamd/kernel_cpu");
+    const TR a2 = TR(2.0 * kAlpha * kAlpha);
+    std::size_t boxes = boxes1d * boxes1d * boxes1d;
+    std::size_t total = boxes * particlesPerBox;
+    const TR* xs = rv.data();
+    const TR* ys = xs + total;
+    const TR* zs = ys + total;
+    const TR* ws = zs + total;
+    TF* fV = fv.data();
+    TF* fX = fV + total;
+    TF* fY = fX + total;
+    TF* fZ = fY + total;
+
+    auto boxIndex = [&](std::size_t bx, std::size_t by,
+                        std::size_t bz) {
+        return (bz * boxes1d + by) * boxes1d + bx;
+    };
+
+    for (std::size_t home = 0; home < boxes; ++home) {
+        std::size_t hx = home % boxes1d;
+        std::size_t hy = (home / boxes1d) % boxes1d;
+        std::size_t hz = home / (boxes1d * boxes1d);
+        std::size_t homeBase = home * particlesPerBox;
+
+        for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    std::size_t nx =
+                        (hx + boxes1d + static_cast<std::size_t>(
+                                            dx + 1) - 1) % boxes1d;
+                    std::size_t ny =
+                        (hy + boxes1d + static_cast<std::size_t>(
+                                            dy + 1) - 1) % boxes1d;
+                    std::size_t nz =
+                        (hz + boxes1d + static_cast<std::size_t>(
+                                            dz + 1) - 1) % boxes1d;
+                    std::size_t nbrBase =
+                        boxIndex(nx, ny, nz) * particlesPerBox;
+
+                    for (std::size_t i = 0; i < particlesPerBox; ++i) {
+                        std::size_t hi = homeBase + i;
+                        TR xi = xs[hi], yi = ys[hi], zi = zs[hi];
+                        TR wi = ws[hi];
+                        TF accV{}, accX{}, accY{}, accZ{};
+                        for (std::size_t j = 0; j < particlesPerBox;
+                             ++j) {
+                            std::size_t nj = nbrBase + j;
+                            TR dot = xi * xs[nj] + yi * ys[nj] +
+                                     zi * zs[nj];
+                            TR r2 = wi + ws[nj] - dot;
+                            TR u2 = a2 * r2;
+                            TR vij = polyExp(-u2);
+                            TR fs = TR{2} * vij;
+                            TQ q = qv[nj];
+                            accV += static_cast<TF>(q * vij);
+                            accX += static_cast<TF>(
+                                q * fs * (xi - xs[nj]));
+                            accY += static_cast<TF>(
+                                q * fs * (yi - ys[nj]));
+                            accZ += static_cast<TF>(
+                                q * fs * (zi - zs[nj]));
+                        }
+                        fV[hi] += accV;
+                        fX[hi] += accX;
+                        fY[hi] += accY;
+                        fZ[hi] += accZ;
+                    }
+                }
+            }
+        }
+    }
+}
+
+class LavaMd final : public Benchmark {
+  public:
+    LavaMd() : model_("lavamd")
+    {
+        // 128 particles per box keeps the vectorized neighbour loop's
+        // trip count a large multiple of the widest SIMD lane count;
+        // quick mode shrinks the box lattice and box population.
+        boxes1d_ = support::quickMode() ? 2 : 3;
+        particlesPerBox_ = support::quickMode() ? 64 : 128;
+        std::size_t particles =
+            boxes1d_ * boxes1d_ * boxes1d_ * particlesPerBox_;
+        rvData_ = uniformVector(0xA4001, particles * 4, 0.1, 1.0);
+        qvData_ = uniformVector(0xA4002, particles, 0.1, 1.0);
+        buildModel();
+    }
+
+    std::string name() const override { return "lavamd"; }
+
+    std::string
+    description() const override
+    {
+        return "Particle potential and relocation within a 3D box space";
+    }
+
+    bool isKernel() const override { return false; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer rv = Buffer::fromDoubles(rvData_, pm.get("rv"));
+        Buffer qv = Buffer::fromDoubles(qvData_, pm.get("qv"));
+        Buffer fv(rvData_.size(), pm.get("fv"));
+
+        runtime::dispatch3(
+            rv.precision(), qv.precision(), fv.precision(),
+            [&](auto tr, auto tq, auto tf) {
+                using TR = typename decltype(tr)::type;
+                using TQ = typename decltype(tq)::type;
+                using TF = typename decltype(tf)::type;
+                lavamdRegion<TR, TQ, TF>(
+                    std::span<const TR>(rv.as<TR>()),
+                    std::span<const TQ>(qv.as<TQ>()), fv.as<TF>(),
+                    boxes1d_, particlesPerBox_);
+            });
+        return {fv.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("lavamd.c");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        VarId rv = model_.addVariable(fmain, "rv", realPointer(), "rv");
+        VarId qv = model_.addVariable(fmain, "qv", realPointer(), "qv");
+        VarId fv = model_.addVariable(fmain, "fv", realPointer(), "fv");
+
+        FunctionId fkernel = model_.addFunction(m, "kernel_cpu");
+        VarId pRv = model_.addParameter(fkernel, "rv", realPointer(),
+                                        "rv");
+        VarId pQv = model_.addParameter(fkernel, "qv", realPointer(),
+                                        "qv");
+        VarId pFv = model_.addParameter(fkernel, "fv", realPointer(),
+                                        "fv");
+        model_.addCallBind(rv, pRv);
+        model_.addCallBind(qv, pQv);
+        model_.addCallBind(fv, pFv);
+
+        const char* locals[] = {"r2", "u2", "vij", "fs",
+                                "dx", "dy", "dz", "a2"};
+        for (const char* l : locals)
+            model_.addVariable(fkernel, l, realScalar());
+    }
+
+    model::ProgramModel model_;
+    std::size_t boxes1d_;
+    std::size_t particlesPerBox_;
+    std::vector<double> rvData_;
+    std::vector<double> qvData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeLavaMd()
+{
+    return std::make_unique<LavaMd>();
+}
+
+} // namespace hpcmixp::benchmarks

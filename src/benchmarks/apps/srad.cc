@@ -1,0 +1,217 @@
+/**
+ * @file
+ * srad — Speckle Reducing Anisotropic Diffusion (Rodinia).
+ *
+ * PDE-based despeckling for ultrasonic/radar imaging. Following the
+ * Rodinia code, the raw image is exponentiated before diffusion and
+ * log-compressed on output. The synthetic input spans a large dynamic
+ * range, so the exponentiated image exceeds FLT_MAX: running the image
+ * cluster in single precision overflows to infinity and the diffusion
+ * update turns the output into NaN — reproducing the paper's
+ * "quality completely destroyed" entry for SRAD in Table IV.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr double kLambda = 0.25;
+
+template <class TJ, class TG, class TC>
+void
+sradRegion(std::span<TJ> image, std::span<TG> dN, std::span<TG> dS,
+           std::span<TG> dW, std::span<TG> dE, std::span<TC> coef,
+           std::size_t rows, std::size_t cols, std::size_t iterations)
+{
+    const TJ lambda = TJ(kLambda);
+    std::size_t n = rows * cols;
+
+    for (std::size_t it = 0; it < iterations; ++it) {
+        // ROI statistics -> diffusion threshold q0sqr.
+        TJ sum{}, sum2{};
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += image[i];
+            sum2 += image[i] * image[i];
+        }
+        TJ mean = sum / TJ(n);
+        TJ var = sum2 / TJ(n) - mean * mean;
+        TJ q0sqr = var / (mean * mean);
+
+        // Gradients and diffusion coefficient.
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                std::size_t idx = r * cols + c;
+                TJ jc = image[idx];
+                TG n_ = static_cast<TG>(
+                    (r > 0 ? image[idx - cols] : jc) - jc);
+                TG s_ = static_cast<TG>(
+                    (r + 1 < rows ? image[idx + cols] : jc) - jc);
+                TG w_ = static_cast<TG>(
+                    (c > 0 ? image[idx - 1] : jc) - jc);
+                TG e_ = static_cast<TG>(
+                    (c + 1 < cols ? image[idx + 1] : jc) - jc);
+                dN[idx] = n_;
+                dS[idx] = s_;
+                dW[idx] = w_;
+                dE[idx] = e_;
+
+                TG g2 = (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) /
+                        static_cast<TG>(jc * jc);
+                TG l = (n_ + s_ + w_ + e_) / static_cast<TG>(jc);
+                TG num = TG(0.5) * g2 - TG(1.0 / 16.0) * (l * l);
+                TG den = TG{1} + TG(0.25) * l;
+                TG qsqr = num / (den * den);
+                TG qd = (qsqr - static_cast<TG>(q0sqr)) /
+                        (static_cast<TG>(q0sqr) *
+                         (TG{1} + static_cast<TG>(q0sqr)));
+                TC cval = static_cast<TC>(TG{1} / (TG{1} + qd));
+                coef[idx] = std::clamp(cval, TC{0}, TC{1});
+            }
+        }
+
+        // Divergence update.
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                std::size_t idx = r * cols + c;
+                TC cC = coef[idx];
+                TC cS = r + 1 < rows ? coef[idx + cols] : cC;
+                TC cE = c + 1 < cols ? coef[idx + 1] : cC;
+                TJ d = static_cast<TJ>(cC) * static_cast<TJ>(dN[idx]) +
+                       static_cast<TJ>(cS) * static_cast<TJ>(dS[idx]) +
+                       static_cast<TJ>(cC) * static_cast<TJ>(dW[idx]) +
+                       static_cast<TJ>(cE) * static_cast<TJ>(dE[idx]);
+                image[idx] += TJ(0.25) * lambda * d;
+            }
+        }
+    }
+}
+
+class Srad final : public Benchmark {
+  public:
+    Srad() : model_("srad")
+    {
+        rows_ = scaled(224, 32);
+        cols_ = rows_;
+        iterations_ = 12;
+        // Raw image values reach ~92: exp(92) overflows binary32 but
+        // not binary64 (Rodinia extracts with exp() up front).
+        rawImage_ = uniformVector(0xA5001, rows_ * cols_, 1.0, 92.0);
+        buildModel();
+    }
+
+    std::string name() const override { return "srad"; }
+
+    std::string
+    description() const override
+    {
+        return "Speckle-reducing anisotropic diffusion for imaging";
+    }
+
+    bool isKernel() const override { return false; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        std::size_t n = rows_ * cols_;
+        Buffer image(n, pm.get("image"));
+        Buffer dN(n, pm.get("grads"));
+        Buffer dS(n, pm.get("grads"));
+        Buffer dW(n, pm.get("grads"));
+        Buffer dE(n, pm.get("grads"));
+        Buffer coef(n, pm.get("coef"));
+
+        // Extraction: J = exp(raw). Done at the image precision, as
+        // in the original (this is where binary32 overflows).
+        runtime::dispatch1(image.precision(), [&](auto tj) {
+            using TJ = typename decltype(tj)::type;
+            auto view = image.as<TJ>();
+            for (std::size_t i = 0; i < n; ++i)
+                view[i] = std::exp(static_cast<TJ>(rawImage_[i]));
+        });
+
+        runtime::dispatch3(
+            image.precision(), dN.precision(), coef.precision(),
+            [&](auto tj, auto tg, auto tc) {
+                using TJ = typename decltype(tj)::type;
+                using TG = typename decltype(tg)::type;
+                using TC = typename decltype(tc)::type;
+                sradRegion<TJ, TG, TC>(image.as<TJ>(), dN.as<TG>(),
+                                       dS.as<TG>(), dW.as<TG>(),
+                                       dE.as<TG>(), coef.as<TC>(),
+                                       rows_, cols_, iterations_);
+            });
+
+        // Log compression back to display range.
+        RunOutput out;
+        out.values.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out.values[i] = std::log(image.loadDouble(i));
+        return out;
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("srad.c");
+
+        FunctionId fmain = model_.addFunction(m, "main");
+        VarId img = model_.addVariable(fmain, "J", realPointer(),
+                                       "image");
+        // The four gradient arrays are carved from one scratch pool.
+        VarId gradPool = model_.addVariable(fmain, "grad_pool",
+                                            realPointer(), "grads");
+        const char* grads[] = {"dN", "dS", "dW", "dE"};
+        for (const char* g : grads) {
+            VarId v = model_.addVariable(fmain, g, realPointer(),
+                                         "grads");
+            model_.addAssign(v, gradPool);
+        }
+        VarId coef = model_.addVariable(fmain, "c", realPointer(),
+                                        "coef");
+
+        FunctionId fsrad = model_.addFunction(m, "srad_main_loop");
+        VarId pImg = model_.addParameter(fsrad, "J", realPointer(),
+                                         "image");
+        VarId pCoef = model_.addParameter(fsrad, "c", realPointer(),
+                                          "coef");
+        model_.addCallBind(img, pImg);
+        model_.addCallBind(coef, pCoef);
+        const char* locals[] = {"sum",   "sum2", "meanROI", "varROI",
+                                "q0sqr", "G2",   "L",       "num",
+                                "den",   "qsqr", "D",       "cN"};
+        for (const char* l : locals)
+            model_.addVariable(fsrad, l, realScalar());
+    }
+
+    model::ProgramModel model_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t iterations_;
+    std::vector<double> rawImage_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeSrad()
+{
+    return std::make_unique<Srad>();
+}
+
+} // namespace hpcmixp::benchmarks

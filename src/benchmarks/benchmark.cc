@@ -1,0 +1,35 @@
+#include "benchmarks/benchmark.h"
+
+namespace hpcmixp::benchmarks {
+
+runtime::Precision
+PrecisionMap::get(const std::string& key) const
+{
+    for (const auto& [name, p] : entries_)
+        if (name == key)
+            return p;
+    return runtime::Precision::Float64;
+}
+
+void
+PrecisionMap::set(const std::string& key, runtime::Precision p)
+{
+    for (auto& [name, existing] : entries_) {
+        if (name == key) {
+            existing = p;
+            return;
+        }
+    }
+    entries_.emplace_back(key, p);
+}
+
+bool
+PrecisionMap::allDouble() const
+{
+    for (const auto& [name, p] : entries_)
+        if (p != runtime::Precision::Float64)
+            return false;
+    return true;
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,78 @@
+#ifndef HPCMIXP_BENCHMARKS_BENCHMARK_H_
+#define HPCMIXP_BENCHMARKS_BENCHMARK_H_
+
+/**
+ * @file
+ * The benchmark abstraction of HPC-MixPBench.
+ *
+ * A Benchmark bundles:
+ *  - a mixed-precision *executable*: run() executes the workload with
+ *    the precision of each tunable knob chosen at runtime (region
+ *    templates over mp::Buffer storage, see runtime/dispatch.h);
+ *  - a ProgramModel mirroring the benchmark's source structure, whose
+ *    variables carry *bind keys* naming the runtime knobs they control;
+ *  - metadata: kernel vs application, preferred quality metric
+ *    (MAE for all programs except K-means, which uses MCR — paper
+ *    Section IV).
+ *
+ * run() must be deterministic for a fixed PrecisionMap: all synthetic
+ * inputs are generated from fixed seeds, so verification compares
+ * numerics only.
+ */
+
+#include <string>
+#include <vector>
+
+#include "model/program_model.h"
+#include "runtime/precision.h"
+
+namespace hpcmixp::benchmarks {
+
+/** Precision assignment for a benchmark's runtime knobs. */
+class PrecisionMap {
+  public:
+    /** Precision of knob @p key; unmentioned knobs default to double. */
+    runtime::Precision get(const std::string& key) const;
+
+    /** Set knob @p key to @p p. */
+    void set(const std::string& key, runtime::Precision p);
+
+    /** True when every knob is left at double precision. */
+    bool allDouble() const;
+
+  private:
+    std::vector<std::pair<std::string, runtime::Precision>> entries_;
+};
+
+/** The canonical output of one benchmark run. */
+struct RunOutput {
+    std::vector<double> values; ///< widened output vector (may hold NaN)
+};
+
+/** One benchmark program of the suite. */
+class Benchmark {
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Suite-unique name, e.g. "hydro-1d" or "lavamd". */
+    virtual std::string name() const = 0;
+
+    /** One-line description (Table I / Section III-B). */
+    virtual std::string description() const = 0;
+
+    /** True for kernels, false for proxy applications. */
+    virtual bool isKernel() const = 0;
+
+    /** Default quality metric name ("MAE", or "MCR" for K-means). */
+    virtual std::string qualityMetric() const { return "MAE"; }
+
+    /** The program model consumed by the Typeforge analysis. */
+    virtual const model::ProgramModel& programModel() const = 0;
+
+    /** Execute the workload under @p precisions. */
+    virtual RunOutput run(const PrecisionMap& precisions) const = 0;
+};
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_BENCHMARK_H_

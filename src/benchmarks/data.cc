@@ -1,0 +1,33 @@
+#include "benchmarks/data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/env.h"
+
+namespace hpcmixp::benchmarks {
+
+std::vector<double>
+uniformVector(std::uint64_t seed, std::size_t n, double lo, double hi)
+{
+    support::Pcg32 rng(seed);
+    std::vector<double> out(n);
+    support::fillUniform(rng, out, lo, hi);
+    return out;
+}
+
+double
+sizeScale()
+{
+    return support::quickMode() ? 0.25 : 1.0;
+}
+
+std::size_t
+scaled(std::size_t n, std::size_t minimum)
+{
+    auto s = static_cast<std::size_t>(
+        std::llround(static_cast<double>(n) * sizeScale()));
+    return std::max(s, minimum);
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,36 @@
+#ifndef HPCMIXP_BENCHMARKS_DATA_H_
+#define HPCMIXP_BENCHMARKS_DATA_H_
+
+/**
+ * @file
+ * Seeded synthetic input generation shared by the benchmarks.
+ *
+ * Kernels are randomly initialized (paper Section III-B); applications
+ * use deterministic synthetic generators substituting for the Rodinia /
+ * PARSEC input files (DESIGN.md Section 2). Everything is derived from
+ * a per-benchmark seed so runs are reproducible.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace hpcmixp::benchmarks {
+
+/** Vector of @p n uniform values in [lo, hi), from @p seed. */
+std::vector<double> uniformVector(std::uint64_t seed, std::size_t n,
+                                  double lo, double hi);
+
+/**
+ * Problem-size scale factor: 1.0 normally, reduced under
+ * HPCMIXP_QUICK so smoke runs finish fast.
+ */
+double sizeScale();
+
+/** max(minimum, round(n * sizeScale())). */
+std::size_t scaled(std::size_t n, std::size_t minimum = 8);
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_DATA_H_

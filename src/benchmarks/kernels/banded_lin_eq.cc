@@ -1,0 +1,113 @@
+/**
+ * @file
+ * banded-lin-eq — banded linear equations fragment (Livermore
+ * kernel 4): a strided dot-product reduction updating two solution
+ * entries per sweep.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TX, class TY>
+void
+bandedCore(std::span<TX> x, std::span<const TY> y, std::size_t n,
+           std::size_t repeats)
+{
+    using Acc = std::common_type_t<TX, TY>;
+    std::size_t m = (n - 7) / 2;
+
+    // The kernel overwrites x[k-1]; remember the pristine values so
+    // every repetition computes from the same state.
+    std::vector<std::pair<std::size_t, TX>> saved;
+    for (std::size_t k = 6; k < n; k += m)
+        saved.emplace_back(k - 1, x[k - 1]);
+
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (const auto& [idx, val] : saved)
+            x[idx] = val;
+        for (std::size_t k = 6; k < n; k += m) {
+            std::size_t lw = k - 6;
+            Acc temp = x[k - 1];
+            // The classic loop walks lw with a fixed trip count; we
+            // additionally stop at the array end (the original reads
+            // into adjacent COMMON-block storage).
+            for (std::size_t j = 4; j < n && lw < n; j += 5) {
+                temp -= static_cast<Acc>(x[lw] * y[j]);
+                ++lw;
+            }
+            x[k - 1] = static_cast<TX>(y[4] * temp);
+        }
+    }
+}
+
+class BandedLinEq final : public KernelBase {
+  public:
+    BandedLinEq() : KernelBase("banded-lin-eq")
+    {
+        n_ = scaled(200001);
+        repeats_ = 40;
+        xData_ = uniformVector(0xB4001, n_, 0.0, 0.05);
+        yData_ = uniformVector(0xB4002, n_, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "banded-lin-eq"; }
+
+    std::string
+    description() const override
+    {
+        return "Banded linear systems solution";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
+        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
+
+        runtime::dispatch2(
+            x.precision(), y.precision(), [&](auto tx, auto ty) {
+                using TX = typename decltype(tx)::type;
+                using TY = typename decltype(ty)::type;
+                bandedCore<TX, TY>(x.as<TX>(), y.as<TY>(), n_,
+                                   repeats_);
+            });
+        return {x.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("banded-lin-eq.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gy = model_.addGlobal(m, "y", realPointer(), "y");
+
+        FunctionId k = model_.addFunction(m, "kernel4");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId py = model_.addParameter(k, "py", realPointer(), "y");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gy, py);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> xData_;
+    std::vector<double> yData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeBandedLinEq()
+{
+    return std::make_unique<BandedLinEq>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * diff-predictor — difference predictors (Livermore kernel 10).
+ *
+ * A chain of first differences cascading through ten columns of the
+ * px state matrix per row. Writes feed later reads, so repetitions
+ * reset the matrix from pristine input — making the kernel strongly
+ * memory-bound (the copy traffic halves in single precision).
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr std::size_t kCols = 14;
+
+template <class TP, class TC>
+void
+diffPredictorCore(std::span<TP> px, std::span<const TP> px0,
+                  std::span<const TC> cx, std::size_t rows,
+                  std::size_t repeats)
+{
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::copy(px0.begin(), px0.end(), px.begin());
+        for (std::size_t i = 0; i < rows; ++i) {
+            TP* row = &px[i * kCols];
+            TP ar = static_cast<TP>(cx[i]);
+            TP br = ar - row[4];
+            row[4] = ar;
+            TP cr = br - row[5];
+            row[5] = br;
+            ar = cr - row[6];
+            row[6] = cr;
+            br = ar - row[7];
+            row[7] = ar;
+            cr = br - row[8];
+            row[8] = br;
+            ar = cr - row[9];
+            row[9] = cr;
+            br = ar - row[10];
+            row[10] = ar;
+            cr = br - row[11];
+            row[11] = br;
+            row[13] = static_cast<TP>(cr - row[12]);
+            row[12] = cr;
+        }
+    }
+}
+
+class DiffPredictor final : public KernelBase {
+  public:
+    DiffPredictor() : KernelBase("diff-predictor")
+    {
+        rows_ = scaled(15000);
+        repeats_ = 15;
+        pxData_ = uniformVector(0xBA001, rows_ * kCols, 0.0, 0.05);
+        cxData_ = uniformVector(0xBA002, rows_, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "diff-predictor"; }
+
+    std::string
+    description() const override
+    {
+        return "Difference predictors";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer px(pxData_.size(), pm.get("px"));
+        Buffer px0 = Buffer::fromDoubles(pxData_, pm.get("px"));
+        Buffer cx = Buffer::fromDoubles(cxData_, pm.get("cx"));
+
+        runtime::dispatch2(
+            px.precision(), cx.precision(), [&](auto tp, auto tc) {
+                using TP = typename decltype(tp)::type;
+                using TC = typename decltype(tc)::type;
+                diffPredictorCore<TP, TC>(
+                    px.as<TP>(), std::span<const TP>(px0.as<TP>()),
+                    cx.as<TC>(), rows_, repeats_);
+            });
+        return {px.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("diff-predictor.c");
+        VarId gpx = model_.addGlobal(m, "px", realPointer(), "px");
+        VarId gcx = model_.addGlobal(m, "cx", realPointer(), "cx");
+
+        FunctionId k = model_.addFunction(m, "kernel10");
+        VarId ppx = model_.addParameter(k, "ppx", realPointer(), "px");
+        VarId pcx = model_.addParameter(k, "pcx", realPointer(), "cx");
+        model_.addCallBind(gpx, ppx);
+        model_.addCallBind(gcx, pcx);
+    }
+
+    std::size_t rows_;
+    std::size_t repeats_;
+    std::vector<double> pxData_;
+    std::vector<double> cxData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeDiffPredictor()
+{
+    return std::make_unique<DiffPredictor>();
+}
+
+} // namespace hpcmixp::benchmarks

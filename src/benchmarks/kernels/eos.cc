@@ -1,0 +1,136 @@
+/**
+ * @file
+ * eos — equation-of-state fragment (Livermore kernel 7):
+ *
+ *   x[k] = u[k] + r*(z[k] + r*y[k])
+ *        + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+ *        + t*(u[k+6] + q*(u[k+5] + q*u[k+4])))
+ *
+ * High flop density per element — the kernel rewards wider single-
+ * precision SIMD the most among the streaming fragments. The y and z
+ * arrays are carved from one allocation pool in the driver, so the
+ * type-dependence analysis places them in a single cluster.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TX, class TU, class TYZ, class TC>
+void
+eosCore(std::span<TX> x, std::span<const TU> u,
+        std::span<const TYZ> y, std::span<const TYZ> z,
+        std::span<const TC> coef, std::size_t repeats)
+{
+    const TC q = coef[0];
+    const TC r = coef[1];
+    const TC t = coef[2];
+    std::size_t n = x.size();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t k = 0; k < n; ++k) {
+            x[k] = static_cast<TX>(
+                u[k] + r * (z[k] + r * y[k]) +
+                t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+                     t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4]))));
+        }
+    }
+}
+
+class Eos final : public KernelBase {
+  public:
+    Eos() : KernelBase("eos")
+    {
+        n_ = scaled(80000);
+        repeats_ = 12;
+        uData_ = uniformVector(0xB7001, n_ + 6, 0.0, 0.05);
+        yData_ = uniformVector(0xB7002, n_, 0.0, 0.05);
+        zData_ = uniformVector(0xB7003, n_, 0.0, 0.05);
+        coefData_ = uniformVector(0xB7004, 3, 0.01, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "eos"; }
+
+    std::string
+    description() const override
+    {
+        return "Equation of state fragment";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x(n_, pm.get("x"));
+        Buffer u = Buffer::fromDoubles(uData_, pm.get("u"));
+        Buffer y = Buffer::fromDoubles(yData_, pm.get("yz"));
+        Buffer z = Buffer::fromDoubles(zData_, pm.get("yz"));
+        Buffer coef = Buffer::fromDoubles(coefData_, pm.get("coef"));
+
+        runtime::dispatch4(
+            x.precision(), u.precision(), y.precision(),
+            coef.precision(), [&](auto tx, auto tu, auto tyz, auto tc) {
+                using TX = typename decltype(tx)::type;
+                using TU = typename decltype(tu)::type;
+                using TYZ = typename decltype(tyz)::type;
+                using TC = typename decltype(tc)::type;
+                eosCore<TX, TU, TYZ, TC>(
+                    x.as<TX>(), u.as<TU>(),
+                    std::span<const TYZ>(y.as<TYZ>()),
+                    std::span<const TYZ>(z.as<TYZ>()), coef.as<TC>(),
+                    repeats_);
+            });
+        return {x.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("eos.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gu = model_.addGlobal(m, "u", realPointer(), "u");
+        // y and z are carved out of one pool allocation, so the three
+        // pointers form one cluster (pointer assignments unify).
+        VarId pool = model_.addGlobal(m, "pool", realPointer(), "yz");
+        VarId gy = model_.addGlobal(m, "y", realPointer(), "yz");
+        VarId gz = model_.addGlobal(m, "z", realPointer(), "yz");
+        model_.addAssign(gy, pool);
+        model_.addAssign(gz, pool);
+        VarId gc = model_.addGlobal(m, "coef", realPointer(), "coef");
+
+        FunctionId k = model_.addFunction(m, "kernel7");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId pu = model_.addParameter(k, "pu", realPointer(), "u");
+        VarId py = model_.addParameter(k, "py", realPointer(), "yz");
+        VarId pz = model_.addParameter(k, "pz", realPointer(), "yz");
+        VarId pc = model_.addParameter(k, "pcoef", realPointer(),
+                                       "coef");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gu, pu);
+        model_.addCallBind(gy, py);
+        model_.addCallBind(gz, pz);
+        model_.addCallBind(gc, pc);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> uData_;
+    std::vector<double> yData_;
+    std::vector<double> zData_;
+    std::vector<double> coefData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeEos()
+{
+    return std::make_unique<Eos>();
+}
+
+} // namespace hpcmixp::benchmarks

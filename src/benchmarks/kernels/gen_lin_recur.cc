@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gen-lin-recur — general linear recurrence equations (Livermore
+ * kernel 6):
+ *
+ *   w[i] = 0.01 + sum_{k<i} b[k*n + i] * w[i-k-1]
+ *
+ * Triangular O(n^2) work over a dense coefficient matrix; the inner
+ * dot product vectorizes, the outer recurrence does not.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TW, class TB>
+void
+genLinRecurCore(std::span<TW> w, std::span<const TB> b, std::size_t n,
+                std::size_t repeats)
+{
+    using Acc = std::common_type_t<TW, TB>;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = 1; i < n; ++i) {
+            Acc acc = static_cast<Acc>(0.01);
+            for (std::size_t k = 0; k < i; ++k)
+                acc += static_cast<Acc>(b[k * n + i] * w[i - k - 1]);
+            w[i] = static_cast<TW>(acc);
+        }
+    }
+}
+
+class GenLinRecur final : public KernelBase {
+  public:
+    GenLinRecur() : KernelBase("gen-lin-recur")
+    {
+        n_ = scaled(600, 16);
+        repeats_ = 10;
+        wData_ = uniformVector(0xB6001, n_, 0.0, 0.01);
+        bData_ = uniformVector(0xB6002, n_ * n_, 0.0, 0.001);
+        buildModel();
+    }
+
+    std::string name() const override { return "gen-lin-recur"; }
+
+    std::string
+    description() const override
+    {
+        return "General linear recurrence equations";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer w = Buffer::fromDoubles(wData_, pm.get("w"));
+        Buffer b = Buffer::fromDoubles(bData_, pm.get("b"));
+
+        runtime::dispatch2(
+            w.precision(), b.precision(), [&](auto tw, auto tb) {
+                using TW = typename decltype(tw)::type;
+                using TB = typename decltype(tb)::type;
+                genLinRecurCore<TW, TB>(w.as<TW>(), b.as<TB>(), n_,
+                                        repeats_);
+            });
+        return {w.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("gen-lin-recur.c");
+        VarId gw = model_.addGlobal(m, "w", realPointer(), "w");
+        VarId gb = model_.addGlobal(m, "b", realPointer(), "b");
+
+        FunctionId k = model_.addFunction(m, "kernel6");
+        VarId pw = model_.addParameter(k, "pw", realPointer(), "w");
+        VarId pb = model_.addParameter(k, "pb", realPointer(), "b");
+        model_.addCallBind(gw, pw);
+        model_.addCallBind(gb, pb);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> wData_;
+    std::vector<double> bData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeGenLinRecur()
+{
+    return std::make_unique<GenLinRecur>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * hydro-1d — hydrodynamics fragment (Livermore kernel 1).
+ *
+ *   x[k] = coef[0] + y[k] * (coef[1]*z[k+10] + coef[2]*z[k+11])
+ *
+ * Streaming, embarrassingly vectorizable: the benchmark where single
+ * precision pays through doubled SIMD width and halved memory traffic.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+/** Region template: arithmetic follows promotion of TX/TY/TZ/TC. */
+template <class TX, class TY, class TZ, class TC>
+void
+hydro1dCore(std::span<TX> x, std::span<const TY> y,
+            std::span<const TZ> z, std::span<const TC> coef,
+            std::size_t repeats)
+{
+    std::size_t n = x.size();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t k = 0; k < n; ++k) {
+            x[k] = static_cast<TX>(
+                coef[0] +
+                y[k] * (coef[1] * z[k + 10] + coef[2] * z[k + 11]));
+        }
+    }
+}
+
+class Hydro1d final : public KernelBase {
+  public:
+    Hydro1d() : KernelBase("hydro-1d")
+    {
+        n_ = scaled(100000);
+        repeats_ = 12;
+        yData_ = uniformVector(0xB1001, n_, 0.0, 0.05);
+        zData_ = uniformVector(0xB1002, n_ + 11, 0.0, 0.05);
+        coefData_ = uniformVector(0xB1003, 3, 0.01, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "hydro-1d"; }
+
+    std::string
+    description() const override
+    {
+        return "Hydrodynamics fragment";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x(n_, pm.get("x"));
+        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
+        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
+        Buffer coef = Buffer::fromDoubles(coefData_, pm.get("coef"));
+
+        runtime::dispatch4(
+            x.precision(), y.precision(), z.precision(),
+            coef.precision(), [&](auto tx, auto ty, auto tz, auto tc) {
+                using TX = typename decltype(tx)::type;
+                using TY = typename decltype(ty)::type;
+                using TZ = typename decltype(tz)::type;
+                using TC = typename decltype(tc)::type;
+                hydro1dCore<TX, TY, TZ, TC>(
+                    x.as<TX>(), y.as<TY>(), z.as<TZ>(), coef.as<TC>(),
+                    repeats_);
+            });
+        return {x.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("hydro-1d.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gy = model_.addGlobal(m, "y", realPointer(), "y");
+        VarId gz = model_.addGlobal(m, "z", realPointer(), "z");
+        VarId gc = model_.addGlobal(m, "coef", realPointer(), "coef");
+
+        FunctionId k = model_.addFunction(m, "kernel1");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId py = model_.addParameter(k, "py", realPointer(), "y");
+        VarId pz = model_.addParameter(k, "pz", realPointer(), "z");
+        VarId pc = model_.addParameter(k, "pcoef", realPointer(), "coef");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gy, py);
+        model_.addCallBind(gz, pz);
+        model_.addCallBind(gc, pc);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> yData_;
+    std::vector<double> zData_;
+    std::vector<double> coefData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeHydro1d()
+{
+    return std::make_unique<Hydro1d>();
+}
+
+} // namespace hpcmixp::benchmarks

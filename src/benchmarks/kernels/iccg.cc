@@ -1,0 +1,110 @@
+/**
+ * @file
+ * iccg — incomplete Cholesky conjugate gradient fragment (Livermore
+ * kernel 2). A log-depth reduction with non-unit strides:
+ *
+ *   x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+ *
+ * over halving index ranges. In-place on x, so each repetition resets
+ * x from the pristine input first.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TX, class TV>
+void
+iccgCore(std::span<TX> x, std::span<const TX> x0,
+         std::span<const TV> v, std::size_t n, std::size_t repeats)
+{
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::copy(x0.begin(), x0.end(), x.begin());
+        std::size_t ii = n;
+        std::size_t ipntp = 0;
+        do {
+            std::size_t ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            std::size_t i = ipntp;
+            for (std::size_t k = ipnt + 1; k < ipntp; k += 2) {
+                ++i;
+                x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+            }
+        } while (ii > 0);
+    }
+}
+
+class Iccg final : public KernelBase {
+  public:
+    Iccg() : KernelBase("iccg")
+    {
+        n_ = scaled(32768);
+        repeats_ = 30;
+        // ipntp reaches 2n; one extra slot for the k+1 read at the top.
+        xData_ = uniformVector(0xB2001, 2 * n_ + 2, 0.0, 0.05);
+        vData_ = uniformVector(0xB2002, 2 * n_ + 2, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "iccg"; }
+
+    std::string
+    description() const override
+    {
+        return "Incomplete Cholesky conjugate gradient";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x(xData_.size(), pm.get("x"));
+        Buffer x0 = Buffer::fromDoubles(xData_, pm.get("x"));
+        Buffer v = Buffer::fromDoubles(vData_, pm.get("v"));
+
+        runtime::dispatch2(
+            x.precision(), v.precision(), [&](auto tx, auto tv) {
+                using TX = typename decltype(tx)::type;
+                using TV = typename decltype(tv)::type;
+                iccgCore<TX, TV>(x.as<TX>(),
+                                 std::span<const TX>(x0.as<TX>()),
+                                 v.as<TV>(), n_, repeats_);
+            });
+        return {x.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("iccg.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gv = model_.addGlobal(m, "v", realPointer(), "v");
+
+        FunctionId k = model_.addFunction(m, "kernel2");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId pv = model_.addParameter(k, "pv", realPointer(), "v");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gv, pv);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> xData_;
+    std::vector<double> vData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeIccg()
+{
+    return std::make_unique<Iccg>();
+}
+
+} // namespace hpcmixp::benchmarks

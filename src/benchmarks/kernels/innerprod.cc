@@ -1,0 +1,106 @@
+/**
+ * @file
+ * innerprod — inner product (Livermore kernel 3).
+ *
+ *   q += z[k] * x[k]
+ *
+ * The accumulator q is its own tunable knob: accumulating in single
+ * precision destroys far more accuracy than lowering the input arrays,
+ * a classic mixed-precision lesson this kernel exposes. The reported
+ * output is the mean product q/n.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TX, class TZ, class TQ>
+TQ
+innerprodCore(std::span<const TX> x, std::span<const TZ> z,
+              std::size_t repeats)
+{
+    TQ q{};
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        q = TQ{};
+        for (std::size_t k = 0; k < x.size(); ++k)
+            q += static_cast<TQ>(z[k] * x[k]);
+    }
+    return q;
+}
+
+class Innerprod final : public KernelBase {
+  public:
+    Innerprod() : KernelBase("innerprod")
+    {
+        n_ = scaled(100000);
+        repeats_ = 25;
+        xData_ = uniformVector(0xB3001, n_, 0.0, 0.05);
+        zData_ = uniformVector(0xB3002, n_, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "innerprod"; }
+
+    std::string
+    description() const override
+    {
+        return "Inner product";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
+        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
+
+        double q = runtime::dispatch3(
+            x.precision(), z.precision(), pm.get("q"),
+            [&](auto tx, auto tz, auto tq) -> double {
+                using TX = typename decltype(tx)::type;
+                using TZ = typename decltype(tz)::type;
+                using TQ = typename decltype(tq)::type;
+                return static_cast<double>(innerprodCore<TX, TZ, TQ>(
+                    x.as<TX>(), z.as<TZ>(), repeats_));
+            });
+        return {{q / static_cast<double>(n_)}};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("innerprod.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gz = model_.addGlobal(m, "z", realPointer(), "z");
+        VarId gq = model_.addGlobal(m, "q", realScalar(), "q");
+
+        FunctionId k = model_.addFunction(m, "kernel3");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId pz = model_.addParameter(k, "pz", realPointer(), "z");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gz, pz);
+        // q accumulates element products: scalar value flow only.
+        model_.addAssign(gq, px);
+        model_.addAssign(gq, pz);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> xData_;
+    std::vector<double> zData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeInnerprod()
+{
+    return std::make_unique<Innerprod>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * int-predict — integrate predictors (Livermore kernel 9):
+ *
+ *   px[i][0] = dm[9]*px[i][12] + dm[8]*px[i][11] + ... +
+ *              dm[0]*(px[i][4] + px[i][5]) + px[i][2]
+ *
+ * Row-wise weighted reduction over a 13-column state matrix; writes
+ * only column 0, so repetitions are idempotent.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+constexpr std::size_t kCols = 13;
+
+template <class TP, class TD>
+void
+intPredictCore(std::span<TP> px, std::span<const TD> dm,
+               std::size_t rows, std::size_t repeats)
+{
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            const TP* row = &px[i * kCols];
+            px[i * kCols] = static_cast<TP>(
+                dm[9] * row[12] + dm[8] * row[11] + dm[7] * row[10] +
+                dm[6] * row[9] + dm[5] * row[8] + dm[4] * row[7] +
+                dm[3] * row[6] + dm[2] * row[5] + dm[1] * row[4] +
+                dm[0] * (row[4] + row[5]) + row[2]);
+        }
+    }
+}
+
+class IntPredict final : public KernelBase {
+  public:
+    IntPredict() : KernelBase("int-predict")
+    {
+        rows_ = scaled(20000);
+        repeats_ = 20;
+        pxData_ = uniformVector(0xB9001, rows_ * kCols, 0.0, 0.05);
+        dmData_ = uniformVector(0xB9002, 10, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "int-predict"; }
+
+    std::string
+    description() const override
+    {
+        return "Integrate predictors";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer px = Buffer::fromDoubles(pxData_, pm.get("px"));
+        Buffer dm = Buffer::fromDoubles(dmData_, pm.get("dm"));
+
+        runtime::dispatch2(
+            px.precision(), dm.precision(), [&](auto tp, auto td) {
+                using TP = typename decltype(tp)::type;
+                using TD = typename decltype(td)::type;
+                intPredictCore<TP, TD>(px.as<TP>(), dm.as<TD>(),
+                                       rows_, repeats_);
+            });
+        return {px.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("int-predict.c");
+        VarId gpx = model_.addGlobal(m, "px", realPointer(), "px");
+        VarId gdm = model_.addGlobal(m, "dm", realPointer(), "dm");
+
+        FunctionId k = model_.addFunction(m, "kernel9");
+        VarId ppx = model_.addParameter(k, "ppx", realPointer(), "px");
+        VarId pdm = model_.addParameter(k, "pdm", realPointer(), "dm");
+        model_.addCallBind(gpx, ppx);
+        model_.addCallBind(gdm, pdm);
+    }
+
+    std::size_t rows_;
+    std::size_t repeats_;
+    std::vector<double> pxData_;
+    std::vector<double> dmData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeIntPredict()
+{
+    return std::make_unique<IntPredict>();
+}
+
+} // namespace hpcmixp::benchmarks

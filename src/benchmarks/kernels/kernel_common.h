@@ -1,0 +1,47 @@
+#ifndef HPCMIXP_BENCHMARKS_KERNELS_KERNEL_COMMON_H_
+#define HPCMIXP_BENCHMARKS_KERNELS_KERNEL_COMMON_H_
+
+/**
+ * @file
+ * Shared scaffolding for the kernel benchmarks.
+ *
+ * Every kernel follows the same shape: seeded input vectors prepared at
+ * construction, an mp::Buffer per tunable array knob, and a region
+ * template whose arithmetic type follows C++ promotion of the buffer
+ * element types — lowering only one input array inserts genuine
+ * float<->double casts, reproducing the cast-overhead effect the paper
+ * discusses for partial configurations.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/data.h"
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+
+namespace hpcmixp::benchmarks {
+
+/** Base for the kernels: isKernel() and model storage. */
+class KernelBase : public Benchmark {
+  public:
+    bool isKernel() const override { return true; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+  protected:
+    explicit KernelBase(const std::string& name) : model_(name) {}
+
+    model::ProgramModel model_;
+};
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_KERNELS_KERNEL_COMMON_H_

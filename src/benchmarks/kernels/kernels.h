@@ -1,0 +1,32 @@
+#ifndef HPCMIXP_BENCHMARKS_KERNELS_KERNELS_H_
+#define HPCMIXP_BENCHMARKS_KERNELS_KERNELS_H_
+
+/**
+ * @file
+ * Factories for the ten kernel benchmarks (Table I).
+ *
+ * The kernels are Livermore-loop-lineage fragments: easy to understand,
+ * no I/O, randomly initialized inputs — the suite's recommended starting
+ * point for debugging mixed-precision tools (paper Section III-B).
+ */
+
+#include <memory>
+
+#include "benchmarks/benchmark.h"
+
+namespace hpcmixp::benchmarks {
+
+std::unique_ptr<Benchmark> makeBandedLinEq();   ///< LFK4
+std::unique_ptr<Benchmark> makeDiffPredictor(); ///< LFK10
+std::unique_ptr<Benchmark> makeEos();           ///< LFK7
+std::unique_ptr<Benchmark> makeGenLinRecur();   ///< LFK6
+std::unique_ptr<Benchmark> makeHydro1d();       ///< LFK1
+std::unique_ptr<Benchmark> makeIccg();          ///< LFK2
+std::unique_ptr<Benchmark> makeInnerprod();     ///< LFK3
+std::unique_ptr<Benchmark> makeIntPredict();    ///< LFK9
+std::unique_ptr<Benchmark> makePlanckian();     ///< LFK22
+std::unique_ptr<Benchmark> makeTridiag();       ///< LFK5
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_KERNELS_KERNELS_H_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * planckian — Planckian distribution (Livermore kernel 22):
+ *
+ *   y[k] = u[k] / v[k];  w[k] = x[k] / (exp(y[k]) - 1)
+ *
+ * Transcendental-heavy: single precision swaps exp() for expf(),
+ * a large throughput win. The input arrays (x, u, v) are carved from
+ * one pool allocation and the outputs (w, y) from another, giving the
+ * two-cluster structure the paper reports for this kernel.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TIn, class TOut>
+void
+planckianCore(std::span<const TIn> x, std::span<const TIn> u,
+              std::span<const TIn> v, std::span<TOut> w,
+              std::span<TOut> y, std::size_t repeats)
+{
+    std::size_t n = w.size();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t k = 0; k < n; ++k) {
+            y[k] = static_cast<TOut>(u[k] / v[k]);
+            w[k] = static_cast<TOut>(
+                x[k] / (std::exp(y[k]) - TOut{1}));
+        }
+    }
+}
+
+class Planckian final : public KernelBase {
+  public:
+    Planckian() : KernelBase("planckian")
+    {
+        n_ = scaled(60000);
+        repeats_ = 10;
+        xData_ = uniformVector(0xBC001, n_, 0.0, 0.05);
+        uData_ = uniformVector(0xBC002, n_, 0.5, 2.0);
+        vData_ = uniformVector(0xBC003, n_, 1.0, 2.0);
+        buildModel();
+    }
+
+    std::string name() const override { return "planckian"; }
+
+    std::string
+    description() const override
+    {
+        return "Planckian distribution";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x = Buffer::fromDoubles(xData_, pm.get("in"));
+        Buffer u = Buffer::fromDoubles(uData_, pm.get("in"));
+        Buffer v = Buffer::fromDoubles(vData_, pm.get("in"));
+        Buffer w(n_, pm.get("out"));
+        Buffer y(n_, pm.get("out"));
+
+        runtime::dispatch2(
+            x.precision(), w.precision(), [&](auto ti, auto to) {
+                using TIn = typename decltype(ti)::type;
+                using TOut = typename decltype(to)::type;
+                planckianCore<TIn, TOut>(
+                    std::span<const TIn>(x.as<TIn>()),
+                    std::span<const TIn>(u.as<TIn>()),
+                    std::span<const TIn>(v.as<TIn>()), w.as<TOut>(),
+                    y.as<TOut>(), repeats_);
+            });
+        RunOutput out;
+        out.values = w.toDoubles();
+        auto ys = y.toDoubles();
+        out.values.insert(out.values.end(), ys.begin(), ys.end());
+        return out;
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("planckian.c");
+        VarId inPool = model_.addGlobal(m, "in_pool", realPointer(),
+                                        "in");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "in");
+        VarId gu = model_.addGlobal(m, "u", realPointer(), "in");
+        VarId gv = model_.addGlobal(m, "v", realPointer(), "in");
+        model_.addAssign(gx, inPool);
+        model_.addAssign(gu, inPool);
+        model_.addAssign(gv, inPool);
+
+        VarId outPool = model_.addGlobal(m, "out_pool", realPointer(),
+                                         "out");
+        VarId gw = model_.addGlobal(m, "w", realPointer(), "out");
+        VarId gy = model_.addGlobal(m, "y", realPointer(), "out");
+        model_.addAssign(gw, outPool);
+        model_.addAssign(gy, outPool);
+
+        FunctionId k = model_.addFunction(m, "kernel22");
+        VarId px = model_.addParameter(k, "px", realPointer(), "in");
+        VarId pu = model_.addParameter(k, "pu", realPointer(), "in");
+        VarId pv = model_.addParameter(k, "pv", realPointer(), "in");
+        VarId pw = model_.addParameter(k, "pw", realPointer(), "out");
+        VarId py = model_.addParameter(k, "py", realPointer(), "out");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gu, pu);
+        model_.addCallBind(gv, pv);
+        model_.addCallBind(gw, pw);
+        model_.addCallBind(gy, py);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> xData_;
+    std::vector<double> uData_;
+    std::vector<double> vData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makePlanckian()
+{
+    return std::make_unique<Planckian>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * tridiag — tri-diagonal elimination, below diagonal (Livermore
+ * kernel 5):
+ *
+ *   x[i] = z[i] * (y[i] - x[i-1])
+ *
+ * A first-order linear recurrence: inherently sequential, so single
+ * precision buys little — the kernel the paper reports at ~1.0x for
+ * every algorithm. With |z| < 1 the recurrence is contractive, keeping
+ * rounding error from accumulating.
+ */
+
+#include "benchmarks/kernels/kernel_common.h"
+#include "benchmarks/kernels/kernels.h"
+
+namespace hpcmixp::benchmarks {
+
+namespace {
+
+template <class TX, class TY, class TZ>
+void
+tridiagCore(std::span<TX> x, std::span<const TY> y,
+            std::span<const TZ> z, std::size_t repeats)
+{
+    for (std::size_t rep = 0; rep < repeats; ++rep)
+        for (std::size_t i = 1; i < x.size(); ++i)
+            x[i] = static_cast<TX>(z[i] * (y[i] - x[i - 1]));
+}
+
+class Tridiag final : public KernelBase {
+  public:
+    Tridiag() : KernelBase("tridiag")
+    {
+        n_ = scaled(100000);
+        repeats_ = 20;
+        xData_ = uniformVector(0xB5001, n_, 0.0, 0.05);
+        yData_ = uniformVector(0xB5002, n_, 0.0, 0.05);
+        zData_ = uniformVector(0xB5003, n_, 0.0, 0.05);
+        buildModel();
+    }
+
+    std::string name() const override { return "tridiag"; }
+
+    std::string
+    description() const override
+    {
+        return "Tridiagonal linear systems solution";
+    }
+
+    RunOutput
+    run(const PrecisionMap& pm) const override
+    {
+        using runtime::Buffer;
+        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
+        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
+        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
+
+        runtime::dispatch3(
+            x.precision(), y.precision(), z.precision(),
+            [&](auto tx, auto ty, auto tz) {
+                using TX = typename decltype(tx)::type;
+                using TY = typename decltype(ty)::type;
+                using TZ = typename decltype(tz)::type;
+                tridiagCore<TX, TY, TZ>(x.as<TX>(), y.as<TY>(),
+                                        z.as<TZ>(), repeats_);
+            });
+        return {x.toDoubles()};
+    }
+
+  private:
+    void
+    buildModel()
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("tridiag.c");
+        VarId gx = model_.addGlobal(m, "x", realPointer(), "x");
+        VarId gy = model_.addGlobal(m, "y", realPointer(), "y");
+        VarId gz = model_.addGlobal(m, "z", realPointer(), "z");
+
+        FunctionId k = model_.addFunction(m, "kernel5");
+        VarId px = model_.addParameter(k, "px", realPointer(), "x");
+        VarId py = model_.addParameter(k, "py", realPointer(), "y");
+        VarId pz = model_.addParameter(k, "pz", realPointer(), "z");
+        model_.addCallBind(gx, px);
+        model_.addCallBind(gy, py);
+        model_.addCallBind(gz, pz);
+    }
+
+    std::size_t n_;
+    std::size_t repeats_;
+    std::vector<double> xData_;
+    std::vector<double> yData_;
+    std::vector<double> zData_;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeTridiag()
+{
+    return std::make_unique<Tridiag>();
+}
+
+} // namespace hpcmixp::benchmarks

@@ -1,0 +1,100 @@
+#include "benchmarks/registry.h"
+
+#include "benchmarks/apps/apps.h"
+#include "benchmarks/kernels/kernels.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace hpcmixp::benchmarks {
+
+BenchmarkRegistry::BenchmarkRegistry()
+{
+    using enum BenchmarkKind;
+    // Kernels (Table I order).
+    add("banded-lin-eq", Kernel, makeBandedLinEq);
+    add("diff-predictor", Kernel, makeDiffPredictor);
+    add("eos", Kernel, makeEos);
+    add("gen-lin-recur", Kernel, makeGenLinRecur);
+    add("hydro-1d", Kernel, makeHydro1d);
+    add("iccg", Kernel, makeIccg);
+    add("innerprod", Kernel, makeInnerprod);
+    add("int-predict", Kernel, makeIntPredict);
+    add("planckian", Kernel, makePlanckian);
+    add("tridiag", Kernel, makeTridiag);
+
+    // Applications (Section III-B order).
+    add("blackscholes", Application, makeBlackscholes);
+    add("cfd", Application, makeCfd);
+    add("hotspot", Application, makeHotspot);
+    add("hpccg", Application, makeHpccg);
+    add("kmeans", Application, makeKmeans);
+    add("lavamd", Application, makeLavaMd);
+    add("srad", Application, makeSrad);
+}
+
+BenchmarkRegistry&
+BenchmarkRegistry::instance()
+{
+    static BenchmarkRegistry registry;
+    return registry;
+}
+
+void
+BenchmarkRegistry::add(const std::string& name, BenchmarkKind kind,
+                       Factory factory)
+{
+    if (has(name))
+        support::fatal(support::strCat("benchmark '", name,
+                                       "' already registered"));
+    entries_.push_back({name, kind, std::move(factory)});
+}
+
+std::unique_ptr<Benchmark>
+BenchmarkRegistry::create(const std::string& name) const
+{
+    for (const auto& entry : entries_)
+        if (entry.name == name)
+            return entry.factory();
+    support::fatal(support::strCat("unknown benchmark '", name, "'"));
+}
+
+bool
+BenchmarkRegistry::has(const std::string& name) const
+{
+    for (const auto& entry : entries_)
+        if (entry.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+BenchmarkRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_)
+        out.push_back(entry.name);
+    return out;
+}
+
+std::vector<std::string>
+BenchmarkRegistry::kernelNames() const
+{
+    std::vector<std::string> out;
+    for (const auto& entry : entries_)
+        if (entry.kind == BenchmarkKind::Kernel)
+            out.push_back(entry.name);
+    return out;
+}
+
+std::vector<std::string>
+BenchmarkRegistry::applicationNames() const
+{
+    std::vector<std::string> out;
+    for (const auto& entry : entries_)
+        if (entry.kind == BenchmarkKind::Application)
+            out.push_back(entry.name);
+    return out;
+}
+
+} // namespace hpcmixp::benchmarks

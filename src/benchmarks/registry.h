@@ -1,0 +1,64 @@
+#ifndef HPCMIXP_BENCHMARKS_REGISTRY_H_
+#define HPCMIXP_BENCHMARKS_REGISTRY_H_
+
+/**
+ * @file
+ * Registry of the suite's benchmarks.
+ *
+ * The ten kernels and seven applications are pre-registered; users can
+ * add their own programs (the suite's extensibility goal, Section III).
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmark.h"
+
+namespace hpcmixp::benchmarks {
+
+/** Kind of a registered benchmark (avoids instantiating to ask). */
+enum class BenchmarkKind { Kernel, Application };
+
+/** Factory registry keyed by benchmark name. */
+class BenchmarkRegistry {
+  public:
+    using Factory = std::function<std::unique_ptr<Benchmark>()>;
+
+    /** Process-wide instance with all built-ins registered. */
+    static BenchmarkRegistry& instance();
+
+    /** Register a factory; fatal()s on duplicate names. */
+    void add(const std::string& name, BenchmarkKind kind,
+             Factory factory);
+
+    /** Instantiate by name; fatal()s when unknown. */
+    std::unique_ptr<Benchmark> create(const std::string& name) const;
+
+    /** True when @p name is registered. */
+    bool has(const std::string& name) const;
+
+    /** All registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Names of the kernel benchmarks, in registration order. */
+    std::vector<std::string> kernelNames() const;
+
+    /** Names of the application benchmarks, in registration order. */
+    std::vector<std::string> applicationNames() const;
+
+  private:
+    struct Entry {
+        std::string name;
+        BenchmarkKind kind;
+        Factory factory;
+    };
+
+    BenchmarkRegistry();
+    std::vector<Entry> entries_;
+};
+
+} // namespace hpcmixp::benchmarks
+
+#endif // HPCMIXP_BENCHMARKS_REGISTRY_H_

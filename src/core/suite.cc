@@ -1,0 +1,53 @@
+#include "core/suite.h"
+
+#include "benchmarks/registry.h"
+#include "support/logging.h"
+#include "support/thread_pool.h"
+
+namespace hpcmixp::core {
+
+namespace {
+
+SuiteRow
+runJob(const SuiteJob& job, const SuiteOptions& options)
+{
+    auto benchmark =
+        benchmarks::BenchmarkRegistry::instance().create(job.benchmark);
+    TunerOptions tunerOptions = options.tuner;
+    tunerOptions.threshold = job.threshold;
+
+    BenchmarkTuner tuner(*benchmark, tunerOptions);
+    SuiteRow row;
+    row.job = job;
+    row.totalVariables = tuner.variableCount();
+    row.totalClusters = tuner.clusterCount();
+    row.outcome = tuner.tune(job.strategy);
+    return row;
+}
+
+} // namespace
+
+std::vector<SuiteRow>
+runSuite(const std::vector<SuiteJob>& jobs, const SuiteOptions& options)
+{
+    std::vector<SuiteRow> rows(jobs.size());
+    if (options.parallelJobs <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            rows[i] = runJob(jobs[i], options);
+        return rows;
+    }
+
+    support::ThreadPool pool(options.parallelJobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        futures.push_back(pool.submit([&, i] {
+            rows[i] = runJob(jobs[i], options);
+        }));
+    }
+    for (auto& f : futures)
+        f.get();
+    return rows;
+}
+
+} // namespace hpcmixp::core

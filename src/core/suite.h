@@ -1,0 +1,49 @@
+#ifndef HPCMIXP_CORE_SUITE_H_
+#define HPCMIXP_CORE_SUITE_H_
+
+/**
+ * @file
+ * Suite-level experiment execution.
+ *
+ * Runs a batch of (benchmark, strategy, threshold) analysis jobs —
+ * the unit the paper's harness schedules onto cluster nodes. Here the
+ * jobs run on a thread pool (jobs > 1) or serially (the default, which
+ * keeps wall-clock timing measurements free of contention).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace hpcmixp::core {
+
+/** One analysis job: a benchmark analyzed by one strategy. */
+struct SuiteJob {
+    std::string benchmark;
+    std::string strategy; ///< two-letter code, e.g. "DD"
+    double threshold = 1e-6;
+};
+
+/** Result row for one completed job. */
+struct SuiteRow {
+    SuiteJob job;
+    TuneOutcome outcome;
+    std::size_t totalVariables = 0;
+    std::size_t totalClusters = 0;
+};
+
+/** Batch execution options. */
+struct SuiteOptions {
+    std::size_t parallelJobs = 1; ///< >1 = schedule on a thread pool
+    TunerOptions tuner;           ///< threshold is taken from each job
+};
+
+/** Run all @p jobs; rows come back in job order. */
+std::vector<SuiteRow> runSuite(const std::vector<SuiteJob>& jobs,
+                               const SuiteOptions& options);
+
+} // namespace hpcmixp::core
+
+#endif // HPCMIXP_CORE_SUITE_H_

@@ -1,0 +1,348 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/logging.h"
+#include "support/timer.h"
+#include "verify/metrics.h"
+
+namespace hpcmixp::core {
+
+using benchmarks::PrecisionMap;
+using search::Config;
+using search::EvalStatus;
+using search::Evaluation;
+using search::StructureNode;
+
+/** Cluster-granularity problem: one site per Typeforge cluster. */
+class BenchmarkTuner::ClusterProblem final : public search::SearchProblem {
+  public:
+    explicit ClusterProblem(BenchmarkTuner& tuner) : tuner_(tuner) {}
+
+    std::size_t siteCount() const override
+    {
+        return tuner_.clusterCount();
+    }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        return tuner_.evaluateClusterConfig(config,
+                                            tuner_.options_.searchReps);
+    }
+
+  private:
+    BenchmarkTuner& tuner_;
+};
+
+/**
+ * Variable-granularity problem: one site per Real variable. Splitting
+ * a cluster is a compile failure (Typeforge would refuse to emit the
+ * transformed source), which costs search effort but never runs.
+ */
+class BenchmarkTuner::VariableProblem final
+    : public search::SearchProblem {
+  public:
+    explicit VariableProblem(BenchmarkTuner& tuner) : tuner_(tuner) {}
+
+    std::size_t siteCount() const override
+    {
+        return tuner_.variableCount();
+    }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        // Compile check: every cluster must be uniformly typed.
+        const auto& clusters = tuner_.clusters_;
+        for (std::size_t c = 0; c < clusters.clusterCount(); ++c) {
+            const auto& members = clusters.members(c);
+            bool first = tuner_.isVarLowered(config, members.front());
+            for (model::VarId v : members) {
+                if (tuner_.isVarLowered(config, v) != first) {
+                    Evaluation eval;
+                    eval.status = EvalStatus::CompileFail;
+                    return eval;
+                }
+            }
+        }
+        return tuner_.evaluateClusterConfig(
+            tuner_.toClusterConfig(config), tuner_.options_.searchReps);
+    }
+
+    const StructureNode* structure() const override
+    {
+        return &tuner_.structure_;
+    }
+
+  private:
+    BenchmarkTuner& tuner_;
+};
+
+namespace {
+
+/** Position of @p var within the ascending real-variable site list. */
+std::size_t
+siteIndexOf(const std::vector<model::VarId>& variables, model::VarId var)
+{
+    auto it = std::lower_bound(variables.begin(), variables.end(), var);
+    HPCMIXP_ASSERT(it != variables.end() && *it == var,
+                   "variable is not a search site");
+    return static_cast<std::size_t>(it - variables.begin());
+}
+
+} // namespace
+
+bool
+BenchmarkTuner::isVarLowered(const Config& varCfg, model::VarId var) const
+{
+    return varCfg.test(siteIndexOf(variables_, var));
+}
+
+BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
+                               TunerOptions options)
+    : benchmark_(benchmark),
+      options_(std::move(options)),
+      clusters_(typeforge::analyze(benchmark.programModel())),
+      variables_(benchmark.programModel().realVariables()),
+      comparator_(options_.metric.empty() ? benchmark.qualityMetric()
+                                          : options_.metric,
+                  options_.threshold)
+{
+    // Each bind key must live in exactly one cluster, otherwise the
+    // cluster -> knob mapping would be ambiguous.
+    std::map<std::string, std::size_t> keyCluster;
+    const auto& program = benchmark_.programModel();
+    for (model::VarId v : variables_) {
+        const auto& var = program.variable(v);
+        if (var.bindKey.empty())
+            continue;
+        std::size_t c = clusters_.clusterOf(v);
+        auto [it, inserted] = keyCluster.emplace(var.bindKey, c);
+        HPCMIXP_ASSERT(inserted || it->second == c,
+                       support::strCat("bind key '", var.bindKey,
+                                       "' spans multiple clusters in ",
+                                       benchmark_.name()));
+    }
+
+    buildStructure();
+    runBaseline();
+    clusterProblem_ = std::make_unique<ClusterProblem>(*this);
+    variableProblem_ = std::make_unique<VariableProblem>(*this);
+}
+
+BenchmarkTuner::~BenchmarkTuner() = default;
+
+void
+BenchmarkTuner::buildStructure()
+{
+    const auto& program = benchmark_.programModel();
+    structure_ = StructureNode{};
+    structure_.name = program.name();
+
+    auto leafFor = [&](model::VarId v) {
+        StructureNode leaf;
+        leaf.name = program.variable(v).name;
+        leaf.sites = {siteIndexOf(variables_, v)};
+        return leaf;
+    };
+
+    for (const auto& mod : program.modules()) {
+        StructureNode modNode;
+        modNode.name = mod.name;
+        for (model::VarId g : mod.globals) {
+            if (program.variable(g).type.base != model::BaseType::Real)
+                continue;
+            modNode.children.push_back(leafFor(g));
+            modNode.sites.push_back(siteIndexOf(variables_, g));
+        }
+        for (model::FunctionId f : mod.functions) {
+            const auto& fn = program.function(f);
+            StructureNode fnNode;
+            fnNode.name = fn.name;
+            for (model::VarId v : fn.variables) {
+                if (program.variable(v).type.base !=
+                    model::BaseType::Real)
+                    continue;
+                fnNode.children.push_back(leafFor(v));
+                fnNode.sites.push_back(siteIndexOf(variables_, v));
+            }
+            if (fnNode.sites.empty())
+                continue;
+            modNode.sites.insert(modNode.sites.end(),
+                                 fnNode.sites.begin(),
+                                 fnNode.sites.end());
+            modNode.children.push_back(std::move(fnNode));
+        }
+        if (modNode.sites.empty())
+            continue;
+        structure_.sites.insert(structure_.sites.end(),
+                                modNode.sites.begin(),
+                                modNode.sites.end());
+        structure_.children.push_back(std::move(modNode));
+    }
+}
+
+void
+BenchmarkTuner::runBaseline()
+{
+    PrecisionMap allDouble;
+    benchmarks::RunOutput output = benchmark_.run(allDouble);
+    reference_ = std::move(output.values);
+    if (reference_.empty())
+        support::fatal(support::strCat("benchmark ", benchmark_.name(),
+                                       " produced no output"));
+    // The baseline anchors every speedup ratio, so it is always
+    // measured with the full final-measurement protocol.
+    auto timing = support::repeatTimed(
+        [&] { (void)benchmark_.run(allDouble); },
+        std::max(options_.searchReps, options_.finalReps));
+    baselineSeconds_ = timing.meanSeconds;
+}
+
+PrecisionMap
+BenchmarkTuner::precisionMapFor(const Config& clusterCfg) const
+{
+    HPCMIXP_ASSERT(clusterCfg.size() == clusterCount(),
+                   "cluster config size mismatch");
+    PrecisionMap pm;
+    const auto& program = benchmark_.programModel();
+    for (std::size_t c = 0; c < clusterCount(); ++c) {
+        if (!clusterCfg.test(c))
+            continue;
+        for (model::VarId v : clusters_.members(c)) {
+            const auto& var = program.variable(v);
+            if (!var.bindKey.empty())
+                pm.set(var.bindKey, runtime::Precision::Float32);
+        }
+    }
+    return pm;
+}
+
+Config
+BenchmarkTuner::toClusterConfig(const Config& varCfg) const
+{
+    Config out(clusterCount());
+    for (std::size_t c = 0; c < clusterCount(); ++c) {
+        bool lowered = isVarLowered(varCfg, clusters_.members(c).front());
+        out.set(c, lowered);
+    }
+    return out;
+}
+
+Evaluation
+BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
+                                      std::size_t reps)
+{
+    Evaluation eval;
+    PrecisionMap pm = precisionMapFor(cfg);
+
+    benchmarks::RunOutput output;
+    try {
+        output = benchmark_.run(pm);
+    } catch (const std::exception&) {
+        eval.status = EvalStatus::RuntimeFail;
+        eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
+        return eval;
+    }
+
+    verify::Verdict verdict =
+        comparator_.verify(reference_, output.values);
+    auto timing = support::repeatTimed(
+        [&] { (void)benchmark_.run(pm); }, reps);
+
+    eval.runtimeSeconds = timing.meanSeconds;
+    eval.speedup = baselineSeconds_ / timing.meanSeconds;
+    eval.qualityLoss = verdict.loss;
+    eval.status =
+        verdict.passed ? EvalStatus::Pass : EvalStatus::QualityFail;
+    return eval;
+}
+
+Evaluation
+BenchmarkTuner::finalMeasure(const Config& cfg)
+{
+    Evaluation eval;
+    PrecisionMap pm = precisionMapFor(cfg);
+    PrecisionMap allDouble;
+
+    benchmarks::RunOutput output;
+    try {
+        output = benchmark_.run(pm);
+    } catch (const std::exception&) {
+        eval.status = EvalStatus::RuntimeFail;
+        eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
+        return eval;
+    }
+    verify::Verdict verdict =
+        comparator_.verify(reference_, output.values);
+
+    std::size_t reps = options_.finalReps;
+    std::vector<double> baseSamples;
+    std::vector<double> cfgSamples;
+    baseSamples.reserve(reps);
+    cfgSamples.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        support::WallTimer timer;
+        (void)benchmark_.run(allDouble);
+        baseSamples.push_back(timer.seconds());
+        timer.reset();
+        (void)benchmark_.run(pm);
+        cfgSamples.push_back(timer.seconds());
+    }
+    double baseMean = support::trimmedMean(baseSamples);
+    double cfgMean = support::trimmedMean(cfgSamples);
+
+    eval.runtimeSeconds = cfgMean;
+    eval.speedup = baseMean / cfgMean;
+    eval.qualityLoss = verdict.loss;
+    eval.status =
+        verdict.passed ? EvalStatus::Pass : EvalStatus::QualityFail;
+    return eval;
+}
+
+search::SearchProblem&
+BenchmarkTuner::clusterProblem()
+{
+    return *clusterProblem_;
+}
+
+search::SearchProblem&
+BenchmarkTuner::variableProblem()
+{
+    return *variableProblem_;
+}
+
+TuneOutcome
+BenchmarkTuner::tune(const std::string& strategyCode)
+{
+    auto strategy =
+        search::StrategyRegistry::instance().create(strategyCode);
+    bool variableLevel =
+        strategy->granularity() == search::Granularity::Variable;
+    search::SearchProblem& problem =
+        variableLevel ? variableProblem() : clusterProblem();
+
+    TuneOutcome outcome;
+    outcome.search =
+        search::runSearch(problem, *strategy, options_.budget);
+
+    outcome.clusterConfig =
+        variableLevel ? toClusterConfig(outcome.search.best)
+                      : outcome.search.best;
+
+    if (outcome.search.foundImprovement) {
+        Evaluation final = finalMeasure(outcome.clusterConfig);
+        outcome.finalSpeedup = final.speedup;
+        outcome.finalQualityLoss = final.qualityLoss;
+    } else {
+        outcome.finalSpeedup = 1.0;
+        outcome.finalQualityLoss = 0.0;
+    }
+    return outcome;
+}
+
+} // namespace hpcmixp::core

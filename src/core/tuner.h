@@ -1,0 +1,133 @@
+#ifndef HPCMIXP_CORE_TUNER_H_
+#define HPCMIXP_CORE_TUNER_H_
+
+/**
+ * @file
+ * BenchmarkTuner — the FloatSmith-analogue driver.
+ *
+ * Given a benchmark, the tuner:
+ *  1. runs the Typeforge analysis over the benchmark's program model
+ *     to obtain the variable clusters,
+ *  2. executes the all-double baseline to capture the reference output
+ *     and baseline runtime,
+ *  3. exposes the program as a cluster-level and a variable-level
+ *     search::SearchProblem (CM/HR/HC search variables and pay compile
+ *     failures for cluster-splitting choices; CB/DD/GA search
+ *     clusters),
+ *  4. runs any registered strategy and re-times the winning
+ *     configuration with the paper's 10-run trimmed-mean protocol.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmark.h"
+#include "search/driver.h"
+#include "search/problem.h"
+#include "typeforge/clustering.h"
+#include "verify/comparator.h"
+
+namespace hpcmixp::core {
+
+/** Tuning options: quality bound, timing protocol, search budget. */
+struct TunerOptions {
+    std::string metric;      ///< empty = the benchmark's default
+    double threshold = 1e-6; ///< max acceptable quality loss
+    std::size_t searchReps = 3; ///< timing reps per search evaluation
+    std::size_t finalReps = 10; ///< reps for the final measurement
+    search::SearchBudget budget{2000, 0.0};
+};
+
+/** Result of a full tuning run with one strategy. */
+struct TuneOutcome {
+    search::SearchResult search;    ///< raw search statistics
+    search::Config clusterConfig;   ///< winner at cluster granularity
+    double finalSpeedup = 1.0;      ///< 10-run protocol measurement
+    double finalQualityLoss = 0.0;  ///< loss of the winner
+};
+
+/** Drives mixed-precision tuning of one benchmark. */
+class BenchmarkTuner {
+  public:
+    BenchmarkTuner(const benchmarks::Benchmark& benchmark,
+                   TunerOptions options);
+    ~BenchmarkTuner();
+
+    BenchmarkTuner(const BenchmarkTuner&) = delete;
+    BenchmarkTuner& operator=(const BenchmarkTuner&) = delete;
+
+    /** The Typeforge clustering of the benchmark's model. */
+    const typeforge::ClusterSet& clusters() const { return clusters_; }
+
+    /** Sites of the cluster-level problem. */
+    std::size_t clusterCount() const { return clusters_.clusterCount(); }
+
+    /** Sites of the variable-level problem. */
+    std::size_t variableCount() const { return variables_.size(); }
+
+    /** Baseline (all-double) mean runtime in seconds. */
+    double baselineSeconds() const { return baselineSeconds_; }
+
+    /** Cluster-level search problem (CB, DD, GA). */
+    search::SearchProblem& clusterProblem();
+
+    /** Variable-level search problem with structure info (CM, HR, HC). */
+    search::SearchProblem& variableProblem();
+
+    /**
+     * Run the strategy registered under @p strategyCode at its own
+     * granularity, then re-time the winner with the final protocol.
+     */
+    TuneOutcome tune(const std::string& strategyCode);
+
+    /** Evaluate one cluster configuration with @p reps timing reps. */
+    search::Evaluation evaluateClusterConfig(const search::Config& cfg,
+                                             std::size_t reps);
+
+    /**
+     * Final measurement: interleaves finalReps baseline runs with
+     * finalReps configuration runs (alternating) and reports the
+     * ratio of trimmed means. Interleaving cancels the clock drift a
+     * one-shot baseline measurement would bake into every speedup.
+     */
+    search::Evaluation finalMeasure(const search::Config& cfg);
+
+    /** Derive the runtime precision map of a cluster configuration. */
+    benchmarks::PrecisionMap
+    precisionMapFor(const search::Config& clusterCfg) const;
+
+    /** Reduce a variable-level config to its cluster-level equivalent
+     *  (requires cluster uniformity; panics otherwise). */
+    search::Config toClusterConfig(const search::Config& varCfg) const;
+
+    /** The verification routine in use. */
+    const verify::OutputComparator& comparator() const
+    {
+        return comparator_;
+    }
+
+  private:
+    class ClusterProblem;
+    class VariableProblem;
+
+    void buildStructure();
+    void runBaseline();
+    bool isVarLowered(const search::Config& varCfg,
+                      model::VarId var) const;
+
+    const benchmarks::Benchmark& benchmark_;
+    TunerOptions options_;
+    typeforge::ClusterSet clusters_;
+    std::vector<model::VarId> variables_;
+    verify::OutputComparator comparator_;
+    std::vector<double> reference_;
+    double baselineSeconds_ = 0.0;
+    search::StructureNode structure_;
+    std::unique_ptr<ClusterProblem> clusterProblem_;
+    std::unique_ptr<VariableProblem> variableProblem_;
+};
+
+} // namespace hpcmixp::core
+
+#endif // HPCMIXP_CORE_TUNER_H_

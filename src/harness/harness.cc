@@ -1,0 +1,192 @@
+#include "harness/harness.h"
+
+#include "benchmarks/registry.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+#include "verify/metrics.h"
+
+namespace hpcmixp::harness {
+
+using support::fatal;
+using support::strCat;
+
+namespace {
+
+/** Clauses of the Listing-4 schema we accept. */
+bool
+isKnownClause(const std::string& key)
+{
+    static const char* kKnown[] = {"build_dir", "build", "clean",
+                                   "analysis",  "output", "metric",
+                                   "bin",       "copy",   "args",
+                                   "threshold"};
+    for (const char* k : kKnown)
+        if (key == k)
+            return true;
+    return false;
+}
+
+JobSpec
+parseEntry(const std::string& benchmarkName,
+           const support::yaml::Node& entry)
+{
+    if (!entry.isMapping())
+        fatal(strCat("harness: entry '", benchmarkName,
+                     "' must be a mapping"));
+    if (!benchmarks::BenchmarkRegistry::instance().has(benchmarkName))
+        fatal(strCat("harness: unknown benchmark '", benchmarkName,
+                     "'"));
+    for (const auto& key : entry.keys())
+        if (!isKnownClause(key))
+            fatal(strCat("harness: unknown clause '", key, "' in '",
+                         benchmarkName, "'"));
+
+    JobSpec spec;
+    spec.benchmark = benchmarkName;
+    spec.metric = entry.getString("metric", "");
+    if (!spec.metric.empty() &&
+        !verify::MetricRegistry::instance().has(spec.metric))
+        fatal(strCat("harness: unknown metric '", spec.metric, "'"));
+    spec.threshold = entry.getDouble("threshold", 1e-6);
+
+    const auto* analysis = entry.find("analysis");
+    if (!analysis || !analysis->isMapping() ||
+        analysis->keys().empty())
+        fatal(strCat("harness: '", benchmarkName,
+                     "' is missing an analysis clause"));
+    // The clause is keyed by an identifier; `name` selects the class.
+    const std::string& id = analysis->keys().front();
+    const auto& body = analysis->at(id);
+    spec.analysis = body.getString("name", id);
+    if (!AnalysisRegistry::instance().has(spec.analysis))
+        fatal(strCat("harness: unknown analysis '", spec.analysis,
+                     "'"));
+    if (const auto* extra = body.find("extra_args");
+        extra && extra->isMapping()) {
+        for (const auto& key : extra->keys())
+            spec.extraArgs[key] = extra->at(key).asString();
+    }
+    return spec;
+}
+
+JobResult
+runJob(const JobSpec& spec, const HarnessOptions& options)
+{
+    JobResult out;
+    out.spec = spec;
+    try {
+        auto benchmark =
+            benchmarks::BenchmarkRegistry::instance().create(
+                spec.benchmark);
+        core::TunerOptions tunerOptions = options.tuner;
+        tunerOptions.threshold = spec.threshold;
+        tunerOptions.metric = spec.metric;
+        auto analysis =
+            AnalysisRegistry::instance().create(spec.analysis);
+        out.result =
+            analysis->analyze(*benchmark, tunerOptions, spec.extraArgs);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<JobSpec>
+parseConfig(const support::yaml::Node& doc)
+{
+    if (!doc.isMapping())
+        fatal("harness: configuration root must be a mapping");
+    std::vector<JobSpec> jobs;
+    for (const auto& key : doc.keys())
+        jobs.push_back(parseEntry(key, doc.at(key)));
+    if (jobs.empty())
+        fatal("harness: configuration declares no benchmarks");
+    return jobs;
+}
+
+std::vector<JobSpec>
+parseConfigFile(const std::string& path)
+{
+    return parseConfig(support::yaml::parseFile(path));
+}
+
+std::vector<JobResult>
+runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& options)
+{
+    std::vector<JobResult> results(jobs.size());
+    if (options.jobs <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJob(jobs[i], options);
+        return results;
+    }
+    support::ThreadPool pool(options.jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        futures.push_back(pool.submit(
+            [&, i] { results[i] = runJob(jobs[i], options); }));
+    for (auto& f : futures)
+        f.get();
+    return results;
+}
+
+support::json::Value
+resultsToJson(const std::vector<JobResult>& results)
+{
+    using support::json::Value;
+    Value root = Value::array();
+    for (const auto& r : results) {
+        Value entry = Value::object();
+        entry.set("benchmark", Value::string(r.spec.benchmark));
+        entry.set("analysis", Value::string(r.spec.analysis));
+        entry.set("threshold", Value::number(r.spec.threshold));
+        if (!r.error.empty()) {
+            entry.set("error", Value::string(r.error));
+            root.push(std::move(entry));
+            continue;
+        }
+        entry.set("algorithm", Value::string(r.result.detail));
+        entry.set("speedup", Value::number(r.result.speedup));
+        entry.set("quality_loss",
+                  Value::number(r.result.qualityLoss));
+        entry.set("evaluated_configurations",
+                  Value::number(
+                      static_cast<double>(r.result.evaluated)));
+        entry.set("compile_failures",
+                  Value::number(static_cast<double>(
+                      r.result.compileFailures)));
+        entry.set("timed_out", Value::boolean(r.result.timedOut));
+        entry.set("configuration",
+                  Value::string(r.result.configuration));
+        root.push(std::move(entry));
+    }
+    return root;
+}
+
+void
+printResults(std::ostream& os, const std::vector<JobResult>& results)
+{
+    support::Table table({"benchmark", "analysis", "algorithm",
+                          "speedup", "quality", "EV", "status"});
+    for (const auto& r : results) {
+        if (!r.error.empty()) {
+            table.addRow({r.spec.benchmark, r.spec.analysis, "-", "-",
+                          "-", "-", strCat("error: ", r.error)});
+            continue;
+        }
+        table.addRow({r.spec.benchmark, r.result.analysis,
+                      r.result.detail,
+                      support::Table::cell(r.result.speedup, 2),
+                      support::Table::cellSci(r.result.qualityLoss),
+                      support::Table::cell(
+                          static_cast<long>(r.result.evaluated)),
+                      r.result.timedOut ? "timeout" : "ok"});
+    }
+    table.print(os);
+}
+
+} // namespace hpcmixp::harness

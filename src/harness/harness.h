@@ -1,0 +1,80 @@
+#ifndef HPCMIXP_HARNESS_HARNESS_H_
+#define HPCMIXP_HARNESS_HARNESS_H_
+
+/**
+ * @file
+ * The YAML-driven harness (paper Section III-A.c).
+ *
+ * A configuration document names one or more benchmarks, each with an
+ * analysis clause and quality settings, following the schema of the
+ * paper's Listing 4:
+ *
+ *   kmeans:
+ *     analysis:
+ *       floatsmith:
+ *         name: 'floatsmith'
+ *         extra_args:
+ *           algorithm: 'ddebug'
+ *     metric: 'MCR'
+ *     threshold: 1e-6
+ *
+ * The build/clean/bin/copy/args clauses of the original schema are
+ * accepted (the parser validates them) but have no effect here: the
+ * benchmarks are compiled into the suite rather than built via make.
+ * Jobs are scheduled onto a thread pool (`jobs` > 1), substituting for
+ * the paper's SLURM cluster.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/analysis.h"
+#include "support/json.h"
+#include "support/yaml.h"
+
+namespace hpcmixp::harness {
+
+/** One parsed benchmark entry of the configuration document. */
+struct JobSpec {
+    std::string benchmark;   ///< registry name (the YAML key)
+    std::string analysis;    ///< analysis registry name
+    ExtraArgs extraArgs;     ///< analysis-specific arguments
+    std::string metric;      ///< quality metric (empty = default)
+    double threshold = 1e-6; ///< quality threshold
+};
+
+/** Harness-wide execution settings. */
+struct HarnessOptions {
+    std::size_t jobs = 1;         ///< parallel analysis jobs
+    core::TunerOptions tuner;     ///< metric/threshold overridden per job
+};
+
+/** One completed job. */
+struct JobResult {
+    JobSpec spec;
+    AnalysisResult result;
+    std::string error; ///< non-empty when the job failed
+};
+
+/** Parse a configuration document into job specs; fatal()s on schema
+ *  violations (unknown benchmark, missing analysis clause, ...). */
+std::vector<JobSpec> parseConfig(const support::yaml::Node& doc);
+
+/** Parse a configuration file. */
+std::vector<JobSpec> parseConfigFile(const std::string& path);
+
+/** Execute all jobs and collect results in job order. */
+std::vector<JobResult> runJobs(const std::vector<JobSpec>& jobs,
+                               const HarnessOptions& options);
+
+/** Render results as an aligned table. */
+void printResults(std::ostream& os,
+                  const std::vector<JobResult>& results);
+
+/** Render results in the JSON interchange format (one entry per job). */
+support::json::Value resultsToJson(const std::vector<JobResult>& results);
+
+} // namespace hpcmixp::harness
+
+#endif // HPCMIXP_HARNESS_HARNESS_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * mixpbench-harness — command-line entry point.
+ *
+ *   mixpbench-harness --config suite.yaml [--jobs N] [--reps R]
+ *                     [--budget E] [--verbose]
+ *
+ * Reads a Listing-4-style YAML configuration, runs every declared
+ * analysis job, and prints a result table.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/harness.h"
+#include "support/cli.h"
+#include "support/logging.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    support::CommandLine cl(argc, argv);
+
+    if (cl.has("help") || (!cl.has("config") && cl.positional().empty())) {
+        std::cout
+            << "usage: mixpbench-harness --config <file.yaml>"
+               " [--jobs N] [--reps R] [--budget E] [--verbose]\n"
+               "  --config  YAML configuration (Listing-4 schema)\n"
+               "  --jobs    parallel analysis jobs (default 1)\n"
+               "  --reps    timing repetitions per evaluation"
+               " (default 3)\n"
+               "  --budget  max evaluated configurations per search"
+               " (default 2000)\n";
+        return cl.has("help") ? 0 : 2;
+    }
+
+    if (cl.getBool("verbose", false))
+        support::setLogLevel(support::LogLevel::Inform);
+
+    std::string path = cl.getString(
+        "config",
+        cl.positional().empty() ? "" : cl.positional().front());
+
+    try {
+        auto jobs = harness::parseConfigFile(path);
+        harness::HarnessOptions options;
+        options.jobs =
+            static_cast<std::size_t>(cl.getLong("jobs", 1));
+        options.tuner.searchReps =
+            static_cast<std::size_t>(cl.getLong("reps", 3));
+        options.tuner.budget.maxEvaluations =
+            static_cast<std::size_t>(cl.getLong("budget", 2000));
+        auto results = harness::runJobs(jobs, options);
+        harness::printResults(std::cout, results);
+        if (cl.has("json")) {
+            std::ofstream out(cl.getString("json", ""));
+            if (!out)
+                support::fatal("cannot open --json output file");
+            out << harness::resultsToJson(results).dump(2) << '\n';
+        }
+        for (const auto& r : results)
+            if (!r.error.empty())
+                return 1;
+        return 0;
+    } catch (const support::FatalError& e) {
+        std::cerr << "mixpbench-harness: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,185 @@
+#include "model/program_model.h"
+
+#include "support/logging.h"
+
+namespace hpcmixp::model {
+
+using support::fatal;
+using support::strCat;
+
+ModuleId
+ProgramModel::addModule(const std::string& name)
+{
+    Module m;
+    m.id = static_cast<ModuleId>(modules_.size());
+    m.name = name;
+    modules_.push_back(std::move(m));
+    return modules_.back().id;
+}
+
+FunctionId
+ProgramModel::addFunction(ModuleId module, const std::string& name)
+{
+    HPCMIXP_ASSERT(module < modules_.size(), "bad module id");
+    Function f;
+    f.id = static_cast<FunctionId>(functions_.size());
+    f.name = name;
+    f.module = module;
+    functions_.push_back(std::move(f));
+    modules_[module].functions.push_back(functions_.back().id);
+    return functions_.back().id;
+}
+
+VarId
+ProgramModel::addVariableImpl(FunctionId function, ModuleId module,
+                              const std::string& name, TypeInfo type,
+                              bool isParameter,
+                              const std::string& bindKey)
+{
+    Variable v;
+    v.id = static_cast<VarId>(variables_.size());
+    v.name = name;
+    v.type = type;
+    v.function = function;
+    v.module = module;
+    v.isParameter = isParameter;
+    v.bindKey = bindKey;
+    variables_.push_back(std::move(v));
+    return variables_.back().id;
+}
+
+VarId
+ProgramModel::addVariable(FunctionId function, const std::string& name,
+                          TypeInfo type, const std::string& bindKey)
+{
+    HPCMIXP_ASSERT(function < functions_.size(), "bad function id");
+    VarId id = addVariableImpl(function, functions_[function].module,
+                               name, type, false, bindKey);
+    functions_[function].variables.push_back(id);
+    return id;
+}
+
+VarId
+ProgramModel::addParameter(FunctionId function, const std::string& name,
+                           TypeInfo type, const std::string& bindKey)
+{
+    HPCMIXP_ASSERT(function < functions_.size(), "bad function id");
+    VarId id = addVariableImpl(function, functions_[function].module,
+                               name, type, true, bindKey);
+    functions_[function].variables.push_back(id);
+    return id;
+}
+
+VarId
+ProgramModel::addGlobal(ModuleId module, const std::string& name,
+                        TypeInfo type, const std::string& bindKey)
+{
+    HPCMIXP_ASSERT(module < modules_.size(), "bad module id");
+    VarId id = addVariableImpl(kInvalidId, module, name, type, false,
+                               bindKey);
+    modules_[module].globals.push_back(id);
+    return id;
+}
+
+void
+ProgramModel::addDependence(VarId a, VarId b, DependenceKind kind)
+{
+    HPCMIXP_ASSERT(a < variables_.size() && b < variables_.size(),
+                   "dependence references an unknown variable");
+    deps_.push_back({a, b, kind});
+}
+
+void
+ProgramModel::addAssign(VarId dst, VarId src)
+{
+    addDependence(dst, src, DependenceKind::Assign);
+}
+
+void
+ProgramModel::addCallBind(VarId argument, VarId parameter)
+{
+    addDependence(argument, parameter, DependenceKind::CallBind);
+}
+
+void
+ProgramModel::addAddressOf(VarId argument, VarId parameter)
+{
+    addDependence(argument, parameter, DependenceKind::AddressOf);
+}
+
+void
+ProgramModel::addReturn(VarId dst, VarId returned)
+{
+    addDependence(dst, returned, DependenceKind::Return);
+}
+
+void
+ProgramModel::addSameType(VarId a, VarId b)
+{
+    addDependence(a, b, DependenceKind::SameType);
+}
+
+const Module&
+ProgramModel::module(ModuleId id) const
+{
+    HPCMIXP_ASSERT(id < modules_.size(), "bad module id");
+    return modules_[id];
+}
+
+const Function&
+ProgramModel::function(FunctionId id) const
+{
+    HPCMIXP_ASSERT(id < functions_.size(), "bad function id");
+    return functions_[id];
+}
+
+const Variable&
+ProgramModel::variable(VarId id) const
+{
+    HPCMIXP_ASSERT(id < variables_.size(), "bad variable id");
+    return variables_[id];
+}
+
+std::vector<VarId>
+ProgramModel::realVariables() const
+{
+    std::vector<VarId> out;
+    for (const auto& v : variables_)
+        if (v.type.base == BaseType::Real)
+            out.push_back(v.id);
+    return out;
+}
+
+VarId
+ProgramModel::findVariable(const std::string& name) const
+{
+    VarId found = kInvalidId;
+    for (const auto& v : variables_) {
+        if (v.name == name) {
+            if (found != kInvalidId)
+                fatal(strCat("variable name '", name,
+                             "' is ambiguous in model '", name_, "'"));
+            found = v.id;
+        }
+    }
+    if (found == kInvalidId)
+        fatal(strCat("no variable named '", name, "' in model '",
+                     name_, "'"));
+    return found;
+}
+
+VarId
+ProgramModel::findVariable(const std::string& functionName,
+                           const std::string& name) const
+{
+    for (const auto& v : variables_) {
+        if (v.name != name || v.function == kInvalidId)
+            continue;
+        if (functions_[v.function].name == functionName)
+            return v.id;
+    }
+    fatal(strCat("no variable '", functionName, "::", name,
+                 "' in model '", name_, "'"));
+}
+
+} // namespace hpcmixp::model

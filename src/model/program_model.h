@@ -1,0 +1,198 @@
+#ifndef HPCMIXP_MODEL_PROGRAM_MODEL_H_
+#define HPCMIXP_MODEL_PROGRAM_MODEL_H_
+
+/**
+ * @file
+ * Structural model of a benchmark program.
+ *
+ * Typeforge analyzes C++ sources; our substitute analyzes this explicit
+ * model (DESIGN.md Section 2). A ProgramModel captures exactly the
+ * information the paper's type-dependence analysis consumes:
+ *
+ *  - the module / function / variable hierarchy (used by the
+ *    hierarchical search strategies),
+ *  - the floating-point type of each variable (base type + pointer
+ *    depth),
+ *  - type-dependence edges between variables: assignments, call
+ *    argument-to-parameter bindings, address-of bindings, returns.
+ *
+ * Models are built either with the fluent builder API here (each
+ * benchmark ships one mirroring its source structure) or by the mini-C
+ * frontend in `typeforge/frontend`.
+ *
+ * A variable may carry a *bind key*: the name of the runtime knob (an
+ * mp::Buffer or templated scalar) that realizes it in the executable
+ * benchmark. Cluster precision decisions propagate through bind keys to
+ * actual execution. Variables without bind keys are legal — real codes
+ * contain cold variables whose precision does not affect the output.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcmixp::model {
+
+/** Base scalar type of a variable. */
+enum class BaseType {
+    Real,    ///< floating-point; participates in mixed-precision tuning
+    Integer, ///< integral; never tuned
+    Other,   ///< anything else; never tuned
+};
+
+/** A variable's type: base type plus pointer/array depth. */
+struct TypeInfo {
+    BaseType base = BaseType::Real;
+    int pointerDepth = 0; ///< 0 = scalar, 1 = T*/T[], 2 = T**, ...
+
+    bool isPointer() const { return pointerDepth > 0; }
+};
+
+/** Convenience constructors for common types. */
+inline TypeInfo
+realScalar()
+{
+    return {BaseType::Real, 0};
+}
+
+inline TypeInfo
+realPointer(int depth = 1)
+{
+    return {BaseType::Real, depth};
+}
+
+inline TypeInfo
+integerScalar()
+{
+    return {BaseType::Integer, 0};
+}
+
+using ModuleId = std::uint32_t;
+using FunctionId = std::uint32_t;
+using VarId = std::uint32_t;
+
+/** Sentinel for "no owner" ids. */
+constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+/** Kinds of type-dependence edges between two variables. */
+enum class DependenceKind {
+    Assign,    ///< dst = src (or compound assignment)
+    CallBind,  ///< argument bound to a callee parameter
+    AddressOf, ///< &scalar passed to a pointer parameter
+    Return,    ///< callee return value assigned to dst
+    SameType,  ///< explicit constraint (template args, casts forbidden)
+};
+
+/** One type-dependence edge; direction is informational only. */
+struct Dependence {
+    VarId a;
+    VarId b;
+    DependenceKind kind;
+};
+
+/** A declared variable (local, global, or function parameter). */
+struct Variable {
+    VarId id = kInvalidId;
+    std::string name;
+    TypeInfo type;
+    FunctionId function = kInvalidId; ///< owner; kInvalidId for globals
+    ModuleId module = kInvalidId;
+    bool isParameter = false;
+    std::string bindKey; ///< runtime knob name; empty = cold variable
+};
+
+/** A function containing variables. */
+struct Function {
+    FunctionId id = kInvalidId;
+    std::string name;
+    ModuleId module = kInvalidId;
+    std::vector<VarId> variables;
+};
+
+/** A module (source file / component) containing functions + globals. */
+struct Module {
+    ModuleId id = kInvalidId;
+    std::string name;
+    std::vector<FunctionId> functions;
+    std::vector<VarId> globals;
+};
+
+/** Structural model of one benchmark program. */
+class ProgramModel {
+  public:
+    /** Create a model named after its benchmark. */
+    explicit ProgramModel(std::string name) : name_(std::move(name)) {}
+
+    // --- construction -----------------------------------------------
+
+    /** Add a module (source file). */
+    ModuleId addModule(const std::string& name);
+
+    /** Add a function to a module. */
+    FunctionId addFunction(ModuleId module, const std::string& name);
+
+    /** Add a local variable to a function. */
+    VarId addVariable(FunctionId function, const std::string& name,
+                      TypeInfo type, const std::string& bindKey = "");
+
+    /** Add a parameter to a function. */
+    VarId addParameter(FunctionId function, const std::string& name,
+                       TypeInfo type, const std::string& bindKey = "");
+
+    /** Add a module-scope global variable. */
+    VarId addGlobal(ModuleId module, const std::string& name,
+                    TypeInfo type, const std::string& bindKey = "");
+
+    /** Record `dst = src`. */
+    void addAssign(VarId dst, VarId src);
+
+    /** Record an argument bound to a callee parameter. */
+    void addCallBind(VarId argument, VarId parameter);
+
+    /** Record `&argument` bound to a pointer parameter. */
+    void addAddressOf(VarId argument, VarId parameter);
+
+    /** Record a callee return value assigned to @p dst. */
+    void addReturn(VarId dst, VarId returned);
+
+    /** Record an explicit same-type constraint. */
+    void addSameType(VarId a, VarId b);
+
+    // --- queries ----------------------------------------------------
+
+    const std::string& name() const { return name_; }
+    const std::vector<Module>& modules() const { return modules_; }
+    const std::vector<Function>& functions() const { return functions_; }
+    const std::vector<Variable>& variables() const { return variables_; }
+    const std::vector<Dependence>& dependences() const { return deps_; }
+
+    const Module& module(ModuleId id) const;
+    const Function& function(FunctionId id) const;
+    const Variable& variable(VarId id) const;
+
+    /** Ids of all tunable (BaseType::Real) variables, ascending. */
+    std::vector<VarId> realVariables() const;
+
+    /** Find a variable by name; fatal()s when absent or ambiguous. */
+    VarId findVariable(const std::string& name) const;
+
+    /** Find by qualified "function::name"; fatal()s when absent. */
+    VarId findVariable(const std::string& functionName,
+                       const std::string& name) const;
+
+  private:
+    VarId addVariableImpl(FunctionId function, ModuleId module,
+                          const std::string& name, TypeInfo type,
+                          bool isParameter, const std::string& bindKey);
+    void addDependence(VarId a, VarId b, DependenceKind kind);
+
+    std::string name_;
+    std::vector<Module> modules_;
+    std::vector<Function> functions_;
+    std::vector<Variable> variables_;
+    std::vector<Dependence> deps_;
+};
+
+} // namespace hpcmixp::model
+
+#endif // HPCMIXP_MODEL_PROGRAM_MODEL_H_

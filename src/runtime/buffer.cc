@@ -1,0 +1,80 @@
+#include "runtime/buffer.h"
+
+#include "support/logging.h"
+
+namespace hpcmixp::runtime {
+
+Buffer::Buffer(std::size_t elements, Precision p)
+    : precision_(p), size_(elements)
+{
+    if (p == Precision::Float32)
+        f32_.assign(elements, 0.0f);
+    else
+        f64_.assign(elements, 0.0);
+}
+
+void
+Buffer::checkAccess(Precision wanted) const
+{
+    HPCMIXP_ASSERT(wanted == precision_,
+                   support::strCat("typed access as ",
+                                   precisionName(wanted),
+                                   " on a ", precisionName(precision_),
+                                   " buffer"));
+}
+
+double
+Buffer::loadDouble(std::size_t i) const
+{
+    HPCMIXP_ASSERT(i < size_, "buffer index out of range");
+    return precision_ == Precision::Float32
+               ? static_cast<double>(f32_[i])
+               : f64_[i];
+}
+
+void
+Buffer::storeDouble(std::size_t i, double value)
+{
+    HPCMIXP_ASSERT(i < size_, "buffer index out of range");
+    if (precision_ == Precision::Float32)
+        f32_[i] = static_cast<float>(value);
+    else
+        f64_[i] = value;
+}
+
+void
+Buffer::fillFrom(std::span<const double> values)
+{
+    HPCMIXP_ASSERT(values.size() == size_,
+                   "fillFrom size mismatch");
+    if (precision_ == Precision::Float32) {
+        for (std::size_t i = 0; i < size_; ++i)
+            f32_[i] = static_cast<float>(values[i]);
+    } else {
+        for (std::size_t i = 0; i < size_; ++i)
+            f64_[i] = values[i];
+    }
+}
+
+std::vector<double>
+Buffer::toDoubles() const
+{
+    std::vector<double> out(size_);
+    if (precision_ == Precision::Float32) {
+        for (std::size_t i = 0; i < size_; ++i)
+            out[i] = static_cast<double>(f32_[i]);
+    } else {
+        out.assign(f64_.begin(), f64_.end());
+    }
+    return out;
+}
+
+Buffer
+Buffer::fromDoubles(std::span<const double> values, Precision p)
+{
+    Buffer buf(values.size(), p);
+    buf.fillFrom(values);
+    return buf;
+}
+
+} // namespace hpcmixp::runtime

@@ -1,0 +1,81 @@
+#ifndef HPCMIXP_RUNTIME_DISPATCH_H_
+#define HPCMIXP_RUNTIME_DISPATCH_H_
+
+/**
+ * @file
+ * Runtime-to-compile-time precision dispatch.
+ *
+ * HPC-MixPBench benchmarks are written as *region templates*: each hot
+ * region is a function template over the element types of the arrays and
+ * scalars it touches. A tested configuration picks a Precision per
+ * cluster at runtime; these helpers select the matching native template
+ * instantiation, so every evaluated configuration runs real float or
+ * double machine code (DESIGN.md Section 2: the substitute for
+ * FloatSmith's source transformation + recompilation).
+ *
+ * Usage:
+ *   dispatch2(pa, pb, [&](auto ta, auto tb) {
+ *       using A = typename decltype(ta)::type;
+ *       using B = typename decltype(tb)::type;
+ *       regionKernel<A, B>(...);
+ *   });
+ */
+
+#include <utility>
+
+#include "runtime/precision.h"
+
+namespace hpcmixp::runtime {
+
+/** Carries an element type through a generic lambda. */
+template <class T>
+struct TypeTag {
+    using type = T;
+};
+
+/** Dispatch over one precision. */
+template <class Fn>
+decltype(auto)
+dispatch1(Precision p, Fn&& fn)
+{
+    if (p == Precision::Float32)
+        return fn(TypeTag<float>{});
+    return fn(TypeTag<double>{});
+}
+
+/** Dispatch over two independent precisions (4 instantiations). */
+template <class Fn>
+decltype(auto)
+dispatch2(Precision a, Precision b, Fn&& fn)
+{
+    return dispatch1(a, [&](auto ta) {
+        return dispatch1(b, [&](auto tb) { return fn(ta, tb); });
+    });
+}
+
+/** Dispatch over three independent precisions (8 instantiations). */
+template <class Fn>
+decltype(auto)
+dispatch3(Precision a, Precision b, Precision c, Fn&& fn)
+{
+    return dispatch1(a, [&](auto ta) {
+        return dispatch2(b, c,
+                         [&](auto tb, auto tc) { return fn(ta, tb, tc); });
+    });
+}
+
+/** Dispatch over four independent precisions (16 instantiations). */
+template <class Fn>
+decltype(auto)
+dispatch4(Precision a, Precision b, Precision c, Precision d, Fn&& fn)
+{
+    return dispatch1(a, [&](auto ta) {
+        return dispatch3(b, c, d, [&](auto tb, auto tc, auto td) {
+            return fn(ta, tb, tc, td);
+        });
+    });
+}
+
+} // namespace hpcmixp::runtime
+
+#endif // HPCMIXP_RUNTIME_DISPATCH_H_

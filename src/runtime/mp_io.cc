@@ -1,0 +1,88 @@
+#include "runtime/mp_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace hpcmixp::runtime {
+
+namespace {
+
+using support::fatal;
+using support::strCat;
+
+template <class Disk>
+void
+readConvert(Buffer& buffer, std::istream& in)
+{
+    std::vector<Disk> disk(buffer.size());
+    in.read(reinterpret_cast<char*>(disk.data()),
+            static_cast<std::streamsize>(disk.size() * sizeof(Disk)));
+    if (static_cast<std::size_t>(in.gcount()) !=
+        disk.size() * sizeof(Disk))
+        fatal(strCat("mpFread: short read (wanted ",
+                     disk.size() * sizeof(Disk), " bytes, got ",
+                     in.gcount(), ")"));
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+        buffer.storeDouble(i, static_cast<double>(disk[i]));
+}
+
+template <class Disk>
+void
+writeConvert(const Buffer& buffer, std::ostream& out)
+{
+    std::vector<Disk> disk(buffer.size());
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+        disk[i] = static_cast<Disk>(buffer.loadDouble(i));
+    out.write(reinterpret_cast<const char*>(disk.data()),
+              static_cast<std::streamsize>(disk.size() * sizeof(Disk)));
+    if (!out)
+        fatal("mpFwrite: stream write failed");
+}
+
+} // namespace
+
+void
+mpFread(Buffer& buffer, Precision diskType, std::istream& in)
+{
+    if (diskType == Precision::Float32)
+        readConvert<float>(buffer, in);
+    else
+        readConvert<double>(buffer, in);
+}
+
+void
+mpFwrite(const Buffer& buffer, Precision diskType, std::ostream& out)
+{
+    if (diskType == Precision::Float32)
+        writeConvert<float>(buffer, out);
+    else
+        writeConvert<double>(buffer, out);
+}
+
+Buffer
+mpReadFile(const std::string& path, Precision diskType,
+           std::size_t elements, Precision memoryType)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal(strCat("mpReadFile: cannot open '", path, "'"));
+    Buffer buffer(elements, memoryType);
+    mpFread(buffer, diskType, in);
+    return buffer;
+}
+
+void
+mpWriteFile(const Buffer& buffer, Precision diskType,
+            const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal(strCat("mpWriteFile: cannot open '", path, "'"));
+    mpFwrite(buffer, diskType, out);
+}
+
+} // namespace hpcmixp::runtime

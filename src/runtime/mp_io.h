@@ -1,0 +1,47 @@
+#ifndef HPCMIXP_RUNTIME_MP_IO_H_
+#define HPCMIXP_RUNTIME_MP_IO_H_
+
+/**
+ * @file
+ * Mixed-precision binary file I/O — the paper's mp_fread / mp_fwrite.
+ *
+ * Benchmark input/output files are written at a fixed *disk* precision
+ * (the original application's type, usually double). A tuned program may
+ * hold the same data at a different *memory* precision. These functions
+ * read and write binary files converting between the declared disk type
+ * and the Buffer's runtime precision, exactly like Listing 3's
+ * `mp_fread(ptr, DOUBLE, elements, fd)`.
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/buffer.h"
+#include "runtime/precision.h"
+
+namespace hpcmixp::runtime {
+
+/**
+ * Read @p buffer.size() elements stored at @p diskType from @p in into
+ * @p buffer, converting to the buffer's precision. fatal()s on short
+ * reads or stream errors.
+ */
+void mpFread(Buffer& buffer, Precision diskType, std::istream& in);
+
+/**
+ * Write the elements of @p buffer to @p out at @p diskType, converting
+ * from the buffer's precision. fatal()s on stream errors.
+ */
+void mpFwrite(const Buffer& buffer, Precision diskType, std::ostream& out);
+
+/** Convenience: read a whole file (sized by @p elements). */
+Buffer mpReadFile(const std::string& path, Precision diskType,
+                  std::size_t elements, Precision memoryType);
+
+/** Convenience: write a buffer to a file at @p diskType. */
+void mpWriteFile(const Buffer& buffer, Precision diskType,
+                 const std::string& path);
+
+} // namespace hpcmixp::runtime
+
+#endif // HPCMIXP_RUNTIME_MP_IO_H_

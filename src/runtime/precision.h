@@ -1,0 +1,59 @@
+#ifndef HPCMIXP_RUNTIME_PRECISION_H_
+#define HPCMIXP_RUNTIME_PRECISION_H_
+
+/**
+ * @file
+ * Floating-point precision levels.
+ *
+ * The paper's suite targets two levels: IEEE-754 binary64 ("double") and
+ * binary32 ("single"). The enum is deliberately extensible in ordering —
+ * lower enumerator value means lower precision — should half precision be
+ * added later (the paper lists p=3 architectures as future scope).
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace hpcmixp::runtime {
+
+/** Available floating-point precisions, lowest first. */
+enum class Precision {
+    Float32 = 0, ///< IEEE-754 binary32 ("single")
+    Float64 = 1, ///< IEEE-754 binary64 ("double")
+};
+
+/** Number of bytes of one element at @p p. */
+constexpr std::size_t
+byteSize(Precision p)
+{
+    return p == Precision::Float32 ? 4 : 8;
+}
+
+/** Human-readable name ("float" / "double"). */
+inline std::string
+precisionName(Precision p)
+{
+    return p == Precision::Float32 ? "float" : "double";
+}
+
+/** The precision of a C++ element type. */
+template <class T>
+constexpr Precision precisionOf();
+
+template <>
+constexpr Precision
+precisionOf<float>()
+{
+    return Precision::Float32;
+}
+
+template <>
+constexpr Precision
+precisionOf<double>()
+{
+    return Precision::Float64;
+}
+
+} // namespace hpcmixp::runtime
+
+#endif // HPCMIXP_RUNTIME_PRECISION_H_

@@ -1,0 +1,52 @@
+#include "runtime/profiler.h"
+
+namespace hpcmixp::runtime {
+
+Profiler&
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_ = enabled;
+}
+
+void
+Profiler::record(const std::string& region, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_)
+        return;
+    RegionStats& stats = regions_[region];
+    ++stats.invocations;
+    stats.totalSeconds += seconds;
+}
+
+RegionStats
+Profiler::stats(const std::string& region) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = regions_.find(region);
+    return it == regions_.end() ? RegionStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, RegionStats>>
+Profiler::all() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {regions_.begin(), regions_.end()};
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    regions_.clear();
+}
+
+} // namespace hpcmixp::runtime

@@ -1,0 +1,92 @@
+#ifndef HPCMIXP_RUNTIME_PROFILER_H_
+#define HPCMIXP_RUNTIME_PROFILER_H_
+
+/**
+ * @file
+ * Region-level instrumentation and profiling.
+ *
+ * The paper's runtime library provides instrumentation and profiling
+ * alongside the mixed-precision allocation/I/O helpers (Section
+ * III-A). Benchmarks mark their computational regions with
+ * ScopedRegion; when profiling is enabled, the process-wide Profiler
+ * accumulates per-region invocation counts and wall time, letting a
+ * user see where a benchmark spends its time under different precision
+ * configurations.
+ *
+ * Profiling is disabled by default — a disabled ScopedRegion costs one
+ * branch — so search evaluations pay no instrumentation tax.
+ */
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace hpcmixp::runtime {
+
+/** Accumulated statistics of one instrumented region. */
+struct RegionStats {
+    std::size_t invocations = 0;
+    double totalSeconds = 0.0;
+};
+
+/** Process-wide, thread-safe region profile. */
+class Profiler {
+  public:
+    /** The process-wide instance. */
+    static Profiler& instance();
+
+    /** Enable or disable collection (disabled by default). */
+    void setEnabled(bool enabled);
+
+    /** True when collection is active. */
+    bool enabled() const { return enabled_; }
+
+    /** Record one invocation of @p region taking @p seconds. */
+    void record(const std::string& region, double seconds);
+
+    /** Statistics of @p region (zeros when never recorded). */
+    RegionStats stats(const std::string& region) const;
+
+    /** All regions with data, sorted by name. */
+    std::vector<std::pair<std::string, RegionStats>> all() const;
+
+    /** Drop all collected data. */
+    void reset();
+
+  private:
+    Profiler() = default;
+
+    mutable std::mutex mutex_;
+    bool enabled_ = false;
+    std::map<std::string, RegionStats> regions_;
+};
+
+/** RAII timer attributing its lifetime to a named region. */
+class ScopedRegion {
+  public:
+    explicit ScopedRegion(const char* region)
+        : active_(Profiler::instance().enabled()), region_(region)
+    {
+    }
+
+    ~ScopedRegion()
+    {
+        if (active_)
+            Profiler::instance().record(region_, timer_.seconds());
+    }
+
+    ScopedRegion(const ScopedRegion&) = delete;
+    ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+  private:
+    bool active_;
+    const char* region_;
+    support::WallTimer timer_;
+};
+
+} // namespace hpcmixp::runtime
+
+#endif // HPCMIXP_RUNTIME_PROFILER_H_

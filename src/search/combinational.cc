@@ -1,0 +1,55 @@
+#include "search/combinational.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hpcmixp::search {
+
+namespace {
+
+/**
+ * Visit every size-@p k subset of {0..n-1}, invoking @p visit with the
+ * chosen site indices.
+ */
+void
+forEachCombination(std::size_t n, std::size_t k,
+                   const std::function<void(
+                       const std::vector<std::size_t>&)>& visit)
+{
+    std::vector<std::size_t> pick(k);
+    for (std::size_t i = 0; i < k; ++i)
+        pick[i] = i;
+    if (k == 0 || k > n)
+        return;
+    for (;;) {
+        visit(pick);
+        // Advance to the next combination in lexicographic order.
+        std::size_t i = k;
+        while (i > 0) {
+            --i;
+            if (pick[i] != i + n - k) {
+                ++pick[i];
+                for (std::size_t j = i + 1; j < k; ++j)
+                    pick[j] = pick[j - 1] + 1;
+                break;
+            }
+            if (i == 0)
+                return;
+        }
+    }
+}
+
+} // namespace
+
+void
+CombinationalSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+    for (std::size_t card = n; card >= 1; --card) {
+        forEachCombination(n, card, [&](const auto& pick) {
+            ctx.evaluate(Config::withLowered(n, pick));
+        });
+    }
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,32 @@
+#ifndef HPCMIXP_SEARCH_COMBINATIONAL_H_
+#define HPCMIXP_SEARCH_COMBINATIONAL_H_
+
+/**
+ * @file
+ * Combinational (brute-force) search.
+ *
+ * Tries every non-baseline combination of clusters, most-aggressive
+ * configurations (largest number of lowered clusters) first so a budget
+ * truncation still leaves the high-payoff region explored. Exhaustive,
+ * so only tractable on the kernel benchmarks (paper Section IV-A).
+ */
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Brute-force enumeration of all cluster combinations. */
+class CombinationalSearch : public SearchStrategy {
+  public:
+    std::string name() const override { return "combinational"; }
+    std::string code() const override { return "CB"; }
+    Granularity granularity() const override
+    {
+        return Granularity::Cluster;
+    }
+    void run(SearchContext& ctx) override;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_COMBINATIONAL_H_

@@ -1,0 +1,50 @@
+#include "search/compositional.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace hpcmixp::search {
+
+void
+CompositionalSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+    std::vector<Config> passing;
+    std::deque<std::size_t> worklist; // indices into `passing`
+    std::unordered_set<std::string> attempted;
+
+    auto tryConfig = [&](const Config& cfg) {
+        if (!attempted.insert(cfg.toString()).second)
+            return;
+        const Evaluation& eval = ctx.evaluate(cfg);
+        if (eval.passed()) {
+            passing.push_back(cfg);
+            worklist.push_back(passing.size() - 1);
+        }
+    };
+
+    // Phase 1: each site individually.
+    for (std::size_t i = 0; i < n; ++i)
+        tryConfig(Config::withLowered(n, {i}));
+
+    // Phase 2: repeatedly combine passing configurations. The search
+    // terminates when there are no compositions left.
+    while (!worklist.empty()) {
+        std::size_t cur = worklist.front();
+        worklist.pop_front();
+        // Snapshot size: compositions with configs discovered later
+        // will be attempted when *those* configs are processed.
+        std::size_t limit = passing.size();
+        for (std::size_t j = 0; j < limit; ++j) {
+            if (j == cur)
+                continue;
+            Config combined = passing[cur].unionWith(passing[j]);
+            if (combined == passing[cur] || combined == passing[j])
+                continue;
+            tryConfig(combined);
+        }
+    }
+}
+
+} // namespace hpcmixp::search

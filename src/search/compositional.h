@@ -1,0 +1,41 @@
+#ifndef HPCMIXP_SEARCH_COMPOSITIONAL_H_
+#define HPCMIXP_SEARCH_COMPOSITIONAL_H_
+
+/**
+ * @file
+ * Compositional search (CRAFT).
+ *
+ * Replaces each variable individually, then repeatedly combines passing
+ * configurations until no new composition remains (paper Section II-B).
+ * The implementation proposes individual variables, but every proposal
+ * passes through the Typeforge transformation, which expands it to the
+ * variable's full cluster closure so the result always compiles;
+ * observationally the probes therefore enumerate clusters (duplicate
+ * probes of one cluster are cache hits), which is how the paper's
+ * Table III shows CM evaluating approximately TC configurations per
+ * kernel. The composition phase can still be as slow as brute force on
+ * cluster-rich programs — the behaviour the paper observes when CM
+ * fails to finish within the time limit on several applications.
+ */
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Singleton probing followed by exhaustive composition of passes. */
+class CompositionalSearch : public SearchStrategy {
+  public:
+    std::string name() const override { return "compositional"; }
+    std::string code() const override { return "CM"; }
+    Granularity granularity() const override
+    {
+        // Variable probes expand through Typeforge closure, so the
+        // effective search space is the cluster space.
+        return Granularity::Cluster;
+    }
+    void run(SearchContext& ctx) override;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_COMPOSITIONAL_H_

@@ -1,0 +1,91 @@
+#include "search/config.h"
+
+#include "support/logging.h"
+
+namespace hpcmixp::search {
+
+Config
+Config::withLowered(std::size_t sites,
+                    const std::vector<std::size_t>& lowered)
+{
+    Config cfg(sites);
+    for (std::size_t i : lowered)
+        cfg.set(i);
+    return cfg;
+}
+
+Config
+Config::allLowered(std::size_t sites)
+{
+    Config cfg(sites);
+    for (std::size_t i = 0; i < sites; ++i)
+        cfg.set(i);
+    return cfg;
+}
+
+bool
+Config::test(std::size_t i) const
+{
+    HPCMIXP_ASSERT(i < bits_.size(), "config site index out of range");
+    return bits_[i] != 0;
+}
+
+void
+Config::set(std::size_t i, bool lowered)
+{
+    HPCMIXP_ASSERT(i < bits_.size(), "config site index out of range");
+    bits_[i] = lowered ? 1 : 0;
+}
+
+std::size_t
+Config::count() const
+{
+    std::size_t n = 0;
+    for (auto b : bits_)
+        n += b;
+    return n;
+}
+
+std::vector<std::size_t>
+Config::lowered() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        if (bits_[i])
+            out.push_back(i);
+    return out;
+}
+
+Config
+Config::unionWith(const Config& other) const
+{
+    HPCMIXP_ASSERT(size() == other.size(),
+                   "union of configs with different site counts");
+    Config out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out.bits_[i] = bits_[i] | other.bits_[i];
+    return out;
+}
+
+bool
+Config::isSubsetOf(const Config& other) const
+{
+    HPCMIXP_ASSERT(size() == other.size(),
+                   "subset test on configs with different site counts");
+    for (std::size_t i = 0; i < size(); ++i)
+        if (bits_[i] && !other.bits_[i])
+            return false;
+    return true;
+}
+
+std::string
+Config::toString() const
+{
+    std::string out(bits_.size(), '0');
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        if (bits_[i])
+            out[i] = '1';
+    return out;
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,70 @@
+#ifndef HPCMIXP_SEARCH_CONFIG_H_
+#define HPCMIXP_SEARCH_CONFIG_H_
+
+/**
+ * @file
+ * A mixed-precision configuration.
+ *
+ * A configuration assigns one bit per *search site*: true means the
+ * site is lowered to single precision, false means it stays double.
+ * Sites are clusters for cluster-level strategies (CB, DD, GA) and
+ * individual variables for variable-level strategies (CM, HR, HC),
+ * mirroring the granularity split reported in the paper (Section IV-A).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcmixp::search {
+
+/** Bit-per-site precision configuration. */
+class Config {
+  public:
+    /** All-double configuration over @p sites sites (the baseline). */
+    explicit Config(std::size_t sites = 0) : bits_(sites, 0) {}
+
+    /** Configuration with the given sites lowered. */
+    static Config withLowered(std::size_t sites,
+                              const std::vector<std::size_t>& lowered);
+
+    /** All-float configuration. */
+    static Config allLowered(std::size_t sites);
+
+    /** Number of sites. */
+    std::size_t size() const { return bits_.size(); }
+
+    /** Is site @p i lowered to single precision? */
+    bool test(std::size_t i) const;
+
+    /** Set site @p i lowered (true) or double (false). */
+    void set(std::size_t i, bool lowered = true);
+
+    /** Number of lowered sites. */
+    std::size_t count() const;
+
+    /** True when no site is lowered (the baseline). */
+    bool isBaseline() const { return count() == 0; }
+
+    /** Indices of lowered sites, ascending. */
+    std::vector<std::size_t> lowered() const;
+
+    /** Union: lowered in either configuration. */
+    Config unionWith(const Config& other) const;
+
+    /** True when every site lowered here is lowered in @p other. */
+    bool isSubsetOf(const Config& other) const;
+
+    /** Compact string form, e.g. "1010"; usable as a cache key. */
+    std::string toString() const;
+
+    bool operator==(const Config& other) const = default;
+
+  private:
+    std::vector<std::uint8_t> bits_;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_CONFIG_H_

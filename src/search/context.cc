@@ -1,0 +1,177 @@
+#include "search/context.h"
+
+#include <limits>
+
+#include "support/logging.h"
+
+namespace hpcmixp::search {
+
+SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget)
+    : problem_(problem), budget_(budget)
+{
+}
+
+void
+SearchContext::checkBudget()
+{
+    bool overEvals = executed_ >= budget_.maxEvaluations;
+    bool overTime = budget_.maxSeconds > 0.0 &&
+                    timer_.seconds() >= budget_.maxSeconds;
+    if (overEvals || overTime) {
+        exhausted_ = true;
+        throw BudgetExhausted();
+    }
+}
+
+void
+SearchContext::noteBest(const Config& config, const Evaluation& eval)
+{
+    // A passing non-baseline configuration competes for "best".
+    if (eval.passed() && !config.isBaseline()) {
+        if (!best_ || eval.speedup > best_->second.speedup)
+            best_ = {config, eval};
+    }
+}
+
+const Evaluation&
+SearchContext::evaluate(const Config& config)
+{
+    HPCMIXP_ASSERT(config.size() == problem_.siteCount(),
+                   "config size does not match problem site count");
+    std::string key = config.toString();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        noteBest(config, it->second);
+        return it->second;
+    }
+
+    checkBudget();
+
+    Evaluation eval = problem_.evaluate(config);
+    if (eval.status == EvalStatus::CompileFail) {
+        ++compileFails_;
+    } else {
+        ++executed_;
+    }
+    noteBest(config, eval);
+    return cache_.emplace(std::move(key), eval).first->second;
+}
+
+bool
+SearchContext::isCached(const Config& config) const
+{
+    return cache_.count(config.toString()) > 0;
+}
+
+namespace {
+
+const char*
+statusName(EvalStatus status)
+{
+    switch (status) {
+      case EvalStatus::Pass:
+        return "pass";
+      case EvalStatus::QualityFail:
+        return "quality_fail";
+      case EvalStatus::CompileFail:
+        return "compile_fail";
+      case EvalStatus::RuntimeFail:
+        return "runtime_fail";
+    }
+    return "unknown";
+}
+
+EvalStatus
+statusFromName(const std::string& name)
+{
+    if (name == "pass")
+        return EvalStatus::Pass;
+    if (name == "quality_fail")
+        return EvalStatus::QualityFail;
+    if (name == "compile_fail")
+        return EvalStatus::CompileFail;
+    if (name == "runtime_fail")
+        return EvalStatus::RuntimeFail;
+    support::fatal(
+        support::strCat("checkpoint: unknown status '", name, "'"));
+}
+
+} // namespace
+
+support::json::Value
+SearchContext::exportCache() const
+{
+    using support::json::Value;
+    Value root = Value::object();
+    root.set("sites", Value::number(static_cast<double>(
+                          problem_.siteCount())));
+    Value entries = Value::array();
+    for (const auto& [key, eval] : cache_) {
+        Value e = Value::object();
+        e.set("config", Value::string(key));
+        e.set("status", Value::string(statusName(eval.status)));
+        e.set("runtime_seconds", Value::number(eval.runtimeSeconds));
+        e.set("speedup", Value::number(eval.speedup));
+        e.set("quality_loss", Value::number(eval.qualityLoss));
+        entries.push(std::move(e));
+    }
+    root.set("evaluations", std::move(entries));
+    return root;
+}
+
+void
+SearchContext::importCache(const support::json::Value& checkpoint)
+{
+    using support::fatal;
+    if (!checkpoint.isObject() || !checkpoint.has("sites") ||
+        !checkpoint.has("evaluations"))
+        fatal("checkpoint: expected {sites, evaluations}");
+    auto sites = static_cast<std::size_t>(
+        checkpoint.at("sites").asLong());
+    if (sites != problem_.siteCount())
+        fatal(support::strCat("checkpoint: has ", sites,
+                              " sites, problem has ",
+                              problem_.siteCount()));
+    for (const auto& entry : checkpoint.at("evaluations").items()) {
+        const std::string& key = entry.at("config").asString();
+        if (key.size() != sites)
+            fatal("checkpoint: malformed config bits");
+        Evaluation eval;
+        eval.status =
+            statusFromName(entry.at("status").asString());
+        eval.runtimeSeconds =
+            entry.at("runtime_seconds").isNull()
+                ? 0.0
+                : entry.at("runtime_seconds").asNumber();
+        eval.speedup = entry.at("speedup").isNull()
+                           ? 0.0
+                           : entry.at("speedup").asNumber();
+        eval.qualityLoss =
+            entry.at("quality_loss").isNull()
+                ? std::numeric_limits<double>::quiet_NaN()
+                : entry.at("quality_loss").asNumber();
+        Config config(sites);
+        for (std::size_t i = 0; i < sites; ++i)
+            config.set(i, key[i] == '1');
+        noteBest(config, eval);
+        cache_[key] = eval;
+    }
+}
+
+const Config&
+SearchContext::bestConfig() const
+{
+    HPCMIXP_ASSERT(best_.has_value(), "bestConfig() with no best yet");
+    return best_->first;
+}
+
+const Evaluation&
+SearchContext::bestEvaluation() const
+{
+    HPCMIXP_ASSERT(best_.has_value(),
+                   "bestEvaluation() with no best yet");
+    return best_->second;
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,112 @@
+#ifndef HPCMIXP_SEARCH_CONTEXT_H_
+#define HPCMIXP_SEARCH_CONTEXT_H_
+
+/**
+ * @file
+ * Metered, cached evaluation context shared by all strategies.
+ *
+ * The context implements the paper's accounting:
+ *  - EV ("Evaluated Configurations") counts configurations actually
+ *    executed — cache hits and compile failures are tracked separately;
+ *  - a SearchBudget caps executed configurations and wall-clock time,
+ *    standing in for the paper's 24-hour per-search limit;
+ *  - the best *passing* configuration seen so far (highest measured
+ *    speedup) is tracked so a strategy interrupted by the budget still
+ *    reports its best-so-far.
+ */
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "search/config.h"
+#include "search/problem.h"
+#include "support/json.h"
+#include "support/timer.h"
+
+namespace hpcmixp::search {
+
+/** Limits on one search run. */
+struct SearchBudget {
+    std::size_t maxEvaluations = 10000; ///< executed-config cap
+    double maxSeconds = 0.0;            ///< wall-clock cap; 0 = none
+};
+
+/** Thrown by SearchContext when the budget is exhausted. */
+class BudgetExhausted : public std::runtime_error {
+  public:
+    BudgetExhausted() : std::runtime_error("search budget exhausted") {}
+};
+
+/** Evaluation front-end with caching, metering and best tracking. */
+class SearchContext {
+  public:
+    SearchContext(SearchProblem& problem, SearchBudget budget);
+
+    /** Number of sites in the underlying problem. */
+    std::size_t siteCount() const { return problem_.siteCount(); }
+
+    /** Structure tree of the underlying problem (may be nullptr). */
+    const StructureNode* structure() const { return problem_.structure(); }
+
+    /**
+     * Evaluate @p config, consulting the cache first.
+     * @throws BudgetExhausted once the budget is exceeded.
+     */
+    const Evaluation& evaluate(const Config& config);
+
+    /** True when @p config has already been evaluated. */
+    bool isCached(const Config& config) const;
+
+    /** Best passing configuration so far, if any. */
+    bool hasBest() const { return best_.has_value(); }
+    const Config& bestConfig() const;
+    const Evaluation& bestEvaluation() const;
+
+    /** EV: configurations actually executed. */
+    std::size_t evaluatedCount() const { return executed_; }
+
+    /** Configurations rejected as compile failures. */
+    std::size_t compileFailCount() const { return compileFails_; }
+
+    /** Cache hits (repeat queries). */
+    std::size_t cacheHitCount() const { return cacheHits_; }
+
+    /** Seconds since the context was created. */
+    double elapsedSeconds() const { return timer_.seconds(); }
+
+    /** True once a budget limit has been hit. */
+    bool exhausted() const { return exhausted_; }
+
+    /**
+     * Checkpoint: serialize every cached evaluation. A search that
+     * ran out of budget can be resumed in a fresh context (CRAFT's
+     * searches are resumable); resumed evaluations are cache hits and
+     * do not count against the new budget.
+     */
+    support::json::Value exportCache() const;
+
+    /** Restore a checkpoint produced by exportCache(). fatal()s on a
+     *  malformed document or mismatched site count. */
+    void importCache(const support::json::Value& checkpoint);
+
+  private:
+    void checkBudget();
+    void noteBest(const Config& config, const Evaluation& eval);
+
+    SearchProblem& problem_;
+    SearchBudget budget_;
+    support::WallTimer timer_;
+    std::unordered_map<std::string, Evaluation> cache_;
+    std::optional<std::pair<Config, Evaluation>> best_;
+    std::size_t executed_ = 0;
+    std::size_t compileFails_ = 0;
+    std::size_t cacheHits_ = 0;
+    bool exhausted_ = false;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_CONTEXT_H_

@@ -1,0 +1,101 @@
+#include "search/delta_debug.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hpcmixp::search {
+
+namespace {
+
+/** Configuration that lowers every site not in @p kept. */
+Config
+configKeeping(std::size_t n, const std::vector<std::size_t>& kept)
+{
+    Config cfg = Config::allLowered(n);
+    for (std::size_t i : kept)
+        cfg.set(i, false);
+    return cfg;
+}
+
+/** Split @p items into @p n nearly equal chunks (no empty chunks). */
+std::vector<std::vector<std::size_t>>
+partition(const std::vector<std::size_t>& items, std::size_t n)
+{
+    n = std::min(n, items.size());
+    std::vector<std::vector<std::size_t>> chunks(n);
+    for (std::size_t i = 0; i < items.size(); ++i)
+        chunks[i * n / items.size()].push_back(items[i]);
+    return chunks;
+}
+
+} // namespace
+
+void
+DeltaDebugSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+    if (n == 0)
+        return;
+
+    auto passes = [&](const std::vector<std::size_t>& kept) {
+        return ctx.evaluate(configKeeping(n, kept)).passed();
+    };
+
+    // Fast path: everything can be lowered.
+    if (passes({}))
+        return;
+
+    // ddmin over the kept set, starting from "keep everything"
+    // (the baseline, which trivially passes).
+    std::vector<std::size_t> kept(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kept[i] = i;
+    std::size_t granularity = 2;
+
+    while (kept.size() >= 1) {
+        auto chunks = partition(kept, granularity);
+        bool reduced = false;
+
+        // Try each subset as the new kept set.
+        for (const auto& chunk : chunks) {
+            if (chunk.size() == kept.size())
+                continue;
+            if (passes(chunk)) {
+                kept = chunk;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+
+        // Then each complement.
+        if (!reduced && chunks.size() > 1) {
+            for (std::size_t c = 0; c < chunks.size(); ++c) {
+                std::vector<std::size_t> complement;
+                for (std::size_t j = 0; j < chunks.size(); ++j)
+                    if (j != c)
+                        complement.insert(complement.end(),
+                                          chunks[j].begin(),
+                                          chunks[j].end());
+                if (complement.size() == kept.size() ||
+                    complement.empty())
+                    continue;
+                if (passes(complement)) {
+                    kept = complement;
+                    granularity = std::max<std::size_t>(
+                        granularity - 1, 2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+
+        if (!reduced) {
+            if (granularity >= kept.size())
+                break; // local minimum: no more clusters convertible
+            granularity = std::min(kept.size(), granularity * 2);
+        }
+    }
+}
+
+} // namespace hpcmixp::search

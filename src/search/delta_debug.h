@@ -1,0 +1,34 @@
+#ifndef HPCMIXP_SEARCH_DELTA_DEBUG_H_
+#define HPCMIXP_SEARCH_DELTA_DEBUG_H_
+
+/**
+ * @file
+ * Delta-debugging search (Precimonious-style).
+ *
+ * Runs a modified binary search over the cluster list: it minimizes the
+ * set K of clusters that must be *kept* in double precision, subject to
+ * the configuration "lower everything outside K" passing verification.
+ * The classic ddmin reduction (subsets, then complements, then doubled
+ * granularity) is applied until a local minimum is reached in which no
+ * more clusters can be converted (paper Section II-B).
+ */
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** ddmin over the kept-in-double cluster set. */
+class DeltaDebugSearch : public SearchStrategy {
+  public:
+    std::string name() const override { return "delta-debugging"; }
+    std::string code() const override { return "DD"; }
+    Granularity granularity() const override
+    {
+        return Granularity::Cluster;
+    }
+    void run(SearchContext& ctx) override;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_DELTA_DEBUG_H_

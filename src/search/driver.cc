@@ -1,0 +1,48 @@
+#include "search/driver.h"
+
+#include "support/logging.h"
+
+namespace hpcmixp::search {
+
+SearchResult
+runSearch(SearchProblem& problem, SearchStrategy& strategy,
+          const SearchBudget& budget)
+{
+    SearchContext ctx(problem, budget);
+    SearchResult result;
+    result.strategyCode = strategy.code();
+
+    try {
+        strategy.run(ctx);
+    } catch (const BudgetExhausted&) {
+        result.timedOut = true;
+    }
+
+    result.evaluated = ctx.evaluatedCount();
+    result.compileFailures = ctx.compileFailCount();
+    result.cacheHits = ctx.cacheHitCount();
+    result.searchSeconds = ctx.elapsedSeconds();
+
+    if (ctx.hasBest()) {
+        result.foundImprovement = true;
+        result.best = ctx.bestConfig();
+        result.bestEvaluation = ctx.bestEvaluation();
+    } else {
+        // No improvement found: the answer is the baseline program.
+        result.best = Config(problem.siteCount());
+        result.bestEvaluation.status = EvalStatus::Pass;
+        result.bestEvaluation.speedup = 1.0;
+        result.bestEvaluation.qualityLoss = 0.0;
+    }
+    return result;
+}
+
+SearchResult
+runSearch(SearchProblem& problem, const std::string& strategyCode,
+          const SearchBudget& budget)
+{
+    auto strategy = StrategyRegistry::instance().create(strategyCode);
+    return runSearch(problem, *strategy, budget);
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,46 @@
+#ifndef HPCMIXP_SEARCH_DRIVER_H_
+#define HPCMIXP_SEARCH_DRIVER_H_
+
+/**
+ * @file
+ * One-shot search execution with uniform result reporting.
+ */
+
+#include <string>
+
+#include "search/context.h"
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Uniform summary of one completed (or budget-cut) search. */
+struct SearchResult {
+    std::string strategyCode;       ///< e.g. "DD"
+    bool foundImprovement = false;  ///< a passing non-baseline config
+    Config best;                    ///< best config (baseline if none)
+    Evaluation bestEvaluation;      ///< its evaluation
+    std::size_t evaluated = 0;      ///< EV: configs executed
+    std::size_t compileFailures = 0;
+    std::size_t cacheHits = 0;
+    bool timedOut = false;          ///< budget exhausted mid-search
+    double searchSeconds = 0.0;
+};
+
+/**
+ * Run @p strategy against @p problem under @p budget.
+ *
+ * BudgetExhausted is caught here: a truncated search still reports its
+ * best-so-far with timedOut set, matching the paper's treatment of the
+ * 24-hour limit.
+ */
+SearchResult runSearch(SearchProblem& problem, SearchStrategy& strategy,
+                       const SearchBudget& budget);
+
+/** Convenience: look up the strategy by code and run it. */
+SearchResult runSearch(SearchProblem& problem,
+                       const std::string& strategyCode,
+                       const SearchBudget& budget);
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_DRIVER_H_

@@ -1,0 +1,120 @@
+#include "search/genetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace hpcmixp::search {
+
+namespace {
+
+/** Scalar fitness: higher is better. */
+double
+fitness(const Evaluation& eval)
+{
+    if (eval.passed())
+        return 1.0 + eval.speedup;
+    if (!eval.ran())
+        return 0.0; // compile failure: worst possible
+    double loss = eval.qualityLoss;
+    if (!std::isfinite(loss))
+        return 0.01; // destroyed output barely beats compile failure
+    // Failing individuals are ranked by how close they came.
+    return 0.5 / (1.0 + loss);
+}
+
+} // namespace
+
+void
+GeneticSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+    if (n == 0)
+        return;
+
+    GaOptions opt = options_;
+    if (opt.mutationRate <= 0.0)
+        opt.mutationRate = 1.0 / static_cast<double>(n);
+    HPCMIXP_ASSERT(opt.population >= 2, "GA population must be >= 2");
+
+    support::Pcg32 rng(opt.seed);
+
+    auto randomConfig = [&] {
+        Config cfg(n);
+        for (std::size_t i = 0; i < n; ++i)
+            cfg.set(i, rng.chance(0.5));
+        return cfg;
+    };
+
+    struct Individual {
+        Config config;
+        double fit = 0.0;
+    };
+
+    auto score = [&](const Config& cfg) {
+        return fitness(ctx.evaluate(cfg));
+    };
+
+    std::vector<Individual> population;
+    population.reserve(opt.population);
+    for (std::size_t i = 0; i < opt.population; ++i) {
+        Config cfg = randomConfig();
+        population.push_back({cfg, score(cfg)});
+    }
+
+    auto bestOf = [](const std::vector<Individual>& pop) {
+        return std::max_element(pop.begin(), pop.end(),
+                                [](const auto& a, const auto& b) {
+                                    return a.fit < b.fit;
+                                });
+    };
+
+    auto tournament = [&]() -> const Individual& {
+        const Individual& a =
+            population[rng.nextBounded(
+                static_cast<std::uint32_t>(population.size()))];
+        const Individual& b =
+            population[rng.nextBounded(
+                static_cast<std::uint32_t>(population.size()))];
+        return a.fit >= b.fit ? a : b;
+    };
+
+    double bestFit = bestOf(population)->fit;
+    std::size_t stagnant = 0;
+
+    for (std::size_t gen = 1; gen < opt.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(opt.population);
+        // Elitism: carry the fittest individual forward unchanged.
+        next.push_back(*bestOf(population));
+
+        while (next.size() < opt.population) {
+            const Individual& p1 = tournament();
+            const Individual& p2 = tournament();
+            Config child = p1.config;
+            if (rng.chance(opt.crossoverRate)) {
+                for (std::size_t i = 0; i < n; ++i)
+                    if (rng.chance(0.5))
+                        child.set(i, p2.config.test(i));
+            }
+            for (std::size_t i = 0; i < n; ++i)
+                if (rng.chance(opt.mutationRate))
+                    child.set(i, !child.test(i));
+            next.push_back({child, score(child)});
+        }
+        population = std::move(next);
+
+        double newBest = bestOf(population)->fit;
+        if (newBest > bestFit) {
+            bestFit = newBest;
+            stagnant = 0;
+        } else if (++stagnant >= opt.stagnationLimit) {
+            break; // best-fit individual unchanged for several iterations
+        }
+    }
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,55 @@
+#ifndef HPCMIXP_SEARCH_GENETIC_H_
+#define HPCMIXP_SEARCH_GENETIC_H_
+
+/**
+ * @file
+ * Genetic-algorithm search — the strategy the paper adds to CRAFT.
+ *
+ * A population of random configurations (bit arrays over clusters)
+ * evolves by tournament selection, uniform crossover and per-bit
+ * mutation. Fitness favours passing configurations by measured speedup;
+ * failing ones are penalized by quality loss. Terminates after a fixed
+ * number of generations or when the best individual stagnates — the
+ * strict termination criterion that makes GA's analysis time the most
+ * predictable of all strategies (paper Sections II-B and V).
+ */
+
+#include <cstdint>
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Tunable GA parameters (paper defaults keep the search short). */
+struct GaOptions {
+    std::size_t population = 6;      ///< individuals per generation
+    std::size_t generations = 8;     ///< hard iteration cap
+    std::size_t stagnationLimit = 3; ///< stop after N flat generations
+    double crossoverRate = 0.9;      ///< else clone a parent
+    double mutationRate = 0.0;       ///< 0 = use 1/siteCount
+    std::uint64_t seed = 2020;       ///< RNG seed (IISWC'20 vintage)
+};
+
+/** Evolutionary search over cluster bit arrays. */
+class GeneticSearch : public SearchStrategy {
+  public:
+    GeneticSearch() = default;
+    explicit GeneticSearch(GaOptions options) : options_(options) {}
+
+    std::string name() const override { return "genetic"; }
+    std::string code() const override { return "GA"; }
+    Granularity granularity() const override
+    {
+        return Granularity::Cluster;
+    }
+    void run(SearchContext& ctx) override;
+
+    const GaOptions& options() const { return options_; }
+
+  private:
+    GaOptions options_;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_GENETIC_H_

@@ -1,0 +1,73 @@
+#include "search/hierarchical.h"
+
+#include <deque>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace hpcmixp::search {
+
+std::vector<const StructureNode*>
+collectPassingComponents(SearchContext& ctx)
+{
+    const StructureNode* root = ctx.structure();
+    if (!root)
+        support::fatal("hierarchical search requires program structure");
+
+    std::size_t n = ctx.siteCount();
+    std::vector<const StructureNode*> accepted;
+    std::deque<const StructureNode*> frontier{root};
+
+    while (!frontier.empty()) {
+        const StructureNode* node = frontier.front();
+        frontier.pop_front();
+        if (node->sites.empty())
+            continue;
+        Config cfg = Config::withLowered(n, node->sites);
+        const Evaluation& eval = ctx.evaluate(cfg);
+        if (eval.passed()) {
+            accepted.push_back(node);
+        } else {
+            for (const auto& child : node->children)
+                frontier.push_back(&child);
+        }
+    }
+    return accepted;
+}
+
+void
+HierarchicalSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+    auto accepted = collectPassingComponents(ctx);
+    if (accepted.empty())
+        return;
+
+    // Combine every individually passing group. When the union fails
+    // (groups interact), greedily drop the group with the smallest
+    // individual speedup until the combination passes.
+    while (!accepted.empty()) {
+        Config combined(n);
+        for (const auto* node : accepted)
+            combined =
+                combined.unionWith(Config::withLowered(n, node->sites));
+        const Evaluation& eval = ctx.evaluate(combined);
+        if (eval.passed() || accepted.size() == 1)
+            break;
+
+        std::size_t worst = 0;
+        double worstSpeedup = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < accepted.size(); ++i) {
+            const Evaluation& e = ctx.evaluate(
+                Config::withLowered(n, accepted[i]->sites));
+            if (e.speedup < worstSpeedup) {
+                worstSpeedup = e.speedup;
+                worst = i;
+            }
+        }
+        accepted.erase(accepted.begin() +
+                       static_cast<std::ptrdiff_t>(worst));
+    }
+}
+
+} // namespace hpcmixp::search

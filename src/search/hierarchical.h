@@ -1,0 +1,43 @@
+#ifndef HPCMIXP_SEARCH_HIERARCHICAL_H_
+#define HPCMIXP_SEARCH_HIERARCHICAL_H_
+
+/**
+ * @file
+ * Hierarchical search (CRAFT).
+ *
+ * Uses program-structure information (whole program -> modules ->
+ * functions -> variables) to search for large replaceable groups,
+ * descending into sub-components only when a group fails. Operates at
+ * variable granularity and does NOT consult cluster information, so it
+ * can propose configurations that do not compile — the inefficiency the
+ * paper highlights at strict thresholds (Sections II-B, IV-B).
+ */
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Top-down structural descent with greedy recombination. */
+class HierarchicalSearch : public SearchStrategy {
+  public:
+    std::string name() const override { return "hierarchical"; }
+    std::string code() const override { return "HR"; }
+    Granularity granularity() const override
+    {
+        return Granularity::Variable;
+    }
+    void run(SearchContext& ctx) override;
+};
+
+/**
+ * Shared helper for HR and HC: breadth-first descent that collects the
+ * set of structure nodes whose group replacement passes individually.
+ * Failing non-leaf nodes are expanded; failing leaves are dropped.
+ * Returns the passing nodes in discovery order.
+ */
+std::vector<const StructureNode*>
+collectPassingComponents(SearchContext& ctx);
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_HIERARCHICAL_H_

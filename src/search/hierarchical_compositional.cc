@@ -1,0 +1,57 @@
+#include "search/hierarchical_compositional.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "search/hierarchical.h"
+
+namespace hpcmixp::search {
+
+void
+HierarchicalCompositionalSearch::run(SearchContext& ctx)
+{
+    std::size_t n = ctx.siteCount();
+
+    // Phase 1: hierarchical discovery of replaceable components.
+    auto components = collectPassingComponents(ctx);
+    if (components.size() <= 1)
+        return;
+
+    // Phase 2: compositional combination of the component configs.
+    std::vector<Config> passing;
+    std::deque<std::size_t> worklist;
+    std::unordered_set<std::string> attempted;
+    for (const auto* node : components) {
+        Config cfg = Config::withLowered(n, node->sites);
+        attempted.insert(cfg.toString());
+        passing.push_back(cfg);
+        worklist.push_back(passing.size() - 1);
+    }
+
+    auto tryConfig = [&](const Config& cfg) {
+        if (!attempted.insert(cfg.toString()).second)
+            return;
+        const Evaluation& eval = ctx.evaluate(cfg);
+        if (eval.passed()) {
+            passing.push_back(cfg);
+            worklist.push_back(passing.size() - 1);
+        }
+    };
+
+    while (!worklist.empty()) {
+        std::size_t cur = worklist.front();
+        worklist.pop_front();
+        std::size_t limit = passing.size();
+        for (std::size_t j = 0; j < limit; ++j) {
+            if (j == cur)
+                continue;
+            Config combined = passing[cur].unionWith(passing[j]);
+            if (combined == passing[cur] || combined == passing[j])
+                continue;
+            tryConfig(combined);
+        }
+    }
+}
+
+} // namespace hpcmixp::search

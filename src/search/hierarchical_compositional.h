@@ -1,0 +1,38 @@
+#ifndef HPCMIXP_SEARCH_HIERARCHICAL_COMPOSITIONAL_H_
+#define HPCMIXP_SEARCH_HIERARCHICAL_COMPOSITIONAL_H_
+
+/**
+ * @file
+ * Hierarchical-compositional search (FloatSmith).
+ *
+ * Integrates the hierarchical and compositional approaches: the
+ * hierarchical descent identifies program components amenable to
+ * replacement; the compositional phase then combines those components,
+ * looking for inter-component configurations without having started
+ * from individual variables. The search terminates when all passing
+ * configurations have been composed of other passing configurations
+ * (paper Section II-B).
+ */
+
+#include "search/strategy.h"
+
+namespace hpcmixp::search {
+
+/** Hierarchical component discovery + compositional combination. */
+class HierarchicalCompositionalSearch : public SearchStrategy {
+  public:
+    std::string name() const override
+    {
+        return "hierarchical-compositional";
+    }
+    std::string code() const override { return "HC"; }
+    Granularity granularity() const override
+    {
+        return Granularity::Variable;
+    }
+    void run(SearchContext& ctx) override;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_HIERARCHICAL_COMPOSITIONAL_H_

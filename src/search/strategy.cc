@@ -1,0 +1,73 @@
+#include "search/strategy.h"
+
+#include "search/combinational.h"
+#include "search/compositional.h"
+#include "search/delta_debug.h"
+#include "search/genetic.h"
+#include "search/hierarchical.h"
+#include "search/hierarchical_compositional.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace hpcmixp::search {
+
+StrategyRegistry::StrategyRegistry()
+{
+    add("CB", [] { return std::make_unique<CombinationalSearch>(); });
+    add("CM", [] { return std::make_unique<CompositionalSearch>(); });
+    add("DD", [] { return std::make_unique<DeltaDebugSearch>(); });
+    add("HR", [] { return std::make_unique<HierarchicalSearch>(); });
+    add("HC", [] {
+        return std::make_unique<HierarchicalCompositionalSearch>();
+    });
+    add("GA", [] { return std::make_unique<GeneticSearch>(); });
+}
+
+StrategyRegistry&
+StrategyRegistry::instance()
+{
+    static StrategyRegistry registry;
+    return registry;
+}
+
+void
+StrategyRegistry::add(const std::string& code, Factory factory)
+{
+    if (has(code))
+        support::fatal(
+            support::strCat("strategy '", code, "' already registered"));
+    factories_.emplace_back(code, std::move(factory));
+}
+
+std::unique_ptr<SearchStrategy>
+StrategyRegistry::create(const std::string& code) const
+{
+    std::string wanted = support::toLower(code);
+    for (const auto& [key, factory] : factories_)
+        if (support::toLower(key) == wanted)
+            return factory();
+    support::fatal(
+        support::strCat("unknown search strategy '", code, "'"));
+}
+
+bool
+StrategyRegistry::has(const std::string& code) const
+{
+    std::string wanted = support::toLower(code);
+    for (const auto& [key, factory] : factories_)
+        if (support::toLower(key) == wanted)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+StrategyRegistry::codes() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,79 @@
+#ifndef HPCMIXP_SEARCH_STRATEGY_H_
+#define HPCMIXP_SEARCH_STRATEGY_H_
+
+/**
+ * @file
+ * Strategy interface and registry.
+ *
+ * The six strategies of the paper are registered under their two-letter
+ * codes: CB (combinational), CM (compositional), DD (delta-debugging),
+ * HR (hierarchical), HC (hierarchical-compositional), GA (genetic).
+ * New strategies can be added through the registry — the extension
+ * point CRAFT provides and the paper exercises by adding GA.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/context.h"
+
+namespace hpcmixp::search {
+
+/** Granularity a strategy's implementation operates at (Section IV-A). */
+enum class Granularity {
+    Cluster,  ///< one site per Typeforge cluster (CB, DD, GA)
+    Variable, ///< one site per variable (CM, HR, HC)
+};
+
+/** A mixed-precision search strategy. */
+class SearchStrategy {
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Full name, e.g. "delta-debugging". */
+    virtual std::string name() const = 0;
+
+    /** Two-letter paper code, e.g. "DD". */
+    virtual std::string code() const = 0;
+
+    /** Site granularity this strategy's implementation uses. */
+    virtual Granularity granularity() const = 0;
+
+    /**
+     * Explore the space through @p ctx. May exit early via
+     * BudgetExhausted (the driver catches it); the best passing
+     * configuration is tracked by the context either way.
+     */
+    virtual void run(SearchContext& ctx) = 0;
+};
+
+/** Factory registry of strategies keyed by code (case-insensitive). */
+class StrategyRegistry {
+  public:
+    using Factory = std::function<std::unique_ptr<SearchStrategy>()>;
+
+    /** Process-wide instance with the six built-ins registered. */
+    static StrategyRegistry& instance();
+
+    /** Register a factory under @p code; fatal()s on duplicates. */
+    void add(const std::string& code, Factory factory);
+
+    /** Instantiate a strategy; fatal()s for unknown codes. */
+    std::unique_ptr<SearchStrategy> create(const std::string& code) const;
+
+    /** True when @p code is registered. */
+    bool has(const std::string& code) const;
+
+    /** Registered codes in registration order. */
+    std::vector<std::string> codes() const;
+
+  private:
+    StrategyRegistry();
+    std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_STRATEGY_H_

@@ -1,0 +1,41 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+#include "support/string_util.h"
+
+namespace hpcmixp::support {
+
+std::string
+envString(const char* name, const std::string& fallback)
+{
+    const char* v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+long
+envLong(const char* name, long fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char* end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool
+quickMode()
+{
+    std::string v = toLower(envString("HPCMIXP_QUICK", ""));
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::size_t
+timingReps(std::size_t fallback)
+{
+    long v = envLong("HPCMIXP_REPS", static_cast<long>(fallback));
+    return v < 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+} // namespace hpcmixp::support

@@ -1,0 +1,30 @@
+#ifndef HPCMIXP_SUPPORT_ENV_H_
+#define HPCMIXP_SUPPORT_ENV_H_
+
+/**
+ * @file
+ * Environment-variable knobs shared across benches and tests.
+ *
+ *  - HPCMIXP_QUICK=1  : shrink problem sizes/budgets for smoke runs.
+ *  - HPCMIXP_REPS=<n> : override the timing repetition count.
+ */
+
+#include <string>
+
+namespace hpcmixp::support {
+
+/** Value of an environment variable, or @p fallback if unset/empty. */
+std::string envString(const char* name, const std::string& fallback);
+
+/** Integer environment variable, or @p fallback if unset/malformed. */
+long envLong(const char* name, long fallback);
+
+/** True when HPCMIXP_QUICK is set to a truthy value. */
+bool quickMode();
+
+/** Timing repetitions: HPCMIXP_REPS, else @p fallback. */
+std::size_t timingReps(std::size_t fallback);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_ENV_H_

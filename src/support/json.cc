@@ -1,0 +1,479 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace hpcmixp::support::json {
+
+using support::fatal;
+using support::strCat;
+
+Value
+Value::null()
+{
+    return Value();
+}
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = ValueKind::Boolean;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::number(double n)
+{
+    Value v;
+    v.kind_ = ValueKind::Number;
+    v.number_ = n;
+    return v;
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind_ = ValueKind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = ValueKind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = ValueKind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != ValueKind::Boolean)
+        fatal("json: asBool() on a non-boolean");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (kind_ != ValueKind::Number)
+        fatal("json: asNumber() on a non-number");
+    return number_;
+}
+
+long
+Value::asLong() const
+{
+    return static_cast<long>(asNumber());
+}
+
+const std::string&
+Value::asString() const
+{
+    if (kind_ != ValueKind::String)
+        fatal("json: asString() on a non-string");
+    return string_;
+}
+
+const std::vector<Value>&
+Value::items() const
+{
+    if (kind_ != ValueKind::Array)
+        fatal("json: items() on a non-array");
+    return items_;
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ != ValueKind::Array)
+        fatal("json: push() on a non-array");
+    items_.push_back(std::move(v));
+}
+
+const std::vector<std::string>&
+Value::keys() const
+{
+    if (kind_ != ValueKind::Object)
+        fatal("json: keys() on a non-object");
+    return keys_;
+}
+
+bool
+Value::has(const std::string& key) const
+{
+    return kind_ == ValueKind::Object && members_.count(key) > 0;
+}
+
+const Value&
+Value::at(const std::string& key) const
+{
+    if (!has(key))
+        fatal(strCat("json: missing key '", key, "'"));
+    return members_.at(key);
+}
+
+Value&
+Value::set(const std::string& key, Value v)
+{
+    if (kind_ != ValueKind::Object)
+        fatal("json: set() on a non-object");
+    if (!members_.count(key))
+        keys_.push_back(key);
+    return members_[key] = std::move(v);
+}
+
+namespace {
+
+void
+escapeInto(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string& out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string& out, int indent, int depth) const
+{
+    switch (kind_) {
+      case ValueKind::Null:
+        out += "null";
+        break;
+      case ValueKind::Boolean:
+        out += bool_ ? "true" : "false";
+        break;
+      case ValueKind::Number: {
+        if (std::isnan(number_) || std::isinf(number_)) {
+            out += "null"; // JSON has no NaN/Inf
+            break;
+        }
+        char buf[40];
+        if (number_ == std::floor(number_) &&
+            std::abs(number_) < 1e15) {
+            std::snprintf(buf, sizeof buf, "%.0f", number_);
+        } else {
+            std::snprintf(buf, sizeof buf, "%.17g", number_);
+        }
+        out += buf;
+        break;
+      }
+      case ValueKind::String:
+        escapeInto(out, string_);
+        break;
+      case ValueKind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case ValueKind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            escapeInto(out, keys_[i]);
+            out += indent > 0 ? ": " : ":";
+            members_.at(keys_[i]).dumpTo(out, indent, depth + 1);
+        }
+        if (!keys_.empty())
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+class JsonParser {
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    Value
+    run()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            error("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string& what)
+    {
+        fatal(strCat("json: ", what, " at offset ", pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            error("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool
+    consume(const char* literal)
+    {
+        skipWs();
+        std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Value::string(parseString());
+        if (consume("true"))
+            return Value::boolean(true);
+        if (consume("false"))
+            return Value::boolean(false);
+        if (consume("null"))
+            return Value::null();
+        return parseNumber();
+    }
+
+    Value
+    parseObject()
+    {
+        consume("{");
+        Value obj = Value::object();
+        if (consume("}"))
+            return obj;
+        for (;;) {
+            if (peek() != '"')
+                error("expected a string key");
+            std::string key = parseString();
+            if (!consume(":"))
+                error("expected ':'");
+            obj.set(key, parseValue());
+            if (consume(","))
+                continue;
+            if (consume("}"))
+                return obj;
+            error("expected ',' or '}'");
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        consume("[");
+        Value arr = Value::array();
+        if (consume("]"))
+            return arr;
+        for (;;) {
+            arr.push(parseValue());
+            if (consume(","))
+                continue;
+            if (consume("]"))
+                return arr;
+            error("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        skipWs();
+        if (text_[pos_] != '"')
+            error("expected '\"'");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                error("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    error("bad \\u escape");
+                std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                long code = std::strtol(hex.c_str(), nullptr, 16);
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else {
+                    // Minimal UTF-8 encoding; surrogates unsupported.
+                    if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                    }
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                error("unknown escape");
+            }
+        }
+        if (pos_ >= text_.size())
+            error("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+            any = true;
+        }
+        if (!any)
+            error("expected a value");
+        std::string body = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        double v = std::strtod(body.c_str(), &end);
+        if (end != body.c_str() + body.size())
+            error(strCat("malformed number '", body, "'"));
+        return Value::number(v);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string& text)
+{
+    return JsonParser(text).run();
+}
+
+} // namespace hpcmixp::support::json

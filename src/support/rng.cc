@@ -1,0 +1,80 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace hpcmixp::support {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+{
+    SplitMix64 sm(seed + 0x1234567890abcdefULL * (stream + 1));
+    inc_ = (sm.next() << 1u) | 1u;
+    state_ = sm.next();
+    nextU32();
+}
+
+std::uint32_t
+Pcg32::nextU32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double
+Pcg32::nextDouble()
+{
+    // 53 random bits -> [0,1).
+    std::uint64_t hi = nextU32();
+    std::uint64_t lo = nextU32();
+    std::uint64_t bits = ((hi << 32) | lo) >> 11;
+    return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Pcg32::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Pcg32::normal()
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Pcg32::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+void
+fillUniform(Pcg32& rng, std::vector<double>& out, double lo, double hi)
+{
+    for (auto& v : out)
+        v = rng.uniform(lo, hi);
+}
+
+} // namespace hpcmixp::support

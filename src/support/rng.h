@@ -1,0 +1,73 @@
+#ifndef HPCMIXP_SUPPORT_RNG_H_
+#define HPCMIXP_SUPPORT_RNG_H_
+
+/**
+ * @file
+ * Deterministic, seedable random number generation.
+ *
+ * All randomness in the suite (synthetic workload data, genetic-algorithm
+ * decisions) flows through these generators so that every experiment is
+ * reproducible from a seed. We implement SplitMix64 (seeding / cheap
+ * streams) and PCG32 (main generator) rather than using std::mt19937 so
+ * the bit streams are identical across standard libraries.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** SplitMix64: tiny, fast 64-bit generator, good for seeding. */
+class SplitMix64 {
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** PCG32 (XSH-RR): small, statistically strong 32-bit generator. */
+class Pcg32 {
+  public:
+    /** Construct from a seed and an optional stream id. */
+    explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0);
+
+    /** Next 32 random bits. */
+    std::uint32_t nextU32();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal deviate (Box-Muller, no caching). */
+    double normal();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+/** Fill @p out with uniform values in [lo, hi). */
+void fillUniform(Pcg32& rng, std::vector<double>& out, double lo, double hi);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_RNG_H_

@@ -1,0 +1,63 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace hpcmixp::support {
+
+double
+mean(const std::vector<double>& samples)
+{
+    if (samples.empty())
+        fatal("stats: mean of an empty sample set");
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        fatal("stats: median of an empty sample set");
+    std::sort(samples.begin(), samples.end());
+    std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+double
+stddev(const std::vector<double>& samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double m = mean(samples);
+    double acc = 0.0;
+    for (double v : samples) {
+        double d = v - m;
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+SampleStats
+summarize(const std::vector<double>& samples)
+{
+    if (samples.empty())
+        fatal("stats: summarize of an empty sample set");
+    SampleStats stats;
+    stats.count = samples.size();
+    stats.mean = mean(samples);
+    stats.median = median(samples);
+    stats.stddev = stddev(samples);
+    auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+    stats.min = *mn;
+    stats.max = *mx;
+    return stats;
+}
+
+} // namespace hpcmixp::support

@@ -1,0 +1,39 @@
+#ifndef HPCMIXP_SUPPORT_STATS_H_
+#define HPCMIXP_SUPPORT_STATS_H_
+
+/**
+ * @file
+ * Small descriptive-statistics helpers for reporting measurement
+ * distributions (bench summaries, timing spreads).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** Summary of a sample set. */
+struct SampleStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0; ///< sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Arithmetic mean; fatal()s on an empty sample set. */
+double mean(const std::vector<double>& samples);
+
+/** Median (midpoint average for even sizes); fatal()s when empty. */
+double median(std::vector<double> samples);
+
+/** Sample standard deviation (n-1 denominator, 0 for n < 2). */
+double stddev(const std::vector<double>& samples);
+
+/** All of the above in one pass; fatal()s when empty. */
+SampleStats summarize(const std::vector<double>& samples);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_STATS_H_

@@ -1,0 +1,127 @@
+#include "support/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace hpcmixp::support {
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto& c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& items, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+double
+parseDouble(std::string_view s, std::string_view what)
+{
+    std::string str(trim(s));
+    char* end = nullptr;
+    double v = std::strtod(str.c_str(), &end);
+    if (str.empty() || end != str.c_str() + str.size())
+        fatal(strCat("malformed number for ", what, ": '", str, "'"));
+    return v;
+}
+
+long
+parseLong(std::string_view s, std::string_view what)
+{
+    std::string str(trim(s));
+    char* end = nullptr;
+    long v = std::strtol(str.c_str(), &end, 10);
+    if (str.empty() || end != str.c_str() + str.size())
+        fatal(strCat("malformed integer for ", what, ": '", str, "'"));
+    return v;
+}
+
+std::string
+sciCompact(double v)
+{
+    if (v == 0.0)
+        return "0";
+    if (std::isnan(v))
+        return "NaN";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+    return buf;
+}
+
+} // namespace hpcmixp::support

@@ -1,0 +1,48 @@
+#ifndef HPCMIXP_SUPPORT_STRING_UTIL_H_
+#define HPCMIXP_SUPPORT_STRING_UTIL_H_
+
+/**
+ * @file
+ * Small string helpers shared across the suite.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** Strip leading/trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split into non-empty whitespace-separated tokens. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string_view s);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+/** Parse a double; fatal()s with context on malformed input. */
+double parseDouble(std::string_view s, std::string_view what);
+
+/** Parse a non-negative integer; fatal()s with context on malformed input. */
+long parseLong(std::string_view s, std::string_view what);
+
+/** Format a double in compact scientific form, e.g. "1.1e-07"; "-" for 0. */
+std::string sciCompact(double v);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,90 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace hpcmixp::support {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HPCMIXP_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    HPCMIXP_ASSERT(cells.size() == headers_.size(),
+                   strCat("row has ", cells.size(), " cells, expected ",
+                          headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double v, int precision)
+{
+    if (std::isnan(v))
+        return "NaN";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::cellSci(double v)
+{
+    return sciCompact(v);
+}
+
+std::string
+Table::cell(long v)
+{
+    return std::to_string(v);
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+    auto printRule = [&] {
+        os << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << '\n';
+    };
+
+    printRule();
+    printRow(headers_);
+    printRule();
+    for (const auto& row : rows_)
+        printRow(row);
+    printRule();
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    os << join(headers_, ",") << '\n';
+    for (const auto& row : rows_)
+        os << join(row, ",") << '\n';
+}
+
+} // namespace hpcmixp::support

@@ -1,0 +1,50 @@
+#ifndef HPCMIXP_SUPPORT_TABLE_H_
+#define HPCMIXP_SUPPORT_TABLE_H_
+
+/**
+ * @file
+ * ASCII table rendering for bench output.
+ *
+ * Every bench binary regenerating a paper table prints its rows through
+ * this class so the output is uniform and diffable, and can also be
+ * emitted as CSV for plotting (the figure benches).
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** Column-aligned ASCII table with optional CSV emission. */
+class Table {
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format cell values of mixed types. */
+    static std::string cell(const std::string& s) { return s; }
+    static std::string cell(double v, int precision = 2);
+    static std::string cellSci(double v);
+    static std::string cell(long v);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream& os) const;
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_TABLE_H_

@@ -1,0 +1,59 @@
+#ifndef HPCMIXP_SUPPORT_THREAD_POOL_H_
+#define HPCMIXP_SUPPORT_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size thread pool.
+ *
+ * Substitutes for the paper's SLURM cluster scheduling: the harness
+ * offloads each application/algorithm analysis job to a pool worker
+ * (DESIGN.md, Section 2).
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** A fixed-size pool of worker threads executing queued jobs in FIFO order. */
+class ThreadPool {
+  public:
+    /** Start @p workers threads (0 means hardware concurrency). */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a job; the future resolves when it completes. */
+    std::future<void> submit(std::function<void()> job);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    std::size_t workerCount() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_THREAD_POOL_H_

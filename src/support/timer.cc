@@ -1,0 +1,42 @@
+#include "support/timer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace hpcmixp::support {
+
+double
+trimmedMean(std::vector<double> samples)
+{
+    HPCMIXP_ASSERT(!samples.empty(), "trimmedMean over empty sample set");
+    if (samples.size() >= 3) {
+        std::sort(samples.begin(), samples.end());
+        samples.erase(samples.begin());
+        samples.pop_back();
+    }
+    double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+    return sum / static_cast<double>(samples.size());
+}
+
+TimingResult
+repeatTimed(const std::function<void()>& fn, std::size_t reps)
+{
+    HPCMIXP_ASSERT(reps >= 1, "repeatTimed requires at least one rep");
+    TimingResult result;
+    result.samples.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        WallTimer timer;
+        fn();
+        result.samples.push_back(timer.seconds());
+    }
+    auto [mn, mx] =
+        std::minmax_element(result.samples.begin(), result.samples.end());
+    result.minSeconds = *mn;
+    result.maxSeconds = *mx;
+    result.meanSeconds = trimmedMean(result.samples);
+    return result;
+}
+
+} // namespace hpcmixp::support

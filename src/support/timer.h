@@ -1,0 +1,66 @@
+#ifndef HPCMIXP_SUPPORT_TIMER_H_
+#define HPCMIXP_SUPPORT_TIMER_H_
+
+/**
+ * @file
+ * Wall-clock timing and the paper's measurement protocol.
+ *
+ * HPC-MixPBench reports the speedup of a tuned configuration as the ratio
+ * of averaged execution times, where each version is run ten times and the
+ * best and worst samples are discarded (IISWC'20, Section IV). The
+ * repeatTimed() helper implements exactly that protocol.
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hpcmixp::support {
+
+/** Simple monotonic wall-clock stopwatch. */
+class WallTimer {
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Result of a repeated timing measurement. */
+struct TimingResult {
+    double meanSeconds = 0.0;   ///< trimmed mean over kept samples
+    double minSeconds = 0.0;    ///< fastest sample
+    double maxSeconds = 0.0;    ///< slowest sample
+    std::vector<double> samples; ///< all raw samples, in run order
+};
+
+/**
+ * Run @p fn @p reps times and return the trimmed mean.
+ *
+ * With reps >= 3 the best and worst samples are discarded before
+ * averaging (the paper's protocol with reps = 10); with fewer reps the
+ * plain mean is used.
+ *
+ * @param fn    the workload; its side effects must be idempotent.
+ * @param reps  number of repetitions (>= 1).
+ */
+TimingResult repeatTimed(const std::function<void()>& fn, std::size_t reps);
+
+/** Trimmed mean of @p samples, dropping min and max when size >= 3. */
+double trimmedMean(std::vector<double> samples);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_TIMER_H_

@@ -1,0 +1,342 @@
+#include "support/yaml.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace hpcmixp::support::yaml {
+
+const std::string&
+Node::asString() const
+{
+    if (!isScalar())
+        fatal("yaml: asString() on a non-scalar node");
+    return scalar_;
+}
+
+double
+Node::asDouble() const
+{
+    return parseDouble(asString(), "yaml scalar");
+}
+
+long
+Node::asLong() const
+{
+    return parseLong(asString(), "yaml scalar");
+}
+
+const std::vector<Node>&
+Node::items() const
+{
+    if (!isSequence())
+        fatal("yaml: items() on a non-sequence node");
+    return items_;
+}
+
+bool
+Node::has(const std::string& key) const
+{
+    return isMapping() && map_.count(key) > 0;
+}
+
+const Node&
+Node::at(const std::string& key) const
+{
+    const Node* n = find(key);
+    if (!n)
+        fatal(strCat("yaml: missing key '", key, "'"));
+    return *n;
+}
+
+const Node*
+Node::find(const std::string& key) const
+{
+    if (!isMapping())
+        return nullptr;
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>&
+Node::keys() const
+{
+    if (!isMapping())
+        fatal("yaml: keys() on a non-mapping node");
+    return keys_;
+}
+
+std::string
+Node::getString(const std::string& key, const std::string& fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asString() : fallback;
+}
+
+double
+Node::getDouble(const std::string& key, double fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asDouble() : fallback;
+}
+
+long
+Node::getLong(const std::string& key, long fallback) const
+{
+    const Node* n = find(key);
+    return n ? n->asLong() : fallback;
+}
+
+void
+Node::setScalar(std::string value)
+{
+    kind_ = NodeKind::Scalar;
+    scalar_ = std::move(value);
+}
+
+void
+Node::pushItem(Node item)
+{
+    kind_ = NodeKind::Sequence;
+    items_.push_back(std::move(item));
+}
+
+Node&
+Node::insert(const std::string& key, Node child)
+{
+    kind_ = NodeKind::Mapping;
+    if (!map_.count(key))
+        keys_.push_back(key);
+    return map_[key] = std::move(child);
+}
+
+namespace {
+
+/** One meaningful (non-blank, non-comment) line of the document. */
+struct Line {
+    int indent = 0;
+    std::string content;
+    int number = 0;
+};
+
+/** Strip a trailing unquoted comment from @p s. */
+std::string
+stripComment(const std::string& s)
+{
+    bool inSingle = false;
+    bool inDouble = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\'' && !inDouble)
+            inSingle = !inSingle;
+        else if (c == '"' && !inSingle)
+            inDouble = !inDouble;
+        else if (c == '#' && !inSingle && !inDouble)
+            return s.substr(0, i);
+    }
+    return s;
+}
+
+/** Remove matching surrounding quotes, if any. */
+std::string
+unquote(const std::string& s)
+{
+    if (s.size() >= 2 &&
+        ((s.front() == '\'' && s.back() == '\'') ||
+         (s.front() == '"' && s.back() == '"')))
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/** Split a flow sequence body "a, 'b c', d" into items. */
+std::vector<std::string>
+splitFlowItems(const std::string& body, int lineNo)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool inSingle = false;
+    bool inDouble = false;
+    for (char c : body) {
+        if (c == '\'' && !inDouble) {
+            inSingle = !inSingle;
+            cur += c;
+        } else if (c == '"' && !inSingle) {
+            inDouble = !inDouble;
+            cur += c;
+        } else if (c == ',' && !inSingle && !inDouble) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (inSingle || inDouble)
+        fatal(strCat("yaml line ", lineNo, ": unterminated quote in [...]"));
+    if (!trim(cur).empty() || !out.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Parse a scalar-or-flow-sequence value. */
+Node
+parseValue(const std::string& raw, int lineNo)
+{
+    std::string v = trim(raw);
+    Node node;
+    if (!v.empty() && v.front() == '[') {
+        if (v.back() != ']')
+            fatal(strCat("yaml line ", lineNo, ": unterminated '['"));
+        node = Node(NodeKind::Sequence);
+        for (auto& item : splitFlowItems(v.substr(1, v.size() - 2),
+                                         lineNo)) {
+            std::string t = trim(item);
+            if (t.empty())
+                fatal(strCat("yaml line ", lineNo,
+                             ": empty item in flow sequence"));
+            Node child;
+            child.setScalar(unquote(t));
+            node.pushItem(std::move(child));
+        }
+        return node;
+    }
+    node.setScalar(unquote(v));
+    return node;
+}
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) { tokenize(text); }
+
+    Node
+    parseDocument()
+    {
+        if (lines_.empty())
+            return Node(NodeKind::Mapping);
+        std::size_t pos = 0;
+        Node root = parseBlock(pos, lines_[0].indent);
+        if (pos != lines_.size())
+            fatal(strCat("yaml line ", lines_[pos].number,
+                         ": inconsistent indentation"));
+        return root;
+    }
+
+  private:
+    void
+    tokenize(const std::string& text)
+    {
+        std::istringstream in(text);
+        std::string raw;
+        int number = 0;
+        while (std::getline(in, raw)) {
+            ++number;
+            std::string noComment = stripComment(raw);
+            if (trim(noComment).empty())
+                continue;
+            int indent = 0;
+            for (char c : noComment) {
+                if (c == ' ')
+                    ++indent;
+                else if (c == '\t')
+                    fatal(strCat("yaml line ", number,
+                                 ": tabs are not allowed in indentation"));
+                else
+                    break;
+            }
+            lines_.push_back(
+                {indent, trim(noComment), number});
+        }
+    }
+
+    /** Parse a block (mapping or sequence) whose lines share @p indent. */
+    Node
+    parseBlock(std::size_t& pos, int indent)
+    {
+        if (startsWith(lines_[pos].content, "- "))
+            return parseSequence(pos, indent);
+        return parseMapping(pos, indent);
+    }
+
+    Node
+    parseSequence(std::size_t& pos, int indent)
+    {
+        Node node(NodeKind::Sequence);
+        while (pos < lines_.size() && lines_[pos].indent == indent &&
+               startsWith(lines_[pos].content, "- ")) {
+            std::string body = lines_[pos].content.substr(2);
+            node.pushItem(parseValue(body, lines_[pos].number));
+            ++pos;
+        }
+        return node;
+    }
+
+    Node
+    parseMapping(std::size_t& pos, int indent)
+    {
+        Node node(NodeKind::Mapping);
+        while (pos < lines_.size() && lines_[pos].indent == indent) {
+            const Line& line = lines_[pos];
+            if (startsWith(line.content, "- "))
+                fatal(strCat("yaml line ", line.number,
+                             ": sequence item inside a mapping"));
+            auto colon = findKeyColon(line);
+            std::string key = trim(line.content.substr(0, colon));
+            std::string rest = trim(line.content.substr(colon + 1));
+            ++pos;
+            if (!rest.empty()) {
+                node.insert(key, parseValue(rest, line.number));
+            } else if (pos < lines_.size() &&
+                       lines_[pos].indent > indent) {
+                int childIndent = lines_[pos].indent;
+                node.insert(key, parseBlock(pos, childIndent));
+            } else {
+                Node empty;
+                empty.setScalar("");
+                node.insert(key, std::move(empty));
+            }
+        }
+        return node;
+    }
+
+    /** Locate the key/value colon, respecting quoted keys. */
+    std::size_t
+    findKeyColon(const Line& line)
+    {
+        bool inSingle = false;
+        bool inDouble = false;
+        for (std::size_t i = 0; i < line.content.size(); ++i) {
+            char c = line.content[i];
+            if (c == '\'' && !inDouble)
+                inSingle = !inSingle;
+            else if (c == '"' && !inSingle)
+                inDouble = !inDouble;
+            else if (c == ':' && !inSingle && !inDouble)
+                return i;
+        }
+        fatal(strCat("yaml line ", line.number, ": expected 'key: value'"));
+    }
+
+    std::vector<Line> lines_;
+};
+
+} // namespace
+
+Node
+parse(const std::string& text)
+{
+    return Parser(text).parseDocument();
+}
+
+Node
+parseFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strCat("yaml: cannot open '", path, "'"));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace hpcmixp::support::yaml

@@ -1,0 +1,88 @@
+#ifndef HPCMIXP_SUPPORT_YAML_H_
+#define HPCMIXP_SUPPORT_YAML_H_
+
+/**
+ * @file
+ * Minimal YAML-subset parser.
+ *
+ * The paper's harness is driven by YAML configuration files (Listing 4).
+ * This parser supports exactly the subset that schema needs and nothing
+ * more: indentation-nested mappings, scalar values (bare, single- or
+ * double-quoted), inline flow sequences [a, b, c], block sequences
+ * ("- item" lines), and '#' comments. Anchors, multi-line scalars and
+ * other full-YAML features are intentionally out of scope.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpcmixp::support::yaml {
+
+/** Kind of a parsed node. */
+enum class NodeKind { Scalar, Sequence, Mapping };
+
+/** A parsed YAML node (scalar, sequence, or ordered mapping). */
+class Node {
+  public:
+    /** Construct an empty node of the given kind. */
+    explicit Node(NodeKind kind = NodeKind::Scalar) : kind_(kind) {}
+
+    NodeKind kind() const { return kind_; }
+    bool isScalar() const { return kind_ == NodeKind::Scalar; }
+    bool isSequence() const { return kind_ == NodeKind::Sequence; }
+    bool isMapping() const { return kind_ == NodeKind::Mapping; }
+
+    /** Scalar value; fatal()s when not a scalar. */
+    const std::string& asString() const;
+
+    /** Scalar parsed as double; fatal()s on malformed. */
+    double asDouble() const;
+
+    /** Scalar parsed as long; fatal()s on malformed. */
+    long asLong() const;
+
+    /** Sequence items; fatal()s when not a sequence. */
+    const std::vector<Node>& items() const;
+
+    /** True if the mapping contains @p key. */
+    bool has(const std::string& key) const;
+
+    /** Mapping lookup; fatal()s when not a mapping or key missing. */
+    const Node& at(const std::string& key) const;
+
+    /** Mapping lookup returning nullptr when absent. */
+    const Node* find(const std::string& key) const;
+
+    /** Keys of a mapping in file order. */
+    const std::vector<std::string>& keys() const;
+
+    /** Scalar convenience with default. */
+    std::string getString(const std::string& key,
+                          const std::string& fallback) const;
+    double getDouble(const std::string& key, double fallback) const;
+    long getLong(const std::string& key, long fallback) const;
+
+    // Construction API (used by the parser and by tests).
+    void setScalar(std::string value);
+    void pushItem(Node item);
+    Node& insert(const std::string& key, Node child);
+
+  private:
+    NodeKind kind_;
+    std::string scalar_;
+    std::vector<Node> items_;
+    std::vector<std::string> keys_;
+    std::map<std::string, Node> map_;
+};
+
+/** Parse a YAML document from text; fatal()s with line info on errors. */
+Node parse(const std::string& text);
+
+/** Parse a YAML document from a file; fatal()s if unreadable. */
+Node parseFile(const std::string& path);
+
+} // namespace hpcmixp::support::yaml
+
+#endif // HPCMIXP_SUPPORT_YAML_H_

@@ -1,0 +1,154 @@
+#include "typeforge/clustering.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace hpcmixp::typeforge {
+
+using model::BaseType;
+using model::DependenceKind;
+using model::ProgramModel;
+using model::VarId;
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        parent_[i] = i;
+}
+
+std::size_t
+UnionFind::find(std::size_t x)
+{
+    HPCMIXP_ASSERT(x < parent_.size(), "union-find index out of range");
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];
+        x = parent_[x];
+    }
+    return x;
+}
+
+void
+UnionFind::unite(std::size_t a, std::size_t b)
+{
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb)
+        return;
+    if (rank_[ra] < rank_[rb])
+        std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb])
+        ++rank_[ra];
+}
+
+std::size_t
+ClusterSet::variableCount() const
+{
+    std::size_t n = 0;
+    for (const auto& c : clusters_)
+        n += c.size();
+    return n;
+}
+
+const std::vector<VarId>&
+ClusterSet::members(std::size_t index) const
+{
+    HPCMIXP_ASSERT(index < clusters_.size(), "cluster index out of range");
+    return clusters_[index];
+}
+
+std::size_t
+ClusterSet::clusterOf(VarId var) const
+{
+    HPCMIXP_ASSERT(var < clusterIndex_.size() &&
+                       clusterIndex_[var] != kNone,
+                   "variable does not participate in the tuning space");
+    return clusterIndex_[var];
+}
+
+bool
+ClusterSet::contains(VarId var) const
+{
+    return var < clusterIndex_.size() && clusterIndex_[var] != kNone;
+}
+
+void
+ClusterSet::build(std::vector<std::vector<VarId>> clusters)
+{
+    clusters_ = std::move(clusters);
+    for (auto& cluster : clusters_)
+        std::sort(cluster.begin(), cluster.end());
+    std::sort(clusters_.begin(), clusters_.end(),
+              [](const auto& a, const auto& b) {
+                  return a.front() < b.front();
+              });
+    VarId maxVar = 0;
+    for (const auto& cluster : clusters_)
+        for (VarId v : cluster)
+            maxVar = std::max(maxVar, v);
+    clusterIndex_.assign(maxVar + 1, kNone);
+    for (std::size_t i = 0; i < clusters_.size(); ++i)
+        for (VarId v : clusters_[i])
+            clusterIndex_[v] = i;
+}
+
+namespace {
+
+/** Decide whether a dependence edge forces type unification. */
+bool
+unifies(const ProgramModel& program, const model::Dependence& dep)
+{
+    const auto& a = program.variable(dep.a);
+    const auto& b = program.variable(dep.b);
+    if (a.type.base != BaseType::Real || b.type.base != BaseType::Real)
+        return false;
+    switch (dep.kind) {
+      case DependenceKind::AddressOf:
+      case DependenceKind::SameType:
+        return true;
+      case DependenceKind::Assign:
+      case DependenceKind::CallBind:
+      case DependenceKind::Return:
+        // Only pointer links force a shared base type; scalar value
+        // flow can be bridged by an implicit cast.
+        return a.type.isPointer() && b.type.isPointer();
+    }
+    return false;
+}
+
+} // namespace
+
+ClusterSet
+analyze(const ProgramModel& program)
+{
+    std::vector<VarId> reals = program.realVariables();
+
+    // Dense index per Real variable.
+    std::map<VarId, std::size_t> dense;
+    for (std::size_t i = 0; i < reals.size(); ++i)
+        dense[reals[i]] = i;
+
+    UnionFind uf(reals.size());
+    for (const auto& dep : program.dependences()) {
+        if (!unifies(program, dep))
+            continue;
+        uf.unite(dense.at(dep.a), dense.at(dep.b));
+    }
+
+    std::map<std::size_t, std::vector<VarId>> byRoot;
+    for (std::size_t i = 0; i < reals.size(); ++i)
+        byRoot[uf.find(i)].push_back(reals[i]);
+
+    std::vector<std::vector<VarId>> clusters;
+    clusters.reserve(byRoot.size());
+    for (auto& [root, members] : byRoot)
+        clusters.push_back(std::move(members));
+
+    ClusterSet set;
+    set.build(std::move(clusters));
+    return set;
+}
+
+} // namespace hpcmixp::typeforge

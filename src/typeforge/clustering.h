@@ -1,0 +1,94 @@
+#ifndef HPCMIXP_TYPEFORGE_CLUSTERING_H_
+#define HPCMIXP_TYPEFORGE_CLUSTERING_H_
+
+/**
+ * @file
+ * Inter-procedural type-dependence analysis (Typeforge's core).
+ *
+ * Computes the partitioning of a program's floating-point variables
+ * into *clusters*: disjoint sets of variables that must change type
+ * together for the program to remain compilable (paper Section II-C).
+ *
+ * Unification rules, mirroring Typeforge's purely type-based analysis:
+ *  - pointer-typed Assign / CallBind / Return edges unify (a pointer
+ *    assignment or array-to-pointer binding forces the same base type);
+ *  - scalar Assign / CallBind / Return edges do NOT unify (a value can
+ *    be implicitly cast, as with `scale` -> `ratio` in Listing 1);
+ *  - AddressOf edges always unify (`&val` passed to `double* inout`
+ *    forces val to match the parameter's base type);
+ *  - SameType edges always unify (template arguments etc.).
+ *
+ * For Listing 1 this yields exactly the paper's partitioning:
+ * {arr, input}, {val, inout}, {scale}, {ratio}, {res}.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "model/program_model.h"
+
+namespace hpcmixp::typeforge {
+
+/**
+ * The result of the analysis: every Real variable belongs to exactly
+ * one cluster. Clusters are ordered by their smallest member VarId so
+ * the numbering is deterministic.
+ */
+class ClusterSet {
+  public:
+    /** Number of clusters (the paper's TC). */
+    std::size_t clusterCount() const { return clusters_.size(); }
+
+    /** Number of tunable variables (the paper's TV). */
+    std::size_t variableCount() const;
+
+    /** Members of cluster @p index, ascending by VarId. */
+    const std::vector<model::VarId>& members(std::size_t index) const;
+
+    /** Cluster index of @p var; fatal()s for non-Real variables. */
+    std::size_t clusterOf(model::VarId var) const;
+
+    /** True if @p var participates in the tuning space. */
+    bool contains(model::VarId var) const;
+
+    /** All clusters, in deterministic order. */
+    const std::vector<std::vector<model::VarId>>& clusters() const
+    {
+        return clusters_;
+    }
+
+    // Construction (used by analyze()).
+    void build(std::vector<std::vector<model::VarId>> clusters);
+
+  private:
+    std::vector<std::vector<model::VarId>> clusters_;
+    // Maps VarId -> cluster index; kNone for non-participants.
+    std::vector<std::size_t> clusterIndex_;
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+/** Run the type-dependence analysis over @p program. */
+ClusterSet analyze(const model::ProgramModel& program);
+
+/** Union-find over dense indices (exposed for reuse and testing). */
+class UnionFind {
+  public:
+    explicit UnionFind(std::size_t n);
+
+    /** Representative of @p x with path compression. */
+    std::size_t find(std::size_t x);
+
+    /** Merge the sets containing @p a and @p b. */
+    void unite(std::size_t a, std::size_t b);
+
+    /** Number of elements. */
+    std::size_t size() const { return parent_.size(); }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> rank_;
+};
+
+} // namespace hpcmixp::typeforge
+
+#endif // HPCMIXP_TYPEFORGE_CLUSTERING_H_

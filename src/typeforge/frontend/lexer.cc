@@ -1,0 +1,150 @@
+#include "typeforge/frontend/token.h"
+
+#include <cctype>
+
+#include "support/logging.h"
+
+namespace hpcmixp::typeforge::frontend {
+
+using support::fatal;
+using support::strCat;
+
+namespace {
+
+/** Multi-character punctuators, longest first. */
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "++",
+    "--", "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "<<", ">>",  "(",   ")",  "{",  "}",  "[",  "]",  ";",  ",",
+    "+",  "-",   "*",   "/",  "%",  "=",  "<",  ">",  "&",  "|",
+    "^",  "!",   "~",   "?",  ":",  ".",
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string& source)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    int line = 1;
+    std::size_t n = source.size();
+
+    auto peek = [&](std::size_t off = 0) -> char {
+        return i + off < n ? source[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor lines are skipped wholesale.
+        if (c == '#') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            int startLine = line;
+            i += 2;
+            for (;;) {
+                if (i >= n)
+                    fatal(strCat("lex: unterminated comment opened on"
+                                 " line ",
+                                 startLine));
+                if (source[i] == '\n')
+                    ++line;
+                if (source[i] == '*' && peek(1) == '/') {
+                    i += 2;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        source[i])) ||
+                    source[i] == '_'))
+                ++i;
+            tokens.push_back({TokenKind::Identifier,
+                              source.substr(start, i - start), line});
+            continue;
+        }
+        // Numeric literals (integers, floats, exponents, suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t start = i;
+            while (i < n) {
+                char d = source[i];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.') {
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > start &&
+                           (source[i - 1] == 'e' ||
+                            source[i - 1] == 'E')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            tokens.push_back({TokenKind::Number,
+                              source.substr(start, i - start), line});
+            continue;
+        }
+        // String and char literals; contents are irrelevant.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t start = i++;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\')
+                    ++i;
+                if (i < n && source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= n)
+                fatal(strCat("lex: unterminated literal on line ",
+                             line));
+            ++i;
+            tokens.push_back({TokenKind::String,
+                              source.substr(start, i - start), line});
+            continue;
+        }
+        // Punctuators, longest match first.
+        bool matched = false;
+        for (const char* p : kPuncts) {
+            std::size_t len = std::char_traits<char>::length(p);
+            if (source.compare(i, len, p) == 0) {
+                tokens.push_back({TokenKind::Punct, p, line});
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fatal(strCat("lex: stray character '", std::string(1, c),
+                         "' on line ", line));
+    }
+    tokens.push_back({TokenKind::End, "", line});
+    return tokens;
+}
+
+} // namespace hpcmixp::typeforge::frontend

@@ -1,0 +1,858 @@
+#include "typeforge/frontend/parser.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.h"
+#include "typeforge/frontend/token.h"
+
+namespace hpcmixp::typeforge::frontend {
+
+using model::BaseType;
+using model::FunctionId;
+using model::ModuleId;
+using model::ProgramModel;
+using model::TypeInfo;
+using model::VarId;
+using support::fatal;
+using support::strCat;
+
+namespace {
+
+/** Reduced expression value: just enough for dependence extraction. */
+struct Value {
+    enum class Kind {
+        Var,       ///< resolves to a declared variable
+        AddressOf, ///< &variable
+        Call,      ///< call to a (possibly external) function
+        Other,     ///< anything else (literals, arithmetic, elements)
+    };
+    Kind kind = Kind::Other;
+    VarId var = model::kInvalidId; ///< for Var / AddressOf
+    std::string callee;            ///< for Call
+
+    static Value
+    ofVar(VarId v)
+    {
+        return {Kind::Var, v, {}};
+    }
+    static Value
+    addressOf(VarId v)
+    {
+        return {Kind::AddressOf, v, {}};
+    }
+    static Value
+    call(std::string name)
+    {
+        return {Kind::Call, model::kInvalidId, std::move(name)};
+    }
+    static Value
+    other()
+    {
+        return {};
+    }
+};
+
+bool
+isTypeKeyword(const std::string& s)
+{
+    return s == "void" || s == "int" || s == "long" || s == "short" ||
+           s == "char" || s == "float" || s == "double" ||
+           s == "unsigned" || s == "signed" || s == "size_t" ||
+           s == "bool";
+}
+
+bool
+isDeclSpecKeyword(const std::string& s)
+{
+    return s == "static" || s == "const" || s == "extern" ||
+           s == "register" || s == "volatile" || isTypeKeyword(s);
+}
+
+/** Parsed base type + its pointer depth contribution. */
+struct DeclSpec {
+    BaseType base = BaseType::Other;
+};
+
+class Parser {
+  public:
+    Parser(const std::string& source, const std::string& name)
+        : tokens_(lex(source)), model_(name)
+    {
+        moduleId_ = model_.addModule(name);
+    }
+
+    ProgramModel
+    run()
+    {
+        collectSignatures();
+        pos_ = 0;
+        parseTopLevel();
+        resolveReturnEdges();
+        return std::move(model_);
+    }
+
+  private:
+    // --- token cursor ------------------------------------------------
+
+    const Token& peek(std::size_t off = 0) const
+    {
+        std::size_t i = pos_ + off;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    const Token&
+    advance()
+    {
+        const Token& t = peek();
+        if (pos_ + 1 < tokens_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool
+    acceptPunct(const char* p)
+    {
+        if (peek().isPunct(p)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(const char* p)
+    {
+        if (!acceptPunct(p))
+            fatal(strCat("parse: expected '", p, "' on line ",
+                         peek().line, ", found '", peek().text, "'"));
+    }
+
+    bool
+    acceptIdent(const char* name)
+    {
+        if (peek().isIdent(name)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    expectIdentifier(const char* what)
+    {
+        if (!peek().is(TokenKind::Identifier) ||
+            isDeclSpecKeyword(peek().text))
+            fatal(strCat("parse: expected ", what, " on line ",
+                         peek().line, ", found '", peek().text, "'"));
+        return advance().text;
+    }
+
+    [[noreturn]] void
+    syntaxError(const std::string& what)
+    {
+        fatal(strCat("parse: ", what, " on line ", peek().line,
+                     " near '", peek().text, "'"));
+    }
+
+    // --- type parsing --------------------------------------------------
+
+    bool
+    atDeclSpec() const
+    {
+        return peek().is(TokenKind::Identifier) &&
+               isDeclSpecKeyword(peek().text);
+    }
+
+    DeclSpec
+    parseDeclSpec()
+    {
+        DeclSpec spec;
+        bool sawType = false;
+        while (peek().is(TokenKind::Identifier) &&
+               isDeclSpecKeyword(peek().text)) {
+            const std::string& kw = peek().text;
+            if (kw == "float" || kw == "double") {
+                spec.base = BaseType::Real;
+                sawType = true;
+            } else if (kw == "void") {
+                spec.base = BaseType::Other;
+                sawType = true;
+            } else if (isTypeKeyword(kw)) {
+                if (!sawType || spec.base == BaseType::Other)
+                    spec.base = BaseType::Integer;
+                sawType = true;
+            }
+            advance();
+        }
+        if (!sawType)
+            syntaxError("expected a type name");
+        return spec;
+    }
+
+    int
+    parsePointerStars()
+    {
+        int depth = 0;
+        while (acceptPunct("*")) {
+            ++depth;
+            while (acceptIdent("const") || acceptIdent("volatile")) {
+            }
+        }
+        return depth;
+    }
+
+    /** Skip a bracketed array extent; returns true if one was seen. */
+    bool
+    parseArraySuffix()
+    {
+        bool any = false;
+        while (peek().isPunct("[")) {
+            advance();
+            int depth = 1;
+            while (depth > 0) {
+                if (peek().is(TokenKind::End))
+                    syntaxError("unterminated array extent");
+                if (peek().isPunct("["))
+                    ++depth;
+                else if (peek().isPunct("]"))
+                    --depth;
+                if (depth > 0)
+                    advance();
+            }
+            expectPunct("]");
+            any = true;
+        }
+        return any;
+    }
+
+    // --- phase A: signature collection ----------------------------------
+
+    void
+    collectSignatures()
+    {
+        pos_ = 0;
+        while (!peek().is(TokenKind::End)) {
+            if (!atDeclSpec()) {
+                advance(); // stray token; top-level parse will report
+                continue;
+            }
+            DeclSpec spec = parseDeclSpec();
+            int depth = parsePointerStars();
+            if (!peek().is(TokenKind::Identifier)) {
+                // e.g. "struct;" style noise: skip to ';'
+                skipToSemicolon();
+                continue;
+            }
+            std::string name = advance().text;
+            if (peek().isPunct("(")) {
+                declareFunction(name, spec, depth);
+            } else {
+                skipToSemicolon();
+            }
+        }
+    }
+
+    void
+    declareFunction(const std::string& name, const DeclSpec& retSpec,
+                    int retDepth)
+    {
+        FunctionId fn = model_.addFunction(moduleId_, name);
+        Signature sig;
+        sig.function = fn;
+        sig.returnType = {retSpec.base, retDepth};
+
+        expectPunct("(");
+        if (!peek().isPunct(")")) {
+            if (peek().isIdent("void") && peek(1).isPunct(")")) {
+                advance();
+            } else {
+                do {
+                    DeclSpec spec = parseDeclSpec();
+                    int depth = parsePointerStars();
+                    std::string paramName;
+                    if (peek().is(TokenKind::Identifier))
+                        paramName = advance().text;
+                    if (parseArraySuffix())
+                        ++depth;
+                    if (paramName.empty())
+                        paramName =
+                            strCat("arg", sig.params.size());
+                    VarId param = model_.addParameter(
+                        fn, paramName, {spec.base, depth});
+                    sig.params.push_back(param);
+                } while (acceptPunct(","));
+            }
+        }
+        expectPunct(")");
+        signatures_[name] = sig;
+
+        if (peek().isPunct("{"))
+            skipBalancedBraces();
+        else
+            expectPunct(";");
+    }
+
+    void
+    skipToSemicolon()
+    {
+        while (!peek().is(TokenKind::End) && !peek().isPunct(";")) {
+            if (peek().isPunct("{")) {
+                skipBalancedBraces();
+                return; // initializer-list declarations end here
+            }
+            advance();
+        }
+        acceptPunct(";");
+    }
+
+    void
+    skipBalancedBraces()
+    {
+        expectPunct("{");
+        int depth = 1;
+        while (depth > 0) {
+            if (peek().is(TokenKind::End))
+                syntaxError("unterminated '{'");
+            if (peek().isPunct("{"))
+                ++depth;
+            else if (peek().isPunct("}"))
+                --depth;
+            advance();
+        }
+    }
+
+    // --- phase B: full parse ---------------------------------------------
+
+    void
+    parseTopLevel()
+    {
+        while (!peek().is(TokenKind::End)) {
+            if (!atDeclSpec())
+                syntaxError("expected a declaration");
+            DeclSpec spec = parseDeclSpec();
+            parseTopLevelDeclarators(spec);
+        }
+    }
+
+    void
+    parseTopLevelDeclarators(const DeclSpec& spec)
+    {
+        for (;;) {
+            int depth = parsePointerStars();
+            std::string name = expectIdentifier("a declarator name");
+            if (peek().isPunct("(")) {
+                parseFunctionRest(name);
+                return;
+            }
+            if (parseArraySuffix())
+                ++depth;
+            VarId var = model_.addGlobal(moduleId_, name,
+                                         {spec.base, depth});
+            globals_[name] = var;
+            if (acceptPunct("=")) {
+                if (peek().isPunct("{")) {
+                    skipBalancedBraces(); // aggregate initializer
+                } else {
+                    Value init = parseAssignmentExpr();
+                    recordAssign(var, init);
+                }
+            }
+            if (acceptPunct(","))
+                continue;
+            expectPunct(";");
+            return;
+        }
+    }
+
+    void
+    parseFunctionRest(const std::string& name)
+    {
+        // The signature (and its parameter VarIds) already exist.
+        auto it = signatures_.find(name);
+        HPCMIXP_ASSERT(it != signatures_.end(),
+                       "function signature missing in phase B");
+        currentFn_ = &it->second;
+
+        // Re-skip the parameter list tokens.
+        expectPunct("(");
+        int depth = 1;
+        while (depth > 0) {
+            if (peek().is(TokenKind::End))
+                syntaxError("unterminated parameter list");
+            if (peek().isPunct("("))
+                ++depth;
+            else if (peek().isPunct(")"))
+                --depth;
+            advance();
+        }
+
+        if (acceptPunct(";")) {
+            currentFn_ = nullptr;
+            return; // prototype
+        }
+
+        scopes_.clear();
+        pushScope();
+        // Parameters are visible throughout the body.
+        const auto& program = model_;
+        for (VarId p : currentFn_->params)
+            scopes_.back()[program.variable(p).name] = p;
+        parseBlock();
+        popScope();
+        currentFn_ = nullptr;
+    }
+
+    // --- scopes ---------------------------------------------------------
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    VarId
+    lookup(const std::string& name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        auto g = globals_.find(name);
+        return g == globals_.end() ? model::kInvalidId : g->second;
+    }
+
+    // --- statements -------------------------------------------------------
+
+    void
+    parseBlock()
+    {
+        expectPunct("{");
+        pushScope();
+        while (!peek().isPunct("}")) {
+            if (peek().is(TokenKind::End))
+                syntaxError("unterminated block");
+            parseStatement();
+        }
+        popScope();
+        expectPunct("}");
+    }
+
+    void
+    parseStatement()
+    {
+        if (peek().isPunct("{")) {
+            parseBlock();
+            return;
+        }
+        if (acceptPunct(";"))
+            return;
+        if (atDeclSpec()) {
+            parseLocalDeclaration();
+            return;
+        }
+        if (acceptIdent("if")) {
+            expectPunct("(");
+            parseExpr();
+            expectPunct(")");
+            parseStatement();
+            if (acceptIdent("else"))
+                parseStatement();
+            return;
+        }
+        if (acceptIdent("while")) {
+            expectPunct("(");
+            parseExpr();
+            expectPunct(")");
+            parseStatement();
+            return;
+        }
+        if (acceptIdent("do")) {
+            parseStatement();
+            if (!acceptIdent("while"))
+                syntaxError("expected 'while' after do-body");
+            expectPunct("(");
+            parseExpr();
+            expectPunct(")");
+            expectPunct(";");
+            return;
+        }
+        if (acceptIdent("for")) {
+            expectPunct("(");
+            pushScope();
+            if (!acceptPunct(";")) {
+                if (atDeclSpec())
+                    parseLocalDeclaration();
+                else {
+                    parseExpr();
+                    expectPunct(";");
+                }
+            }
+            if (!peek().isPunct(";"))
+                parseExpr();
+            expectPunct(";");
+            if (!peek().isPunct(")")) {
+                parseExpr();
+                while (acceptPunct(","))
+                    parseExpr();
+            }
+            expectPunct(")");
+            parseStatement();
+            popScope();
+            return;
+        }
+        if (acceptIdent("return")) {
+            if (!peek().isPunct(";")) {
+                Value v = parseExpr();
+                if (v.kind == Value::Kind::Var && currentFn_)
+                    currentFn_->returnedVars.push_back(v.var);
+            }
+            expectPunct(";");
+            return;
+        }
+        if (acceptIdent("break") || acceptIdent("continue")) {
+            expectPunct(";");
+            return;
+        }
+        parseExpr();
+        expectPunct(";");
+    }
+
+    void
+    parseLocalDeclaration()
+    {
+        DeclSpec spec = parseDeclSpec();
+        do {
+            int depth = parsePointerStars();
+            std::string name = expectIdentifier("a variable name");
+            if (parseArraySuffix())
+                ++depth;
+            HPCMIXP_ASSERT(currentFn_, "local outside a function");
+            VarId var = model_.addVariable(currentFn_->function, name,
+                                           {spec.base, depth});
+            scopes_.back()[name] = var;
+            if (acceptPunct("=")) {
+                if (peek().isPunct("{")) {
+                    skipBalancedBraces(); // aggregate initializer
+                } else {
+                    Value init = parseAssignmentExpr();
+                    recordAssign(var, init);
+                }
+            }
+        } while (acceptPunct(","));
+        expectPunct(";");
+    }
+
+    // --- dependence recording ---------------------------------------------
+
+    void
+    recordAssign(VarId dst, const Value& src)
+    {
+        switch (src.kind) {
+          case Value::Kind::Var:
+            model_.addAssign(dst, src.var);
+            break;
+          case Value::Kind::Call:
+            pendingReturns_.push_back({dst, src.callee});
+            break;
+          case Value::Kind::AddressOf:
+            // p = &x forces p's base type to follow x.
+            model_.addAddressOf(src.var, dst);
+            break;
+          case Value::Kind::Other:
+            break;
+        }
+    }
+
+    void
+    resolveReturnEdges()
+    {
+        for (const auto& [dst, callee] : pendingReturns_) {
+            auto it = signatures_.find(callee);
+            if (it == signatures_.end())
+                continue; // external function: no constraint
+            for (VarId returned : it->second.returnedVars)
+                model_.addReturn(dst, returned);
+        }
+    }
+
+    // --- expressions --------------------------------------------------------
+
+    Value
+    parseExpr()
+    {
+        Value v = parseAssignmentExpr();
+        while (acceptPunct(","))
+            v = parseAssignmentExpr();
+        return v;
+    }
+
+    Value
+    parseAssignmentExpr()
+    {
+        Value lhs = parseTernary();
+        static const char* kAssignOps[] = {"=",  "+=", "-=", "*=",
+                                           "/=", "%=", "&=", "|=",
+                                           "^=", "<<=", ">>="};
+        for (const char* op : kAssignOps) {
+            if (peek().isPunct(op)) {
+                advance();
+                Value rhs = parseAssignmentExpr();
+                if (lhs.kind == Value::Kind::Var)
+                    recordAssign(lhs.var, rhs);
+                return lhs;
+            }
+        }
+        return lhs;
+    }
+
+    Value
+    parseTernary()
+    {
+        Value cond = parseBinary(0);
+        if (acceptPunct("?")) {
+            parseAssignmentExpr();
+            expectPunct(":");
+            parseAssignmentExpr();
+            return Value::other();
+        }
+        return cond;
+    }
+
+    /** Precedence level of a binary operator (higher binds tighter). */
+    static int
+    binaryPrecedence(const Token& t)
+    {
+        if (!t.is(TokenKind::Punct))
+            return -1;
+        const std::string& p = t.text;
+        if (p == "*" || p == "/" || p == "%")
+            return 10;
+        if (p == "+" || p == "-")
+            return 9;
+        if (p == "<<" || p == ">>")
+            return 8;
+        if (p == "<" || p == ">" || p == "<=" || p == ">=")
+            return 7;
+        if (p == "==" || p == "!=")
+            return 6;
+        if (p == "&")
+            return 5;
+        if (p == "^")
+            return 4;
+        if (p == "|")
+            return 3;
+        if (p == "&&")
+            return 2;
+        if (p == "||")
+            return 1;
+        return -1;
+    }
+
+    Value
+    parseBinary(int minPrec)
+    {
+        Value lhs = parseUnary();
+        for (;;) {
+            int prec = binaryPrecedence(peek());
+            if (prec < minPrec || prec < 0)
+                return lhs;
+            advance();
+            Value rhs = parseBinary(prec + 1);
+            lhs = combine(lhs, rhs);
+        }
+    }
+
+    /**
+     * Pointer arithmetic keeps the pointer operand as the root
+     * (pool + offset is still pool); everything else is Other.
+     */
+    Value
+    combine(const Value& a, const Value& b) const
+    {
+        auto pointerRoot = [&](const Value& v) {
+            return v.kind == Value::Kind::Var &&
+                   model_.variable(v.var).type.isPointer();
+        };
+        if (pointerRoot(a))
+            return a;
+        if (pointerRoot(b))
+            return b;
+        return Value::other();
+    }
+
+    Value
+    parseUnary()
+    {
+        if (acceptPunct("&")) {
+            Value v = parseUnary();
+            if (v.kind == Value::Kind::Var)
+                return Value::addressOf(v.var);
+            return Value::other();
+        }
+        if (acceptPunct("*")) {
+            parseUnary();
+            return Value::other(); // element-level access
+        }
+        if (acceptPunct("-") || acceptPunct("+") || acceptPunct("!") ||
+            acceptPunct("~")) {
+            parseUnary();
+            return Value::other();
+        }
+        if (acceptPunct("++") || acceptPunct("--")) {
+            return parseUnary();
+        }
+        return parsePostfix();
+    }
+
+    Value
+    parsePostfix()
+    {
+        Value v = parsePrimary();
+        for (;;) {
+            if (acceptPunct("[")) {
+                parseExpr();
+                expectPunct("]");
+                v = Value::other(); // element-level access
+                continue;
+            }
+            if (acceptPunct("++") || acceptPunct("--"))
+                continue;
+            if (acceptPunct(".") || peek().isPunct("->")) {
+                if (peek().isPunct("->"))
+                    advance();
+                expectIdentifier("a member name");
+                v = Value::other();
+                continue;
+            }
+            return v;
+        }
+    }
+
+    void
+    parseCallArguments(const std::string& callee)
+    {
+        expectPunct("(");
+        std::vector<Value> args;
+        if (!peek().isPunct(")")) {
+            do {
+                args.push_back(parseAssignmentExpr());
+            } while (acceptPunct(","));
+        }
+        expectPunct(")");
+
+        auto it = signatures_.find(callee);
+        if (it == signatures_.end())
+            return; // external: no constraint
+        const Signature& sig = it->second;
+        for (std::size_t i = 0;
+             i < args.size() && i < sig.params.size(); ++i) {
+            const Value& arg = args[i];
+            if (arg.kind == Value::Kind::Var)
+                model_.addCallBind(arg.var, sig.params[i]);
+            else if (arg.kind == Value::Kind::AddressOf)
+                model_.addAddressOf(arg.var, sig.params[i]);
+        }
+    }
+
+    /** True when '(' opens a cast, i.e. is followed by a type name. */
+    bool
+    atCast() const
+    {
+        return peek().isPunct("(") &&
+               peek(1).is(TokenKind::Identifier) &&
+               isDeclSpecKeyword(peek(1).text);
+    }
+
+    Value
+    parsePrimary()
+    {
+        if (atCast()) {
+            expectPunct("(");
+            parseDeclSpec();
+            parsePointerStars();
+            expectPunct(")");
+            return parseUnary(); // casts are transparent to roots
+        }
+        if (acceptPunct("(")) {
+            Value v = parseExpr();
+            expectPunct(")");
+            return v;
+        }
+        if (peek().is(TokenKind::Number) ||
+            peek().is(TokenKind::String)) {
+            advance();
+            return Value::other();
+        }
+        if (peek().is(TokenKind::Identifier)) {
+            if (isDeclSpecKeyword(peek().text))
+                syntaxError("unexpected type name in expression");
+            std::string name = advance().text;
+            if (name == "sizeof") {
+                // sizeof(type) / sizeof expr: no type constraints.
+                if (acceptPunct("(")) {
+                    if (atDeclSpec()) {
+                        parseDeclSpec();
+                        parsePointerStars();
+                    } else {
+                        parseExpr();
+                    }
+                    expectPunct(")");
+                } else {
+                    parseUnary();
+                }
+                return Value::other();
+            }
+            if (peek().isPunct("(")) {
+                parseCallArguments(name);
+                return Value::call(name);
+            }
+            VarId var = lookup(name);
+            if (var == model::kInvalidId)
+                return Value::other(); // unknown name: e.g. NULL, macros
+            return Value::ofVar(var);
+        }
+        syntaxError("expected an expression");
+    }
+
+    // --- data ---------------------------------------------------------------
+
+    struct Signature {
+        FunctionId function = model::kInvalidId;
+        TypeInfo returnType;
+        std::vector<VarId> params;
+        std::vector<VarId> returnedVars;
+    };
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    ProgramModel model_;
+    ModuleId moduleId_ = model::kInvalidId;
+    std::map<std::string, Signature> signatures_;
+    std::map<std::string, VarId> globals_;
+    std::vector<std::map<std::string, VarId>> scopes_;
+    Signature* currentFn_ = nullptr;
+    std::vector<std::pair<VarId, std::string>> pendingReturns_;
+};
+
+} // namespace
+
+ProgramModel
+parseProgram(const std::string& source, const std::string& name)
+{
+    return Parser(source, name).run();
+}
+
+ProgramModel
+parseProgramFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strCat("frontend: cannot open '", path, "'"));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseProgram(buf.str(), path);
+}
+
+} // namespace hpcmixp::typeforge::frontend

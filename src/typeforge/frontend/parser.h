@@ -1,0 +1,48 @@
+#ifndef HPCMIXP_TYPEFORGE_FRONTEND_PARSER_H_
+#define HPCMIXP_TYPEFORGE_FRONTEND_PARSER_H_
+
+/**
+ * @file
+ * Mini-C parser producing a ProgramModel.
+ *
+ * Supported subset (everything the suite's benchmark sources use):
+ *  - top-level variable declarations and function definitions or
+ *    prototypes, with void / integer / float / double base types,
+ *    pointers and arrays;
+ *  - statements: declarations, expression statements, assignments
+ *    (including compound assignment), if/else, while, do-while, for,
+ *    return, break/continue, blocks;
+ *  - expressions with standard precedence, calls, array subscripts,
+ *    address-of, dereference, casts.
+ *
+ * From the parse, the binder records exactly the facts the
+ * type-dependence analysis consumes: every declared variable with its
+ * type, assignments between variables, call argument-to-parameter
+ * bindings, address-of bindings, and return-value flow. Control flow
+ * and arithmetic are consumed but deliberately not modelled — the
+ * analysis is purely type-based, like Typeforge's (Section II-C).
+ *
+ * Functions that are called but never declared are treated as
+ * external (their arguments impose no constraints), matching the
+ * paper's Listing 1 where `init` and `init_scalar` are unbound.
+ */
+
+#include <string>
+
+#include "model/program_model.h"
+
+namespace hpcmixp::typeforge::frontend {
+
+/**
+ * Parse @p source (mini-C) into a ProgramModel named @p name.
+ * fatal()s with line information on syntax errors.
+ */
+model::ProgramModel parseProgram(const std::string& source,
+                                 const std::string& name);
+
+/** Parse a source file; fatal()s if unreadable. */
+model::ProgramModel parseProgramFile(const std::string& path);
+
+} // namespace hpcmixp::typeforge::frontend
+
+#endif // HPCMIXP_TYPEFORGE_FRONTEND_PARSER_H_

@@ -1,0 +1,57 @@
+#ifndef HPCMIXP_TYPEFORGE_FRONTEND_TOKEN_H_
+#define HPCMIXP_TYPEFORGE_FRONTEND_TOKEN_H_
+
+/**
+ * @file
+ * Token stream for the mini-C frontend.
+ *
+ * Typeforge proper parses C++ through ROSE; this frontend accepts the
+ * C subset the suite's benchmarks are written in — enough to extract
+ * declarations, assignments, calls and address-of bindings, which is
+ * all the type-dependence analysis consumes (DESIGN.md Section 2).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcmixp::typeforge::frontend {
+
+/** Token categories. */
+enum class TokenKind {
+    Identifier, ///< names and keywords (keyword detection by text)
+    Number,     ///< integer or floating literal
+    String,     ///< "..." literal (contents unused)
+    Punct,      ///< operators and punctuation, in `text`
+    End,        ///< end of input
+};
+
+/** One lexed token. */
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    int line = 0;
+
+    bool is(TokenKind k) const { return kind == k; }
+    bool
+    isPunct(const char* p) const
+    {
+        return kind == TokenKind::Punct && text == p;
+    }
+    bool
+    isIdent(const char* name) const
+    {
+        return kind == TokenKind::Identifier && text == name;
+    }
+};
+
+/**
+ * Lex @p source into tokens. Line comments, block comments and
+ * preprocessor lines are skipped. fatal()s with line info on stray
+ * characters or unterminated comments/strings.
+ */
+std::vector<Token> lex(const std::string& source);
+
+} // namespace hpcmixp::typeforge::frontend
+
+#endif // HPCMIXP_TYPEFORGE_FRONTEND_TOKEN_H_

@@ -1,0 +1,56 @@
+#include "typeforge/report.h"
+
+namespace hpcmixp::typeforge {
+
+ComplexityRow
+complexity(const model::ProgramModel& program)
+{
+    ClusterSet set = analyze(program);
+    return {program.name(), set.variableCount(), set.clusterCount()};
+}
+
+std::string
+qualifiedName(const model::ProgramModel& program, model::VarId var)
+{
+    const auto& v = program.variable(var);
+    std::string owner;
+    if (v.function != model::kInvalidId)
+        owner = program.function(v.function).name;
+    return owner + "::" + v.name;
+}
+
+std::vector<std::vector<std::string>>
+clusterNames(const model::ProgramModel& program, const ClusterSet& set)
+{
+    std::vector<std::vector<std::string>> out;
+    out.reserve(set.clusterCount());
+    for (std::size_t c = 0; c < set.clusterCount(); ++c) {
+        std::vector<std::string> names;
+        names.reserve(set.members(c).size());
+        for (model::VarId v : set.members(c))
+            names.push_back(qualifiedName(program, v));
+        out.push_back(std::move(names));
+    }
+    return out;
+}
+
+void
+printClusters(std::ostream& os, const model::ProgramModel& program,
+              const ClusterSet& set)
+{
+    os << "program " << program.name() << ": "
+       << set.variableCount() << " variables, "
+       << set.clusterCount() << " clusters\n";
+    auto names = clusterNames(program, set);
+    for (std::size_t c = 0; c < names.size(); ++c) {
+        os << "  cluster " << c << ": {";
+        for (std::size_t i = 0; i < names[c].size(); ++i) {
+            if (i)
+                os << ", ";
+            os << names[c][i];
+        }
+        os << "}\n";
+    }
+}
+
+} // namespace hpcmixp::typeforge

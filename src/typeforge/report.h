@@ -1,0 +1,45 @@
+#ifndef HPCMIXP_TYPEFORGE_REPORT_H_
+#define HPCMIXP_TYPEFORGE_REPORT_H_
+
+/**
+ * @file
+ * Human-readable reports over a clustering result.
+ *
+ * Drives the Table II bench (TV / TC per benchmark) and debugging
+ * output listing each cluster's members as "function::variable".
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/program_model.h"
+#include "typeforge/clustering.h"
+
+namespace hpcmixp::typeforge {
+
+/** Table II row: total variables and total clusters of one program. */
+struct ComplexityRow {
+    std::string name;
+    std::size_t totalVariables = 0;
+    std::size_t totalClusters = 0;
+};
+
+/** Compute the Table II complexity metrics for @p program. */
+ComplexityRow complexity(const model::ProgramModel& program);
+
+/** Qualified name "function::variable" (or "::variable" for globals). */
+std::string qualifiedName(const model::ProgramModel& program,
+                          model::VarId var);
+
+/** Cluster members as qualified names, deterministic order. */
+std::vector<std::vector<std::string>>
+clusterNames(const model::ProgramModel& program, const ClusterSet& set);
+
+/** Print a full cluster listing for debugging. */
+void printClusters(std::ostream& os, const model::ProgramModel& program,
+                   const ClusterSet& set);
+
+} // namespace hpcmixp::typeforge
+
+#endif // HPCMIXP_TYPEFORGE_REPORT_H_

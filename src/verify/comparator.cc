@@ -1,0 +1,30 @@
+#include "verify/comparator.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace hpcmixp::verify {
+
+OutputComparator::OutputComparator(const std::string& metricName,
+                                   double threshold)
+    : metric_(&MetricRegistry::instance().get(metricName)),
+      threshold_(threshold)
+{
+    if (threshold < 0.0)
+        support::fatal("verification threshold must be non-negative");
+}
+
+Verdict
+OutputComparator::verify(std::span<const double> reference,
+                         std::span<const double> test) const
+{
+    Verdict verdict;
+    verdict.rawValue = metric_->compute(reference, test);
+    verdict.loss = metric_->loss(reference, test);
+    verdict.passed =
+        std::isfinite(verdict.loss) && verdict.loss <= threshold_;
+    return verdict;
+}
+
+} // namespace hpcmixp::verify

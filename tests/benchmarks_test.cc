@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the benchmark suite: every kernel and application must run
+ * at baseline, be deterministic, expose a well-formed program model,
+ * and respond to precision lowering in the expected direction.
+ */
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/registry.h"
+#include "support/logging.h"
+#include "typeforge/clustering.h"
+#include "verify/metrics.h"
+
+namespace {
+
+using hpcmixp::benchmarks::Benchmark;
+using hpcmixp::benchmarks::BenchmarkRegistry;
+using hpcmixp::benchmarks::PrecisionMap;
+using hpcmixp::runtime::Precision;
+
+std::unique_ptr<Benchmark>
+make(const std::string& name)
+{
+    return BenchmarkRegistry::instance().create(name);
+}
+
+/** Lower every bound knob of a benchmark to single precision. */
+PrecisionMap
+allSingle(const Benchmark& bench)
+{
+    PrecisionMap pm;
+    for (const auto& var : bench.programModel().variables())
+        if (!var.bindKey.empty())
+            pm.set(var.bindKey, Precision::Float32);
+    return pm;
+}
+
+bool
+allFinite(const std::vector<double>& values)
+{
+    for (double v : values)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+class AllBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarks, BaselineRunsAndIsFinite)
+{
+    auto bench = make(GetParam());
+    auto out = bench->run(PrecisionMap{});
+    ASSERT_FALSE(out.values.empty());
+    EXPECT_TRUE(allFinite(out.values))
+        << GetParam() << " baseline produced non-finite output";
+}
+
+TEST_P(AllBenchmarks, BaselineIsDeterministic)
+{
+    auto bench = make(GetParam());
+    auto a = bench->run(PrecisionMap{});
+    auto b = bench->run(PrecisionMap{});
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (std::size_t i = 0; i < a.values.size(); ++i)
+        ASSERT_EQ(a.values[i], b.values[i]) << "at index " << i;
+}
+
+TEST_P(AllBenchmarks, SinglePrecisionRunProducesOutput)
+{
+    auto bench = make(GetParam());
+    auto out = bench->run(allSingle(*bench));
+    EXPECT_FALSE(out.values.empty());
+}
+
+TEST_P(AllBenchmarks, ModelHasTunableVariablesAndClusters)
+{
+    auto bench = make(GetParam());
+    auto clusters = hpcmixp::typeforge::analyze(bench->programModel());
+    EXPECT_GE(clusters.variableCount(), 2u);
+    EXPECT_GE(clusters.clusterCount(), 1u);
+    EXPECT_LE(clusters.clusterCount(), clusters.variableCount());
+}
+
+TEST_P(AllBenchmarks, EveryBindKeyLiesInOneCluster)
+{
+    auto bench = make(GetParam());
+    const auto& program = bench->programModel();
+    auto clusters = hpcmixp::typeforge::analyze(program);
+    std::map<std::string, std::size_t> keyCluster;
+    for (const auto& var : program.variables()) {
+        if (var.bindKey.empty() ||
+            var.type.base != hpcmixp::model::BaseType::Real)
+            continue;
+        std::size_t c = clusters.clusterOf(var.id);
+        auto [it, inserted] = keyCluster.emplace(var.bindKey, c);
+        EXPECT_TRUE(inserted || it->second == c)
+            << "bind key " << var.bindKey << " spans clusters";
+    }
+    EXPECT_FALSE(keyCluster.empty())
+        << GetParam() << " has no runtime knobs";
+}
+
+TEST_P(AllBenchmarks, QualityMetricIsRegistered)
+{
+    auto bench = make(GetParam());
+    EXPECT_TRUE(hpcmixp::verify::MetricRegistry::instance().has(
+        bench->qualityMetric()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllBenchmarks,
+    ::testing::ValuesIn(BenchmarkRegistry::instance().names()),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (auto& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+class KernelsOnly : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelsOnly, SinglePrecisionOutputStaysFiniteAndClose)
+{
+    auto bench = make(GetParam());
+    auto ref = bench->run(PrecisionMap{});
+    auto low = bench->run(allSingle(*bench));
+    ASSERT_EQ(ref.values.size(), low.values.size());
+    hpcmixp::verify::MeanAbsoluteError mae;
+    double loss = mae.compute(ref.values, low.values);
+    EXPECT_TRUE(std::isfinite(loss));
+    // Kernel data is scaled so full single precision stays within a
+    // loose 1e-4 bound (the interesting thresholds are far tighter).
+    EXPECT_LT(loss, 1e-4) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KernelsOnly,
+    ::testing::ValuesIn(BenchmarkRegistry::instance().kernelNames()),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (auto& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(BenchmarkRegistry, HasTenKernelsAndSevenApplications)
+{
+    auto& reg = BenchmarkRegistry::instance();
+    EXPECT_EQ(reg.kernelNames().size(), 10u);
+    EXPECT_EQ(reg.applicationNames().size(), 7u);
+    EXPECT_EQ(reg.names().size(), 17u);
+}
+
+TEST(BenchmarkRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(BenchmarkRegistry::instance().create("no-such"),
+                 hpcmixp::support::FatalError);
+}
+
+TEST(Srad, SinglePrecisionImageDestroysOutput)
+{
+    auto bench = make("srad");
+    PrecisionMap pm;
+    pm.set("image", Precision::Float32);
+    pm.set("grads", Precision::Float32);
+    auto out = bench->run(pm);
+    bool anyNaN = false;
+    for (double v : out.values)
+        anyNaN = anyNaN || std::isnan(v);
+    EXPECT_TRUE(anyNaN)
+        << "srad should overflow binary32 into NaN (paper Table IV)";
+}
+
+TEST(Kmeans, SinglePrecisionKeepsAssignmentsIdentical)
+{
+    auto bench = make("kmeans");
+    auto ref = bench->run(PrecisionMap{});
+    auto low = bench->run(allSingle(*bench));
+    hpcmixp::verify::MisclassificationRate mcr;
+    EXPECT_EQ(mcr.compute(ref.values, low.values), 0.0);
+}
+
+TEST(Hotspot, SinglePrecisionErrorIsTiny)
+{
+    auto bench = make("hotspot");
+    auto ref = bench->run(PrecisionMap{});
+    auto low = bench->run(allSingle(*bench));
+    hpcmixp::verify::MeanAbsoluteError mae;
+    double loss = mae.compute(ref.values, low.values);
+    // Dissipative iteration: rounding does not accumulate.
+    EXPECT_LT(loss, 1e-6);
+}
+
+} // namespace

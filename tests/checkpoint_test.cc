@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for search checkpoint/resume (CRAFT's searches are resumable):
+ * a budget-truncated search exports its evaluation cache; a fresh
+ * context restores it and finishes without re-executing anything.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "search/combinational.h"
+#include "search/driver.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp::search;
+using hpcmixp::support::FatalError;
+using hpcmixp::support::json::Value;
+
+/** Counts raw executions so resume behaviour is observable. */
+class CountingProblem : public SearchProblem {
+  public:
+    explicit CountingProblem(std::size_t sites) : sites_(sites) {}
+
+    std::size_t siteCount() const override { return sites_; }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        ++rawCalls_;
+        Evaluation eval;
+        eval.status = config.test(0) ? EvalStatus::QualityFail
+                                     : EvalStatus::Pass;
+        eval.qualityLoss = eval.passed() ? 0.0 : 1.0;
+        eval.speedup =
+            1.0 + 0.1 * static_cast<double>(config.count());
+        eval.runtimeSeconds = 1.0;
+        return eval;
+    }
+
+    int rawCalls_ = 0;
+
+  private:
+    std::size_t sites_;
+};
+
+TEST(Checkpoint, ResumedSearchDoesNotReExecute)
+{
+    CountingProblem problem(4);
+
+    // Phase 1: CB truncated after 5 executions.
+    CombinationalSearch cb;
+    SearchContext first(problem, {5, 0.0});
+    EXPECT_THROW(cb.run(first), BudgetExhausted);
+    EXPECT_EQ(first.evaluatedCount(), 5u);
+    Value checkpoint = first.exportCache();
+    int executedSoFar = problem.rawCalls_;
+
+    // Phase 2: resume with a fresh budget.
+    SearchContext second(problem, {100, 0.0});
+    second.importCache(checkpoint);
+    cb.run(second); // completes
+    // Only the remaining 15 - 5 = 10 configs executed.
+    EXPECT_EQ(second.evaluatedCount(), 10u);
+    EXPECT_EQ(problem.rawCalls_, executedSoFar + 10);
+
+    // The union of both phases covers the full space.
+    EXPECT_EQ(first.evaluatedCount() + second.evaluatedCount(), 15u);
+}
+
+TEST(Checkpoint, RestoredBestSurvivesResume)
+{
+    CountingProblem problem(4);
+    SearchContext first(problem, {100, 0.0});
+    Config best = Config::withLowered(4, {1, 2, 3});
+    first.evaluate(best);
+    Value checkpoint = first.exportCache();
+
+    SearchContext second(problem, {100, 0.0});
+    second.importCache(checkpoint);
+    ASSERT_TRUE(second.hasBest());
+    EXPECT_EQ(second.bestConfig(), best);
+    EXPECT_DOUBLE_EQ(second.bestEvaluation().speedup, 1.3);
+}
+
+TEST(Checkpoint, RoundTripsThroughJsonText)
+{
+    CountingProblem problem(3);
+    SearchContext ctx(problem, {100, 0.0});
+    ctx.evaluate(Config::withLowered(3, {1}));
+    ctx.evaluate(Config::withLowered(3, {0, 1}));
+    std::string text = ctx.exportCache().dump(2);
+
+    SearchContext restored(problem, {100, 0.0});
+    restored.importCache(hpcmixp::support::json::parse(text));
+    EXPECT_TRUE(restored.isCached(Config::withLowered(3, {1})));
+    EXPECT_TRUE(restored.isCached(Config::withLowered(3, {0, 1})));
+    EXPECT_FALSE(restored.isCached(Config::withLowered(3, {2})));
+}
+
+TEST(Checkpoint, ValidatesSiteCountAndShape)
+{
+    CountingProblem problem(3);
+    SearchContext ctx(problem, {100, 0.0});
+    ctx.evaluate(Config::withLowered(3, {1}));
+    Value checkpoint = ctx.exportCache();
+
+    CountingProblem other(5);
+    SearchContext mismatched(other, {100, 0.0});
+    EXPECT_THROW(mismatched.importCache(checkpoint), FatalError);
+
+    SearchContext fresh(problem, {100, 0.0});
+    EXPECT_THROW(fresh.importCache(Value::array()), FatalError);
+}
+
+TEST(Checkpoint, NaNQualityLossSurvivesSerialization)
+{
+    /** Problem whose lowered config destroys the output. */
+    class NaNProblem : public SearchProblem {
+      public:
+        std::size_t siteCount() const override { return 1; }
+        Evaluation
+        evaluate(const Config&) override
+        {
+            Evaluation eval;
+            eval.status = EvalStatus::QualityFail;
+            eval.qualityLoss =
+                std::numeric_limits<double>::quiet_NaN();
+            eval.speedup = 1.2;
+            return eval;
+        }
+    };
+    NaNProblem problem;
+    SearchContext ctx(problem, {100, 0.0});
+    ctx.evaluate(Config::allLowered(1));
+    auto text = ctx.exportCache().dump();
+
+    SearchContext restored(problem, {100, 0.0});
+    restored.importCache(hpcmixp::support::json::parse(text));
+    const auto& eval =
+        restored.evaluate(Config::allLowered(1)); // cache hit
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+    EXPECT_EQ(restored.evaluatedCount(), 0u);
+}
+
+} // namespace

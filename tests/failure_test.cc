@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Failure-injection tests: crashing configurations, destroyed (NaN)
+ * outputs, and strategies encountering hostile problems must degrade
+ * gracefully — the behaviours the paper attributes to searches that
+ * "raise run-time errors" or produce invalid configurations.
+ */
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "support/logging.h"
+#include "search/driver.h"
+
+namespace {
+
+using namespace hpcmixp;
+using search::Config;
+using search::EvalStatus;
+
+/** A tiny benchmark whose lowered configuration misbehaves on demand. */
+class HostileBenchmark final : public benchmarks::Benchmark {
+  public:
+    enum class Failure { None, Throw, NaN };
+
+    explicit HostileBenchmark(Failure mode)
+        : mode_(mode), model_("hostile")
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("hostile.c");
+        FunctionId f = model_.addFunction(m, "f");
+        model_.addVariable(f, "data", realPointer(), "data");
+        model_.addVariable(f, "aux", realPointer(), "aux");
+    }
+
+    std::string name() const override { return "hostile"; }
+    std::string description() const override
+    {
+        return "failure-injection benchmark";
+    }
+    bool isKernel() const override { return true; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    benchmarks::RunOutput
+    run(const benchmarks::PrecisionMap& pm) const override
+    {
+        bool lowered =
+            pm.get("data") == runtime::Precision::Float32;
+        if (lowered && mode_ == Failure::Throw)
+            throw std::runtime_error("injected crash");
+        benchmarks::RunOutput out;
+        out.values.assign(64, 1.0);
+        if (lowered && mode_ == Failure::NaN)
+            out.values[7] = std::nan("");
+        return out;
+    }
+
+  private:
+    Failure mode_;
+    model::ProgramModel model_;
+};
+
+core::TunerOptions
+fastOptions()
+{
+    core::TunerOptions opt;
+    opt.threshold = 1e-6;
+    opt.searchReps = 1;
+    opt.finalReps = 3;
+    opt.budget = {100, 0.0};
+    return opt;
+}
+
+TEST(FailureInjection, CrashingConfigIsRuntimeFail)
+{
+    HostileBenchmark bench(HostileBenchmark::Failure::Throw);
+    core::BenchmarkTuner tuner(bench, fastOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(tuner.clusters().clusterOf(
+        bench.programModel().findVariable("data")));
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+}
+
+TEST(FailureInjection, CrashingConfigNeverWinsASearch)
+{
+    HostileBenchmark bench(HostileBenchmark::Failure::Throw);
+    core::BenchmarkTuner tuner(bench, fastOptions());
+    auto outcome = tuner.tune("DD");
+    // DD must settle on the aux-only (or baseline) configuration.
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+    auto dataCluster = tuner.clusters().clusterOf(
+        bench.programModel().findVariable("data"));
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster));
+}
+
+TEST(FailureInjection, NaNOutputFailsVerificationButNotTheSearch)
+{
+    HostileBenchmark bench(HostileBenchmark::Failure::NaN);
+    core::BenchmarkTuner tuner(bench, fastOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(tuner.clusters().clusterOf(
+        bench.programModel().findVariable("data")));
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_EQ(eval.status, EvalStatus::QualityFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+
+    auto outcome = tuner.tune("GA");
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+}
+
+TEST(FailureInjection, FinalMeasureOnCrashingConfig)
+{
+    HostileBenchmark bench(HostileBenchmark::Failure::Throw);
+    core::BenchmarkTuner tuner(bench, fastOptions());
+    Config cfg = Config::allLowered(tuner.clusterCount());
+    auto eval = tuner.finalMeasure(cfg);
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+}
+
+/** run() that returns an empty output must be rejected up front. */
+class EmptyBenchmark final : public benchmarks::Benchmark {
+  public:
+    EmptyBenchmark() : model_("empty")
+    {
+        auto m = model_.addModule("empty.c");
+        auto f = model_.addFunction(m, "f");
+        model_.addVariable(f, "x", model::realScalar(), "x");
+    }
+    std::string name() const override { return "empty"; }
+    std::string description() const override { return "empty"; }
+    bool isKernel() const override { return true; }
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+    benchmarks::RunOutput
+    run(const benchmarks::PrecisionMap&) const override
+    {
+        return {};
+    }
+
+  private:
+    model::ProgramModel model_;
+};
+
+TEST(FailureInjection, EmptyBaselineOutputIsFatal)
+{
+    EmptyBenchmark bench;
+    EXPECT_THROW(core::BenchmarkTuner(bench, fastOptions()),
+                 support::FatalError);
+}
+
+} // namespace

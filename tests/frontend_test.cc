@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Tests for the mini-C Typeforge frontend: lexing, parsing, dependence
+ * extraction, and the end-to-end Listing-1 reproduction from source
+ * text.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "typeforge/clustering.h"
+#include "typeforge/frontend/parser.h"
+#include "typeforge/frontend/token.h"
+#include "typeforge/report.h"
+
+namespace {
+
+using namespace hpcmixp;
+using namespace hpcmixp::typeforge;
+using namespace hpcmixp::typeforge::frontend;
+
+// ---- lexer ------------------------------------------------------------
+
+TEST(Lexer, TokenizesIdentifiersNumbersPuncts)
+{
+    auto tokens = lex("foo bar42 3.5e-2 += ; (");
+    ASSERT_EQ(tokens.size(), 7u); // incl End
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, "foo");
+    EXPECT_EQ(tokens[1].text, "bar42");
+    EXPECT_EQ(tokens[2].kind, TokenKind::Number);
+    EXPECT_EQ(tokens[2].text, "3.5e-2");
+    EXPECT_TRUE(tokens[3].isPunct("+="));
+    EXPECT_TRUE(tokens[4].isPunct(";"));
+    EXPECT_TRUE(tokens[5].isPunct("("));
+    EXPECT_EQ(tokens[6].kind, TokenKind::End);
+}
+
+TEST(Lexer, SkipsCommentsAndPreprocessor)
+{
+    auto tokens = lex("#include <stdio.h>\n"
+                      "// line comment\n"
+                      "a /* block\n comment */ b\n");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[1].line, 4);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto tokens = lex("a\nb\n\nc");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[1].line, 2);
+    EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, StringAndCharLiterals)
+{
+    auto tokens = lex("\"hello \\\" world\" 'x'");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::String);
+    EXPECT_EQ(tokens[1].kind, TokenKind::String);
+}
+
+TEST(Lexer, ErrorsAreFatal)
+{
+    EXPECT_THROW(lex("/* unterminated"), support::FatalError);
+    EXPECT_THROW(lex("\"unterminated"), support::FatalError);
+    EXPECT_THROW(lex("a $ b"), support::FatalError);
+}
+
+// ---- parser: Listing 1 -------------------------------------------------
+
+const char* kListing1 = R"(
+void vect_mult(int n, double *input, double *inout, double ratio) {
+    double res;
+    for (int i = 0; i < n; i++) {
+        res += ratio * input[i];
+    }
+    *inout += res;
+}
+
+void foo() {
+    double arr[10];
+    init(10, arr);
+    double val = init_scalar();
+    double scale = init_scalar();
+    vect_mult(10, arr, &val, scale);
+}
+)";
+
+TEST(Frontend, Listing1PartitionsExactlyAsThePaper)
+{
+    model::ProgramModel m = parseProgram(kListing1, "listing1.c");
+    ClusterSet set = analyze(m);
+
+    EXPECT_EQ(set.variableCount(), 7u);
+    EXPECT_EQ(set.clusterCount(), 5u);
+
+    auto names = clusterNames(m, set);
+    std::set<std::set<std::string>> got;
+    for (const auto& cluster : names)
+        got.insert(
+            std::set<std::string>(cluster.begin(), cluster.end()));
+    std::set<std::set<std::string>> expected{
+        {"foo::arr", "vect_mult::input"},
+        {"foo::val", "vect_mult::inout"},
+        {"foo::scale"},
+        {"vect_mult::ratio"},
+        {"vect_mult::res"}};
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Frontend, Listing1Structure)
+{
+    model::ProgramModel m = parseProgram(kListing1, "listing1.c");
+    ASSERT_EQ(m.functions().size(), 2u);
+    EXPECT_EQ(m.functions()[0].name, "vect_mult");
+    EXPECT_EQ(m.functions()[1].name, "foo");
+    // n and i are integers: not part of the tuning space.
+    EXPECT_EQ(m.realVariables().size(), 7u);
+}
+
+// ---- parser: Listing 2 (runtime-library motivation code) ---------------
+
+const char* kListing2 = R"(
+void performComputation(double *data, int elements);
+
+void foo(double **ptr, int elements) {
+    double *fd = fopen("input.bin", "rb");
+    int allocationSize = sizeof(double) * elements;
+    *ptr = (double*) malloc(allocationSize);
+    fread(*ptr, sizeof(double), elements, fd);
+    fclose(fd);
+    performComputation(*ptr, elements);
+    fwrite(*ptr, sizeof(double), elements, fd);
+    fclose(fd);
+    return;
+}
+)";
+
+TEST(Frontend, Listing2ParsesWithExternalCalls)
+{
+    model::ProgramModel m = parseProgram(kListing2, "listing2.c");
+    // ptr, fd and performComputation's data parameter are Real.
+    EXPECT_GE(m.realVariables().size(), 3u);
+    // fopen/malloc/fread are external: no constraints recorded from
+    // them, and the parse must simply succeed.
+    ClusterSet set = analyze(m);
+    EXPECT_GE(set.clusterCount(), 2u);
+}
+
+// ---- dependence extraction specifics ------------------------------------
+
+TEST(Frontend, PointerAssignmentUnifies)
+{
+    auto m = parseProgram("double *pool;\n"
+                          "double *x;\n"
+                          "double *y;\n"
+                          "void setup(int n) {\n"
+                          "    x = pool;\n"
+                          "    y = pool + n;\n"
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 1u);
+}
+
+TEST(Frontend, ScalarAssignmentDoesNotUnify)
+{
+    auto m = parseProgram("void f() {\n"
+                          "    double a;\n"
+                          "    double b = 1.0;\n"
+                          "    a = b;\n"
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 2u);
+}
+
+TEST(Frontend, ReturnValueFlowUnifiesPointers)
+{
+    auto m = parseProgram("double *buffer;\n"
+                          "double* get_buffer() { return buffer; }\n"
+                          "void f() {\n"
+                          "    double *local = get_buffer();\n"
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    // buffer and local unify through the return edge.
+    EXPECT_EQ(set.clusterOf(m.findVariable("buffer")),
+              set.clusterOf(m.findVariable("local")));
+}
+
+TEST(Frontend, AddressOfLocalIntoPointerVariable)
+{
+    auto m = parseProgram("void f() {\n"
+                          "    double v;\n"
+                          "    double *p = &v;\n"
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 1u);
+}
+
+TEST(Frontend, CallBindThroughPrototype)
+{
+    auto m = parseProgram("void kernel(double *data);\n"
+                          "double *field;\n"
+                          "void drive() { kernel(field); }\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterOf(m.findVariable("field")),
+              set.clusterOf(m.findVariable("data")));
+}
+
+TEST(Frontend, IntegerVariablesAreNotTunable)
+{
+    auto m = parseProgram("int counter;\n"
+                          "unsigned long big;\n"
+                          "double real_one;\n",
+                          "t.c");
+    EXPECT_EQ(m.realVariables().size(), 1u);
+}
+
+TEST(Frontend, ControlFlowIsConsumed)
+{
+    auto m = parseProgram(
+        "void f(int n) {\n"
+        "    double acc = 0.0;\n"
+        "    for (int i = 0; i < n; i++) {\n"
+        "        if (i % 2 == 0) { acc += 1.0; } else acc -= 1.0;\n"
+        "    }\n"
+        "    while (n > 0) { n--; }\n"
+        "    do { n++; } while (n < 3);\n"
+        "    int k = n > 2 ? 1 : 0;\n"
+        "}\n",
+        "t.c");
+    EXPECT_EQ(m.realVariables().size(), 1u);
+}
+
+TEST(Frontend, PointerArithmeticKeepsRoot)
+{
+    auto m = parseProgram("double *base;\n"
+                          "void f(int off) {\n"
+                          "    double *view = base + 2 * off;\n"
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 1u);
+}
+
+TEST(Frontend, ElementAccessIsScalarLevel)
+{
+    auto m = parseProgram("double *a;\n"
+                          "double *b;\n"
+                          "void f(int i) { a[i] = b[i]; }\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    // Element copy does not force the arrays into one cluster.
+    EXPECT_EQ(set.clusterCount(), 2u);
+}
+
+TEST(Frontend, AggregateInitializersAndSizeof)
+{
+    auto m = parseProgram(
+        "double coef[3] = {0.1, 0.2, 0.3};\n"
+        "void f() { int s = sizeof(double) + sizeof coef; }\n",
+        "t.c");
+    EXPECT_EQ(m.realVariables().size(), 1u);
+}
+
+TEST(Frontend, StaticGlobalsAndMultipleDeclarators)
+{
+    auto m = parseProgram("static double x[100], *y, z;\n", "t.c");
+    EXPECT_EQ(m.realVariables().size(), 3u);
+    EXPECT_TRUE(
+        m.variable(m.findVariable("x")).type.isPointer());
+    EXPECT_TRUE(
+        m.variable(m.findVariable("y")).type.isPointer());
+    EXPECT_FALSE(
+        m.variable(m.findVariable("z")).type.isPointer());
+}
+
+TEST(Frontend, ShadowingUsesInnermostScope)
+{
+    auto m = parseProgram("double g;\n"
+                          "void f() {\n"
+                          "    double *g;\n"
+                          "    double *h = g;\n" // binds to local g
+                          "}\n",
+                          "t.c");
+    ClusterSet set = analyze(m);
+    auto localG = m.findVariable("f", "g");
+    auto h = m.findVariable("f", "h");
+    EXPECT_EQ(set.clusterOf(localG), set.clusterOf(h));
+    // Global g stays alone.
+    EXPECT_EQ(set.clusterCount(), 2u);
+}
+
+TEST(Frontend, SyntaxErrorsAreFatalWithLineInfo)
+{
+    try {
+        parseProgram("void f( {\n}", "bad.c");
+        FAIL() << "expected FatalError";
+    } catch (const support::FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parseProgram("double x", "bad.c"),
+                 support::FatalError);
+    EXPECT_THROW(parseProgram("void f() { return 1.0 }\n", "bad.c"),
+                 support::FatalError);
+    EXPECT_THROW(parseProgramFile("/no/such/file.c"),
+                 support::FatalError);
+}
+
+TEST(Frontend, FrontendModelMatchesBuilderModelOnListing1)
+{
+    // The frontend-derived model and a hand-built model must agree on
+    // the partitioning (cross-validation of both construction paths).
+    model::ProgramModel parsed = parseProgram(kListing1, "x.c");
+
+    model::ProgramModel built("x.c");
+    auto mod = built.addModule("x.c");
+    auto vm = built.addFunction(mod, "vect_mult");
+    auto input = built.addParameter(vm, "input", model::realPointer());
+    auto inout = built.addParameter(vm, "inout", model::realPointer());
+    auto ratio = built.addParameter(vm, "ratio", model::realScalar());
+    auto res = built.addVariable(vm, "res", model::realScalar());
+    auto foo = built.addFunction(mod, "foo");
+    auto arr = built.addVariable(foo, "arr", model::realPointer());
+    auto val = built.addVariable(foo, "val", model::realScalar());
+    built.addVariable(foo, "scale", model::realScalar());
+    built.addCallBind(arr, input);
+    built.addAddressOf(val, inout);
+    built.addAssign(res, ratio);
+
+    auto a = analyze(parsed);
+    auto b = analyze(built);
+    EXPECT_EQ(a.clusterCount(), b.clusterCount());
+    EXPECT_EQ(a.variableCount(), b.variableCount());
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the YAML-driven harness: configuration parsing against the
+ * Listing-4 schema, the analysis plugin registry, and job execution.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp;
+using namespace hpcmixp::harness;
+using hpcmixp::support::FatalError;
+
+const char* kGoodConfig = R"(
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+  output:
+    option: '-o'
+    name: 'outputFile.bin'
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans', 'kdd_bin']
+  args: '-i kdd_bin -k 5 -n 5'
+tridiag:
+  threshold: 1e-3
+  analysis:
+    ga:
+      name: 'floatsmith'
+      extra_args:
+        algorithm: 'genetic'
+)";
+
+TEST(HarnessConfig, ParsesListing4Schema)
+{
+    auto jobs = parseConfig(support::yaml::parse(kGoodConfig));
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].benchmark, "kmeans");
+    EXPECT_EQ(jobs[0].analysis, "floatSmith");
+    EXPECT_EQ(jobs[0].metric, "MCR");
+    EXPECT_EQ(jobs[0].extraArgs.at("algorithm"), "ddebug");
+    EXPECT_DOUBLE_EQ(jobs[0].threshold, 1e-6); // default
+    EXPECT_EQ(jobs[1].benchmark, "tridiag");
+    EXPECT_DOUBLE_EQ(jobs[1].threshold, 1e-3);
+    EXPECT_EQ(jobs[1].extraArgs.at("algorithm"), "genetic");
+}
+
+TEST(HarnessConfig, RejectsUnknownBenchmark)
+{
+    EXPECT_THROW(parseConfig(support::yaml::parse(
+                     "nosuch:\n  analysis:\n    a:\n      name: 'x'\n")),
+                 FatalError);
+}
+
+TEST(HarnessConfig, RejectsUnknownClause)
+{
+    EXPECT_THROW(
+        parseConfig(support::yaml::parse(
+            "tridiag:\n  bogus: 1\n  analysis:\n    a:\n"
+            "      name: 'floatsmith'\n")),
+        FatalError);
+}
+
+TEST(HarnessConfig, RejectsMissingAnalysis)
+{
+    EXPECT_THROW(parseConfig(support::yaml::parse(
+                     "tridiag:\n  metric: 'MAE'\n")),
+                 FatalError);
+}
+
+TEST(HarnessConfig, RejectsUnknownMetricAndAnalysis)
+{
+    EXPECT_THROW(parseConfig(support::yaml::parse(
+                     "tridiag:\n  metric: 'BOGUS'\n  analysis:\n"
+                     "    a:\n      name: 'floatsmith'\n")),
+                 FatalError);
+    EXPECT_THROW(parseConfig(support::yaml::parse(
+                     "tridiag:\n  analysis:\n    a:\n"
+                     "      name: 'nosuch'\n")),
+                 FatalError);
+}
+
+TEST(HarnessConfig, RejectsEmptyDocument)
+{
+    EXPECT_THROW(parseConfig(support::yaml::parse("")), FatalError);
+}
+
+TEST(AnalysisRegistryTest, BuiltinsPresent)
+{
+    auto& reg = AnalysisRegistry::instance();
+    EXPECT_TRUE(reg.has("floatsmith"));
+    EXPECT_TRUE(reg.has("FloatSmith")); // case-insensitive
+    EXPECT_TRUE(reg.has("singleprecision"));
+    EXPECT_THROW(reg.create("nosuch"), FatalError);
+}
+
+TEST(AnalysisRegistryTest, AlgorithmSpellings)
+{
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("ddebug"), "DD");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("DD"), "DD");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("genetic"), "GA");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("combinational"),
+              "CB");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("compositional"),
+              "CM");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode("hierarchical"), "HR");
+    EXPECT_EQ(FloatsmithAnalysis::algorithmCode(
+                  "hierarchical-compositional"),
+              "HC");
+    EXPECT_THROW(FloatsmithAnalysis::algorithmCode("bogus"),
+                 FatalError);
+}
+
+TEST(HarnessRun, ExecutesJobsAndPrintsResults)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    fs:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'ddebug'\n"
+        "iccg:\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {100, 0.0};
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        EXPECT_GT(r.result.speedup, 0.0);
+    }
+    EXPECT_EQ(results[0].result.detail, "DD");
+    EXPECT_EQ(results[1].result.analysis, "singleprecision");
+    EXPECT_EQ(results[1].result.evaluated, 1u);
+
+    std::ostringstream os;
+    printResults(os, results);
+    EXPECT_NE(os.str().find("tridiag"), std::string::npos);
+    EXPECT_NE(os.str().find("singleprecision"), std::string::npos);
+}
+
+TEST(HarnessRun, ParallelJobsProduceSameStructure)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    a:\n"
+        "      name: 'singleprecision'\n"
+        "iccg:\n  threshold: 1e-3\n  analysis:\n    b:\n"
+        "      name: 'singleprecision'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.jobs = 2;
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].spec.benchmark, "tridiag");
+    EXPECT_EQ(results[1].spec.benchmark, "iccg");
+    for (const auto& r : results)
+        EXPECT_TRUE(r.error.empty()) << r.error;
+}
+
+
+TEST(HarnessRun, GaParametersFlowFromExtraArgs)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    ga:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'genetic'\n        population: '4'\n"
+        "        generations: '2'\n        seed: '7'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+    // population 4 x generations 2 caps the evaluations.
+    EXPECT_LE(results[0].result.evaluated, 8u);
+}
+
+TEST(HarnessRun, BadGaParameterIsReportedAsJobError)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  analysis:\n    ga:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'genetic'\n        population: '-3'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(HarnessRun, JsonReportContainsEveryJob)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    auto results = runJobs(jobs, options);
+    auto json = resultsToJson(results);
+    ASSERT_EQ(json.items().size(), 1u);
+    const auto& entry = json.items()[0];
+    EXPECT_EQ(entry.at("benchmark").asString(), "tridiag");
+    EXPECT_EQ(entry.at("algorithm").asString(), "all-binary32");
+    EXPECT_FALSE(entry.has("error"));
+    // The dump parses back (interchange round trip).
+    auto reparsed = support::json::parse(json.dump(2));
+    EXPECT_EQ(reparsed.items().size(), 1u);
+}
+
+
+TEST(HarnessRun, PrecimoniousAnalysisReportsCompileFailures)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "lavamd:\n  threshold: 1e-8\n  analysis:\n    prec:\n"
+        "      name: 'precimonious'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {200, 0.0};
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+    EXPECT_EQ(results[0].result.analysis, "precimonious");
+    // Cluster-blind DD must waste attempts on invalid configurations.
+    EXPECT_GT(results[0].result.compileFailures, 0u);
+}
+
+} // namespace

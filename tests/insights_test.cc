@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The paper's Section-V insights, codified as integration tests. Each
+ * test asserts a *qualitative* property that must hold regardless of
+ * machine speed: pass/fail decisions, evaluation counts and compile
+ * failures are deterministic here (quality losses are exact float
+ * arithmetic), only wall-clock speedups are not — so no test below
+ * depends on a timing value.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/mixpbench.h"
+#include "search/delta_debug.h"
+#include "search/genetic.h"
+
+namespace {
+
+using namespace hpcmixp;
+using search::Config;
+
+core::TunerOptions
+options(double threshold, std::size_t budget = 400)
+{
+    core::TunerOptions opt;
+    opt.threshold = threshold;
+    opt.searchReps = 1;
+    opt.finalReps = 3;
+    opt.budget = {budget, 0.0};
+    return opt;
+}
+
+std::unique_ptr<benchmarks::Benchmark>
+make(const std::string& name)
+{
+    return benchmarks::BenchmarkRegistry::instance().create(name);
+}
+
+// Insight 1: "applying mixed-precision search algorithms individually
+// on variables, without considering whether they map on to a valid
+// configuration, not only increases the search time but may also
+// result in cases where the search algorithm fails to converge".
+TEST(Insights, ClusterBlindSearchWastesEffortOnCompileFailures)
+{
+    auto bench = make("hpccg");
+    // Threshold far below any full-conversion loss, so DD must
+    // descend into sub-partitions at either granularity.
+    core::BenchmarkTuner tuner(*bench, options(1e-14));
+
+    search::DeltaDebugSearch dd;
+    auto clustered = search::runSearch(tuner.clusterProblem(), dd,
+                                       {400, 0.0});
+    auto blind = search::runSearch(tuner.variableProblem(), dd,
+                                   {400, 0.0});
+
+    EXPECT_EQ(clustered.compileFailures, 0u);
+    EXPECT_GT(blind.compileFailures, 0u)
+        << "variable-level DD must hit cluster-splitting configs";
+    EXPECT_GE(blind.compileFailures + blind.evaluated,
+              clustered.evaluated)
+        << "cluster-blind search cannot be cheaper overall";
+}
+
+// Insight 3: "The analysis time for GA is the easiest to predict among
+// all search algorithms" — its evaluation count is bounded by the
+// population/generation caps on every application and threshold.
+TEST(Insights, GaEffortIsBoundedEverywhere)
+{
+    search::GaOptions defaults;
+    std::size_t bound = defaults.population * defaults.generations;
+    for (const char* name : {"blackscholes", "srad", "kmeans"}) {
+        for (double threshold : {1e-3, 1e-8}) {
+            auto bench = make(name);
+            core::BenchmarkTuner tuner(*bench, options(threshold));
+            auto outcome = tuner.tune("GA");
+            EXPECT_LE(outcome.search.evaluated, bound)
+                << name << " @ " << threshold;
+            EXPECT_FALSE(outcome.search.timedOut);
+        }
+    }
+}
+
+// Table V: CM "did not manage to terminate on multiple applications
+// because it could not test the large number of configurations
+// required within the time limit" — reproduce with a tight budget on
+// the cluster-richest application.
+TEST(Insights, CompositionalExhaustsItsBudgetOnBlackscholes)
+{
+    auto bench = make("blackscholes");
+    core::BenchmarkTuner tuner(*bench, options(1e-3, 40));
+    auto outcome = tuner.tune("CM");
+    EXPECT_TRUE(outcome.search.timedOut);
+}
+
+// Table IV / Section IV-B: SRAD's output is destroyed by binary32
+// (NaN), at any threshold; the searches must avoid the image cluster.
+TEST(Insights, SradImageClusterNeverPassesVerification)
+{
+    auto bench = make("srad");
+    core::BenchmarkTuner tuner(*bench, options(1e-3));
+    std::size_t imageCluster = tuner.clusters().clusterOf(
+        bench->programModel().findVariable("main", "J"));
+    Config cfg(tuner.clusterCount());
+    cfg.set(imageCluster);
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_NE(eval.status, search::EvalStatus::Pass);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+
+    auto outcome = tuner.tune("DD");
+    EXPECT_FALSE(outcome.clusterConfig.test(imageCluster));
+}
+
+// Table IV: K-means keeps a perfect MCR under full conversion, at the
+// strictest threshold the paper uses.
+TEST(Insights, KmeansConvertsFullyEvenAtStrictestThreshold)
+{
+    auto bench = make("kmeans");
+    core::BenchmarkTuner tuner(*bench, options(1e-8));
+    auto eval = tuner.evaluateClusterConfig(
+        Config::allLowered(tuner.clusterCount()), 1);
+    EXPECT_EQ(eval.status, search::EvalStatus::Pass);
+    EXPECT_EQ(eval.qualityLoss, 0.0);
+}
+
+// Table V: Hotspot remains tunable at 1e-8 — its dissipative
+// iteration keeps the full-conversion loss below the bound.
+TEST(Insights, HotspotFullConversionPassesAtStrictestThreshold)
+{
+    auto bench = make("hotspot");
+    core::BenchmarkTuner tuner(*bench, options(1e-8));
+    auto eval = tuner.evaluateClusterConfig(
+        Config::allLowered(tuner.clusterCount()), 1);
+    EXPECT_EQ(eval.status, search::EvalStatus::Pass);
+}
+
+// Section IV-B: tightening the quality threshold increases DD's
+// evaluation count ("the algorithm requires more effort to converge").
+TEST(Insights, TighterThresholdsCostDeltaDebuggingMoreEvaluations)
+{
+    auto loose = [&] {
+        auto bench = make("lavamd");
+        core::BenchmarkTuner tuner(*bench, options(1e-3));
+        return tuner.tune("DD").search.evaluated;
+    }();
+    auto strict = [&] {
+        auto bench = make("lavamd");
+        core::BenchmarkTuner tuner(*bench, options(1e-8));
+        return tuner.tune("DD").search.evaluated;
+    }();
+    EXPECT_GE(strict, loose);
+    EXPECT_GT(strict, 1u) << "1e-8 must not be satisfied by the "
+                             "whole-program conversion";
+}
+
+// Section V: "reducing the number of double precision variables does
+// not always guarantee an improved execution time" — the framework
+// must therefore never report a failing configuration as a winner.
+TEST(Insights, WinnersAlwaysRespectTheQualityConstraint)
+{
+    for (const char* name : {"cfd", "srad", "lavamd"}) {
+        for (const char* algo : {"DD", "GA", "HR"}) {
+            auto bench = make(name);
+            core::BenchmarkTuner tuner(*bench, options(1e-6, 200));
+            auto outcome = tuner.tune(algo);
+            if (outcome.search.foundImprovement) {
+                EXPECT_TRUE(outcome.finalQualityLoss <= 1e-6)
+                    << name << "/" << algo;
+            }
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end integration tests: full searches over real benchmarks
+ * through the public API, and suite-level batch execution.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mixpbench.h"
+
+namespace {
+
+using namespace hpcmixp;
+using core::SuiteJob;
+using core::SuiteOptions;
+
+core::TunerOptions
+fastOptions(double threshold)
+{
+    core::TunerOptions opt;
+    opt.threshold = threshold;
+    opt.searchReps = 1;
+    opt.finalReps = 3;
+    opt.budget = {150, 0.0};
+    return opt;
+}
+
+/** Every strategy must complete a kernel search end to end. */
+class EveryStrategy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryStrategy, CompletesOnAKernel)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("int-predict");
+    core::BenchmarkTuner tuner(*bench, fastOptions(1e-3));
+    auto outcome = tuner.tune(GetParam());
+    EXPECT_TRUE(std::isfinite(outcome.finalSpeedup));
+    EXPECT_GT(outcome.finalSpeedup, 0.0);
+    // The quality constraint is always respected by the final config.
+    EXPECT_TRUE(outcome.finalQualityLoss <= 1e-3);
+    EXPECT_EQ(outcome.clusterConfig.size(), tuner.clusterCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, EveryStrategy,
+                         ::testing::Values("CB", "CM", "DD", "HR",
+                                           "HC", "GA"));
+
+TEST(Integration, CombinationalIsExhaustiveOnKernels)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("iccg");
+    core::BenchmarkTuner tuner(*bench, fastOptions(1e-3));
+    auto outcome = tuner.tune("CB");
+    // iccg has 2 clusters: CB must execute all 3 non-baseline configs.
+    EXPECT_EQ(outcome.search.evaluated, 3u);
+}
+
+TEST(Integration, SradIsTunableOnlyAtRelaxedThresholds)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("srad");
+    core::BenchmarkTuner strict(*bench, fastOptions(1e-8));
+    auto tight = strict.tune("DD");
+    EXPECT_LE(tight.finalQualityLoss, 1e-8);
+
+    core::BenchmarkTuner relaxed(*bench, fastOptions(1e-3));
+    auto loose = relaxed.tune("DD");
+    EXPECT_LE(loose.finalQualityLoss, 1e-3);
+}
+
+TEST(Integration, KmeansPassesStrictThresholdViaMcr)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("kmeans");
+    core::BenchmarkTuner tuner(*bench, fastOptions(1e-8));
+    auto outcome = tuner.tune("DD");
+    // MCR of the float version is 0: DD can lower everything.
+    EXPECT_TRUE(outcome.search.foundImprovement);
+    EXPECT_EQ(outcome.clusterConfig.count(),
+              outcome.clusterConfig.size());
+    EXPECT_EQ(outcome.finalQualityLoss, 0.0);
+}
+
+TEST(Integration, SuiteRunnerExecutesJobsInOrder)
+{
+    std::vector<SuiteJob> jobs{
+        {"tridiag", "DD", 1e-3},
+        {"tridiag", "GA", 1e-3},
+        {"iccg", "CB", 1e-3},
+    };
+    SuiteOptions options;
+    options.tuner = fastOptions(1e-3);
+    auto rows = core::runSuite(jobs, options);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].job.strategy, "DD");
+    EXPECT_EQ(rows[2].job.benchmark, "iccg");
+    for (const auto& row : rows) {
+        EXPECT_GT(row.totalVariables, 0u);
+        EXPECT_GT(row.totalClusters, 0u);
+        EXPECT_TRUE(std::isfinite(row.outcome.finalSpeedup));
+    }
+}
+
+TEST(Integration, SuiteRunnerParallelMatchesSerialStructure)
+{
+    std::vector<SuiteJob> jobs{
+        {"tridiag", "GA", 1e-3},
+        {"iccg", "GA", 1e-3},
+    };
+    SuiteOptions serial;
+    serial.tuner = fastOptions(1e-3);
+    SuiteOptions parallel = serial;
+    parallel.parallelJobs = 2;
+
+    auto a = core::runSuite(jobs, serial);
+    auto b = core::runSuite(jobs, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].totalClusters, b[i].totalClusters);
+        EXPECT_EQ(a[i].totalVariables, b[i].totalVariables);
+        // Timing differs under contention, but both schedules must
+        // produce structurally valid outcomes.
+        EXPECT_EQ(a[i].outcome.clusterConfig.size(),
+                  b[i].outcome.clusterConfig.size());
+        EXPECT_LE(a[i].outcome.finalQualityLoss, 1e-3);
+        EXPECT_LE(b[i].outcome.finalQualityLoss, 1e-3);
+    }
+}
+
+TEST(Integration, BudgetTruncationIsReported)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("blackscholes");
+    core::TunerOptions opt = fastOptions(1e-6);
+    opt.budget = {2, 0.0}; // absurdly small: CM cannot finish
+    core::BenchmarkTuner tuner(*bench, opt);
+    auto outcome = tuner.tune("CM");
+    EXPECT_TRUE(outcome.search.timedOut);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the JSON module and the FloatSmith-style interchange
+ * format built on it.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/interchange.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp;
+using namespace hpcmixp::support::json;
+using hpcmixp::support::FatalError;
+
+// ---- json values -------------------------------------------------------
+
+TEST(Json, ConstructionAndAccessors)
+{
+    Value obj = Value::object();
+    obj.set("name", Value::string("dd"));
+    obj.set("count", Value::number(42));
+    obj.set("ok", Value::boolean(true));
+    obj.set("nothing", Value::null());
+
+    EXPECT_EQ(obj.at("name").asString(), "dd");
+    EXPECT_EQ(obj.at("count").asLong(), 42);
+    EXPECT_TRUE(obj.at("ok").asBool());
+    EXPECT_TRUE(obj.at("nothing").isNull());
+    EXPECT_FALSE(obj.has("missing"));
+    EXPECT_THROW(obj.at("missing"), FatalError);
+    EXPECT_THROW(obj.at("name").asNumber(), FatalError);
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder)
+{
+    Value obj = Value::object();
+    obj.set("z", Value::number(1));
+    obj.set("a", Value::number(2));
+    obj.set("m", Value::number(3));
+    ASSERT_EQ(obj.keys().size(), 3u);
+    EXPECT_EQ(obj.keys()[0], "z");
+    EXPECT_EQ(obj.keys()[2], "m");
+    obj.set("z", Value::number(9)); // overwrite keeps position
+    EXPECT_EQ(obj.keys().size(), 3u);
+    EXPECT_EQ(obj.at("z").asLong(), 9);
+}
+
+TEST(Json, DumpCompactAndPretty)
+{
+    Value arr = Value::array();
+    arr.push(Value::number(1));
+    arr.push(Value::string("two"));
+    Value obj = Value::object();
+    obj.set("items", arr);
+    EXPECT_EQ(obj.dump(), R"({"items":[1,"two"]})");
+    std::string pretty = obj.dump(2);
+    EXPECT_NE(pretty.find("\n  \"items\""), std::string::npos);
+}
+
+TEST(Json, DumpEscapesStrings)
+{
+    Value v = Value::string("a\"b\\c\nd");
+    EXPECT_EQ(v.dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    EXPECT_EQ(Value::number(std::nan("")).dump(), "null");
+    EXPECT_EQ(Value::number(INFINITY).dump(), "null");
+}
+
+// ---- json parsing --------------------------------------------------------
+
+TEST(Json, ParseRoundTrip)
+{
+    std::string text =
+        R"({"a": [1, 2.5, -3e-2], "b": {"c": true, "d": null},)"
+        R"( "s": "x\ty"})";
+    Value v = parse(text);
+    EXPECT_DOUBLE_EQ(v.at("a").items()[1].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(v.at("a").items()[2].asNumber(), -3e-2);
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_TRUE(v.at("b").at("d").isNull());
+    EXPECT_EQ(v.at("s").asString(), "x\ty");
+
+    // Re-parse of the dump yields the same structure.
+    Value again = parse(v.dump());
+    EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    Value v = parse(R"("Aé")");
+    EXPECT_EQ(v.asString(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrorsAreFatal)
+{
+    EXPECT_THROW(parse("{"), FatalError);
+    EXPECT_THROW(parse("[1, ]"), FatalError);
+    EXPECT_THROW(parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse("1 2"), FatalError);
+    EXPECT_THROW(parse(""), FatalError);
+}
+
+TEST(Json, ParseEmptyContainers)
+{
+    EXPECT_TRUE(parse("{}").isObject());
+    EXPECT_TRUE(parse("[]").isArray());
+    EXPECT_EQ(parse("[]").items().size(), 0u);
+}
+
+// ---- interchange -----------------------------------------------------------
+
+TEST(Interchange, ConfigRoundTrip)
+{
+    search::Config config = search::Config::withLowered(6, {1, 4});
+    Value v = core::configToJson(config);
+    EXPECT_EQ(v.at("sites").asLong(), 6);
+    search::Config back = core::configFromJson(v, 6);
+    EXPECT_EQ(back, config);
+}
+
+TEST(Interchange, ConfigFromJsonValidates)
+{
+    Value v = core::configToJson(search::Config(4));
+    EXPECT_THROW(core::configFromJson(v, 5), FatalError);
+
+    Value bad = Value::object();
+    bad.set("sites", Value::number(2));
+    Value lowered = Value::array();
+    lowered.push(Value::number(7));
+    bad.set("lowered", lowered);
+    EXPECT_THROW(core::configFromJson(bad, 2), FatalError);
+
+    EXPECT_THROW(core::configFromJson(Value::array(), 2), FatalError);
+}
+
+TEST(Interchange, ClusteringExportContainsMembersAndBindKeys)
+{
+    model::ProgramModel m("demo");
+    auto mod = m.addModule("demo.c");
+    auto f = m.addFunction(mod, "f");
+    auto a = m.addVariable(f, "a", model::realPointer(), "knobA");
+    auto b = m.addParameter(f, "b", model::realPointer());
+    m.addCallBind(a, b);
+    m.addVariable(f, "s", model::realScalar());
+
+    auto clusters = typeforge::analyze(m);
+    Value v = core::clusteringToJson(m, clusters);
+    EXPECT_EQ(v.at("program").asString(), "demo");
+    EXPECT_EQ(v.at("total_variables").asLong(), 3);
+    EXPECT_EQ(v.at("total_clusters").asLong(), 2);
+    const auto& first = v.at("clusters").items()[0];
+    EXPECT_EQ(first.at("members").items().size(), 2u);
+    EXPECT_EQ(first.at("bind_keys").items()[0].asString(), "knobA");
+}
+
+TEST(Interchange, OutcomeExportIsParseable)
+{
+    core::TuneOutcome outcome;
+    outcome.search.strategyCode = "DD";
+    outcome.search.evaluated = 12;
+    outcome.search.foundImprovement = true;
+    outcome.clusterConfig = search::Config::withLowered(3, {0, 2});
+    outcome.finalSpeedup = 1.5;
+    outcome.finalQualityLoss = 1e-9;
+
+    Value v = core::outcomeToJson("hotspot", "DD", 1e-6, outcome);
+    Value reparsed = parse(v.dump(2));
+    EXPECT_EQ(reparsed.at("benchmark").asString(), "hotspot");
+    EXPECT_EQ(reparsed.at("evaluated_configurations").asLong(), 12);
+    EXPECT_DOUBLE_EQ(reparsed.at("speedup").asNumber(), 1.5);
+    auto config = core::configFromJson(reparsed.at("configuration"), 3);
+    EXPECT_EQ(config, outcome.clusterConfig);
+}
+
+TEST(Interchange, NaNQualitySerializesAsNull)
+{
+    core::TuneOutcome outcome;
+    outcome.finalQualityLoss = std::nan("");
+    Value v = core::outcomeToJson("srad", "GA", 1e-3, outcome);
+    Value reparsed = parse(v.dump());
+    EXPECT_TRUE(reparsed.at("quality_loss").isNull());
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Numerical-behaviour tests for individual benchmarks: the
+ * precision-sensitivity structure each program was designed around.
+ * All assertions compare exact floating-point results (no timing).
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/registry.h"
+#include "verify/metrics.h"
+
+namespace {
+
+using namespace hpcmixp;
+using benchmarks::Benchmark;
+using benchmarks::PrecisionMap;
+using runtime::Precision;
+
+std::unique_ptr<Benchmark>
+make(const std::string& name)
+{
+    return benchmarks::BenchmarkRegistry::instance().create(name);
+}
+
+double
+maeBetween(const std::vector<double>& a, const std::vector<double>& b)
+{
+    verify::MeanAbsoluteError mae;
+    return mae.compute(a, b);
+}
+
+/** Loss of lowering exactly the given knobs. */
+double
+lossOf(const Benchmark& bench, std::initializer_list<const char*> knobs)
+{
+    auto ref = bench.run(PrecisionMap{});
+    PrecisionMap pm;
+    for (const char* k : knobs)
+        pm.set(k, Precision::Float32);
+    auto low = bench.run(pm);
+    return maeBetween(ref.values, low.values);
+}
+
+TEST(KernelBehavior, InnerprodAccumulatorDominatesError)
+{
+    auto bench = make("innerprod");
+    double arraysOnly = lossOf(*bench, {"x", "z"});
+    double accumulatorOnly = lossOf(*bench, {"q"});
+    EXPECT_GT(accumulatorOnly, arraysOnly)
+        << "accumulating 100k products in binary32 must hurt more "
+           "than rounding the inputs";
+}
+
+TEST(KernelBehavior, TridiagContractionBoundsError)
+{
+    auto bench = make("tridiag");
+    double loss = lossOf(*bench, {"x", "y", "z"});
+    EXPECT_TRUE(std::isfinite(loss));
+    // |z| < 0.05 makes the recurrence strongly contracting.
+    EXPECT_LT(loss, 1e-7);
+}
+
+TEST(KernelBehavior, LoweringASingleInputYieldsPartialError)
+{
+    auto bench = make("hydro-1d");
+    double one = lossOf(*bench, {"y"});
+    double all = lossOf(*bench, {"x", "y", "z", "coef"});
+    EXPECT_GT(one, 0.0);
+    EXPECT_GT(all, one * 0.5)
+        << "full conversion cannot be drastically cleaner than a "
+           "partial one";
+}
+
+TEST(KernelBehavior, PlanckianOutputsBothSeries)
+{
+    auto bench = make("planckian");
+    auto out = bench->run(PrecisionMap{});
+    EXPECT_EQ(out.values.size() % 2, 0u);
+    // w values (first half) are finite and non-negative.
+    for (std::size_t i = 0; i < out.values.size() / 2; ++i) {
+        ASSERT_TRUE(std::isfinite(out.values[i]));
+        ASSERT_GE(out.values[i], 0.0);
+    }
+}
+
+TEST(KernelBehavior, EosCoefficientOnlyLoweringIsMild)
+{
+    auto bench = make("eos");
+    double coefOnly = lossOf(*bench, {"coef"});
+    double all = lossOf(*bench, {"x", "u", "yz", "coef"});
+    EXPECT_TRUE(std::isfinite(coefOnly));
+    EXPECT_LE(coefOnly, all * 10 + 1e-12);
+}
+
+TEST(AppBehavior, SradCoefficientClusterIsSafeImageIsNot)
+{
+    auto bench = make("srad");
+    double coefLoss = lossOf(*bench, {"coef"});
+    EXPECT_TRUE(std::isfinite(coefLoss));
+    EXPECT_LT(coefLoss, 1e-3);
+
+    double imageLoss = lossOf(*bench, {"image"});
+    EXPECT_TRUE(std::isnan(imageLoss))
+        << "exp() of the raw image must overflow binary32";
+}
+
+TEST(AppBehavior, CfdStaysStableUnderFullConversion)
+{
+    auto bench = make("cfd");
+    double loss = lossOf(
+        *bench, {"variables", "fluxes", "step_factors", "normals"});
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_LT(loss, 1e-5);
+}
+
+TEST(AppBehavior, CfdNormalsOnlyLoweringIsMilder)
+{
+    auto bench = make("cfd");
+    double normalsOnly = lossOf(*bench, {"normals"});
+    double all = lossOf(
+        *bench, {"variables", "fluxes", "step_factors", "normals"});
+    EXPECT_LE(normalsOnly, all + 1e-15);
+}
+
+TEST(AppBehavior, KmeansFeaturesOnlyKeepsAssignments)
+{
+    auto bench = make("kmeans");
+    auto ref = bench->run(PrecisionMap{});
+    PrecisionMap pm;
+    pm.set("features", Precision::Float32);
+    auto low = bench->run(pm);
+    verify::MisclassificationRate mcr;
+    EXPECT_EQ(mcr.compute(ref.values, low.values), 0.0);
+}
+
+TEST(AppBehavior, BlackscholesOutputOnlyLoweringIsPureRounding)
+{
+    auto bench = make("blackscholes");
+    double pricesOnly = lossOf(*bench, {"prices"});
+    // One rounding of values <= ~1.2: bounded by half an ulp step.
+    EXPECT_GT(pricesOnly, 0.0);
+    EXPECT_LT(pricesOnly, 1e-7);
+    double formula = lossOf(*bench, {"locals", "cndf"});
+    EXPECT_GT(formula, pricesOnly)
+        << "computing the formula in binary32 must lose more than "
+           "rounding its binary64 result once";
+}
+
+TEST(AppBehavior, HpccgScalarAccumulatorLoweringIsMeasurable)
+{
+    auto bench = make("hpccg");
+    double scalarsOnly = lossOf(*bench, {"scalars"});
+    EXPECT_TRUE(std::isfinite(scalarsOnly));
+    EXPECT_GT(scalarsOnly, 0.0);
+}
+
+TEST(AppBehavior, LavamdChargeOnlyLoweringIsMilderThanPositions)
+{
+    auto bench = make("lavamd");
+    double chargeOnly = lossOf(*bench, {"qv"});
+    double positions = lossOf(*bench, {"rv"});
+    EXPECT_GT(positions, 0.0);
+    EXPECT_GT(chargeOnly, 0.0);
+    // Positions feed the exponential; charges only scale linearly.
+    EXPECT_LT(chargeOnly, positions * 50);
+}
+
+TEST(AppBehavior, HotspotPowerOnlyLoweringIsTiny)
+{
+    auto bench = make("hotspot");
+    double powerOnly = lossOf(*bench, {"power"});
+    double tempToo = lossOf(*bench, {"temp", "power"});
+    EXPECT_TRUE(std::isfinite(powerOnly));
+    EXPECT_LT(powerOnly, 1e-6);
+    EXPECT_TRUE(std::isfinite(tempToo));
+}
+
+} // namespace

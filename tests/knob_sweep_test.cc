@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Exhaustive per-knob sweep: for every benchmark in the suite and
+ * every runtime knob it exposes, lowering exactly that knob must
+ * produce a structurally valid, deterministic output whose quality
+ * loss is either finite and non-negative or NaN (destroyed). This
+ * exercises every region-dispatch path the search algorithms can
+ * reach, one knob at a time.
+ */
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/registry.h"
+#include "verify/metrics.h"
+
+namespace {
+
+using namespace hpcmixp;
+using benchmarks::Benchmark;
+using benchmarks::PrecisionMap;
+using runtime::Precision;
+
+std::set<std::string>
+knobsOf(const Benchmark& bench)
+{
+    std::set<std::string> knobs;
+    for (const auto& var : bench.programModel().variables())
+        if (!var.bindKey.empty())
+            knobs.insert(var.bindKey);
+    return knobs;
+}
+
+class KnobSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KnobSweep, EverySingleKnobLoweringIsWellBehaved)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create(GetParam());
+    auto reference = bench->run(PrecisionMap{});
+    verify::MeanAbsoluteError mae;
+
+    auto knobs = knobsOf(*bench);
+    ASSERT_FALSE(knobs.empty());
+    for (const auto& knob : knobs) {
+        PrecisionMap pm;
+        pm.set(knob, Precision::Float32);
+
+        auto a = bench->run(pm);
+        ASSERT_EQ(a.values.size(), reference.values.size())
+            << GetParam() << " knob " << knob
+            << ": output shape changed";
+
+        auto b = bench->run(pm);
+        ASSERT_EQ(a.values.size(), b.values.size());
+        for (std::size_t i = 0; i < a.values.size(); ++i) {
+            // NaN outputs must at least be deterministic NaNs.
+            if (std::isnan(a.values[i])) {
+                ASSERT_TRUE(std::isnan(b.values[i]))
+                    << GetParam() << "/" << knob << " at " << i;
+            } else {
+                ASSERT_EQ(a.values[i], b.values[i])
+                    << GetParam() << "/" << knob << " at " << i;
+            }
+        }
+
+        double loss = mae.compute(reference.values, a.values);
+        EXPECT_TRUE(std::isnan(loss) || loss >= 0.0)
+            << GetParam() << "/" << knob;
+    }
+}
+
+TEST_P(KnobSweep, PairwiseKnobLoweringsCompose)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create(GetParam());
+    auto knobs = knobsOf(*bench);
+    if (knobs.size() < 2)
+        GTEST_SKIP() << "single-knob benchmark";
+
+    // Lower the first two knobs together: still shape-stable and
+    // deterministic (exercises mixed-precision region instantiations).
+    auto it = knobs.begin();
+    PrecisionMap pm;
+    pm.set(*it++, Precision::Float32);
+    pm.set(*it, Precision::Float32);
+
+    auto reference = bench->run(PrecisionMap{});
+    auto a = bench->run(pm);
+    auto b = bench->run(pm);
+    ASSERT_EQ(a.values.size(), reference.values.size());
+    for (std::size_t i = 0; i < a.values.size(); ++i) {
+        if (std::isnan(a.values[i]))
+            ASSERT_TRUE(std::isnan(b.values[i]));
+        else
+            ASSERT_EQ(a.values[i], b.values[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KnobSweep,
+    ::testing::ValuesIn(
+        hpcmixp::benchmarks::BenchmarkRegistry::instance().names()),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (auto& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace

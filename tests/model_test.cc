@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the program-model substrate: hierarchy construction,
+ * dependence edges, queries, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/program_model.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp::model;
+using hpcmixp::support::FatalError;
+
+TEST(ProgramModel, BuildsHierarchy)
+{
+    ProgramModel m("demo");
+    ModuleId mod = m.addModule("demo.c");
+    FunctionId f = m.addFunction(mod, "foo");
+    VarId local = m.addVariable(f, "x", realScalar());
+    VarId param = m.addParameter(f, "p", realPointer());
+    VarId global = m.addGlobal(mod, "g", realPointer(), "gknob");
+
+    EXPECT_EQ(m.name(), "demo");
+    EXPECT_EQ(m.modules().size(), 1u);
+    EXPECT_EQ(m.functions().size(), 1u);
+    EXPECT_EQ(m.variables().size(), 3u);
+
+    EXPECT_EQ(m.variable(local).function, f);
+    EXPECT_FALSE(m.variable(local).isParameter);
+    EXPECT_TRUE(m.variable(param).isParameter);
+    EXPECT_EQ(m.variable(global).function, kInvalidId);
+    EXPECT_EQ(m.variable(global).module, mod);
+    EXPECT_EQ(m.variable(global).bindKey, "gknob");
+    EXPECT_EQ(m.function(f).variables.size(), 2u);
+    EXPECT_EQ(m.module(mod).globals.size(), 1u);
+}
+
+TEST(ProgramModel, TypeInfoHelpers)
+{
+    EXPECT_EQ(realScalar().base, BaseType::Real);
+    EXPECT_EQ(realScalar().pointerDepth, 0);
+    EXPECT_FALSE(realScalar().isPointer());
+    EXPECT_TRUE(realPointer().isPointer());
+    EXPECT_EQ(realPointer(2).pointerDepth, 2);
+    EXPECT_EQ(integerScalar().base, BaseType::Integer);
+}
+
+TEST(ProgramModel, RealVariablesExcludesIntegers)
+{
+    ProgramModel m("demo");
+    ModuleId mod = m.addModule("demo.c");
+    FunctionId f = m.addFunction(mod, "foo");
+    VarId r = m.addVariable(f, "x", realScalar());
+    m.addVariable(f, "i", integerScalar());
+    VarId r2 = m.addVariable(f, "y", realPointer());
+
+    auto reals = m.realVariables();
+    ASSERT_EQ(reals.size(), 2u);
+    EXPECT_EQ(reals[0], r);
+    EXPECT_EQ(reals[1], r2);
+}
+
+TEST(ProgramModel, DependencesAreRecordedWithKinds)
+{
+    ProgramModel m("demo");
+    ModuleId mod = m.addModule("demo.c");
+    FunctionId f = m.addFunction(mod, "foo");
+    VarId a = m.addVariable(f, "a", realPointer());
+    VarId b = m.addVariable(f, "b", realPointer());
+    VarId c = m.addVariable(f, "c", realScalar());
+
+    m.addAssign(a, b);
+    m.addCallBind(a, b);
+    m.addAddressOf(c, a);
+    m.addReturn(c, c);
+    m.addSameType(a, b);
+
+    ASSERT_EQ(m.dependences().size(), 5u);
+    EXPECT_EQ(m.dependences()[0].kind, DependenceKind::Assign);
+    EXPECT_EQ(m.dependences()[1].kind, DependenceKind::CallBind);
+    EXPECT_EQ(m.dependences()[2].kind, DependenceKind::AddressOf);
+    EXPECT_EQ(m.dependences()[3].kind, DependenceKind::Return);
+    EXPECT_EQ(m.dependences()[4].kind, DependenceKind::SameType);
+}
+
+TEST(ProgramModel, FindVariableByNameAndQualified)
+{
+    ProgramModel m("demo");
+    ModuleId mod = m.addModule("demo.c");
+    FunctionId f1 = m.addFunction(mod, "foo");
+    FunctionId f2 = m.addFunction(mod, "bar");
+    VarId x1 = m.addVariable(f1, "x", realScalar());
+    VarId x2 = m.addVariable(f2, "x", realScalar());
+    VarId only = m.addVariable(f1, "unique", realScalar());
+
+    EXPECT_EQ(m.findVariable("unique"), only);
+    EXPECT_THROW(m.findVariable("x"), FatalError); // ambiguous
+    EXPECT_THROW(m.findVariable("absent"), FatalError);
+    EXPECT_EQ(m.findVariable("foo", "x"), x1);
+    EXPECT_EQ(m.findVariable("bar", "x"), x2);
+    EXPECT_THROW(m.findVariable("foo", "absent"), FatalError);
+}
+
+TEST(ProgramModelDeathTest, BadIdsPanic)
+{
+    ProgramModel m("demo");
+    EXPECT_DEATH(m.addFunction(0, "f"), "bad module id");
+    EXPECT_DEATH(m.variable(0), "bad variable id");
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Robustness sweeps for the three text parsers (YAML subset, JSON,
+ * mini-C): randomized garbage and truncations must produce FatalError
+ * diagnostics — never crashes, hangs, or silent acceptance of
+ * malformed structure.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/yaml.h"
+#include "typeforge/frontend/parser.h"
+
+namespace {
+
+using namespace hpcmixp;
+using support::FatalError;
+using support::Pcg32;
+
+std::string
+randomGarbage(std::uint64_t seed, std::size_t length)
+{
+    // Printable ASCII plus newlines/tabs.
+    static const char kAlphabet[] =
+        "{}[]():;,\"'#*&=+-<>/\\ \n\tabcxyz019._";
+    Pcg32 rng(seed);
+    std::string out;
+    out.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        out += kAlphabet[rng.nextBounded(sizeof(kAlphabet) - 1)];
+    return out;
+}
+
+class ParserRobustness
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRobustness, JsonGarbageNeverCrashes)
+{
+    std::string text = randomGarbage(GetParam(), 120);
+    try {
+        (void)support::json::parse(text);
+        // Extremely unlikely but legal: garbage formed valid JSON.
+    } catch (const FatalError&) {
+        // expected
+    }
+}
+
+TEST_P(ParserRobustness, YamlGarbageNeverCrashes)
+{
+    std::string text = randomGarbage(GetParam() ^ 0x1111, 120);
+    try {
+        (void)support::yaml::parse(text);
+    } catch (const FatalError&) {
+        // expected
+    }
+}
+
+TEST_P(ParserRobustness, MiniCGarbageNeverCrashes)
+{
+    std::string text = randomGarbage(GetParam() ^ 0x2222, 120);
+    try {
+        (void)typeforge::frontend::parseProgram(text, "garbage.c");
+    } catch (const FatalError&) {
+        // expected
+    }
+}
+
+TEST_P(ParserRobustness, TruncationsOfValidInputsAreHandled)
+{
+    const std::string json =
+        R"({"a": [1, 2, {"b": "c"}], "d": true})";
+    const std::string yaml =
+        "top:\n  key: 'value'\n  list: [1, 2]\n";
+    const std::string minic =
+        "double *x;\nvoid f(double *p) { x = p; }\n";
+
+    Pcg32 rng(GetParam() ^ 0x3333);
+    for (int i = 0; i < 20; ++i) {
+        auto cutJson = json.substr(
+            0, rng.nextBounded(
+                   static_cast<std::uint32_t>(json.size())));
+        auto cutYaml = yaml.substr(
+            0, rng.nextBounded(
+                   static_cast<std::uint32_t>(yaml.size())));
+        auto cutC = minic.substr(
+            0, rng.nextBounded(
+                   static_cast<std::uint32_t>(minic.size())));
+        try {
+            (void)support::json::parse(cutJson);
+        } catch (const FatalError&) {
+        }
+        try {
+            (void)support::yaml::parse(cutYaml);
+        } catch (const FatalError&) {
+        }
+        try {
+            (void)typeforge::frontend::parseProgram(cutC, "cut.c");
+        } catch (const FatalError&) {
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Values(1001u, 2002u, 3003u, 4004u,
+                                           5005u, 6006u, 7007u,
+                                           8008u));
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the runtime profiler (instrumentation half of the paper's
+ * runtime library) and its integration into the instrumented
+ * application benchmarks.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "runtime/profiler.h"
+
+namespace {
+
+using namespace hpcmixp;
+using runtime::Profiler;
+using runtime::ScopedRegion;
+
+/** Reset + enable for a test, restore on exit. */
+class ProfilerGuard {
+  public:
+    ProfilerGuard()
+    {
+        Profiler::instance().reset();
+        Profiler::instance().setEnabled(true);
+    }
+    ~ProfilerGuard()
+    {
+        Profiler::instance().setEnabled(false);
+        Profiler::instance().reset();
+    }
+};
+
+TEST(ProfilerTest, DisabledByDefaultAndCostsNothing)
+{
+    Profiler::instance().reset();
+    ASSERT_FALSE(Profiler::instance().enabled());
+    {
+        ScopedRegion region("should-not-record");
+    }
+    EXPECT_EQ(
+        Profiler::instance().stats("should-not-record").invocations,
+        0u);
+}
+
+TEST(ProfilerTest, RecordsInvocationsAndTime)
+{
+    ProfilerGuard guard;
+    for (int i = 0; i < 3; ++i) {
+        ScopedRegion region("unit/region");
+        volatile double x = 0;
+        for (int k = 0; k < 10000; ++k)
+            x = x + 1.0;
+    }
+    auto stats = Profiler::instance().stats("unit/region");
+    EXPECT_EQ(stats.invocations, 3u);
+    EXPECT_GT(stats.totalSeconds, 0.0);
+}
+
+TEST(ProfilerTest, AllReturnsSortedRegions)
+{
+    ProfilerGuard guard;
+    Profiler::instance().record("b", 0.1);
+    Profiler::instance().record("a", 0.2);
+    Profiler::instance().record("a", 0.3);
+    auto all = Profiler::instance().all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].first, "a");
+    EXPECT_EQ(all[0].second.invocations, 2u);
+    EXPECT_DOUBLE_EQ(all[0].second.totalSeconds, 0.5);
+    EXPECT_EQ(all[1].first, "b");
+}
+
+TEST(ProfilerTest, ResetClears)
+{
+    ProfilerGuard guard;
+    Profiler::instance().record("x", 1.0);
+    Profiler::instance().reset();
+    EXPECT_EQ(Profiler::instance().stats("x").invocations, 0u);
+}
+
+TEST(ProfilerTest, ThreadSafeRecording)
+{
+    ProfilerGuard guard;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 1000; ++i)
+                Profiler::instance().record("mt", 0.001);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(Profiler::instance().stats("mt").invocations, 4000u);
+}
+
+TEST(ProfilerTest, CfdRegionsAreInstrumented)
+{
+    ProfilerGuard guard;
+    auto bench = benchmarks::BenchmarkRegistry::instance().create("cfd");
+    (void)bench->run(benchmarks::PrecisionMap{});
+    auto& prof = Profiler::instance();
+    // 3 iterations: step factor once per iteration, flux/time-step
+    // three RK sub-steps each.
+    EXPECT_EQ(prof.stats("cfd/compute_step_factor").invocations, 3u);
+    EXPECT_EQ(prof.stats("cfd/compute_flux").invocations, 9u);
+    EXPECT_EQ(prof.stats("cfd/time_step").invocations, 9u);
+    // Flux dominates the runtime.
+    EXPECT_GT(prof.stats("cfd/compute_flux").totalSeconds,
+              prof.stats("cfd/time_step").totalSeconds);
+}
+
+TEST(ProfilerTest, HotspotAndLavamdAndHpccgAreInstrumented)
+{
+    ProfilerGuard guard;
+    for (const char* name : {"hotspot", "lavamd", "hpccg"}) {
+        auto bench =
+            benchmarks::BenchmarkRegistry::instance().create(name);
+        (void)bench->run(benchmarks::PrecisionMap{});
+    }
+    EXPECT_EQ(Profiler::instance()
+                  .stats("hotspot/compute_tran_temp")
+                  .invocations,
+              1u);
+    EXPECT_EQ(
+        Profiler::instance().stats("lavamd/kernel_cpu").invocations,
+        1u);
+    EXPECT_EQ(Profiler::instance().stats("hpccg/cg_solve").invocations,
+              1u);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property-based tests for the verification metrics over randomized
+ * vectors: mathematical identities and orderings that must hold for
+ * any input.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "verify/metrics.h"
+
+namespace {
+
+using namespace hpcmixp::verify;
+using hpcmixp::support::Pcg32;
+
+struct Vectors {
+    std::vector<double> ref;
+    std::vector<double> test;
+};
+
+Vectors
+randomVectors(std::uint64_t seed, std::size_t n)
+{
+    Pcg32 rng(seed);
+    Vectors v;
+    v.ref.resize(n);
+    v.test.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.ref[i] = rng.uniform(-10.0, 10.0);
+        v.test[i] = v.ref[i] + rng.uniform(-0.5, 0.5);
+    }
+    return v;
+}
+
+class MetricProperty : public ::testing::TestWithParam<std::uint64_t> {
+  protected:
+    Vectors v_ = randomVectors(GetParam(), 257);
+};
+
+TEST_P(MetricProperty, IdentityGivesZeroLoss)
+{
+    auto& reg = MetricRegistry::instance();
+    for (const char* name : {"MAE", "MSE", "RMSE", "R2", "MCR"}) {
+        const Metric& m = reg.get(name);
+        EXPECT_NEAR(m.loss(v_.ref, v_.ref), 0.0, 1e-12) << name;
+    }
+}
+
+TEST_P(MetricProperty, RmseDominatesMae)
+{
+    MeanAbsoluteError mae;
+    RootMeanSquareError rmse;
+    EXPECT_GE(rmse.compute(v_.ref, v_.test) + 1e-15,
+              mae.compute(v_.ref, v_.test));
+}
+
+TEST_P(MetricProperty, RmseSquaredIsMse)
+{
+    MeanSquareError mse;
+    RootMeanSquareError rmse;
+    double r = rmse.compute(v_.ref, v_.test);
+    EXPECT_NEAR(r * r, mse.compute(v_.ref, v_.test),
+                1e-12 * (1.0 + r * r));
+}
+
+TEST_P(MetricProperty, R2NeverExceedsOne)
+{
+    CoefficientOfDetermination r2;
+    EXPECT_LE(r2.compute(v_.ref, v_.test), 1.0 + 1e-12);
+    EXPECT_GE(r2.loss(v_.ref, v_.test), -1e-12);
+}
+
+TEST_P(MetricProperty, McrIsAProperFraction)
+{
+    MisclassificationRate mcr;
+    double v = mcr.compute(v_.ref, v_.test);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+}
+
+TEST_P(MetricProperty, MaeIsSymmetricInDifferenceSign)
+{
+    MeanAbsoluteError mae;
+    std::vector<double> flipped(v_.ref.size());
+    for (std::size_t i = 0; i < v_.ref.size(); ++i)
+        flipped[i] = 2.0 * v_.ref[i] - v_.test[i]; // mirror around ref
+    EXPECT_NEAR(mae.compute(v_.ref, v_.test),
+                mae.compute(v_.ref, flipped), 1e-12);
+}
+
+TEST_P(MetricProperty, MaeScalesLinearly)
+{
+    MeanAbsoluteError mae;
+    std::vector<double> ref2(v_.ref.size());
+    std::vector<double> test2(v_.test.size());
+    for (std::size_t i = 0; i < v_.ref.size(); ++i) {
+        ref2[i] = 3.0 * v_.ref[i];
+        test2[i] = 3.0 * v_.test[i];
+    }
+    EXPECT_NEAR(mae.compute(ref2, test2),
+                3.0 * mae.compute(v_.ref, v_.test), 1e-9);
+}
+
+TEST_P(MetricProperty, WorseningOnePointNeverImprovesMae)
+{
+    MeanAbsoluteError mae;
+    double before = mae.compute(v_.ref, v_.test);
+    std::vector<double> worse = v_.test;
+    // Push the first element further from the reference.
+    worse[0] += (worse[0] >= v_.ref[0]) ? 1.0 : -1.0;
+    EXPECT_GE(mae.compute(v_.ref, worse), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u,
+                                           66u, 77u, 88u));
+
+} // namespace

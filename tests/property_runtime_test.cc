@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Property-based tests for the runtime library: buffer and I/O
+ * round-trips over randomized sizes, contents and precision pairs,
+ * plus the float-rounding contract.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/buffer.h"
+#include "runtime/mp_io.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace hpcmixp::runtime;
+using hpcmixp::support::Pcg32;
+
+class RuntimeProperty : public ::testing::TestWithParam<std::uint64_t> {
+  protected:
+    std::vector<double>
+    randomData()
+    {
+        Pcg32 rng(GetParam());
+        std::vector<double> data(1 + rng.nextBounded(500));
+        for (auto& v : data)
+            v = rng.uniform(-1e6, 1e6);
+        return data;
+    }
+};
+
+TEST_P(RuntimeProperty, DoubleBufferRoundTripsExactly)
+{
+    auto data = randomData();
+    Buffer b = Buffer::fromDoubles(data, Precision::Float64);
+    EXPECT_EQ(b.toDoubles(), data);
+}
+
+TEST_P(RuntimeProperty, FloatBufferAppliesOneRounding)
+{
+    auto data = randomData();
+    Buffer b = Buffer::fromDoubles(data, Precision::Float32);
+    auto out = b.toDoubles();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(out[i],
+                  static_cast<double>(static_cast<float>(data[i])));
+        // Round-tripping a second time is idempotent.
+        EXPECT_EQ(out[i], static_cast<double>(static_cast<float>(
+                              out[i])));
+    }
+}
+
+TEST_P(RuntimeProperty, MpIoRoundTripsAcrossAllPrecisionPairs)
+{
+    auto data = randomData();
+    for (auto memType : {Precision::Float32, Precision::Float64}) {
+        for (auto diskType :
+             {Precision::Float32, Precision::Float64}) {
+            Buffer src = Buffer::fromDoubles(data, memType);
+            std::stringstream stream;
+            mpFwrite(src, diskType, stream);
+            EXPECT_EQ(stream.str().size(),
+                      data.size() * byteSize(diskType));
+
+            Buffer dst(data.size(), memType);
+            mpFread(dst, diskType, stream);
+            // Writing at diskType and reading back into the same
+            // memory precision loses nothing beyond the declared
+            // precisions: the composition is idempotent.
+            auto a = src.toDoubles();
+            auto b = dst.toDoubles();
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                double expected = a[i];
+                if (diskType == Precision::Float32)
+                    expected = static_cast<double>(
+                        static_cast<float>(expected));
+                if (memType == Precision::Float32)
+                    expected = static_cast<double>(
+                        static_cast<float>(expected));
+                EXPECT_EQ(b[i], expected);
+            }
+        }
+    }
+}
+
+TEST_P(RuntimeProperty, StoreLoadConsistency)
+{
+    auto data = randomData();
+    for (auto p : {Precision::Float32, Precision::Float64}) {
+        Buffer b(data.size(), p);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            b.storeDouble(i, data[i]);
+        Buffer c = Buffer::fromDoubles(data, p);
+        EXPECT_EQ(b.toDoubles(), c.toDoubles());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u,
+                                           505u));
+
+} // namespace

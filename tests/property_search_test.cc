@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Property-based tests for the search strategies: randomized problem
+ * instances (seeded, reproducible) checked against strategy
+ * invariants and a brute-force reference.
+ */
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/driver.h"
+#include "search/genetic.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace hpcmixp::search;
+using hpcmixp::support::Pcg32;
+
+/**
+ * A randomized "toxic subset" problem: each site is independently
+ * toxic with probability 1/3; a configuration passes iff it lowers no
+ * toxic site. Speedup grows with the number of lowered sites.
+ */
+class RandomProblem : public SearchProblem {
+  public:
+    RandomProblem(std::size_t sites, std::uint64_t seed)
+        : sites_(sites), toxic_(sites)
+    {
+        Pcg32 rng(seed);
+        for (std::size_t i = 0; i < sites; ++i)
+            toxic_[i] = rng.chance(1.0 / 3.0);
+    }
+
+    std::size_t siteCount() const override { return sites_; }
+
+    bool
+    passes(const Config& config) const
+    {
+        for (std::size_t i = 0; i < sites_; ++i)
+            if (config.test(i) && toxic_[i])
+                return false;
+        return true;
+    }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        Evaluation eval;
+        eval.speedup =
+            1.0 + 0.05 * static_cast<double>(config.count());
+        eval.runtimeSeconds = 1.0 / eval.speedup;
+        eval.status = passes(config) ? EvalStatus::Pass
+                                     : EvalStatus::QualityFail;
+        eval.qualityLoss = eval.passed() ? 0.0 : 1.0;
+        return eval;
+    }
+
+    /** Number of non-toxic sites = optimum lowered count. */
+    std::size_t
+    optimumCount() const
+    {
+        std::size_t n = 0;
+        for (bool t : toxic_)
+            n += t ? 0 : 1;
+        return n;
+    }
+
+  private:
+    std::size_t sites_;
+    std::vector<bool> toxic_;
+};
+
+SearchBudget
+bigBudget()
+{
+    return {1000000, 0.0};
+}
+
+class SearchProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SearchProperty, CombinationalFindsTheOptimum)
+{
+    RandomProblem problem(6, GetParam());
+    auto result = runSearch(problem, "CB", bigBudget());
+    EXPECT_EQ(result.evaluated, 63u);
+    if (problem.optimumCount() == 0) {
+        EXPECT_FALSE(result.foundImprovement);
+    } else {
+        ASSERT_TRUE(result.foundImprovement);
+        // The independent-toxicity structure makes "lower every
+        // non-toxic site" the unique optimum.
+        EXPECT_EQ(result.best.count(), problem.optimumCount());
+        EXPECT_TRUE(problem.passes(result.best));
+    }
+}
+
+TEST_P(SearchProperty, DeltaDebugResultPassesAndIsLocallyMinimal)
+{
+    RandomProblem problem(9, GetParam());
+    auto result = runSearch(problem, "DD", bigBudget());
+    EXPECT_TRUE(problem.passes(result.best));
+    // Local minimality of the kept set: lowering any additional site
+    // on top of DD's answer must fail (otherwise DD stopped early).
+    // This holds for independent toxicity: the only extension sites
+    // are toxic ones.
+    for (std::size_t i = 0; i < problem.siteCount(); ++i) {
+        if (result.best.test(i))
+            continue;
+        Config extended = result.best;
+        extended.set(i);
+        EXPECT_FALSE(problem.passes(extended))
+            << "site " << i << " was convertible but kept in double";
+    }
+}
+
+TEST_P(SearchProperty, DeltaDebugMatchesCombinationalOptimum)
+{
+    RandomProblem problem(6, GetParam());
+    auto cb = runSearch(problem, "CB", bigBudget());
+    auto dd = runSearch(problem, "DD", bigBudget());
+    // With monotone speedup and independent toxicity, DD's local
+    // minimum is the global optimum CB finds.
+    EXPECT_EQ(dd.best.count(), cb.best.count());
+    EXPECT_LE(dd.evaluated, cb.evaluated);
+}
+
+TEST_P(SearchProperty, CompositionalResultsAlwaysPass)
+{
+    RandomProblem problem(7, GetParam());
+    auto result = runSearch(problem, "CM", bigBudget());
+    EXPECT_TRUE(problem.passes(result.best));
+    if (problem.optimumCount() > 0) {
+        ASSERT_TRUE(result.foundImprovement);
+        // CM composes all passing singletons, reaching the optimum.
+        EXPECT_EQ(result.best.count(), problem.optimumCount());
+    }
+}
+
+TEST_P(SearchProperty, GeneticRespectsItsBudgetAndPasses)
+{
+    RandomProblem problem(8, GetParam());
+    GaOptions options;
+    options.seed = GetParam() ^ 0xabcdef;
+    GeneticSearch ga(options);
+    SearchContext ctx(problem, bigBudget());
+    ga.run(ctx);
+    EXPECT_LE(ctx.evaluatedCount(),
+              options.population * options.generations);
+    if (ctx.hasBest())
+        EXPECT_TRUE(problem.passes(ctx.bestConfig()));
+}
+
+TEST_P(SearchProperty, CacheNeverReExecutes)
+{
+    RandomProblem problem(6, GetParam());
+    SearchContext ctx(problem, bigBudget());
+    Pcg32 rng(GetParam());
+    std::size_t distinct = 0;
+    std::vector<std::string> seen;
+    for (int i = 0; i < 200; ++i) {
+        Config cfg(6);
+        for (std::size_t s = 0; s < 6; ++s)
+            cfg.set(s, rng.chance(0.5));
+        std::string key = cfg.toString();
+        bool isNew = true;
+        for (const auto& k : seen)
+            if (k == key)
+                isNew = false;
+        if (isNew) {
+            seen.push_back(key);
+            ++distinct;
+        }
+        ctx.evaluate(cfg);
+    }
+    EXPECT_EQ(ctx.evaluatedCount(), distinct);
+    EXPECT_EQ(ctx.cacheHitCount(), 200u - distinct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u, 55u, 89u));
+
+} // namespace

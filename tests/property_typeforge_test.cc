@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Property-based tests for the type-dependence analysis: randomized
+ * program models validated against a brute-force transitive-closure
+ * reference implementation.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/program_model.h"
+#include "support/rng.h"
+#include "typeforge/clustering.h"
+
+namespace {
+
+using namespace hpcmixp::model;
+using namespace hpcmixp::typeforge;
+using hpcmixp::support::Pcg32;
+
+struct RandomModel {
+    ProgramModel program{"random"};
+    std::vector<VarId> reals;
+};
+
+RandomModel
+buildRandom(std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    RandomModel rm;
+    ModuleId mod = rm.program.addModule("random.c");
+    std::size_t functions = 1 + rng.nextBounded(3);
+    std::vector<FunctionId> fns;
+    for (std::size_t f = 0; f < functions; ++f)
+        fns.push_back(
+            rm.program.addFunction(mod, "f" + std::to_string(f)));
+
+    std::size_t vars = 4 + rng.nextBounded(20);
+    for (std::size_t v = 0; v < vars; ++v) {
+        TypeInfo type;
+        double roll = rng.nextDouble();
+        if (roll < 0.5)
+            type = realPointer();
+        else if (roll < 0.85)
+            type = realScalar();
+        else
+            type = integerScalar();
+        FunctionId fn = fns[rng.nextBounded(
+            static_cast<std::uint32_t>(fns.size()))];
+        VarId id = rm.program.addVariable(
+            fn, "v" + std::to_string(v), type);
+        if (type.base == BaseType::Real)
+            rm.reals.push_back(id);
+    }
+
+    std::size_t edges = rng.nextBounded(30);
+    std::size_t total = rm.program.variables().size();
+    for (std::size_t e = 0; e < edges; ++e) {
+        auto a = static_cast<VarId>(rng.nextBounded(
+            static_cast<std::uint32_t>(total)));
+        auto b = static_cast<VarId>(rng.nextBounded(
+            static_cast<std::uint32_t>(total)));
+        switch (rng.nextBounded(4)) {
+          case 0:
+            rm.program.addAssign(a, b);
+            break;
+          case 1:
+            rm.program.addCallBind(a, b);
+            break;
+          case 2:
+            rm.program.addAddressOf(a, b);
+            break;
+          default:
+            rm.program.addSameType(a, b);
+            break;
+        }
+    }
+    return rm;
+}
+
+/** O(V^3) reference: repeated relaxation over the unification edges. */
+std::vector<std::set<VarId>>
+referenceClusters(const ProgramModel& program)
+{
+    auto reals = program.realVariables();
+    std::map<VarId, std::size_t> index;
+    for (std::size_t i = 0; i < reals.size(); ++i)
+        index[reals[i]] = i;
+
+    // Each variable starts in its own group; merge until fixpoint.
+    std::vector<std::size_t> group(reals.size());
+    for (std::size_t i = 0; i < group.size(); ++i)
+        group[i] = i;
+
+    auto unifies = [&](const Dependence& dep) {
+        const auto& a = program.variable(dep.a);
+        const auto& b = program.variable(dep.b);
+        if (a.type.base != BaseType::Real ||
+            b.type.base != BaseType::Real)
+            return false;
+        if (dep.kind == DependenceKind::AddressOf ||
+            dep.kind == DependenceKind::SameType)
+            return true;
+        return a.type.isPointer() && b.type.isPointer();
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& dep : program.dependences()) {
+            if (!unifies(dep))
+                continue;
+            std::size_t ga = group[index.at(dep.a)];
+            std::size_t gb = group[index.at(dep.b)];
+            if (ga == gb)
+                continue;
+            for (auto& g : group)
+                if (g == gb)
+                    g = ga;
+            changed = true;
+        }
+    }
+
+    std::map<std::size_t, std::set<VarId>> bucket;
+    for (std::size_t i = 0; i < reals.size(); ++i)
+        bucket[group[i]].insert(reals[i]);
+    std::vector<std::set<VarId>> out;
+    for (auto& [g, members] : bucket)
+        out.push_back(std::move(members));
+    return out;
+}
+
+class TypeforgeProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TypeforgeProperty, MatchesBruteForceReference)
+{
+    RandomModel rm = buildRandom(GetParam());
+    ClusterSet set = analyze(rm.program);
+
+    auto reference = referenceClusters(rm.program);
+    std::set<std::set<VarId>> expected(reference.begin(),
+                                       reference.end());
+    std::set<std::set<VarId>> got;
+    for (std::size_t c = 0; c < set.clusterCount(); ++c)
+        got.insert(std::set<VarId>(set.members(c).begin(),
+                                   set.members(c).end()));
+    EXPECT_EQ(got, expected);
+}
+
+TEST_P(TypeforgeProperty, ClustersPartitionTheRealVariables)
+{
+    RandomModel rm = buildRandom(GetParam());
+    ClusterSet set = analyze(rm.program);
+
+    std::set<VarId> covered;
+    for (std::size_t c = 0; c < set.clusterCount(); ++c) {
+        for (VarId v : set.members(c)) {
+            EXPECT_TRUE(covered.insert(v).second)
+                << "variable " << v << " in two clusters";
+            EXPECT_EQ(set.clusterOf(v), c);
+        }
+    }
+    std::set<VarId> reals(rm.reals.begin(), rm.reals.end());
+    EXPECT_EQ(covered, reals);
+}
+
+TEST_P(TypeforgeProperty, AnalysisIsDeterministic)
+{
+    RandomModel rm = buildRandom(GetParam());
+    ClusterSet a = analyze(rm.program);
+    ClusterSet b = analyze(rm.program);
+    ASSERT_EQ(a.clusterCount(), b.clusterCount());
+    for (std::size_t c = 0; c < a.clusterCount(); ++c)
+        EXPECT_EQ(a.members(c), b.members(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeforgeProperty,
+                         ::testing::Values(7u, 17u, 27u, 37u, 47u,
+                                           57u, 67u, 77u, 87u, 97u));
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the runtime library: runtime-typed buffers (mp_malloc),
+ * mixed-precision binary I/O (mp_fread/mp_fwrite) and type dispatch.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/buffer.h"
+#include "runtime/dispatch.h"
+#include "runtime/mp_io.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp::runtime;
+
+TEST(Precision, ByteSizesAndNames)
+{
+    EXPECT_EQ(byteSize(Precision::Float32), 4u);
+    EXPECT_EQ(byteSize(Precision::Float64), 8u);
+    EXPECT_EQ(precisionName(Precision::Float32), "float");
+    EXPECT_EQ(precisionName(Precision::Float64), "double");
+    EXPECT_EQ(precisionOf<float>(), Precision::Float32);
+    EXPECT_EQ(precisionOf<double>(), Precision::Float64);
+}
+
+TEST(BufferTest, AllocatesZeroFilled)
+{
+    Buffer b(8, Precision::Float32);
+    EXPECT_EQ(b.size(), 8u);
+    EXPECT_EQ(b.bytes(), 32u);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(b.loadDouble(i), 0.0);
+}
+
+TEST(BufferTest, SinglePrecisionHalvesFootprint)
+{
+    Buffer d(1000, Precision::Float64);
+    Buffer f(1000, Precision::Float32);
+    EXPECT_EQ(f.bytes() * 2, d.bytes());
+}
+
+TEST(BufferTest, TypedViewsMatchPrecision)
+{
+    Buffer b(4, Precision::Float64);
+    auto view = b.as<double>();
+    view[2] = 2.5;
+    EXPECT_DOUBLE_EQ(b.loadDouble(2), 2.5);
+}
+
+TEST(BufferTest, FromDoublesRoundsToFloat)
+{
+    std::vector<double> data{0.1, 0.2, 1.0 / 3.0};
+    Buffer f = Buffer::fromDoubles(data, Precision::Float32);
+    Buffer d = Buffer::fromDoubles(data, Precision::Float64);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(f.loadDouble(i),
+                  static_cast<double>(static_cast<float>(data[i])));
+        EXPECT_EQ(d.loadDouble(i), data[i]);
+    }
+}
+
+TEST(BufferTest, ToDoublesRoundTripsWiden)
+{
+    std::vector<double> data{1.0, 2.0, 3.0};
+    Buffer b = Buffer::fromDoubles(data, Precision::Float64);
+    EXPECT_EQ(b.toDoubles(), data);
+}
+
+TEST(BufferTest, StoreDoubleConvertsAtWrite)
+{
+    Buffer f(1, Precision::Float32);
+    f.storeDouble(0, 1.0 / 3.0);
+    EXPECT_EQ(f.loadDouble(0),
+              static_cast<double>(static_cast<float>(1.0 / 3.0)));
+}
+
+TEST(BufferDeathTest, MismatchedTypedAccessPanics)
+{
+    Buffer f(4, Precision::Float32);
+    EXPECT_DEATH((void)f.as<double>(), "typed access");
+}
+
+TEST(BufferDeathTest, OutOfRangeAccessPanics)
+{
+    Buffer b(2, Precision::Float64);
+    EXPECT_DEATH((void)b.loadDouble(2), "out of range");
+}
+
+TEST(MpIo, WriteDoubleReadIntoFloatConverts)
+{
+    std::vector<double> data{0.5, 1.5, 1.0 / 3.0};
+    Buffer source = Buffer::fromDoubles(data, Precision::Float64);
+    std::stringstream stream;
+    mpFwrite(source, Precision::Float64, stream);
+
+    Buffer dest(3, Precision::Float32);
+    mpFread(dest, Precision::Float64, stream);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(dest.loadDouble(i),
+                  static_cast<double>(static_cast<float>(data[i])));
+}
+
+TEST(MpIo, WriteFloatDiskFormatFromDoubleBuffer)
+{
+    std::vector<double> data{0.25, 0.125};
+    Buffer source = Buffer::fromDoubles(data, Precision::Float64);
+    std::stringstream stream;
+    mpFwrite(source, Precision::Float32, stream);
+    EXPECT_EQ(stream.str().size(), 2 * sizeof(float));
+
+    Buffer dest(2, Precision::Float64);
+    mpFread(dest, Precision::Float32, stream);
+    EXPECT_EQ(dest.toDoubles(), data); // exactly representable
+}
+
+TEST(MpIo, ShortReadIsFatal)
+{
+    std::stringstream stream;
+    stream.write("abcd", 4);
+    Buffer dest(4, Precision::Float64);
+    EXPECT_THROW(mpFread(dest, Precision::Float64, stream),
+                 hpcmixp::support::FatalError);
+}
+
+TEST(MpIo, FileRoundTrip)
+{
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "hpcmixp_io_test.bin").string();
+    std::vector<double> data{3.0, -2.5, 0.0625};
+    Buffer source = Buffer::fromDoubles(data, Precision::Float32);
+    mpWriteFile(source, Precision::Float64, path);
+    Buffer loaded =
+        mpReadFile(path, Precision::Float64, 3, Precision::Float32);
+    EXPECT_EQ(loaded.toDoubles(), source.toDoubles());
+    fs::remove(path);
+    EXPECT_THROW(
+        mpReadFile("/no/such/file", Precision::Float64, 1,
+                   Precision::Float64),
+        hpcmixp::support::FatalError);
+}
+
+TEST(Dispatch, Dispatch1SelectsMatchingType)
+{
+    auto kind = dispatch1(Precision::Float32, [](auto tag) {
+        using T = typename decltype(tag)::type;
+        return precisionOf<T>();
+    });
+    EXPECT_EQ(kind, Precision::Float32);
+    kind = dispatch1(Precision::Float64, [](auto tag) {
+        using T = typename decltype(tag)::type;
+        return precisionOf<T>();
+    });
+    EXPECT_EQ(kind, Precision::Float64);
+}
+
+TEST(Dispatch, Dispatch2CoversAllFourCombinations)
+{
+    for (auto a : {Precision::Float32, Precision::Float64}) {
+        for (auto b : {Precision::Float32, Precision::Float64}) {
+            auto got = dispatch2(a, b, [](auto ta, auto tb) {
+                using A = typename decltype(ta)::type;
+                using B = typename decltype(tb)::type;
+                return std::pair{precisionOf<A>(), precisionOf<B>()};
+            });
+            EXPECT_EQ(got.first, a);
+            EXPECT_EQ(got.second, b);
+        }
+    }
+}
+
+TEST(Dispatch, PromotionInsideDispatchMatchesCxxRules)
+{
+    auto sum = dispatch2(
+        Precision::Float32, Precision::Float64, [](auto ta, auto tb) {
+            using A = typename decltype(ta)::type;
+            using B = typename decltype(tb)::type;
+            A x = A(0.1f);
+            B y = B(0.2);
+            return sizeof(x + y);
+        });
+    EXPECT_EQ(sum, sizeof(double));
+}
+
+TEST(Dispatch, Dispatch4Covers16Combinations)
+{
+    int count = 0;
+    for (auto a : {Precision::Float32, Precision::Float64})
+        for (auto b : {Precision::Float32, Precision::Float64})
+            for (auto c : {Precision::Float32, Precision::Float64})
+                for (auto d : {Precision::Float32, Precision::Float64})
+                    dispatch4(a, b, c, d,
+                              [&](auto, auto, auto, auto) { ++count; });
+    EXPECT_EQ(count, 16);
+}
+
+} // namespace

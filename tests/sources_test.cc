@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cross-validation of the two model-construction paths: mini-C source
+ * mirrors of several kernels, parsed with the Typeforge frontend, must
+ * produce the same cluster structure as the builder-constructed models
+ * the benchmarks ship with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "typeforge/clustering.h"
+#include "typeforge/frontend/parser.h"
+
+namespace {
+
+using namespace hpcmixp;
+using typeforge::analyze;
+using typeforge::frontend::parseProgram;
+
+struct SourceMirror {
+    const char* benchmark;
+    const char* source;
+};
+
+// Mini-C mirrors of the benchmark sources (same globals, same call
+// structure, same pool carving) — the executable statements are
+// irrelevant to the type-dependence analysis beyond the bindings.
+const SourceMirror kMirrors[] = {
+    {"hydro-1d", R"(
+double *x; double *y; double *z; double *coef;
+void kernel1(double *px, double *py, double *pz, double *pcoef) {
+    for (int k = 0; k < 1000; k++) {
+        px[k] = pcoef[0] + py[k] * (pcoef[1]*pz[k+10] + pcoef[2]*pz[k+11]);
+    }
+}
+void main_driver() { kernel1(x, y, z, coef); }
+)"},
+    {"iccg", R"(
+double *x; double *v;
+void kernel2(double *px, double *pv) {
+    int ii = 100; int ipntp = 0; int i = 0;
+    do {
+        int ipnt = ipntp; ipntp += ii; ii /= 2; i = ipntp;
+        for (int k = ipnt + 1; k < ipntp; k += 2) {
+            i++;
+            px[i] = px[k] - pv[k]*px[k-1] - pv[k+1]*px[k+1];
+        }
+    } while (ii > 0);
+}
+void main_driver() { kernel2(x, v); }
+)"},
+    {"banded-lin-eq", R"(
+double *x; double *y;
+void kernel4(double *px, double *py) {
+    int m = (1001 - 7) / 2;
+    for (int k = 6; k < 1001; k += m) {
+        int lw = k - 6;
+        px[k-1] = py[4] * (px[k-1] - px[lw]*py[4]);
+    }
+}
+void main_driver() { kernel4(x, y); }
+)"},
+    {"eos", R"(
+double *x; double *u;
+double *pool; double *y; double *z;
+double *coef;
+void kernel7(double *px, double *pu, double *py, double *pz,
+             double *pcoef) {
+    for (int k = 0; k < 1000; k++) {
+        px[k] = pu[k] + pcoef[1] * (pz[k] + pcoef[1]*py[k]);
+    }
+}
+void main_driver() {
+    y = pool;
+    z = pool + 1000;
+    kernel7(x, u, y, z, coef);
+}
+)"},
+    {"planckian", R"(
+double *in_pool; double *x; double *u; double *v;
+double *out_pool; double *w; double *y;
+void kernel22(double *px, double *pu, double *pv, double *pw,
+              double *py) {
+    for (int k = 0; k < 1000; k++) {
+        py[k] = pu[k] / pv[k];
+        pw[k] = px[k] / (exp(py[k]) - 1.0);
+    }
+}
+void main_driver() {
+    x = in_pool; u = in_pool + 1000; v = in_pool + 2000;
+    w = out_pool; y = out_pool + 1000;
+    kernel22(x, u, v, w, y);
+}
+)"},
+    {"tridiag", R"(
+double *x; double *y; double *z;
+void kernel5(double *px, double *py, double *pz) {
+    for (int i = 1; i < 1000; i++)
+        px[i] = pz[i] * (py[i] - px[i-1]);
+}
+void main_driver() { kernel5(x, y, z); }
+)"},
+    {"gen-lin-recur", R"(
+double *w; double *b;
+void kernel6(double *pw, double *pb) {
+    for (int i = 1; i < 100; i++) {
+        pw[i] = 0.01;
+        for (int k = 0; k < i; k++)
+            pw[i] += pb[k*100 + i] * pw[i - k - 1];
+    }
+}
+void main_driver() { kernel6(w, b); }
+)"},
+};
+
+class SourceMirrorTest
+    : public ::testing::TestWithParam<SourceMirror> {};
+
+TEST_P(SourceMirrorTest, FrontendClustersMatchBuilderClusters)
+{
+    const auto& mirror = GetParam();
+    auto bench = benchmarks::BenchmarkRegistry::instance().create(
+        mirror.benchmark);
+    auto builderClusters = analyze(bench->programModel());
+
+    auto parsed = parseProgram(mirror.source, mirror.benchmark);
+    auto parsedClusters = analyze(parsed);
+
+    EXPECT_EQ(parsedClusters.clusterCount(),
+              builderClusters.clusterCount())
+        << mirror.benchmark;
+}
+
+INSTANTIATE_TEST_SUITE_P(Mirrors, SourceMirrorTest,
+                         ::testing::ValuesIn(kMirrors),
+                         [](const auto& info) {
+                             std::string n = info.param.benchmark;
+                             for (auto& c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SourceMirrorTest, ExtraScalarLocalAddsOneSingletonCluster)
+{
+    // Declaring a scalar accumulator adds exactly one singleton
+    // cluster relative to the accumulator-free source.
+    const char* withAcc = R"(
+double *w; double *b;
+void kernel6(double *pw, double *pb) {
+    for (int i = 1; i < 100; i++) {
+        double acc = 0.01;
+        for (int k = 0; k < i; k++)
+            acc += pb[k*100 + i] * pw[i - k - 1];
+        pw[i] = acc;
+    }
+}
+void main_driver() { kernel6(w, b); }
+)";
+    auto a = analyze(parseProgram(kMirrors[6].source, "bare"));
+    auto b = analyze(parseProgram(withAcc, "with-acc"));
+    EXPECT_EQ(b.clusterCount(), a.clusterCount() + 1);
+    EXPECT_EQ(b.variableCount(), a.variableCount() + 1);
+}
+
+
+// Application mirrors: the pointer-flow structure of two apps whose
+// models use only Assign/CallBind edges the mini-C frontend extracts.
+TEST(SourceMirrorTest, HotspotMirrorMatches)
+{
+    const char* source = R"(
+void compute_tran_temp(double *temp_src, double *temp_dst,
+                       double *power) {
+    double delta; double tc; double tn; double ts;
+    double te; double tw; double step_div_cap;
+}
+void main_driver() {
+    double *temp; double *result; double *power;
+    temp = result;
+    compute_tran_temp(temp, result, power);
+}
+)";
+    auto parsed = parseProgram(source, "hotspot-mirror");
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("hotspot");
+    EXPECT_EQ(analyze(parsed).clusterCount(),
+              analyze(bench->programModel()).clusterCount());
+}
+
+TEST(SourceMirrorTest, LavamdMirrorMatches)
+{
+    const char* source = R"(
+void kernel_cpu(double *rv, double *qv, double *fv) {
+    double r2; double u2; double vij; double fs;
+    double dx; double dy; double dz; double a2;
+}
+void main_driver() {
+    double *rv; double *qv; double *fv;
+    kernel_cpu(rv, qv, fv);
+}
+)";
+    auto parsed = parseProgram(source, "lavamd-mirror");
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("lavamd");
+    EXPECT_EQ(analyze(parsed).clusterCount(),
+              analyze(bench->programModel()).clusterCount());
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the core tuning layer: cluster/variable problems, compile
+ * failures for cluster-splitting configurations, precision-map
+ * derivation and structure trees.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "core/tuner.h"
+#include "search/genetic.h"
+
+namespace {
+
+using namespace hpcmixp;
+using core::BenchmarkTuner;
+using core::TunerOptions;
+using search::Config;
+using search::EvalStatus;
+
+TunerOptions
+fastOptions(double threshold = 1e-6)
+{
+    TunerOptions opt;
+    opt.threshold = threshold;
+    opt.searchReps = 1;
+    opt.finalReps = 3;
+    opt.budget = {200, 0.0};
+    return opt;
+}
+
+std::unique_ptr<benchmarks::Benchmark>
+make(const std::string& name)
+{
+    return benchmarks::BenchmarkRegistry::instance().create(name);
+}
+
+TEST(Tuner, ReportsComplexityOfHydro1d)
+{
+    auto bench = make("hydro-1d");
+    BenchmarkTuner tuner(*bench, fastOptions());
+    EXPECT_EQ(tuner.variableCount(), 8u); // 4 globals + 4 params
+    EXPECT_EQ(tuner.clusterCount(), 4u);  // global/param pairs unify
+    EXPECT_GT(tuner.baselineSeconds(), 0.0);
+}
+
+TEST(Tuner, PrecisionMapFollowsClusterBindKeys)
+{
+    auto bench = make("hydro-1d");
+    BenchmarkTuner tuner(*bench, fastOptions());
+
+    // Find the cluster containing the "y" knob and lower only it.
+    const auto& program = bench->programModel();
+    auto yVar = program.findVariable("y");
+    std::size_t yCluster = tuner.clusters().clusterOf(yVar);
+
+    Config cfg(tuner.clusterCount());
+    cfg.set(yCluster);
+    auto pm = tuner.precisionMapFor(cfg);
+    EXPECT_EQ(pm.get("y"), runtime::Precision::Float32);
+    EXPECT_EQ(pm.get("x"), runtime::Precision::Float64);
+    EXPECT_EQ(pm.get("coef"), runtime::Precision::Float64);
+}
+
+TEST(Tuner, BaselineClusterConfigPassesWithUnitSpeedup)
+{
+    auto bench = make("tridiag");
+    BenchmarkTuner tuner(*bench, fastOptions());
+    auto eval =
+        tuner.evaluateClusterConfig(Config(tuner.clusterCount()), 5);
+    EXPECT_EQ(eval.status, EvalStatus::Pass);
+    EXPECT_DOUBLE_EQ(eval.qualityLoss, 0.0);
+    // Identical code re-timed: the ratio is 1 up to scheduler noise,
+    // which is unbounded on a contended machine — assert only sanity.
+    EXPECT_TRUE(std::isfinite(eval.speedup));
+    EXPECT_GT(eval.speedup, 0.0);
+}
+
+TEST(Tuner, SplittingAClusterIsACompileFailure)
+{
+    auto bench = make("hydro-1d");
+    BenchmarkTuner tuner(*bench, fastOptions());
+    auto& problem = tuner.variableProblem();
+
+    // Lower exactly one member of a multi-variable cluster.
+    std::size_t multi = 0;
+    bool found = false;
+    for (std::size_t c = 0; c < tuner.clusterCount(); ++c) {
+        if (tuner.clusters().members(c).size() > 1) {
+            multi = c;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+    model::VarId member = tuner.clusters().members(multi).front();
+
+    // Variable sites are the ascending real-variable ids.
+    auto reals = bench->programModel().realVariables();
+    std::size_t site = static_cast<std::size_t>(
+        std::find(reals.begin(), reals.end(), member) - reals.begin());
+
+    Config cfg(problem.siteCount());
+    cfg.set(site);
+    auto eval = problem.evaluate(cfg);
+    EXPECT_EQ(eval.status, EvalStatus::CompileFail);
+}
+
+TEST(Tuner, UniformVariableConfigExecutes)
+{
+    auto bench = make("hydro-1d");
+    BenchmarkTuner tuner(*bench, fastOptions(1.0));
+    auto& problem = tuner.variableProblem();
+    Config all = Config::allLowered(problem.siteCount());
+    auto eval = problem.evaluate(all);
+    EXPECT_NE(eval.status, EvalStatus::CompileFail);
+}
+
+TEST(Tuner, ToClusterConfigReducesVariableConfig)
+{
+    auto bench = make("iccg");
+    BenchmarkTuner tuner(*bench, fastOptions());
+    Config varCfg = Config::allLowered(tuner.variableCount());
+    Config clusterCfg = tuner.toClusterConfig(varCfg);
+    EXPECT_EQ(clusterCfg.size(), tuner.clusterCount());
+    EXPECT_EQ(clusterCfg.count(), tuner.clusterCount());
+}
+
+TEST(Tuner, StructureTreeCoversAllSites)
+{
+    auto bench = make("blackscholes");
+    BenchmarkTuner tuner(*bench, fastOptions());
+    const auto* root = tuner.variableProblem().structure();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->sites.size(), tuner.variableCount());
+    std::set<std::size_t> seen(root->sites.begin(), root->sites.end());
+    EXPECT_EQ(seen.size(), tuner.variableCount());
+    // main / BlkSchlsEqEuroNoDiv / CNDF under the one module.
+    ASSERT_EQ(root->children.size(), 1u);
+    EXPECT_EQ(root->children[0].children.size(), 3u);
+}
+
+TEST(Tuner, DeltaDebugTunesAKernel)
+{
+    auto bench = make("eos");
+    BenchmarkTuner tuner(*bench, fastOptions(1e-3));
+    auto outcome = tuner.tune("DD");
+    EXPECT_GE(outcome.search.evaluated, 1u);
+    EXPECT_FALSE(outcome.search.timedOut);
+    EXPECT_TRUE(outcome.search.foundImprovement);
+    EXPECT_TRUE(std::isfinite(outcome.finalSpeedup));
+    EXPECT_LE(outcome.finalQualityLoss, 1e-3);
+}
+
+TEST(Tuner, GeneticTuneStaysWithinItsIterationBudget)
+{
+    // GA decisions mix a fixed seed with *measured* runtimes, so the
+    // discovered configuration may vary run to run — but the strict
+    // termination criterion bounds the work (paper Section V).
+    auto bench = make("gen-lin-recur");
+    BenchmarkTuner tuner(*bench, fastOptions(1e-3));
+    auto outcome = tuner.tune("GA");
+    search::GaOptions defaults;
+    EXPECT_LE(outcome.search.evaluated,
+              defaults.population * defaults.generations);
+    EXPECT_LE(outcome.finalQualityLoss, 1e-3);
+}
+
+TEST(Tuner, ImpossibleThresholdYieldsBaseline)
+{
+    auto bench = make("banded-lin-eq");
+    BenchmarkTuner tuner(*bench, fastOptions(0.0));
+    auto outcome = tuner.tune("DD");
+    // Nothing but the baseline can have exactly zero loss here... but
+    // cold clusters may pass with zero loss; either way the quality
+    // constraint must hold.
+    EXPECT_LE(outcome.finalQualityLoss, 0.0);
+}
+
+} // namespace

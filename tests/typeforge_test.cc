@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the Typeforge-analogue type-dependence analysis, including
+ * the paper's Listing-1 example, which must partition into exactly
+ * {arr, input}, {val, inout}, {scale}, {ratio}, {res}.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "model/program_model.h"
+#include "typeforge/clustering.h"
+#include "typeforge/report.h"
+
+namespace {
+
+using namespace hpcmixp::model;
+using namespace hpcmixp::typeforge;
+
+/** Build the paper's Listing-1 program. */
+ProgramModel
+listing1()
+{
+    ProgramModel m("listing1");
+    ModuleId mod = m.addModule("listing1.c");
+
+    FunctionId vectMult = m.addFunction(mod, "vect_mult");
+    VarId input = m.addParameter(vectMult, "input", realPointer());
+    VarId inout = m.addParameter(vectMult, "inout", realPointer());
+    VarId ratio = m.addParameter(vectMult, "ratio", realScalar());
+    VarId res = m.addVariable(vectMult, "res", realScalar());
+
+    FunctionId foo = m.addFunction(mod, "foo");
+    VarId arr = m.addVariable(foo, "arr", realPointer());
+    VarId val = m.addVariable(foo, "val", realScalar());
+    VarId scale = m.addVariable(foo, "scale", realScalar());
+
+    // vect_mult(10, arr, &val, scale)
+    m.addCallBind(arr, input);
+    m.addAddressOf(val, inout);
+    m.addCallBind(scale, ratio);
+    // res += ratio * input[i]  (scalar value flow)
+    m.addAssign(res, ratio);
+
+    return m;
+}
+
+TEST(Clustering, Listing1MatchesPaperPartitioning)
+{
+    ProgramModel m = listing1();
+    ClusterSet set = analyze(m);
+
+    EXPECT_EQ(set.variableCount(), 7u);
+    EXPECT_EQ(set.clusterCount(), 5u);
+
+    auto names = clusterNames(m, set);
+    std::set<std::set<std::string>> got;
+    for (const auto& cluster : names)
+        got.insert(std::set<std::string>(cluster.begin(),
+                                         cluster.end()));
+
+    std::set<std::set<std::string>> expected{
+        {"foo::arr", "vect_mult::input"},
+        {"foo::val", "vect_mult::inout"},
+        {"foo::scale"},
+        {"vect_mult::ratio"},
+        {"vect_mult::res"}};
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Clustering, PointerAssignUnifiesScalarAssignDoesNot)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    VarId p1 = m.addVariable(f, "p1", realPointer());
+    VarId p2 = m.addVariable(f, "p2", realPointer());
+    VarId s1 = m.addVariable(f, "s1", realScalar());
+    VarId s2 = m.addVariable(f, "s2", realScalar());
+    m.addAssign(p1, p2);
+    m.addAssign(s1, s2);
+
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 3u);
+    EXPECT_EQ(set.clusterOf(p1), set.clusterOf(p2));
+    EXPECT_NE(set.clusterOf(s1), set.clusterOf(s2));
+}
+
+TEST(Clustering, AddressOfAlwaysUnifies)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    VarId scalar = m.addVariable(f, "s", realScalar());
+    VarId ptr = m.addParameter(f, "p", realPointer());
+    m.addAddressOf(scalar, ptr);
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 1u);
+}
+
+TEST(Clustering, SameTypeConstraintUnifiesScalars)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    VarId a = m.addVariable(f, "a", realScalar());
+    VarId b = m.addVariable(f, "b", realScalar());
+    m.addSameType(a, b);
+    EXPECT_EQ(analyze(m).clusterCount(), 1u);
+}
+
+TEST(Clustering, TransitiveUnificationAcrossFunctions)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    FunctionId g = m.addFunction(mod, "g");
+    VarId arr = m.addGlobal(mod, "arr", realPointer());
+    VarId pf = m.addParameter(f, "pf", realPointer());
+    VarId pg = m.addParameter(g, "pg", realPointer());
+    m.addCallBind(arr, pf);
+    m.addCallBind(arr, pg);
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 1u);
+    EXPECT_EQ(set.clusterOf(pf), set.clusterOf(pg));
+}
+
+TEST(Clustering, IntegerVariablesAreExcluded)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    VarId r = m.addVariable(f, "r", realScalar());
+    VarId i = m.addVariable(f, "i", integerScalar());
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.variableCount(), 1u);
+    EXPECT_TRUE(set.contains(r));
+    EXPECT_FALSE(set.contains(i));
+}
+
+TEST(Clustering, ClustersAreDeterministicallyOrdered)
+{
+    ProgramModel m("t");
+    ModuleId mod = m.addModule("t.c");
+    FunctionId f = m.addFunction(mod, "f");
+    VarId v0 = m.addVariable(f, "v0", realScalar());
+    VarId v1 = m.addVariable(f, "v1", realPointer());
+    VarId v2 = m.addVariable(f, "v2", realPointer());
+    m.addAssign(v1, v2);
+    ClusterSet set = analyze(m);
+    // Cluster 0 must begin with the smallest VarId.
+    EXPECT_EQ(set.members(0).front(), v0);
+    EXPECT_EQ(set.members(1).front(), v1);
+    EXPECT_EQ(set.clusterOf(v2), 1u);
+}
+
+TEST(Clustering, EmptyModelYieldsNoClusters)
+{
+    ProgramModel m("empty");
+    ClusterSet set = analyze(m);
+    EXPECT_EQ(set.clusterCount(), 0u);
+    EXPECT_EQ(set.variableCount(), 0u);
+}
+
+TEST(UnionFindTest, BasicMergeSemantics)
+{
+    UnionFind uf(5);
+    EXPECT_EQ(uf.size(), 5u);
+    EXPECT_NE(uf.find(0), uf.find(1));
+    uf.unite(0, 1);
+    uf.unite(3, 4);
+    EXPECT_EQ(uf.find(0), uf.find(1));
+    EXPECT_EQ(uf.find(3), uf.find(4));
+    EXPECT_NE(uf.find(0), uf.find(3));
+    uf.unite(1, 3);
+    EXPECT_EQ(uf.find(0), uf.find(4));
+    uf.unite(0, 0); // self-union is a no-op
+    EXPECT_EQ(uf.find(2), 2u);
+}
+
+TEST(Report, ComplexityRowReportsTvTc)
+{
+    ProgramModel m = listing1();
+    ComplexityRow row = complexity(m);
+    EXPECT_EQ(row.name, "listing1");
+    EXPECT_EQ(row.totalVariables, 7u);
+    EXPECT_EQ(row.totalClusters, 5u);
+}
+
+TEST(Report, PrintClustersMentionsEveryVariable)
+{
+    ProgramModel m = listing1();
+    std::ostringstream os;
+    printClusters(os, m, analyze(m));
+    std::string s = os.str();
+    for (const char* name :
+         {"foo::arr", "vect_mult::input", "foo::val",
+          "vect_mult::inout", "foo::scale", "vect_mult::ratio",
+          "vect_mult::res"})
+        EXPECT_NE(s.find(name), std::string::npos) << name;
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the YAML-subset parser against the paper's Listing-4
+ * configuration schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "support/yaml.h"
+
+namespace {
+
+using namespace hpcmixp::support;
+
+const char* kKmeansConfig = R"(
+# Listing 4 (IISWC'20), lightly reformatted
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+  output:
+    option: '-o'
+    name: 'outputFile.bin'
+  metric: 'MAE'
+  bin: 'kmeans'
+  copy: ['kmeans', 'kdd_bin']
+  args: '-i kdd_bin -k 5 -n 5'
+)";
+
+TEST(Yaml, ParsesListing4Schema)
+{
+    auto doc = yaml::parse(kKmeansConfig);
+    ASSERT_TRUE(doc.isMapping());
+    const auto& app = doc.at("kmeans");
+    EXPECT_EQ(app.getString("build_dir", ""), "kmeans");
+    EXPECT_EQ(app.getString("metric", ""), "MAE");
+    EXPECT_EQ(app.getString("bin", ""), "kmeans");
+    EXPECT_EQ(app.getString("args", ""), "-i kdd_bin -k 5 -n 5");
+
+    const auto& build = app.at("build");
+    ASSERT_TRUE(build.isSequence());
+    ASSERT_EQ(build.items().size(), 1u);
+    EXPECT_EQ(build.items()[0].asString(), "make");
+
+    const auto& copy = app.at("copy");
+    ASSERT_EQ(copy.items().size(), 2u);
+    EXPECT_EQ(copy.items()[1].asString(), "kdd_bin");
+
+    const auto& analysis = app.at("analysis").at("floatsmith");
+    EXPECT_EQ(analysis.getString("name", ""), "floatSmith");
+    EXPECT_EQ(analysis.at("extra_args").getString("algorithm", ""),
+              "ddebug");
+
+    EXPECT_EQ(app.at("output").getString("option", ""), "-o");
+}
+
+TEST(Yaml, KeyOrderIsPreserved)
+{
+    auto doc = yaml::parse("b: 1\na: 2\nc: 3\n");
+    ASSERT_EQ(doc.keys().size(), 3u);
+    EXPECT_EQ(doc.keys()[0], "b");
+    EXPECT_EQ(doc.keys()[1], "a");
+    EXPECT_EQ(doc.keys()[2], "c");
+}
+
+TEST(Yaml, ScalarConversions)
+{
+    auto doc = yaml::parse("x: 2.5\nn: 42\ns: hello\n");
+    EXPECT_DOUBLE_EQ(doc.at("x").asDouble(), 2.5);
+    EXPECT_EQ(doc.at("n").asLong(), 42);
+    EXPECT_EQ(doc.at("s").asString(), "hello");
+    EXPECT_DOUBLE_EQ(doc.getDouble("missing", 9.0), 9.0);
+    EXPECT_EQ(doc.getLong("missing", 3), 3);
+}
+
+TEST(Yaml, BlockSequences)
+{
+    auto doc = yaml::parse("steps:\n  - one\n  - two\n  - 'three x'\n");
+    const auto& steps = doc.at("steps");
+    ASSERT_TRUE(steps.isSequence());
+    ASSERT_EQ(steps.items().size(), 3u);
+    EXPECT_EQ(steps.items()[2].asString(), "three x");
+}
+
+TEST(Yaml, CommentsAndBlankLinesIgnored)
+{
+    auto doc = yaml::parse(
+        "# header\n\na: 1  # trailing\n\n# middle\nb: 'x # not'\n");
+    EXPECT_EQ(doc.at("a").asLong(), 1);
+    EXPECT_EQ(doc.at("b").asString(), "x # not");
+}
+
+TEST(Yaml, EmptyValueBecomesEmptyScalar)
+{
+    auto doc = yaml::parse("a:\nb: 1\n");
+    EXPECT_TRUE(doc.at("a").isScalar());
+    EXPECT_EQ(doc.at("a").asString(), "");
+}
+
+TEST(Yaml, EmptyDocumentIsEmptyMapping)
+{
+    auto doc = yaml::parse("");
+    EXPECT_TRUE(doc.isMapping());
+    EXPECT_TRUE(doc.keys().empty());
+}
+
+TEST(Yaml, ErrorsAreFatal)
+{
+    EXPECT_THROW(yaml::parse("key_without_colon\n"), FatalError);
+    EXPECT_THROW(yaml::parse("a: [1, 2\n"), FatalError);
+    EXPECT_THROW(yaml::parse("\ta: 1\n"), FatalError);
+    EXPECT_THROW(yaml::parseFile("/no/such/file.yaml"), FatalError);
+}
+
+TEST(Yaml, TypeMismatchesAreFatal)
+{
+    auto doc = yaml::parse("a: 1\nseq: [1, 2]\n");
+    EXPECT_THROW(doc.at("a").items(), FatalError);
+    EXPECT_THROW(doc.at("seq").asString(), FatalError);
+    EXPECT_THROW(doc.at("missing"), FatalError);
+    EXPECT_THROW(doc.at("a").keys(), FatalError);
+}
+
+TEST(Yaml, NestedIndentationLevels)
+{
+    auto doc = yaml::parse(
+        "l1:\n  l2:\n    l3:\n      deep: value\n  back: 1\n");
+    EXPECT_EQ(doc.at("l1").at("l2").at("l3").getString("deep", ""),
+              "value");
+    EXPECT_EQ(doc.at("l1").getLong("back", 0), 1);
+}
+
+} // namespace
