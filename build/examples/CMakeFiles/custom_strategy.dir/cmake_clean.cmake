@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_strategy.dir/custom_strategy.cpp.o"
+  "CMakeFiles/custom_strategy.dir/custom_strategy.cpp.o.d"
+  "custom_strategy"
+  "custom_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_hotspot.dir/tune_hotspot.cpp.o"
+  "CMakeFiles/tune_hotspot.dir/tune_hotspot.cpp.o.d"
+  "tune_hotspot"
+  "tune_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/apps/blackscholes.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/blackscholes.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/blackscholes.cc.o.d"
+  "/root/repo/src/benchmarks/apps/cfd.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/cfd.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/cfd.cc.o.d"
+  "/root/repo/src/benchmarks/apps/hotspot.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/hotspot.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/hotspot.cc.o.d"
+  "/root/repo/src/benchmarks/apps/hpccg.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/hpccg.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/hpccg.cc.o.d"
+  "/root/repo/src/benchmarks/apps/kmeans.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/kmeans.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/kmeans.cc.o.d"
+  "/root/repo/src/benchmarks/apps/lavamd.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/lavamd.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/lavamd.cc.o.d"
+  "/root/repo/src/benchmarks/apps/srad.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/srad.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/apps/srad.cc.o.d"
+  "/root/repo/src/benchmarks/benchmark.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/benchmark.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/benchmark.cc.o.d"
+  "/root/repo/src/benchmarks/data.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/data.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/data.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/banded_lin_eq.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/banded_lin_eq.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/banded_lin_eq.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/diff_predictor.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/diff_predictor.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/diff_predictor.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/eos.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/eos.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/eos.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/gen_lin_recur.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/gen_lin_recur.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/gen_lin_recur.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/hydro_1d.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/hydro_1d.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/hydro_1d.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/iccg.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/iccg.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/iccg.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/innerprod.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/innerprod.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/innerprod.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/int_predict.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/int_predict.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/int_predict.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/planckian.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/planckian.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/planckian.cc.o.d"
+  "/root/repo/src/benchmarks/kernels/tridiag.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/tridiag.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/kernels/tridiag.cc.o.d"
+  "/root/repo/src/benchmarks/registry.cc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/registry.cc.o" "gcc" "src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hpcmixp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hpcmixp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcmixp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_core.dir/interchange.cc.o"
+  "CMakeFiles/hpcmixp_core.dir/interchange.cc.o.d"
+  "CMakeFiles/hpcmixp_core.dir/suite.cc.o"
+  "CMakeFiles/hpcmixp_core.dir/suite.cc.o.d"
+  "CMakeFiles/hpcmixp_core.dir/tuner.cc.o"
+  "CMakeFiles/hpcmixp_core.dir/tuner.cc.o.d"
+  "libhpcmixp_core.a"
+  "libhpcmixp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/analysis.cc" "src/harness/CMakeFiles/hpcmixp_harness.dir/analysis.cc.o" "gcc" "src/harness/CMakeFiles/hpcmixp_harness.dir/analysis.cc.o.d"
+  "/root/repo/src/harness/harness.cc" "src/harness/CMakeFiles/hpcmixp_harness.dir/harness.cc.o" "gcc" "src/harness/CMakeFiles/hpcmixp_harness.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpcmixp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/hpcmixp_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/hpcmixp_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/hpcmixp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hpcmixp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hpcmixp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcmixp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_harness.dir/analysis.cc.o"
+  "CMakeFiles/hpcmixp_harness.dir/analysis.cc.o.d"
+  "CMakeFiles/hpcmixp_harness.dir/harness.cc.o"
+  "CMakeFiles/hpcmixp_harness.dir/harness.cc.o.d"
+  "libhpcmixp_harness.a"
+  "libhpcmixp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixpbench-harness.dir/main.cc.o"
+  "CMakeFiles/mixpbench-harness.dir/main.cc.o.d"
+  "mixpbench-harness"
+  "mixpbench-harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixpbench-harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_model.dir/program_model.cc.o"
+  "CMakeFiles/hpcmixp_model.dir/program_model.cc.o.d"
+  "libhpcmixp_model.a"
+  "libhpcmixp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

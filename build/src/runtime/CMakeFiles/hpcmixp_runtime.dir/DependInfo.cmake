@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/buffer.cc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/buffer.cc.o" "gcc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/buffer.cc.o.d"
+  "/root/repo/src/runtime/mp_io.cc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/mp_io.cc.o" "gcc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/mp_io.cc.o.d"
+  "/root/repo/src/runtime/profiler.cc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/profiler.cc.o" "gcc" "src/runtime/CMakeFiles/hpcmixp_runtime.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcmixp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

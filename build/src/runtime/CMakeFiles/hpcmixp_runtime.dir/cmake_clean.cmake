@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_runtime.dir/buffer.cc.o"
+  "CMakeFiles/hpcmixp_runtime.dir/buffer.cc.o.d"
+  "CMakeFiles/hpcmixp_runtime.dir/mp_io.cc.o"
+  "CMakeFiles/hpcmixp_runtime.dir/mp_io.cc.o.d"
+  "CMakeFiles/hpcmixp_runtime.dir/profiler.cc.o"
+  "CMakeFiles/hpcmixp_runtime.dir/profiler.cc.o.d"
+  "libhpcmixp_runtime.a"
+  "libhpcmixp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/combinational.cc" "src/search/CMakeFiles/hpcmixp_search.dir/combinational.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/combinational.cc.o.d"
+  "/root/repo/src/search/compositional.cc" "src/search/CMakeFiles/hpcmixp_search.dir/compositional.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/compositional.cc.o.d"
+  "/root/repo/src/search/config.cc" "src/search/CMakeFiles/hpcmixp_search.dir/config.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/config.cc.o.d"
+  "/root/repo/src/search/context.cc" "src/search/CMakeFiles/hpcmixp_search.dir/context.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/context.cc.o.d"
+  "/root/repo/src/search/delta_debug.cc" "src/search/CMakeFiles/hpcmixp_search.dir/delta_debug.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/delta_debug.cc.o.d"
+  "/root/repo/src/search/driver.cc" "src/search/CMakeFiles/hpcmixp_search.dir/driver.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/driver.cc.o.d"
+  "/root/repo/src/search/genetic.cc" "src/search/CMakeFiles/hpcmixp_search.dir/genetic.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/genetic.cc.o.d"
+  "/root/repo/src/search/hierarchical.cc" "src/search/CMakeFiles/hpcmixp_search.dir/hierarchical.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/hierarchical.cc.o.d"
+  "/root/repo/src/search/hierarchical_compositional.cc" "src/search/CMakeFiles/hpcmixp_search.dir/hierarchical_compositional.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/hierarchical_compositional.cc.o.d"
+  "/root/repo/src/search/strategy.cc" "src/search/CMakeFiles/hpcmixp_search.dir/strategy.cc.o" "gcc" "src/search/CMakeFiles/hpcmixp_search.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcmixp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_search.dir/combinational.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/combinational.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/compositional.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/compositional.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/config.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/config.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/context.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/context.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/delta_debug.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/delta_debug.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/driver.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/driver.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/genetic.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/genetic.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/hierarchical.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/hierarchical.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/hierarchical_compositional.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/hierarchical_compositional.cc.o.d"
+  "CMakeFiles/hpcmixp_search.dir/strategy.cc.o"
+  "CMakeFiles/hpcmixp_search.dir/strategy.cc.o.d"
+  "libhpcmixp_search.a"
+  "libhpcmixp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

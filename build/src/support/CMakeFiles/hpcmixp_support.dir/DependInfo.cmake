@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cc" "src/support/CMakeFiles/hpcmixp_support.dir/cli.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/cli.cc.o.d"
+  "/root/repo/src/support/env.cc" "src/support/CMakeFiles/hpcmixp_support.dir/env.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/env.cc.o.d"
+  "/root/repo/src/support/json.cc" "src/support/CMakeFiles/hpcmixp_support.dir/json.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/json.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/hpcmixp_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/hpcmixp_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/hpcmixp_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/string_util.cc" "src/support/CMakeFiles/hpcmixp_support.dir/string_util.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/string_util.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/hpcmixp_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/table.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/hpcmixp_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/thread_pool.cc.o.d"
+  "/root/repo/src/support/timer.cc" "src/support/CMakeFiles/hpcmixp_support.dir/timer.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/timer.cc.o.d"
+  "/root/repo/src/support/yaml.cc" "src/support/CMakeFiles/hpcmixp_support.dir/yaml.cc.o" "gcc" "src/support/CMakeFiles/hpcmixp_support.dir/yaml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_support.dir/cli.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/cli.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/env.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/env.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/json.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/json.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/logging.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/logging.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/rng.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/rng.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/stats.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/stats.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/string_util.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/string_util.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/table.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/table.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/thread_pool.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/thread_pool.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/timer.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/timer.cc.o.d"
+  "CMakeFiles/hpcmixp_support.dir/yaml.cc.o"
+  "CMakeFiles/hpcmixp_support.dir/yaml.cc.o.d"
+  "libhpcmixp_support.a"
+  "libhpcmixp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typeforge/clustering.cc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/clustering.cc.o" "gcc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/clustering.cc.o.d"
+  "/root/repo/src/typeforge/frontend/lexer.cc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/frontend/lexer.cc.o" "gcc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/typeforge/frontend/parser.cc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/frontend/parser.cc.o" "gcc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/typeforge/report.cc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/report.cc.o" "gcc" "src/typeforge/CMakeFiles/hpcmixp_typeforge.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hpcmixp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcmixp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_typeforge.dir/clustering.cc.o"
+  "CMakeFiles/hpcmixp_typeforge.dir/clustering.cc.o.d"
+  "CMakeFiles/hpcmixp_typeforge.dir/frontend/lexer.cc.o"
+  "CMakeFiles/hpcmixp_typeforge.dir/frontend/lexer.cc.o.d"
+  "CMakeFiles/hpcmixp_typeforge.dir/frontend/parser.cc.o"
+  "CMakeFiles/hpcmixp_typeforge.dir/frontend/parser.cc.o.d"
+  "CMakeFiles/hpcmixp_typeforge.dir/report.cc.o"
+  "CMakeFiles/hpcmixp_typeforge.dir/report.cc.o.d"
+  "libhpcmixp_typeforge.a"
+  "libhpcmixp_typeforge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_typeforge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcmixp_verify.dir/comparator.cc.o"
+  "CMakeFiles/hpcmixp_verify.dir/comparator.cc.o.d"
+  "CMakeFiles/hpcmixp_verify.dir/metrics.cc.o"
+  "CMakeFiles/hpcmixp_verify.dir/metrics.cc.o.d"
+  "libhpcmixp_verify.a"
+  "libhpcmixp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcmixp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

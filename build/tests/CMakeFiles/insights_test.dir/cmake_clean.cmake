@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insights_test.dir/insights_test.cc.o"
+  "CMakeFiles/insights_test.dir/insights_test.cc.o.d"
+  "insights_test"
+  "insights_test.pdb"
+  "insights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_sweep_test.dir/knob_sweep_test.cc.o"
+  "CMakeFiles/knob_sweep_test.dir/knob_sweep_test.cc.o.d"
+  "knob_sweep_test"
+  "knob_sweep_test.pdb"
+  "knob_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_metrics_test.dir/property_metrics_test.cc.o"
+  "CMakeFiles/property_metrics_test.dir/property_metrics_test.cc.o.d"
+  "property_metrics_test"
+  "property_metrics_test.pdb"
+  "property_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

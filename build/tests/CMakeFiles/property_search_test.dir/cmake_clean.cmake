@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_search_test.dir/property_search_test.cc.o"
+  "CMakeFiles/property_search_test.dir/property_search_test.cc.o.d"
+  "property_search_test"
+  "property_search_test.pdb"
+  "property_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

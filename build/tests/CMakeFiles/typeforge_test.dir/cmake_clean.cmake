@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeforge_test.dir/typeforge_test.cc.o"
+  "CMakeFiles/typeforge_test.dir/typeforge_test.cc.o.d"
+  "typeforge_test"
+  "typeforge_test.pdb"
+  "typeforge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeforge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/yaml_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/typeforge_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/property_search_test[1]_include.cmake")
+include("/root/repo/build/tests/property_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/property_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/property_typeforge_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/sources_test[1]_include.cmake")
+include("/root/repo/build/tests/insights_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/knob_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
