@@ -132,6 +132,12 @@ BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
     runBaseline();
     clusterProblem_ = std::make_unique<ClusterProblem>(*this);
     variableProblem_ = std::make_unique<VariableProblem>(*this);
+    if (options_.faultPlan.enabled()) {
+        faultyCluster_ = std::make_unique<search::FaultyProblem>(
+            *clusterProblem_, options_.faultPlan);
+        faultyVariable_ = std::make_unique<search::FaultyProblem>(
+            *variableProblem_, options_.faultPlan);
+    }
 }
 
 BenchmarkTuner::~BenchmarkTuner() = default;
@@ -316,19 +322,54 @@ BenchmarkTuner::variableProblem()
     return *variableProblem_;
 }
 
+search::SearchProblem&
+BenchmarkTuner::searchClusterProblem()
+{
+    if (faultyCluster_)
+        return *faultyCluster_;
+    return *clusterProblem_;
+}
+
+search::SearchProblem&
+BenchmarkTuner::searchVariableProblem()
+{
+    if (faultyVariable_)
+        return *faultyVariable_;
+    return *variableProblem_;
+}
+
+search::SearchRunOptions
+searchRunOptions(const TunerOptions& options)
+{
+    search::SearchRunOptions run;
+    run.resilience = options.resilience;
+    run.checkpointEvery = options.checkpointEvery;
+    run.checkpointSink = options.checkpointSink;
+    run.initialCache = options.initialCache;
+    return run;
+}
+
 TuneOutcome
 BenchmarkTuner::tune(const std::string& strategyCode)
 {
     auto strategy =
         search::StrategyRegistry::instance().create(strategyCode);
+    return tune(*strategy);
+}
+
+TuneOutcome
+BenchmarkTuner::tune(search::SearchStrategy& strategy)
+{
     bool variableLevel =
-        strategy->granularity() == search::Granularity::Variable;
-    search::SearchProblem& problem =
-        variableLevel ? variableProblem() : clusterProblem();
+        strategy.granularity() == search::Granularity::Variable;
+    search::SearchProblem& problem = variableLevel
+                                         ? searchVariableProblem()
+                                         : searchClusterProblem();
 
     TuneOutcome outcome;
-    outcome.search =
-        search::runSearch(problem, *strategy, options_.budget);
+    outcome.search = search::runSearch(problem, strategy,
+                                       options_.budget,
+                                       searchRunOptions(options_));
 
     outcome.clusterConfig =
         variableLevel ? toClusterConfig(outcome.search.best)

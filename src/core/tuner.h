@@ -24,6 +24,7 @@
 
 #include "benchmarks/benchmark.h"
 #include "search/driver.h"
+#include "search/fault.h"
 #include "search/problem.h"
 #include "typeforge/clustering.h"
 #include "verify/comparator.h"
@@ -37,7 +38,29 @@ struct TunerOptions {
     std::size_t searchReps = 3; ///< timing reps per search evaluation
     std::size_t finalReps = 10; ///< reps for the final measurement
     search::SearchBudget budget{2000, 0.0};
+
+    /** Campaign seed, shared by the GA and the fault injector. */
+    std::uint64_t seed = 2020;
+
+    /** Retry/deadline/backoff policy for every search evaluation. */
+    search::ResiliencePolicy resilience;
+
+    /** Fault-injection plan; all-zero rates disable injection. */
+    search::FaultPlan faultPlan;
+
+    /** Executions between search-cache snapshots; 0 disables. */
+    std::size_t checkpointEvery = 0;
+
+    /** Receives periodic exportCache() snapshots when set. */
+    search::SearchContext::CheckpointSink checkpointSink;
+
+    /** Non-null: restored into the search context before searching. */
+    support::json::Value initialCache;
 };
+
+/** Per-search run options (resilience + checkpoint wiring) derived
+ *  from tuner options. */
+search::SearchRunOptions searchRunOptions(const TunerOptions& options);
 
 /** Result of a full tuning run with one strategy. */
 struct TuneOutcome {
@@ -75,11 +98,21 @@ class BenchmarkTuner {
     /** Variable-level search problem with structure info (CM, HR, HC). */
     search::SearchProblem& variableProblem();
 
+    /** clusterProblem() wrapped in the configured fault plan
+     *  (the plain problem when injection is disabled). */
+    search::SearchProblem& searchClusterProblem();
+
+    /** variableProblem() wrapped in the configured fault plan. */
+    search::SearchProblem& searchVariableProblem();
+
     /**
      * Run the strategy registered under @p strategyCode at its own
      * granularity, then re-time the winner with the final protocol.
      */
     TuneOutcome tune(const std::string& strategyCode);
+
+    /** As above for an externally configured strategy instance. */
+    TuneOutcome tune(search::SearchStrategy& strategy);
 
     /** Evaluate one cluster configuration with @p reps timing reps. */
     search::Evaluation evaluateClusterConfig(const search::Config& cfg,
@@ -126,6 +159,8 @@ class BenchmarkTuner {
     search::StructureNode structure_;
     std::unique_ptr<ClusterProblem> clusterProblem_;
     std::unique_ptr<VariableProblem> variableProblem_;
+    std::unique_ptr<search::FaultyProblem> faultyCluster_;
+    std::unique_ptr<search::FaultyProblem> faultyVariable_;
 };
 
 } // namespace hpcmixp::core

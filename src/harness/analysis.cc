@@ -47,6 +47,20 @@ sizeArg(const ExtraArgs& args, const char* name, std::size_t fallback)
     return static_cast<std::size_t>(v);
 }
 
+/** Copy the per-search accounting into an analysis result. */
+void
+fillSearchCounters(AnalysisResult& result,
+                   const search::SearchResult& searchResult)
+{
+    result.evaluated = searchResult.evaluated;
+    result.compileFailures = searchResult.compileFailures;
+    result.cacheHits = searchResult.cacheHits;
+    result.retries = searchResult.retries;
+    result.deadlineMisses = searchResult.deadlineMisses;
+    result.quarantined = searchResult.quarantined;
+    result.timedOut = searchResult.timedOut;
+}
+
 } // namespace
 
 AnalysisResult
@@ -64,23 +78,17 @@ FloatsmithAnalysis::analyze(const benchmarks::Benchmark& benchmark,
     core::TuneOutcome outcome;
     if (code == "GA") {
         // The GA's knobs are tunable from the configuration file,
-        // like CRAFT's strategy options.
+        // like CRAFT's strategy options; its seed follows the
+        // campaign seed unless the configuration pins one.
         search::GaOptions gaOptions;
         gaOptions.population =
             sizeArg(args, "population", gaOptions.population);
         gaOptions.generations =
             sizeArg(args, "generations", gaOptions.generations);
-        gaOptions.seed = static_cast<std::uint64_t>(
-            sizeArg(args, "seed", gaOptions.seed));
+        gaOptions.seed = sizeArg(
+            args, "seed", static_cast<std::size_t>(options.seed));
         search::GeneticSearch ga(gaOptions);
-        outcome.search = search::runSearch(tuner.clusterProblem(), ga,
-                                           options.budget);
-        outcome.clusterConfig = outcome.search.best;
-        if (outcome.search.foundImprovement) {
-            auto eval = tuner.finalMeasure(outcome.clusterConfig);
-            outcome.finalSpeedup = eval.speedup;
-            outcome.finalQualityLoss = eval.qualityLoss;
-        }
+        outcome = tuner.tune(ga);
     } else {
         outcome = tuner.tune(code);
     }
@@ -90,9 +98,7 @@ FloatsmithAnalysis::analyze(const benchmarks::Benchmark& benchmark,
     result.detail = code;
     result.speedup = outcome.finalSpeedup;
     result.qualityLoss = outcome.finalQualityLoss;
-    result.evaluated = outcome.search.evaluated;
-    result.compileFailures = outcome.search.compileFailures;
-    result.timedOut = outcome.search.timedOut;
+    fillSearchCounters(result, outcome.search);
     result.configuration = outcome.clusterConfig.toString();
     return result;
 }
@@ -123,15 +129,14 @@ PrecimoniousAnalysis::analyze(const benchmarks::Benchmark& benchmark,
 {
     core::BenchmarkTuner tuner(benchmark, options);
     search::DeltaDebugSearch dd;
-    search::SearchResult searchResult = search::runSearch(
-        tuner.variableProblem(), dd, options.budget);
+    search::SearchResult searchResult =
+        search::runSearch(tuner.searchVariableProblem(), dd,
+                          options.budget, core::searchRunOptions(options));
 
     AnalysisResult result;
     result.analysis = name();
     result.detail = "DD/variables";
-    result.evaluated = searchResult.evaluated;
-    result.compileFailures = searchResult.compileFailures;
-    result.timedOut = searchResult.timedOut;
+    fillSearchCounters(result, searchResult);
     if (searchResult.foundImprovement) {
         search::Config clusterCfg =
             tuner.toClusterConfig(searchResult.best);

@@ -38,6 +38,10 @@ struct AnalysisResult {
     double qualityLoss = 0.0;    ///< final quality loss
     std::size_t evaluated = 0;   ///< configurations executed
     std::size_t compileFailures = 0;
+    std::size_t cacheHits = 0;   ///< repeat/checkpoint-restored queries
+    std::size_t retries = 0;     ///< transient-failure re-attempts
+    std::size_t deadlineMisses = 0; ///< attempts discarded as stragglers
+    std::size_t quarantined = 0; ///< configs failed after retries
     bool timedOut = false;
     std::string configuration;   ///< winning cluster config bits
 };

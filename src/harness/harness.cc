@@ -1,5 +1,13 @@
 #include "harness/harness.h"
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
 #include "benchmarks/registry.h"
 #include "support/logging.h"
 #include "support/string_util.h"
@@ -11,6 +19,7 @@ namespace hpcmixp::harness {
 
 using support::fatal;
 using support::strCat;
+using support::json::Value;
 
 namespace {
 
@@ -71,8 +80,169 @@ parseEntry(const std::string& benchmarkName,
     return spec;
 }
 
+/** Stable identity of a job inside a checkpoint file. */
+std::string
+jobKey(const JobSpec& spec, std::size_t index)
+{
+    return strCat(index, ":", spec.benchmark, "/",
+                  support::toLower(spec.analysis));
+}
+
+Value
+analysisResultToJson(const AnalysisResult& r)
+{
+    Value v = Value::object();
+    v.set("analysis", Value::string(r.analysis));
+    v.set("detail", Value::string(r.detail));
+    v.set("speedup", Value::number(r.speedup));
+    v.set("quality_loss", Value::number(r.qualityLoss));
+    v.set("evaluated", Value::number(static_cast<double>(r.evaluated)));
+    v.set("compile_failures",
+          Value::number(static_cast<double>(r.compileFailures)));
+    v.set("cache_hits",
+          Value::number(static_cast<double>(r.cacheHits)));
+    v.set("retries", Value::number(static_cast<double>(r.retries)));
+    v.set("deadline_misses",
+          Value::number(static_cast<double>(r.deadlineMisses)));
+    v.set("quarantined",
+          Value::number(static_cast<double>(r.quarantined)));
+    v.set("timed_out", Value::boolean(r.timedOut));
+    v.set("configuration", Value::string(r.configuration));
+    return v;
+}
+
+AnalysisResult
+analysisResultFromJson(const Value& v)
+{
+    auto count = [&](const char* key) -> std::size_t {
+        return v.has(key) ? static_cast<std::size_t>(v.at(key).asLong())
+                          : 0;
+    };
+    AnalysisResult r;
+    r.analysis = v.at("analysis").asString();
+    r.detail = v.at("detail").asString();
+    r.speedup = v.at("speedup").asNumber();
+    // NaN quality losses serialize as null (JSON has no NaN).
+    r.qualityLoss = v.at("quality_loss").isNull()
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : v.at("quality_loss").asNumber();
+    r.evaluated = count("evaluated");
+    r.compileFailures = count("compile_failures");
+    r.cacheHits = count("cache_hits");
+    r.retries = count("retries");
+    r.deadlineMisses = count("deadline_misses");
+    r.quarantined = count("quarantined");
+    r.timedOut = v.at("timed_out").asBool();
+    r.configuration = v.at("configuration").asString();
+    return r;
+}
+
+/**
+ * Mutex-protected checkpoint document for one campaign: successfully
+ * completed job results plus the latest search-cache snapshot of every
+ * in-flight job. Every update atomically rewrites the file (write to a
+ * temporary, then rename) so a kill mid-write never corrupts it.
+ */
+class CheckpointWriter {
+  public:
+    explicit CheckpointWriter(std::string path)
+        : path_(std::move(path))
+    {
+    }
+
+    void
+    updateCache(const std::string& key, Value cache)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        caches_[key] = std::move(cache);
+        flushLocked();
+    }
+
+    void
+    completeJob(const std::string& key, const JobResult& job)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Value entry = Value::object();
+        entry.set("benchmark", Value::string(job.spec.benchmark));
+        entry.set("analysis", Value::string(job.spec.analysis));
+        entry.set("result", analysisResultToJson(job.result));
+        completed_[key] = std::move(entry);
+        caches_.erase(key); // the final result supersedes the cache
+        flushLocked();
+    }
+
+  private:
+    void
+    flushLocked()
+    {
+        Value root = Value::object();
+        root.set("version", Value::number(1));
+        Value completed = Value::object();
+        for (const auto& [key, entry] : completed_)
+            completed.set(key, entry);
+        root.set("completed", std::move(completed));
+        Value caches = Value::object();
+        for (const auto& [key, cache] : caches_)
+            caches.set(key, cache);
+        root.set("caches", std::move(caches));
+
+        std::string tmp = path_ + ".tmp";
+        {
+            std::ofstream out(tmp);
+            if (!out) {
+                support::warn(strCat("harness: cannot write checkpoint '",
+                                     tmp, "'"));
+                return;
+            }
+            out << root.dump(2) << '\n';
+        }
+        if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+            support::warn(strCat("harness: cannot move checkpoint into '",
+                                 path_, "'"));
+    }
+
+    std::string path_;
+    std::mutex mutex_;
+    std::map<std::string, Value> completed_;
+    std::map<std::string, Value> caches_;
+};
+
+/** Restored state of an interrupted campaign. */
+struct ResumeState {
+    std::map<std::string, AnalysisResult> completed;
+    std::map<std::string, Value> caches;
+};
+
+ResumeState
+loadResume(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strCat("harness: cannot open resume checkpoint '", path,
+                     "'"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    Value root = support::json::parse(text.str());
+    if (!root.isObject() || !root.has("completed") ||
+        !root.has("caches"))
+        fatal(strCat("harness: '", path,
+                     "' is not a harness checkpoint"));
+
+    ResumeState state;
+    const Value& completed = root.at("completed");
+    for (const auto& key : completed.keys())
+        state.completed[key] =
+            analysisResultFromJson(completed.at(key).at("result"));
+    const Value& caches = root.at("caches");
+    for (const auto& key : caches.keys())
+        state.caches[key] = caches.at(key);
+    return state;
+}
+
 JobResult
-runJob(const JobSpec& spec, const HarnessOptions& options)
+runJob(const JobSpec& spec, const HarnessOptions& options,
+       Value initialCache,
+       search::SearchContext::CheckpointSink checkpointSink)
 {
     JobResult out;
     out.spec = spec;
@@ -83,12 +253,22 @@ runJob(const JobSpec& spec, const HarnessOptions& options)
         core::TunerOptions tunerOptions = options.tuner;
         tunerOptions.threshold = spec.threshold;
         tunerOptions.metric = spec.metric;
+        tunerOptions.initialCache = std::move(initialCache);
+        tunerOptions.checkpointSink = std::move(checkpointSink);
+        if (!tunerOptions.checkpointSink)
+            tunerOptions.checkpointEvery = 0;
+        else if (tunerOptions.checkpointEvery == 0)
+            tunerOptions.checkpointEvery = options.checkpointEvery;
         auto analysis =
             AnalysisRegistry::instance().create(spec.analysis);
         out.result =
             analysis->analyze(*benchmark, tunerOptions, spec.extraArgs);
     } catch (const std::exception& e) {
         out.error = e.what();
+    } catch (...) {
+        // A job must never tear down the pool or the other jobs,
+        // whatever it throws.
+        out.error = "job failed with a non-standard exception";
     }
     return out;
 }
@@ -118,17 +298,63 @@ std::vector<JobResult>
 runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& options)
 {
     std::vector<JobResult> results(jobs.size());
+
+    ResumeState resume;
+    if (!options.resumePath.empty())
+        resume = loadResume(options.resumePath);
+
+    std::shared_ptr<CheckpointWriter> writer;
+    if (!options.checkpointPath.empty())
+        writer = std::make_shared<CheckpointWriter>(
+            options.checkpointPath);
+
+    auto runOne = [&](std::size_t i) {
+        const JobSpec& spec = jobs[i];
+        std::string key = jobKey(spec, i);
+
+        if (auto it = resume.completed.find(key);
+            it != resume.completed.end()) {
+            results[i].spec = spec;
+            results[i].result = it->second;
+            results[i].restored = true;
+            support::inform(strCat("harness: restored '", key,
+                                   "' from checkpoint"));
+            if (writer)
+                writer->completeJob(key, results[i]);
+            return;
+        }
+
+        Value initialCache; // null
+        if (auto it = resume.caches.find(key);
+            it != resume.caches.end()) {
+            initialCache = it->second;
+            support::inform(strCat("harness: resuming '", key,
+                                   "' from a partial search cache"));
+        }
+        search::SearchContext::CheckpointSink sink;
+        if (writer)
+            sink = [writer, key](const Value& cache) {
+                writer->updateCache(key, cache);
+            };
+
+        results[i] = runJob(spec, options, std::move(initialCache),
+                            std::move(sink));
+        // Failed jobs stay out of `completed` so a resumed campaign
+        // retries them (their last cache snapshot is kept).
+        if (writer && results[i].error.empty())
+            writer->completeJob(key, results[i]);
+    };
+
     if (options.jobs <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runJob(jobs[i], options);
+            runOne(i);
         return results;
     }
     support::ThreadPool pool(options.jobs);
     std::vector<std::future<void>> futures;
     futures.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
-        futures.push_back(pool.submit(
-            [&, i] { results[i] = runJob(jobs[i], options); }));
+        futures.push_back(pool.submit([&runOne, i] { runOne(i); }));
     for (auto& f : futures)
         f.get();
     return results;
@@ -159,7 +385,20 @@ resultsToJson(const std::vector<JobResult>& results)
         entry.set("compile_failures",
                   Value::number(static_cast<double>(
                       r.result.compileFailures)));
+        entry.set("cache_hits",
+                  Value::number(
+                      static_cast<double>(r.result.cacheHits)));
+        entry.set("retries",
+                  Value::number(
+                      static_cast<double>(r.result.retries)));
+        entry.set("deadline_misses",
+                  Value::number(static_cast<double>(
+                      r.result.deadlineMisses)));
+        entry.set("quarantined",
+                  Value::number(
+                      static_cast<double>(r.result.quarantined)));
         entry.set("timed_out", Value::boolean(r.result.timedOut));
+        entry.set("restored", Value::boolean(r.restored));
         entry.set("configuration",
                   Value::string(r.result.configuration));
         root.push(std::move(entry));
@@ -171,20 +410,26 @@ void
 printResults(std::ostream& os, const std::vector<JobResult>& results)
 {
     support::Table table({"benchmark", "analysis", "algorithm",
-                          "speedup", "quality", "EV", "status"});
+                          "speedup", "quality", "EV", "retries",
+                          "status"});
     for (const auto& r : results) {
         if (!r.error.empty()) {
             table.addRow({r.spec.benchmark, r.spec.analysis, "-", "-",
-                          "-", "-", strCat("error: ", r.error)});
+                          "-", "-", "-", strCat("error: ", r.error)});
             continue;
         }
+        const char* status = r.result.timedOut ? "timeout"
+                             : r.restored      ? "restored"
+                                               : "ok";
         table.addRow({r.spec.benchmark, r.result.analysis,
                       r.result.detail,
                       support::Table::cell(r.result.speedup, 2),
                       support::Table::cellSci(r.result.qualityLoss),
                       support::Table::cell(
                           static_cast<long>(r.result.evaluated)),
-                      r.result.timedOut ? "timeout" : "ok"});
+                      support::Table::cell(
+                          static_cast<long>(r.result.retries)),
+                      status});
     }
     table.print(os);
 }

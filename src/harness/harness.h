@@ -48,13 +48,31 @@ struct JobSpec {
 struct HarnessOptions {
     std::size_t jobs = 1;         ///< parallel analysis jobs
     core::TunerOptions tuner;     ///< metric/threshold overridden per job
+
+    /**
+     * Checkpoint file the campaign progressively writes: completed
+     * job results plus in-flight search caches. Empty disables
+     * checkpointing.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Checkpoint file a previous (interrupted) campaign wrote.
+     * Completed jobs are restored without re-running; in-flight jobs
+     * resume from their cached evaluations. Empty starts fresh.
+     */
+    std::string resumePath;
+
+    /** Executed configurations between search-cache snapshots. */
+    std::size_t checkpointEvery = 8;
 };
 
 /** One completed job. */
 struct JobResult {
     JobSpec spec;
     AnalysisResult result;
-    std::string error; ///< non-empty when the job failed
+    std::string error;     ///< non-empty when the job failed
+    bool restored = false; ///< satisfied from a resume checkpoint
 };
 
 /** Parse a configuration document into job specs; fatal()s on schema

@@ -3,10 +3,14 @@
  * mixpbench-harness — command-line entry point.
  *
  *   mixpbench-harness --config suite.yaml [--jobs N] [--reps R]
- *                     [--budget E] [--verbose]
+ *                     [--budget E] [--seed S] [--retries N]
+ *                     [--deadline S] [--fault-rate P]
+ *                     [--checkpoint F] [--resume F] [--verbose]
  *
  * Reads a Listing-4-style YAML configuration, runs every declared
- * analysis job, and prints a result table.
+ * analysis job, and prints a result table. The resilience flags
+ * control the retry/deadline policy, deterministic fault injection,
+ * and campaign checkpoint/resume (see README "Fault tolerance").
  */
 
 #include <fstream>
@@ -25,13 +29,30 @@ main(int argc, char** argv)
     if (cl.has("help") || (!cl.has("config") && cl.positional().empty())) {
         std::cout
             << "usage: mixpbench-harness --config <file.yaml>"
-               " [--jobs N] [--reps R] [--budget E] [--verbose]\n"
-               "  --config  YAML configuration (Listing-4 schema)\n"
-               "  --jobs    parallel analysis jobs (default 1)\n"
-               "  --reps    timing repetitions per evaluation"
+               " [options]\n"
+               "  --config      YAML configuration (Listing-4 schema)\n"
+               "  --jobs        parallel analysis jobs (default 1)\n"
+               "  --reps        timing repetitions per evaluation"
                " (default 3)\n"
-               "  --budget  max evaluated configurations per search"
-               " (default 2000)\n";
+               "  --budget      max evaluated configurations per search"
+               " (default 2000)\n"
+               "  --seed        campaign seed: GA + fault injection"
+               " (default 2020)\n"
+               "  --retries     max attempts per evaluation"
+               " (default 3)\n"
+               "  --deadline    per-evaluation deadline in seconds"
+               " (default 0 = none)\n"
+               "  --fault-rate  injected transient-crash probability"
+               " (default 0)\n"
+               "  --fault-hang-rate  injected straggler probability"
+               " (default 0)\n"
+               "  --fault-nan-rate   injected NaN-output probability"
+               " (default 0)\n"
+               "  --fault-seed  fault decision seed (default --seed)\n"
+               "  --checkpoint  write campaign progress to this file\n"
+               "  --resume      restore an interrupted campaign from"
+               " this file\n"
+               "  --json        write a JSON report to this file\n";
         return cl.has("help") ? 0 : 2;
     }
 
@@ -51,6 +72,31 @@ main(int argc, char** argv)
             static_cast<std::size_t>(cl.getLong("reps", 3));
         options.tuner.budget.maxEvaluations =
             static_cast<std::size_t>(cl.getLong("budget", 2000));
+
+        long seed = cl.getLong("seed", 2020);
+        options.tuner.seed = static_cast<std::uint64_t>(seed);
+        options.tuner.resilience.maxAttempts =
+            static_cast<std::size_t>(cl.getLong("retries", 3));
+        options.tuner.resilience.deadlineSeconds =
+            cl.getDouble("deadline", 0.0);
+        options.tuner.resilience.seed = options.tuner.seed;
+        options.tuner.faultPlan.crashRate =
+            cl.getDouble("fault-rate", 0.0);
+        options.tuner.faultPlan.hangRate =
+            cl.getDouble("fault-hang-rate", 0.0);
+        options.tuner.faultPlan.nanRate =
+            cl.getDouble("fault-nan-rate", 0.0);
+        options.tuner.faultPlan.seed =
+            static_cast<std::uint64_t>(cl.getLong("fault-seed", seed));
+
+        options.checkpointPath = cl.getString("checkpoint", "");
+        options.resumePath = cl.getString("resume", "");
+        // Resuming keeps checkpointing to the same file unless the
+        // user redirects it, so a resumed run can itself be resumed.
+        if (!options.resumePath.empty() &&
+            options.checkpointPath.empty())
+            options.checkpointPath = options.resumePath;
+
         auto results = harness::runJobs(jobs, options);
         harness::printResults(std::cout, results);
         if (cl.has("json")) {

@@ -6,9 +6,21 @@
 
 namespace hpcmixp::search {
 
-SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget)
-    : problem_(problem), budget_(budget)
+SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget,
+                             ResiliencePolicy resilience)
+    : problem_(problem),
+      budget_(budget),
+      resilience_(resilience),
+      retryRng_(resilience.seed, /*stream=*/0x7e51) // jitter stream
 {
+}
+
+void
+SearchContext::setCheckpointHook(std::size_t everyExecutions,
+                                 CheckpointSink sink)
+{
+    checkpointEvery_ = everyExecutions;
+    checkpointSink_ = std::move(sink);
 }
 
 void
@@ -33,6 +45,45 @@ SearchContext::noteBest(const Config& config, const Evaluation& eval)
     }
 }
 
+/**
+ * One evaluation under the resilience policy: bounded retries with
+ * backoff for transient RuntimeFails, and a per-attempt deadline that
+ * discards stragglers the way SLURM kills an overdue task.
+ */
+Evaluation
+SearchContext::evaluateResilient(const Config& config)
+{
+    std::size_t maxAttempts =
+        resilience_.maxAttempts > 0 ? resilience_.maxAttempts : 1;
+    Evaluation eval;
+    for (std::size_t attempt = 1;; ++attempt) {
+        support::WallTimer attemptTimer;
+        eval = problem_.evaluate(config);
+        if (resilience_.deadlineSeconds > 0.0 &&
+            attemptTimer.seconds() > resilience_.deadlineSeconds &&
+            eval.status != EvalStatus::CompileFail) {
+            // The result arrived after the deadline: discard it.
+            ++deadlineMisses_;
+            eval = Evaluation{};
+            eval.status = EvalStatus::RuntimeFail;
+            eval.qualityLoss =
+                std::numeric_limits<double>::quiet_NaN();
+        }
+        if (eval.status != EvalStatus::RuntimeFail ||
+            attempt >= maxAttempts)
+            break;
+        ++retries_;
+        if (resilience_.sleepBetweenRetries)
+            support::sleepForSeconds(support::backoffDelaySeconds(
+                resilience_.backoff, attempt - 1, retryRng_));
+    }
+    // Retries exhausted: quarantine the configuration — it is cached
+    // as failed and the search moves on rather than aborting.
+    if (eval.status == EvalStatus::RuntimeFail && maxAttempts > 1)
+        ++quarantined_;
+    return eval;
+}
+
 const Evaluation&
 SearchContext::evaluate(const Config& config)
 {
@@ -48,14 +99,20 @@ SearchContext::evaluate(const Config& config)
 
     checkBudget();
 
-    Evaluation eval = problem_.evaluate(config);
-    if (eval.status == EvalStatus::CompileFail) {
-        ++compileFails_;
-    } else {
+    Evaluation eval = evaluateResilient(config);
+    bool ran = eval.status != EvalStatus::CompileFail;
+    if (ran) {
         ++executed_;
+    } else {
+        ++compileFails_;
     }
     noteBest(config, eval);
-    return cache_.emplace(std::move(key), eval).first->second;
+    const Evaluation& stored =
+        cache_.emplace(std::move(key), eval).first->second;
+    if (ran && checkpointEvery_ > 0 && checkpointSink_ &&
+        executed_ % checkpointEvery_ == 0)
+        checkpointSink_(exportCache());
+    return stored;
 }
 
 bool

@@ -13,9 +13,17 @@
  *  - the best *passing* configuration seen so far (highest measured
  *    speedup) is tracked so a strategy interrupted by the budget still
  *    reports its best-so-far.
+ *
+ * It also implements the resilience policy real tuning campaigns rely
+ * on: a transient RuntimeFail is retried with exponential backoff up
+ * to a bounded number of attempts, an attempt that outlives the
+ * per-evaluation deadline is discarded as a straggler, and a
+ * configuration that exhausts its retries is quarantined — recorded
+ * as failed so the search continues instead of aborting.
  */
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -24,6 +32,8 @@
 #include "search/config.h"
 #include "search/problem.h"
 #include "support/json.h"
+#include "support/retry.h"
+#include "support/rng.h"
 #include "support/timer.h"
 
 namespace hpcmixp::search {
@@ -40,10 +50,20 @@ class BudgetExhausted : public std::runtime_error {
     BudgetExhausted() : std::runtime_error("search budget exhausted") {}
 };
 
+/** Per-evaluation resilience policy (retries, deadline, backoff). */
+struct ResiliencePolicy {
+    std::size_t maxAttempts = 1;  ///< total attempts per configuration
+    double deadlineSeconds = 0.0; ///< per-attempt deadline; 0 = none
+    support::BackoffPolicy backoff; ///< delay schedule between retries
+    bool sleepBetweenRetries = true; ///< disable to keep tests fast
+    std::uint64_t seed = 2020;    ///< backoff-jitter stream seed
+};
+
 /** Evaluation front-end with caching, metering and best tracking. */
 class SearchContext {
   public:
-    SearchContext(SearchProblem& problem, SearchBudget budget);
+    SearchContext(SearchProblem& problem, SearchBudget budget,
+                  ResiliencePolicy resilience = {});
 
     /** Number of sites in the underlying problem. */
     std::size_t siteCount() const { return problem_.siteCount(); }
@@ -74,11 +94,32 @@ class SearchContext {
     /** Cache hits (repeat queries). */
     std::size_t cacheHitCount() const { return cacheHits_; }
 
+    /** Re-attempts after transient RuntimeFails. */
+    std::size_t retryCount() const { return retries_; }
+
+    /** Attempts discarded because they outlived the deadline. */
+    std::size_t deadlineMissCount() const { return deadlineMisses_; }
+
+    /** Configurations recorded as failed after exhausting retries. */
+    std::size_t quarantinedCount() const { return quarantined_; }
+
     /** Seconds since the context was created. */
     double elapsedSeconds() const { return timer_.seconds(); }
 
     /** True once a budget limit has been hit. */
     bool exhausted() const { return exhausted_; }
+
+    /** Receives exportCache() snapshots from the checkpoint hook. */
+    using CheckpointSink =
+        std::function<void(const support::json::Value&)>;
+
+    /**
+     * Install a periodic checkpoint hook: after every
+     * @p everyExecutions executed configurations, @p sink receives an
+     * exportCache() snapshot. Pass 0 or an empty sink to disable.
+     */
+    void setCheckpointHook(std::size_t everyExecutions,
+                           CheckpointSink sink);
 
     /**
      * Checkpoint: serialize every cached evaluation. A search that
@@ -95,16 +136,24 @@ class SearchContext {
   private:
     void checkBudget();
     void noteBest(const Config& config, const Evaluation& eval);
+    Evaluation evaluateResilient(const Config& config);
 
     SearchProblem& problem_;
     SearchBudget budget_;
+    ResiliencePolicy resilience_;
+    support::Pcg32 retryRng_;
     support::WallTimer timer_;
     std::unordered_map<std::string, Evaluation> cache_;
     std::optional<std::pair<Config, Evaluation>> best_;
     std::size_t executed_ = 0;
     std::size_t compileFails_ = 0;
     std::size_t cacheHits_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t deadlineMisses_ = 0;
+    std::size_t quarantined_ = 0;
     bool exhausted_ = false;
+    std::size_t checkpointEvery_ = 0;
+    CheckpointSink checkpointSink_;
 };
 
 } // namespace hpcmixp::search

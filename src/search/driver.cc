@@ -6,9 +6,23 @@ namespace hpcmixp::search {
 
 SearchResult
 runSearch(SearchProblem& problem, SearchStrategy& strategy,
-          const SearchBudget& budget)
+          const SearchBudget& budget, const SearchRunOptions& run)
 {
-    SearchContext ctx(problem, budget);
+    SearchContext ctx(problem, budget, run.resilience);
+    if (!run.initialCache.isNull()) {
+        // A checkpoint that no longer matches the problem (changed
+        // configuration, different granularity) must not kill the
+        // campaign — the search simply starts fresh.
+        try {
+            ctx.importCache(run.initialCache);
+        } catch (const support::FatalError& e) {
+            support::warn(support::strCat(
+                "ignoring unusable search checkpoint: ", e.what()));
+        }
+    }
+    if (run.checkpointEvery > 0 && run.checkpointSink)
+        ctx.setCheckpointHook(run.checkpointEvery, run.checkpointSink);
+
     SearchResult result;
     result.strategyCode = strategy.code();
 
@@ -21,6 +35,9 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
     result.evaluated = ctx.evaluatedCount();
     result.compileFailures = ctx.compileFailCount();
     result.cacheHits = ctx.cacheHitCount();
+    result.retries = ctx.retryCount();
+    result.deadlineMisses = ctx.deadlineMissCount();
+    result.quarantined = ctx.quarantinedCount();
     result.searchSeconds = ctx.elapsedSeconds();
 
     if (ctx.hasBest()) {
@@ -34,15 +51,34 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
         result.bestEvaluation.speedup = 1.0;
         result.bestEvaluation.qualityLoss = 0.0;
     }
+
+    // A final snapshot so the cache of a search that ran to completion
+    // (or timed out between periodic snapshots) is durable.
+    if (run.checkpointSink)
+        run.checkpointSink(ctx.exportCache());
     return result;
+}
+
+SearchResult
+runSearch(SearchProblem& problem, SearchStrategy& strategy,
+          const SearchBudget& budget)
+{
+    return runSearch(problem, strategy, budget, SearchRunOptions{});
+}
+
+SearchResult
+runSearch(SearchProblem& problem, const std::string& strategyCode,
+          const SearchBudget& budget, const SearchRunOptions& run)
+{
+    auto strategy = StrategyRegistry::instance().create(strategyCode);
+    return runSearch(problem, *strategy, budget, run);
 }
 
 SearchResult
 runSearch(SearchProblem& problem, const std::string& strategyCode,
           const SearchBudget& budget)
 {
-    auto strategy = StrategyRegistry::instance().create(strategyCode);
-    return runSearch(problem, *strategy, budget);
+    return runSearch(problem, strategyCode, budget, SearchRunOptions{});
 }
 
 } // namespace hpcmixp::search

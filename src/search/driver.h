@@ -22,8 +22,22 @@ struct SearchResult {
     std::size_t evaluated = 0;      ///< EV: configs executed
     std::size_t compileFailures = 0;
     std::size_t cacheHits = 0;
+    std::size_t retries = 0;        ///< transient-failure re-attempts
+    std::size_t deadlineMisses = 0; ///< attempts discarded as stragglers
+    std::size_t quarantined = 0;    ///< configs failed after retries
     bool timedOut = false;          ///< budget exhausted mid-search
     double searchSeconds = 0.0;
+};
+
+/**
+ * Resilience/checkpoint wiring for one search run. Defaults leave
+ * every knob off, reproducing a plain uninstrumented search.
+ */
+struct SearchRunOptions {
+    ResiliencePolicy resilience;      ///< retry/deadline/backoff policy
+    std::size_t checkpointEvery = 0;  ///< executions per snapshot; 0 = off
+    SearchContext::CheckpointSink checkpointSink; ///< snapshot receiver
+    support::json::Value initialCache; ///< non-null: importCache() first
 };
 
 /**
@@ -36,10 +50,21 @@ struct SearchResult {
 SearchResult runSearch(SearchProblem& problem, SearchStrategy& strategy,
                        const SearchBudget& budget);
 
+/** As above, with resilience and checkpoint wiring. */
+SearchResult runSearch(SearchProblem& problem, SearchStrategy& strategy,
+                       const SearchBudget& budget,
+                       const SearchRunOptions& run);
+
 /** Convenience: look up the strategy by code and run it. */
 SearchResult runSearch(SearchProblem& problem,
                        const std::string& strategyCode,
                        const SearchBudget& budget);
+
+/** As above, with resilience and checkpoint wiring. */
+SearchResult runSearch(SearchProblem& problem,
+                       const std::string& strategyCode,
+                       const SearchBudget& budget,
+                       const SearchRunOptions& run);
 
 } // namespace hpcmixp::search
 

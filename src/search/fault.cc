@@ -1,0 +1,82 @@
+#include "search/fault.h"
+
+#include <limits>
+
+#include "support/retry.h"
+#include "support/rng.h"
+
+namespace hpcmixp::search {
+
+namespace {
+
+/** FNV-1a over the configuration key, for seeding the decision draw. */
+std::uint64_t
+hashKey(const std::string& key)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultKind
+FaultInjector::draw(const std::string& configKey, std::uint64_t attempt)
+{
+    if (!plan_.enabled())
+        return FaultKind::None;
+    // One SplitMix64 step over (seed, key, attempt) gives a stateless,
+    // replayable decision per attempt.
+    support::SplitMix64 mix(plan_.seed ^ hashKey(configKey) ^
+                            (attempt * 0x9e3779b97f4a7c15ULL));
+    double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    if (u < plan_.crashRate) {
+        ++crashes_;
+        return FaultKind::Crash;
+    }
+    if (u < plan_.crashRate + plan_.hangRate) {
+        ++hangs_;
+        return FaultKind::Hang;
+    }
+    if (u < plan_.crashRate + plan_.hangRate + plan_.nanRate) {
+        ++nans_;
+        return FaultKind::Nan;
+    }
+    return FaultKind::None;
+}
+
+Evaluation
+FaultyProblem::evaluate(const Config& config)
+{
+    std::string key = config.toString();
+    std::uint64_t attempt = attempts_[key]++;
+    switch (injector_.draw(key, attempt)) {
+      case FaultKind::Crash: {
+        Evaluation eval;
+        eval.status = EvalStatus::RuntimeFail;
+        eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
+        return eval;
+      }
+      case FaultKind::Hang:
+        support::sleepForSeconds(injector_.plan().hangSeconds);
+        return inner_.evaluate(config);
+      case FaultKind::Nan: {
+        Evaluation eval = inner_.evaluate(config);
+        if (eval.status == EvalStatus::Pass ||
+            eval.status == EvalStatus::QualityFail) {
+            eval.status = EvalStatus::QualityFail;
+            eval.qualityLoss =
+                std::numeric_limits<double>::quiet_NaN();
+        }
+        return eval;
+      }
+      case FaultKind::None:
+        break;
+    }
+    return inner_.evaluate(config);
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,104 @@
+#ifndef HPCMIXP_SEARCH_FAULT_H_
+#define HPCMIXP_SEARCH_FAULT_H_
+
+/**
+ * @file
+ * Deterministic fault injection for stress-testing the search layer.
+ *
+ * The paper's campaigns run under a 24-hour SLURM budget where node
+ * crashes, stragglers and flaky evaluations are routine. FaultyProblem
+ * decorates any SearchProblem with seeded, reproducible injection of
+ * those failure modes so every strategy can be exercised against them
+ * unmodified; the ResiliencePolicy in SearchContext (retries, backoff,
+ * per-evaluation deadline) is the machinery that recovers from them.
+ *
+ * Fault decisions are a pure function of (seed, configuration key,
+ * attempt index): a given attempt on a given configuration always
+ * draws the same fault, so failure scenarios replay exactly, while a
+ * *retry* of the same configuration re-draws — injected crashes and
+ * hangs are transient, like the real thing.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "search/problem.h"
+
+namespace hpcmixp::search {
+
+/** Per-attempt fault probabilities; all-zero disables injection. */
+struct FaultPlan {
+    double crashRate = 0.0;    ///< injected transient crash (RuntimeFail)
+    double hangRate = 0.0;     ///< straggler stall before evaluating
+    double nanRate = 0.0;      ///< destroyed (NaN-quality) output
+    double hangSeconds = 0.02; ///< stall duration of a Hang fault
+    std::uint64_t seed = 2020; ///< decision-stream seed
+
+    bool enabled() const
+    {
+        return crashRate > 0.0 || hangRate > 0.0 || nanRate > 0.0;
+    }
+};
+
+/** The fault drawn for one evaluation attempt. */
+enum class FaultKind { None, Crash, Hang, Nan };
+
+/** Seeded decision stream: (configuration key, attempt) -> FaultKind. */
+class FaultInjector {
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+    /** Draw the fault for @p attempt (0-based) on @p configKey. */
+    FaultKind draw(const std::string& configKey, std::uint64_t attempt);
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /** Injection counters, by kind. */
+    std::size_t crashesInjected() const { return crashes_; }
+    std::size_t hangsInjected() const { return hangs_; }
+    std::size_t nansInjected() const { return nans_; }
+
+  private:
+    FaultPlan plan_;
+    std::size_t crashes_ = 0;
+    std::size_t hangs_ = 0;
+    std::size_t nans_ = 0;
+};
+
+/**
+ * SearchProblem decorator injecting faults per the plan. Crashes
+ * return RuntimeFail without running the inner problem (the node
+ * died); hangs stall for hangSeconds and then evaluate normally (a
+ * straggler the deadline policy converts into a RuntimeFail); NaN
+ * faults run the inner problem and destroy the quality of a run that
+ * completed. Compile failures pass through untouched — a
+ * configuration that never runs cannot crash.
+ */
+class FaultyProblem final : public SearchProblem {
+  public:
+    FaultyProblem(SearchProblem& inner, FaultPlan plan)
+        : inner_(inner), injector_(plan)
+    {
+    }
+
+    std::size_t siteCount() const override { return inner_.siteCount(); }
+
+    const StructureNode* structure() const override
+    {
+        return inner_.structure();
+    }
+
+    Evaluation evaluate(const Config& config) override;
+
+    const FaultInjector& injector() const { return injector_; }
+
+  private:
+    SearchProblem& inner_;
+    FaultInjector injector_;
+    std::unordered_map<std::string, std::uint64_t> attempts_;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_FAULT_H_

@@ -1,0 +1,32 @@
+#include "support/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace hpcmixp::support {
+
+double
+backoffDelaySeconds(const BackoffPolicy& policy, std::size_t attempt,
+                    Pcg32& rng)
+{
+    double base = policy.initialSeconds *
+                  std::pow(policy.multiplier,
+                           static_cast<double>(attempt));
+    base = std::min(base, policy.maxSeconds);
+    // Symmetric jitter in [-jitterFraction, +jitterFraction) of base.
+    double jitter =
+        base * policy.jitterFraction * (2.0 * rng.nextDouble() - 1.0);
+    return std::max(0.0, base + jitter);
+}
+
+void
+sleepForSeconds(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+} // namespace hpcmixp::support

@@ -1,0 +1,43 @@
+#ifndef HPCMIXP_SUPPORT_RETRY_H_
+#define HPCMIXP_SUPPORT_RETRY_H_
+
+/**
+ * @file
+ * Retry/backoff scheduling for the resilient evaluation layer.
+ *
+ * Transient evaluation failures (the crashed nodes and flaky runs of
+ * the paper's SLURM campaigns) are retried with exponential backoff:
+ * the delay grows multiplicatively per attempt, is capped, and carries
+ * a small uniform jitter so that concurrent retries de-synchronize.
+ * The jitter stream is a seeded Pcg32, keeping every retry schedule
+ * reproducible run-to-run.
+ */
+
+#include <cstddef>
+
+#include "support/rng.h"
+
+namespace hpcmixp::support {
+
+/** Exponential-backoff parameters. */
+struct BackoffPolicy {
+    double initialSeconds = 0.001; ///< delay before the first retry
+    double multiplier = 2.0;       ///< growth factor per further retry
+    double maxSeconds = 0.250;     ///< cap on any single delay
+    double jitterFraction = 0.1;   ///< +/- uniform jitter around the delay
+};
+
+/**
+ * Delay before retry @p attempt (0-based), jittered via @p rng.
+ * Deterministic given the policy and the generator state; never
+ * negative.
+ */
+double backoffDelaySeconds(const BackoffPolicy& policy,
+                           std::size_t attempt, Pcg32& rng);
+
+/** Sleep the calling thread for @p seconds (no-op when <= 0). */
+void sleepForSeconds(double seconds);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_RETRY_H_

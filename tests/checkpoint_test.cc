@@ -117,6 +117,68 @@ TEST(Checkpoint, ValidatesSiteCountAndShape)
     EXPECT_THROW(fresh.importCache(Value::array()), FatalError);
 }
 
+TEST(Checkpoint, PeriodicHookFiresEveryNExecutions)
+{
+    CountingProblem problem(4);
+    SearchContext ctx(problem, {100, 0.0});
+    std::vector<Value> snapshots;
+    ctx.setCheckpointHook(
+        2, [&](const Value& v) { snapshots.push_back(v); });
+
+    for (std::size_t i = 0; i < 4; ++i)
+        ctx.evaluate(Config::withLowered(4, {i}));
+    ASSERT_EQ(snapshots.size(), 2u); // after executions 2 and 4
+    EXPECT_EQ(snapshots.back().at("evaluations").items().size(), 4u);
+
+    // A cache hit is not an execution and must not snapshot.
+    ctx.evaluate(Config::withLowered(4, {0}));
+    EXPECT_EQ(snapshots.size(), 2u);
+}
+
+TEST(Checkpoint, RunSearchResumesFromSnapshotWithCacheHits)
+{
+    // Phase 1: CB truncated after 5 executions, snapshotting every
+    // execution — the last snapshot is the state at the kill point.
+    CountingProblem problem(4);
+    CombinationalSearch cb;
+    Value lastSnapshot;
+    SearchRunOptions phase1;
+    phase1.checkpointEvery = 1;
+    phase1.checkpointSink = [&](const Value& v) { lastSnapshot = v; };
+    auto truncated = runSearch(problem, cb, {5, 0.0}, phase1);
+    EXPECT_TRUE(truncated.timedOut);
+    ASSERT_TRUE(lastSnapshot.isObject());
+
+    // Phase 2: a fresh run restores the snapshot and finishes; the
+    // restored evaluations surface as cache hits, not re-executions.
+    SearchRunOptions phase2;
+    phase2.initialCache = lastSnapshot;
+    int executedBefore = problem.rawCalls_;
+    auto resumed = runSearch(problem, cb, {100, 0.0}, phase2);
+    EXPECT_FALSE(resumed.timedOut);
+    EXPECT_EQ(resumed.evaluated, 10u); // 15 - 5 already cached
+    EXPECT_EQ(problem.rawCalls_, executedBefore + 10);
+    EXPECT_GE(resumed.cacheHits, 5u);
+
+    // Same final answer as a never-interrupted search.
+    CountingProblem fresh(4);
+    auto oneShot = runSearch(fresh, cb, {100, 0.0});
+    EXPECT_EQ(resumed.best, oneShot.best);
+    EXPECT_DOUBLE_EQ(resumed.bestEvaluation.speedup,
+                     oneShot.bestEvaluation.speedup);
+}
+
+TEST(Checkpoint, UnusableInitialCacheIsIgnoredNotFatal)
+{
+    CountingProblem problem(4);
+    CombinationalSearch cb;
+    SearchRunOptions run;
+    run.initialCache = Value::array(); // not a checkpoint document
+    auto result = runSearch(problem, cb, {100, 0.0}, run);
+    EXPECT_FALSE(result.timedOut);
+    EXPECT_EQ(result.evaluated, 15u); // started fresh
+}
+
 TEST(Checkpoint, NaNQualityLossSurvivesSerialization)
 {
     /** Problem whose lowered config destroys the output. */

@@ -4,11 +4,17 @@
  * Listing-4 schema, the analysis plugin registry, and job execution.
  */
 
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "benchmarks/registry.h"
 #include "harness/harness.h"
+#include "search/context.h"
+#include "support/json.h"
 #include "support/logging.h"
 
 namespace {
@@ -221,6 +227,178 @@ TEST(HarnessRun, JsonReportContainsEveryJob)
     EXPECT_EQ(reparsed.items().size(), 1u);
 }
 
+
+/** Analysis that throws something that is not a std::exception. */
+class ThrowIntAnalysis : public Analysis {
+  public:
+    std::string name() const override { return "throwint"; }
+    AnalysisResult
+    analyze(const benchmarks::Benchmark&, const core::TunerOptions&,
+            const ExtraArgs&) override
+    {
+        throw 42;
+    }
+};
+
+TEST(HarnessRun, NonStandardExceptionIsContainedInJobError)
+{
+    if (!AnalysisRegistry::instance().has("throwint"))
+        AnalysisRegistry::instance().add("throwint", [] {
+            return std::make_unique<ThrowIntAnalysis>();
+        });
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    boom:\n"
+        "      name: 'throwint'\n"
+        "iccg:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.jobs = 2; // the pool must survive the rogue job
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].error,
+              "job failed with a non-standard exception");
+    EXPECT_TRUE(results[1].error.empty()) << results[1].error;
+    EXPECT_GT(results[1].result.speedup, 0.0);
+}
+
+/** Unique scratch path under gtest's temporary directory. */
+std::string
+scratchFile(const char* name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(HarnessCheckpoint, CampaignCheckpointRestoresCompletedJobs)
+{
+    const char* kTwoJobs =
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"
+        "iccg:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n";
+    auto jobs = parseConfig(support::yaml::parse(kTwoJobs));
+    std::string path = scratchFile("hpcmixp_campaign.ckpt.json");
+
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.checkpointPath = path;
+    auto first = runJobs(jobs, options);
+    ASSERT_EQ(first.size(), 2u);
+    for (const auto& r : first) {
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        EXPECT_FALSE(r.restored);
+    }
+
+    // The checkpoint file records both completed jobs.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto doc = support::json::parse(text.str());
+    EXPECT_EQ(doc.at("completed").keys().size(), 2u);
+    EXPECT_EQ(doc.at("caches").keys().size(), 0u);
+
+    // Resuming re-runs nothing and reproduces the results table.
+    HarnessOptions resumeOptions = options;
+    resumeOptions.resumePath = path;
+    auto second = runJobs(jobs, resumeOptions);
+    ASSERT_EQ(second.size(), 2u);
+    for (std::size_t i = 0; i < second.size(); ++i) {
+        EXPECT_TRUE(second[i].restored);
+        EXPECT_DOUBLE_EQ(second[i].result.speedup,
+                         first[i].result.speedup);
+        EXPECT_EQ(second[i].result.configuration,
+                  first[i].result.configuration);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(HarnessCheckpoint, PartialResumeRunsOnlyUnfinishedJobs)
+{
+    std::string path = scratchFile("hpcmixp_partial.ckpt.json");
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.checkpointPath = path;
+
+    // Phase 1: a campaign that only got through its first job.
+    auto shortJobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"));
+    auto first = runJobs(shortJobs, options);
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_TRUE(first[0].error.empty()) << first[0].error;
+
+    // Phase 2: the full campaign resumes; job 0 is restored, the
+    // newly added job runs fresh.
+    auto fullJobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"
+        "iccg:\n  threshold: 1e-3\n  analysis:\n    sp:\n"
+        "      name: 'singleprecision'\n"));
+    HarnessOptions resumeOptions = options;
+    resumeOptions.resumePath = path;
+    auto second = runJobs(fullJobs, resumeOptions);
+    ASSERT_EQ(second.size(), 2u);
+    EXPECT_TRUE(second[0].restored);
+    EXPECT_DOUBLE_EQ(second[0].result.speedup,
+                     first[0].result.speedup);
+    EXPECT_FALSE(second[1].restored);
+    EXPECT_TRUE(second[1].error.empty()) << second[1].error;
+    std::remove(path.c_str());
+}
+
+TEST(HarnessCheckpoint, PartialSearchCacheResumesWithCacheHits)
+{
+    // Fabricate the checkpoint of a campaign that was killed while
+    // searching tridiag: no completed jobs, but the search cache
+    // already holds evaluations DD is certain to query again.
+    auto benchmark =
+        benchmarks::BenchmarkRegistry::instance().create("tridiag");
+    core::TunerOptions tunerOptions;
+    tunerOptions.searchReps = 1;
+    tunerOptions.finalReps = 3;
+    tunerOptions.threshold = 1e-3;
+    core::BenchmarkTuner tuner(*benchmark, tunerOptions);
+    search::SearchContext ctx(tuner.searchClusterProblem(),
+                              {1000, 0.0});
+    ctx.evaluate(search::Config(tuner.clusterCount()));
+    ctx.evaluate(search::Config::allLowered(tuner.clusterCount()));
+
+    using support::json::Value;
+    Value root = Value::object();
+    root.set("version", Value::number(1));
+    root.set("completed", Value::object());
+    Value caches = Value::object();
+    caches.set("0:tridiag/floatsmith", ctx.exportCache());
+    root.set("caches", std::move(caches));
+    std::string path = scratchFile("hpcmixp_cache.ckpt.json");
+    {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good());
+        out << root.dump(2) << '\n';
+    }
+
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    fs:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'ddebug'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {1000, 0.0};
+    options.resumePath = path;
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+    EXPECT_FALSE(results[0].restored); // resumed, not restored whole
+    EXPECT_GT(results[0].result.cacheHits, 0u);
+    std::remove(path.c_str());
+}
 
 TEST(HarnessRun, PrecimoniousAnalysisReportsCompileFailures)
 {

@@ -14,6 +14,7 @@
 #include "support/cli.h"
 #include "support/env.h"
 #include "support/logging.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/string_util.h"
@@ -338,6 +339,54 @@ TEST(Stats, EmptySamplesAreFatal)
     EXPECT_THROW(median({}), FatalError);
     EXPECT_THROW(summarize({}), FatalError);
     EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+// ---- retry/backoff ---------------------------------------------------
+
+TEST(Backoff, GrowsExponentiallyWithinJitterBounds)
+{
+    BackoffPolicy policy;
+    policy.initialSeconds = 0.010;
+    policy.multiplier = 2.0;
+    policy.maxSeconds = 10.0;
+    policy.jitterFraction = 0.1;
+    Pcg32 rng(1);
+    for (std::size_t attempt = 0; attempt < 6; ++attempt) {
+        double base = 0.010 * std::pow(2.0, double(attempt));
+        double d = backoffDelaySeconds(policy, attempt, rng);
+        EXPECT_GE(d, base * 0.9);
+        EXPECT_LE(d, base * 1.1);
+    }
+}
+
+TEST(Backoff, DelayIsCappedAtMaxSeconds)
+{
+    BackoffPolicy policy;
+    policy.initialSeconds = 0.010;
+    policy.multiplier = 10.0;
+    policy.maxSeconds = 0.050;
+    policy.jitterFraction = 0.0;
+    Pcg32 rng(1);
+    EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 0, rng), 0.010);
+    EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 1, rng), 0.050);
+    EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 9, rng), 0.050);
+}
+
+TEST(Backoff, JitterIsDeterministicPerSeed)
+{
+    BackoffPolicy policy;
+    Pcg32 a(42), b(42);
+    for (std::size_t attempt = 0; attempt < 8; ++attempt)
+        EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, attempt, a),
+                         backoffDelaySeconds(policy, attempt, b));
+}
+
+TEST(Backoff, SleepForSecondsIgnoresNonPositive)
+{
+    WallTimer timer;
+    sleepForSeconds(0.0);
+    sleepForSeconds(-1.0);
+    EXPECT_LT(timer.seconds(), 0.05);
 }
 
 } // namespace
