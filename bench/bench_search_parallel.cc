@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Microbenchmark: batch-parallel in-search evaluation scaling.
+ *
+ * Runs CB and GA over a synthetic problem whose per-evaluation cost is
+ * a fixed sleep (standing in for waiting on a spawned compile+run
+ * cycle — the dominant cost of a real campaign) and reports wall-clock
+ * time and speedup at --search-jobs 1/2/4. The searches are
+ * trajectory-identical at every worker count (see DESIGN.md §9), so
+ * the column worth watching is purely the speedup: GA and CB batch a
+ * whole generation / cardinality chunk at a time and should scale
+ * near-linearly while evaluations dominate.
+ *
+ * Extra flag beyond the common set:
+ *   --delay-us N   sleep per evaluation, microseconds (default 500)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/driver.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace hpcmixp;
+using search::Config;
+using search::EvalStatus;
+using search::Evaluation;
+
+/**
+ * Toxic-subset problem (as in the property tests) with a configurable
+ * sleep per evaluation. Sleeping rather than spinning matches the real
+ * cost profile: a campaign evaluation blocks on an external
+ * compile+run, so workers overlap their waits — which is exactly the
+ * latency batching hides.
+ */
+class SyntheticProblem : public search::SearchProblem {
+  public:
+    SyntheticProblem(std::size_t sites, std::uint64_t seed,
+                     std::chrono::microseconds delay)
+        : sites_(sites), toxic_(sites), delay_(delay)
+    {
+        support::Pcg32 rng(seed);
+        for (std::size_t i = 0; i < sites; ++i)
+            toxic_[i] = rng.chance(1.0 / 3.0);
+    }
+
+    std::size_t siteCount() const override { return sites_; }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        std::this_thread::sleep_for(delay_);
+        Evaluation eval;
+        eval.speedup =
+            1.0 + 0.05 * static_cast<double>(config.count());
+        eval.runtimeSeconds = 1.0 / eval.speedup;
+        bool passes = true;
+        for (std::size_t i = 0; i < sites_; ++i)
+            if (config.test(i) && toxic_[i])
+                passes = false;
+        eval.status =
+            passes ? EvalStatus::Pass : EvalStatus::QualityFail;
+        eval.qualityLoss = eval.passed() ? 0.0 : 1.0;
+        return eval;
+    }
+
+  private:
+    std::size_t sites_;
+    std::vector<bool> toxic_;
+    std::chrono::microseconds delay_;
+};
+
+double
+timedRun(const char* code, std::size_t sites, std::size_t jobs,
+         std::chrono::microseconds delay,
+         const search::SearchBudget& budget, std::size_t& evaluated)
+{
+    SyntheticProblem problem(sites, 42, delay);
+    search::SearchRunOptions run;
+    run.searchJobs = jobs;
+    auto start = std::chrono::steady_clock::now();
+    auto result = search::runSearch(problem, code, budget, run);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    evaluated = result.evaluated;
+    return elapsed.count();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv, 400);
+    support::CommandLine cl(argc, argv);
+    auto delay = std::chrono::microseconds(
+        cl.getLong("delay-us", support::quickMode() ? 200 : 500));
+    // Big enough that CB's 2^n-1 space and GA's generations exceed the
+    // evaluation budget; the budget itself caps the work.
+    const std::size_t sites = 12;
+    search::SearchBudget budget = options.tuner.budget;
+    budget.maxSeconds = 0.0; // EV-bounded so runs are comparable
+
+    std::cout << "Batch-parallel search scaling ("
+              << budget.maxEvaluations << " EV budget, "
+              << delay.count() << "us/evaluation)\n";
+    support::Table table(
+        {"strategy", "jobs", "evaluated", "seconds", "speedup"});
+    for (const char* code : {"CB", "GA"}) {
+        double serialSeconds = 0.0;
+        for (std::size_t jobs : {1u, 2u, 4u}) {
+            std::size_t evaluated = 0;
+            double seconds = timedRun(code, sites, jobs, delay,
+                                      budget, evaluated);
+            if (jobs == 1)
+                serialSeconds = seconds;
+            table.addRow(
+                {code,
+                 support::Table::cell(static_cast<long>(jobs)),
+                 support::Table::cell(static_cast<long>(evaluated)),
+                 support::Table::cell(seconds, 3),
+                 support::Table::cell(serialSeconds / seconds, 2)});
+        }
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -346,6 +346,7 @@ searchRunOptions(const TunerOptions& options)
     run.checkpointEvery = options.checkpointEvery;
     run.checkpointSink = options.checkpointSink;
     run.initialCache = options.initialCache;
+    run.searchJobs = options.searchJobs;
     return run;
 }
 

@@ -56,6 +56,9 @@ struct TunerOptions {
 
     /** Non-null: restored into the search context before searching. */
     support::json::Value initialCache;
+
+    /** Worker threads for in-search batch evaluation; 1 = serial. */
+    std::size_t searchJobs = 1;
 };
 
 /** Per-search run options (resilience + checkpoint wiring) derived

@@ -1,5 +1,6 @@
 #include "harness/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -7,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "benchmarks/registry.h"
 #include "support/logging.h"
@@ -295,9 +297,26 @@ parseConfigFile(const std::string& path)
 }
 
 std::vector<JobResult>
-runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& options)
+runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& opts)
 {
     std::vector<JobResult> results(jobs.size());
+
+    // Nested-parallelism guard: `jobs` analysis workers each running
+    // `searchJobs` in-search evaluators would oversubscribe the
+    // machine multiplicatively, so clamp the product to the hardware.
+    HarnessOptions options = opts;
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw > 0 && options.jobs > 1 && options.tuner.searchJobs > 1 &&
+        options.jobs * options.tuner.searchJobs > hw) {
+        std::size_t clamped =
+            std::max<std::size_t>(1, hw / options.jobs);
+        support::warn(strCat(
+            "harness: ", options.jobs, " jobs x ",
+            options.tuner.searchJobs, " search jobs oversubscribes ",
+            hw, " hardware threads; clamping search jobs to ",
+            clamped));
+        options.tuner.searchJobs = clamped;
+    }
 
     ResumeState resume;
     if (!options.resumePath.empty())

@@ -2,7 +2,8 @@
  * @file
  * mixpbench-harness — command-line entry point.
  *
- *   mixpbench-harness --config suite.yaml [--jobs N] [--reps R]
+ *   mixpbench-harness --config suite.yaml [--jobs N]
+ *                     [--search-jobs N] [--reps R]
  *                     [--budget E] [--seed S] [--retries N]
  *                     [--deadline S] [--fault-rate P]
  *                     [--checkpoint F] [--resume F] [--verbose]
@@ -13,8 +14,10 @@
  * and campaign checkpoint/resume (see README "Fault tolerance").
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "harness/harness.h"
 #include "support/cli.h"
@@ -32,6 +35,8 @@ main(int argc, char** argv)
                " [options]\n"
                "  --config      YAML configuration (Listing-4 schema)\n"
                "  --jobs        parallel analysis jobs (default 1)\n"
+               "  --search-jobs parallel in-search evaluations per job"
+               " (default 1; 0 = hardware)\n"
                "  --reps        timing repetitions per evaluation"
                " (default 3)\n"
                "  --budget      max evaluated configurations per search"
@@ -68,6 +73,11 @@ main(int argc, char** argv)
         harness::HarnessOptions options;
         options.jobs =
             static_cast<std::size_t>(cl.getLong("jobs", 1));
+        options.tuner.searchJobs =
+            static_cast<std::size_t>(cl.getLong("search-jobs", 1));
+        if (options.tuner.searchJobs == 0)
+            options.tuner.searchJobs = std::max(
+                1u, std::thread::hardware_concurrency());
         options.tuner.searchReps =
             static_cast<std::size_t>(cl.getLong("reps", 3));
         options.tuner.budget.maxEvaluations =

@@ -45,10 +45,26 @@ void
 CombinationalSearch::run(SearchContext& ctx)
 {
     std::size_t n = ctx.siteCount();
+    // Every combination is independent, so the sweep batches freely.
+    // Bounded chunks keep memory flat on large cardinalities; chunk
+    // size does not affect the trajectory (commit order is the
+    // enumeration order either way).
+    std::size_t chunk = std::max<std::size_t>(32, 8 * ctx.searchJobs());
+    std::vector<Config> batch;
+    batch.reserve(chunk);
+    auto flush = [&] {
+        if (!batch.empty()) {
+            ctx.evaluateBatch(batch);
+            batch.clear();
+        }
+    };
     for (std::size_t card = n; card >= 1; --card) {
         forEachCombination(n, card, [&](const auto& pick) {
-            ctx.evaluate(Config::withLowered(n, pick));
+            batch.push_back(Config::withLowered(n, pick));
+            if (batch.size() >= chunk)
+                flush();
         });
+        flush();
     }
 }
 

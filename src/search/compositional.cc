@@ -14,36 +14,54 @@ CompositionalSearch::run(SearchContext& ctx)
     std::deque<std::size_t> worklist; // indices into `passing`
     std::unordered_set<std::string> attempted;
 
-    auto tryConfig = [&](const Config& cfg) {
-        if (!attempted.insert(cfg.toString()).second)
-            return;
-        const Evaluation& eval = ctx.evaluate(cfg);
-        if (eval.passed()) {
-            passing.push_back(cfg);
-            worklist.push_back(passing.size() - 1);
+    // Evaluate a deduplicated candidate set as one batch and absorb
+    // the passers in order — the same order the serial loop would
+    // have discovered them.
+    auto tryBatch = [&](const std::vector<Config>& batch) {
+        auto evals = ctx.evaluateBatch(batch);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (evals[i].passed()) {
+                passing.push_back(batch[i]);
+                worklist.push_back(passing.size() - 1);
+            }
         }
     };
 
-    // Phase 1: each site individually.
-    for (std::size_t i = 0; i < n; ++i)
-        tryConfig(Config::withLowered(n, {i}));
+    // Phase 1: each site individually — one embarrassingly parallel
+    // batch.
+    {
+        std::vector<Config> singles;
+        singles.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Config cfg = Config::withLowered(n, {i});
+            if (attempted.insert(cfg.toString()).second)
+                singles.push_back(std::move(cfg));
+        }
+        tryBatch(singles);
+    }
 
-    // Phase 2: repeatedly combine passing configurations. The search
-    // terminates when there are no compositions left.
+    // Phase 2: repeatedly combine passing configurations. The
+    // compositions of one worklist entry are mutually independent, so
+    // each entry contributes one batch. The search terminates when
+    // there are no compositions left.
     while (!worklist.empty()) {
         std::size_t cur = worklist.front();
         worklist.pop_front();
         // Snapshot size: compositions with configs discovered later
         // will be attempted when *those* configs are processed.
         std::size_t limit = passing.size();
+        std::vector<Config> batch;
         for (std::size_t j = 0; j < limit; ++j) {
             if (j == cur)
                 continue;
             Config combined = passing[cur].unionWith(passing[j]);
             if (combined == passing[cur] || combined == passing[j])
                 continue;
-            tryConfig(combined);
+            if (!attempted.insert(combined.toString()).second)
+                continue;
+            batch.push_back(std::move(combined));
         }
+        tryBatch(batch);
     }
 }
 

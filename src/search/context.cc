@@ -1,10 +1,29 @@
 #include "search/context.h"
 
 #include <limits>
+#include <utility>
 
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace hpcmixp::search {
+
+namespace {
+
+/** FNV-1a over the config key: seeds the per-task jitter stream so
+ *  backoff jitter is independent of worker scheduling order. */
+std::uint64_t
+keyHash(const std::string& key)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
 
 SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget,
                              ResiliencePolicy resilience)
@@ -15,16 +34,33 @@ SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget,
 {
 }
 
+SearchContext::~SearchContext() = default;
+
 void
 SearchContext::setCheckpointHook(std::size_t everyExecutions,
                                  CheckpointSink sink)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     checkpointEvery_ = everyExecutions;
     checkpointSink_ = std::move(sink);
 }
 
 void
-SearchContext::checkBudget()
+SearchContext::setSearchJobs(std::size_t jobs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    searchJobs_ = jobs > 0 ? jobs : 1;
+}
+
+std::size_t
+SearchContext::searchJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return searchJobs_;
+}
+
+void
+SearchContext::checkBudgetLocked()
 {
     bool overEvals = executed_ >= budget_.maxEvaluations;
     bool overTime = budget_.maxSeconds > 0.0 &&
@@ -36,7 +72,7 @@ SearchContext::checkBudget()
 }
 
 void
-SearchContext::noteBest(const Config& config, const Evaluation& eval)
+SearchContext::noteBestLocked(const Config& config, const Evaluation& eval)
 {
     // A passing non-baseline configuration competes for "best".
     if (eval.passed() && !config.isBaseline()) {
@@ -49,9 +85,16 @@ SearchContext::noteBest(const Config& config, const Evaluation& eval)
  * One evaluation under the resilience policy: bounded retries with
  * backoff for transient RuntimeFails, and a per-attempt deadline that
  * discards stragglers the way SLURM kills an overdue task.
+ *
+ * Side-effect-free with respect to the context: resilience events land
+ * in @p counters and are merged into the shared totals only when the
+ * result commits, so speculative batch evaluations that get discarded
+ * by the budget leave no trace.
  */
 Evaluation
-SearchContext::evaluateResilient(const Config& config)
+SearchContext::evaluateResilient(const Config& config,
+                                 TaskCounters& counters,
+                                 support::Pcg32& jitterRng)
 {
     std::size_t maxAttempts =
         resilience_.maxAttempts > 0 ? resilience_.maxAttempts : 1;
@@ -63,7 +106,7 @@ SearchContext::evaluateResilient(const Config& config)
             attemptTimer.seconds() > resilience_.deadlineSeconds &&
             eval.status != EvalStatus::CompileFail) {
             // The result arrived after the deadline: discard it.
-            ++deadlineMisses_;
+            ++counters.deadlineMisses;
             eval = Evaluation{};
             eval.status = EvalStatus::RuntimeFail;
             eval.qualityLoss =
@@ -72,16 +115,45 @@ SearchContext::evaluateResilient(const Config& config)
         if (eval.status != EvalStatus::RuntimeFail ||
             attempt >= maxAttempts)
             break;
-        ++retries_;
+        ++counters.retries;
         if (resilience_.sleepBetweenRetries)
             support::sleepForSeconds(support::backoffDelaySeconds(
-                resilience_.backoff, attempt - 1, retryRng_));
+                resilience_.backoff, attempt - 1, jitterRng));
     }
     // Retries exhausted: quarantine the configuration — it is cached
     // as failed and the search moves on rather than aborting.
     if (eval.status == EvalStatus::RuntimeFail && maxAttempts > 1)
-        ++quarantined_;
+        ++counters.quarantined;
     return eval;
+}
+
+/**
+ * Record one freshly evaluated configuration: merge its resilience
+ * counters, meter it, update best-so-far, populate the cache, and fire
+ * the periodic checkpoint hook. Caller holds the lock and has already
+ * passed the budget check.
+ */
+const Evaluation&
+SearchContext::commitLocked(std::string key, const Config& config,
+                            Evaluation eval,
+                            const TaskCounters& counters)
+{
+    retries_ += counters.retries;
+    deadlineMisses_ += counters.deadlineMisses;
+    quarantined_ += counters.quarantined;
+    bool ran = eval.status != EvalStatus::CompileFail;
+    if (ran) {
+        ++executed_;
+    } else {
+        ++compileFails_;
+    }
+    noteBestLocked(config, eval);
+    const Evaluation& stored =
+        cache_.emplace(std::move(key), std::move(eval)).first->second;
+    if (ran && checkpointEvery_ > 0 && checkpointSink_ &&
+        executed_ % checkpointEvery_ == 0)
+        checkpointSink_(exportCacheLocked());
+    return stored;
 }
 
 const Evaluation&
@@ -90,35 +162,198 @@ SearchContext::evaluate(const Config& config)
     HPCMIXP_ASSERT(config.size() == problem_.siteCount(),
                    "config size does not match problem site count");
     std::string key = config.toString();
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        noteBest(config, it->second);
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            noteBestLocked(config, it->second);
+            return it->second;
+        }
+        checkBudgetLocked();
     }
 
-    checkBudget();
+    // Evaluate outside the lock; the serial path shares one jitter
+    // stream, exactly as before batching existed.
+    TaskCounters counters;
+    Evaluation eval = evaluateResilient(config, counters, retryRng_);
 
-    Evaluation eval = evaluateResilient(config);
-    bool ran = eval.status != EvalStatus::CompileFail;
-    if (ran) {
-        ++executed_;
-    } else {
-        ++compileFails_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return commitLocked(std::move(key), config, std::move(eval),
+                        counters);
+}
+
+std::vector<Evaluation>
+SearchContext::evaluateBatch(std::span<const Config> configs)
+{
+    if (configs.empty())
+        return {};
+    std::size_t jobs = searchJobs();
+    if (jobs <= 1 || configs.size() == 1) {
+        // Serial fallback: literally the serial loop.
+        std::vector<Evaluation> out;
+        out.reserve(configs.size());
+        for (const auto& config : configs)
+            out.push_back(evaluate(config));
+        return out;
     }
-    noteBest(config, eval);
-    const Evaluation& stored =
-        cache_.emplace(std::move(key), eval).first->second;
-    if (ran && checkpointEvery_ > 0 && checkpointSink_ &&
-        executed_ % checkpointEvery_ == 0)
-        checkpointSink_(exportCache());
-    return stored;
+
+    // Plan: classify each candidate against the cache and against
+    // earlier batch entries. Only first occurrences of uncached
+    // configurations ("fresh") get an evaluation task; repeats become
+    // cache hits at commit time, exactly as in the serial loop.
+    enum class Kind { Hit, Duplicate, Fresh };
+    struct Slot {
+        std::string key;
+        Kind kind = Kind::Fresh;
+        std::size_t fresh = 0; ///< task index when kind == Fresh
+    };
+    std::vector<Slot> plan;
+    plan.reserve(configs.size());
+    std::size_t freshCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unordered_map<std::string, std::size_t> firstFresh;
+        for (const auto& config : configs) {
+            HPCMIXP_ASSERT(config.size() == problem_.siteCount(),
+                           "config size does not match problem site count");
+            Slot slot;
+            slot.key = config.toString();
+            if (cache_.count(slot.key) > 0) {
+                slot.kind = Kind::Hit;
+            } else if (firstFresh.count(slot.key) > 0) {
+                slot.kind = Kind::Duplicate;
+            } else {
+                slot.kind = Kind::Fresh;
+                slot.fresh = freshCount++;
+                firstFresh.emplace(slot.key, slot.fresh);
+            }
+            plan.push_back(std::move(slot));
+        }
+    }
+
+    // Evaluate: fresh candidates run concurrently. Each task gets its
+    // own jitter stream seeded from the config key, so backoff timing
+    // never depends on worker scheduling. Candidates that turn out to
+    // lie past the budget are evaluated speculatively here and
+    // discarded below.
+    std::vector<Evaluation> results(freshCount);
+    std::vector<TaskCounters> counters(freshCount);
+    if (freshCount > 0) {
+        if (pool_ && pool_->workerCount() != jobs)
+            pool_.reset();
+        if (!pool_)
+            pool_ = std::make_unique<support::ThreadPool>(jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(freshCount);
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            if (plan[i].kind != Kind::Fresh)
+                continue;
+            const Config& config = configs[i];
+            std::size_t task = plan[i].fresh;
+            std::uint64_t jitterSeed =
+                resilience_.seed ^ keyHash(plan[i].key);
+            futures.push_back(pool_->submit(
+                [this, &config, task, jitterSeed, &results, &counters] {
+                    support::Pcg32 rng(jitterSeed, /*stream=*/0x7e51);
+                    results[task] = evaluateResilient(
+                        config, counters[task], rng);
+                }));
+        }
+        for (auto& fut : futures)
+            fut.wait();
+        for (auto& fut : futures)
+            fut.get(); // propagate any task exception
+    }
+
+    // Commit in submission order under one critical section, so the
+    // observable trajectory (counters, cache, best, budget throw
+    // point, checkpoint snapshots) is bit-identical to the serial
+    // loop. A budget hit throws and discards the uncommitted tail.
+    std::vector<Evaluation> out(configs.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        Slot& slot = plan[i];
+        if (slot.kind == Kind::Fresh) {
+            checkBudgetLocked();
+            out[i] = commitLocked(std::move(slot.key), configs[i],
+                                  std::move(results[slot.fresh]),
+                                  counters[slot.fresh]);
+        } else {
+            // Hit on the pre-batch cache, or repeat of a fresh entry
+            // committed earlier in this loop.
+            auto it = cache_.find(slot.key);
+            HPCMIXP_ASSERT(it != cache_.end(),
+                           "batch commit: cache entry vanished");
+            ++cacheHits_;
+            noteBestLocked(configs[i], it->second);
+            out[i] = it->second;
+        }
+    }
+    return out;
 }
 
 bool
 SearchContext::isCached(const Config& config) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return cache_.count(config.toString()) > 0;
+}
+
+bool
+SearchContext::hasBest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return best_.has_value();
+}
+
+std::size_t
+SearchContext::evaluatedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
+}
+
+std::size_t
+SearchContext::compileFailCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compileFails_;
+}
+
+std::size_t
+SearchContext::cacheHitCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheHits_;
+}
+
+std::size_t
+SearchContext::retryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_;
+}
+
+std::size_t
+SearchContext::deadlineMissCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return deadlineMisses_;
+}
+
+std::size_t
+SearchContext::quarantinedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_;
+}
+
+bool
+SearchContext::exhausted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return exhausted_;
 }
 
 namespace {
@@ -157,7 +392,7 @@ statusFromName(const std::string& name)
 } // namespace
 
 support::json::Value
-SearchContext::exportCache() const
+SearchContext::exportCacheLocked() const
 {
     using support::json::Value;
     Value root = Value::object();
@@ -177,6 +412,13 @@ SearchContext::exportCache() const
     return root;
 }
 
+support::json::Value
+SearchContext::exportCache() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return exportCacheLocked();
+}
+
 void
 SearchContext::importCache(const support::json::Value& checkpoint)
 {
@@ -190,6 +432,7 @@ SearchContext::importCache(const support::json::Value& checkpoint)
         fatal(support::strCat("checkpoint: has ", sites,
                               " sites, problem has ",
                               problem_.siteCount()));
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& entry : checkpoint.at("evaluations").items()) {
         const std::string& key = entry.at("config").asString();
         if (key.size() != sites)
@@ -211,7 +454,7 @@ SearchContext::importCache(const support::json::Value& checkpoint)
         Config config(sites);
         for (std::size_t i = 0; i < sites; ++i)
             config.set(i, key[i] == '1');
-        noteBest(config, eval);
+        noteBestLocked(config, eval);
         cache_[key] = eval;
     }
 }
@@ -219,6 +462,7 @@ SearchContext::importCache(const support::json::Value& checkpoint)
 const Config&
 SearchContext::bestConfig() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     HPCMIXP_ASSERT(best_.has_value(), "bestConfig() with no best yet");
     return best_->first;
 }
@@ -226,6 +470,7 @@ SearchContext::bestConfig() const
 const Evaluation&
 SearchContext::bestEvaluation() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     HPCMIXP_ASSERT(best_.has_value(),
                    "bestEvaluation() with no best yet");
     return best_->second;

@@ -20,14 +20,27 @@
  * per-evaluation deadline is discarded as a straggler, and a
  * configuration that exhausts its retries is quarantined — recorded
  * as failed so the search continues instead of aborting.
+ *
+ * evaluateBatch() hides evaluation latency the way the paper's SLURM
+ * campaigns do: a set of independent candidates is evaluated
+ * concurrently on a thread pool, but the results are *committed in
+ * submission order*, so EV accounting, budget exhaustion, cache
+ * population, checkpoint snapshots and best-so-far tracking are
+ * bit-identical to the serial loop (DESIGN.md, Section 9). All shared
+ * state is mutex-guarded, so the context is safe to query while a
+ * batch is in flight.
  */
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "search/config.h"
 #include "search/problem.h"
@@ -35,6 +48,10 @@
 #include "support/retry.h"
 #include "support/rng.h"
 #include "support/timer.h"
+
+namespace hpcmixp::support {
+class ThreadPool;
+} // namespace hpcmixp::support
 
 namespace hpcmixp::search {
 
@@ -64,6 +81,10 @@ class SearchContext {
   public:
     SearchContext(SearchProblem& problem, SearchBudget budget,
                   ResiliencePolicy resilience = {});
+    ~SearchContext();
+
+    SearchContext(const SearchContext&) = delete;
+    SearchContext& operator=(const SearchContext&) = delete;
 
     /** Number of sites in the underlying problem. */
     std::size_t siteCount() const { return problem_.siteCount(); }
@@ -77,37 +98,63 @@ class SearchContext {
      */
     const Evaluation& evaluate(const Config& config);
 
+    /**
+     * Evaluate a set of *independent* candidates, returning their
+     * evaluations in submission order. With searchJobs() > 1 the fresh
+     * (uncached, first-occurrence) candidates run concurrently on a
+     * thread pool; results are then committed strictly in submission
+     * order, so the cache contents, EV/cache-hit/retry/quarantine
+     * counters, checkpoint snapshots and the point at which
+     * BudgetExhausted fires are identical to calling evaluate() in a
+     * loop. Candidates past the budget are evaluated speculatively but
+     * never committed.
+     *
+     * The problem's evaluate() must tolerate concurrent calls when
+     * searchJobs() > 1 (every built-in problem and FaultyProblem do).
+     *
+     * @throws BudgetExhausted after committing the prefix that fits.
+     */
+    std::vector<Evaluation> evaluateBatch(std::span<const Config> configs);
+
+    /**
+     * Degree of intra-search parallelism used by evaluateBatch();
+     * 1 (the default) evaluates batches serially. The worker pool is
+     * created lazily on the first parallel batch.
+     */
+    void setSearchJobs(std::size_t jobs);
+    std::size_t searchJobs() const;
+
     /** True when @p config has already been evaluated. */
     bool isCached(const Config& config) const;
 
     /** Best passing configuration so far, if any. */
-    bool hasBest() const { return best_.has_value(); }
+    bool hasBest() const;
     const Config& bestConfig() const;
     const Evaluation& bestEvaluation() const;
 
     /** EV: configurations actually executed. */
-    std::size_t evaluatedCount() const { return executed_; }
+    std::size_t evaluatedCount() const;
 
     /** Configurations rejected as compile failures. */
-    std::size_t compileFailCount() const { return compileFails_; }
+    std::size_t compileFailCount() const;
 
     /** Cache hits (repeat queries). */
-    std::size_t cacheHitCount() const { return cacheHits_; }
+    std::size_t cacheHitCount() const;
 
     /** Re-attempts after transient RuntimeFails. */
-    std::size_t retryCount() const { return retries_; }
+    std::size_t retryCount() const;
 
     /** Attempts discarded because they outlived the deadline. */
-    std::size_t deadlineMissCount() const { return deadlineMisses_; }
+    std::size_t deadlineMissCount() const;
 
     /** Configurations recorded as failed after exhausting retries. */
-    std::size_t quarantinedCount() const { return quarantined_; }
+    std::size_t quarantinedCount() const;
 
     /** Seconds since the context was created. */
     double elapsedSeconds() const { return timer_.seconds(); }
 
     /** True once a budget limit has been hit. */
-    bool exhausted() const { return exhausted_; }
+    bool exhausted() const;
 
     /** Receives exportCache() snapshots from the checkpoint hook. */
     using CheckpointSink =
@@ -117,6 +164,8 @@ class SearchContext {
      * Install a periodic checkpoint hook: after every
      * @p everyExecutions executed configurations, @p sink receives an
      * exportCache() snapshot. Pass 0 or an empty sink to disable.
+     * The sink runs under the context lock and must not call back
+     * into this context.
      */
     void setCheckpointHook(std::size_t everyExecutions,
                            CheckpointSink sink);
@@ -134,15 +183,31 @@ class SearchContext {
     void importCache(const support::json::Value& checkpoint);
 
   private:
-    void checkBudget();
-    void noteBest(const Config& config, const Evaluation& eval);
-    Evaluation evaluateResilient(const Config& config);
+    /** Resilience counters accumulated by one evaluation task; merged
+     *  into the shared counters only when the result commits. */
+    struct TaskCounters {
+        std::size_t retries = 0;
+        std::size_t deadlineMisses = 0;
+        std::size_t quarantined = 0;
+    };
+
+    void checkBudgetLocked();
+    void noteBestLocked(const Config& config, const Evaluation& eval);
+    const Evaluation& commitLocked(std::string key, const Config& config,
+                                   Evaluation eval,
+                                   const TaskCounters& counters);
+    Evaluation evaluateResilient(const Config& config,
+                                 TaskCounters& counters,
+                                 support::Pcg32& jitterRng);
+    support::json::Value exportCacheLocked() const;
 
     SearchProblem& problem_;
     SearchBudget budget_;
     ResiliencePolicy resilience_;
     support::Pcg32 retryRng_;
     support::WallTimer timer_;
+
+    mutable std::mutex mutex_; ///< guards everything below
     std::unordered_map<std::string, Evaluation> cache_;
     std::optional<std::pair<Config, Evaluation>> best_;
     std::size_t executed_ = 0;
@@ -154,6 +219,9 @@ class SearchContext {
     bool exhausted_ = false;
     std::size_t checkpointEvery_ = 0;
     CheckpointSink checkpointSink_;
+
+    std::size_t searchJobs_ = 1;
+    std::unique_ptr<support::ThreadPool> pool_;
 };
 
 } // namespace hpcmixp::search

@@ -37,39 +37,57 @@ DeltaDebugSearch::run(SearchContext& ctx)
     if (n == 0)
         return;
 
-    auto passes = [&](const std::vector<std::size_t>& kept) {
-        return ctx.evaluate(configKeeping(n, kept)).passed();
-    };
-
     // Fast path: everything can be lowered.
-    if (passes({}))
+    if (ctx.evaluate(configKeeping(n, {})).passed())
         return;
 
-    // ddmin over the kept set, starting from "keep everything"
-    // (the baseline, which trivially passes).
+    // Speculative ddmin over the kept set, starting from "keep
+    // everything" (the baseline, which trivially passes). Where the
+    // textbook algorithm short-circuits on the first passing
+    // candidate, we batch every candidate of a round — they are
+    // independent — and then apply the FIRST passing one in
+    // enumeration order. The kept-set trajectory and the final answer
+    // are identical to the short-circuiting loop; the difference is
+    // that candidates the serial loop would have skipped get
+    // evaluated speculatively, which is exactly the latency-hiding
+    // trade the paper's cluster campaigns make.
     std::vector<std::size_t> kept(n);
     for (std::size_t i = 0; i < n; ++i)
         kept[i] = i;
     std::size_t granularity = 2;
+
+    auto firstPassing =
+        [&](const std::vector<std::vector<std::size_t>>& candidates)
+        -> std::ptrdiff_t {
+        std::vector<Config> batch;
+        batch.reserve(candidates.size());
+        for (const auto& c : candidates)
+            batch.push_back(configKeeping(n, c));
+        auto evals = ctx.evaluateBatch(batch);
+        for (std::size_t i = 0; i < evals.size(); ++i)
+            if (evals[i].passed())
+                return static_cast<std::ptrdiff_t>(i);
+        return -1;
+    };
 
     while (kept.size() >= 1) {
         auto chunks = partition(kept, granularity);
         bool reduced = false;
 
         // Try each subset as the new kept set.
-        for (const auto& chunk : chunks) {
-            if (chunk.size() == kept.size())
-                continue;
-            if (passes(chunk)) {
-                kept = chunk;
-                granularity = 2;
-                reduced = true;
-                break;
-            }
+        std::vector<std::vector<std::size_t>> subsets;
+        for (const auto& chunk : chunks)
+            if (chunk.size() != kept.size())
+                subsets.push_back(chunk);
+        if (std::ptrdiff_t hit = firstPassing(subsets); hit >= 0) {
+            kept = subsets[static_cast<std::size_t>(hit)];
+            granularity = 2;
+            reduced = true;
         }
 
         // Then each complement.
         if (!reduced && chunks.size() > 1) {
+            std::vector<std::vector<std::size_t>> complements;
             for (std::size_t c = 0; c < chunks.size(); ++c) {
                 std::vector<std::size_t> complement;
                 for (std::size_t j = 0; j < chunks.size(); ++j)
@@ -80,13 +98,14 @@ DeltaDebugSearch::run(SearchContext& ctx)
                 if (complement.size() == kept.size() ||
                     complement.empty())
                     continue;
-                if (passes(complement)) {
-                    kept = complement;
-                    granularity = std::max<std::size_t>(
-                        granularity - 1, 2);
-                    reduced = true;
-                    break;
-                }
+                complements.push_back(std::move(complement));
+            }
+            if (std::ptrdiff_t hit = firstPassing(complements);
+                hit >= 0) {
+                kept = complements[static_cast<std::size_t>(hit)];
+                granularity =
+                    std::max<std::size_t>(granularity - 1, 2);
+                reduced = true;
             }
         }
 

@@ -9,6 +9,7 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
           const SearchBudget& budget, const SearchRunOptions& run)
 {
     SearchContext ctx(problem, budget, run.resilience);
+    ctx.setSearchJobs(run.searchJobs);
     if (!run.initialCache.isNull()) {
         // A checkpoint that no longer matches the problem (changed
         // configuration, different granularity) must not kill the

@@ -38,6 +38,7 @@ struct SearchRunOptions {
     std::size_t checkpointEvery = 0;  ///< executions per snapshot; 0 = off
     SearchContext::CheckpointSink checkpointSink; ///< snapshot receiver
     support::json::Value initialCache; ///< non-null: importCache() first
+    std::size_t searchJobs = 1;       ///< intra-search batch parallelism
 };
 
 /**

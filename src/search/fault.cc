@@ -52,7 +52,13 @@ Evaluation
 FaultyProblem::evaluate(const Config& config)
 {
     std::string key = config.toString();
-    std::uint64_t attempt = attempts_[key]++;
+    std::uint64_t attempt;
+    {
+        // Distinct configurations evaluate concurrently under
+        // evaluateBatch; each key's attempt sequence stays private.
+        std::lock_guard<std::mutex> lock(mutex_);
+        attempt = attempts_[key]++;
+    }
     switch (injector_.draw(key, attempt)) {
       case FaultKind::Crash: {
         Evaluation eval;

@@ -19,7 +19,9 @@
  * hangs are transient, like the real thing.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -44,7 +46,12 @@ struct FaultPlan {
 /** The fault drawn for one evaluation attempt. */
 enum class FaultKind { None, Crash, Hang, Nan };
 
-/** Seeded decision stream: (configuration key, attempt) -> FaultKind. */
+/**
+ * Seeded decision stream: (configuration key, attempt) -> FaultKind.
+ * The draw itself is stateless (a pure function of its inputs), so
+ * concurrent batch evaluations draw exactly the faults a serial run
+ * would; the injection counters are atomic.
+ */
 class FaultInjector {
   public:
     explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
@@ -61,9 +68,9 @@ class FaultInjector {
 
   private:
     FaultPlan plan_;
-    std::size_t crashes_ = 0;
-    std::size_t hangs_ = 0;
-    std::size_t nans_ = 0;
+    std::atomic<std::size_t> crashes_{0};
+    std::atomic<std::size_t> hangs_{0};
+    std::atomic<std::size_t> nans_{0};
 };
 
 /**
@@ -96,6 +103,7 @@ class FaultyProblem final : public SearchProblem {
   private:
     SearchProblem& inner_;
     FaultInjector injector_;
+    std::mutex mutex_; ///< guards attempts_ under batch evaluation
     std::unordered_map<std::string, std::uint64_t> attempts_;
 };
 

@@ -54,15 +54,21 @@ GeneticSearch::run(SearchContext& ctx)
         double fit = 0.0;
     };
 
-    auto score = [&](const Config& cfg) {
-        return fitness(ctx.evaluate(cfg));
-    };
-
+    // Scoring draws no randomness, so a whole generation can be bred
+    // first and evaluated as one batch without disturbing the RNG
+    // stream — the trajectory matches breeding and scoring one child
+    // at a time.
     std::vector<Individual> population;
     population.reserve(opt.population);
-    for (std::size_t i = 0; i < opt.population; ++i) {
-        Config cfg = randomConfig();
-        population.push_back({cfg, score(cfg)});
+    {
+        std::vector<Config> seeds;
+        seeds.reserve(opt.population);
+        for (std::size_t i = 0; i < opt.population; ++i)
+            seeds.push_back(randomConfig());
+        auto evals = ctx.evaluateBatch(seeds);
+        for (std::size_t i = 0; i < seeds.size(); ++i)
+            population.push_back(
+                {std::move(seeds[i]), fitness(evals[i])});
     }
 
     auto bestOf = [](const std::vector<Individual>& pop) {
@@ -91,7 +97,9 @@ GeneticSearch::run(SearchContext& ctx)
         // Elitism: carry the fittest individual forward unchanged.
         next.push_back(*bestOf(population));
 
-        while (next.size() < opt.population) {
+        std::vector<Config> children;
+        children.reserve(opt.population - 1);
+        while (next.size() + children.size() < opt.population) {
             const Individual& p1 = tournament();
             const Individual& p2 = tournament();
             Config child = p1.config;
@@ -103,8 +111,12 @@ GeneticSearch::run(SearchContext& ctx)
             for (std::size_t i = 0; i < n; ++i)
                 if (rng.chance(opt.mutationRate))
                     child.set(i, !child.test(i));
-            next.push_back({child, score(child)});
+            children.push_back(std::move(child));
         }
+        auto evals = ctx.evaluateBatch(children);
+        for (std::size_t i = 0; i < children.size(); ++i)
+            next.push_back(
+                {std::move(children[i]), fitness(evals[i])});
         population = std::move(next);
 
         double newBest = bestOf(population)->fit;

@@ -1,7 +1,7 @@
 #include "search/hierarchical.h"
 
-#include <deque>
 #include <limits>
+#include <vector>
 
 #include "support/logging.h"
 
@@ -16,21 +16,35 @@ collectPassingComponents(SearchContext& ctx)
 
     std::size_t n = ctx.siteCount();
     std::vector<const StructureNode*> accepted;
-    std::deque<const StructureNode*> frontier{root};
+    std::vector<const StructureNode*> level{root};
 
-    while (!frontier.empty()) {
-        const StructureNode* node = frontier.front();
-        frontier.pop_front();
-        if (node->sites.empty())
-            continue;
-        Config cfg = Config::withLowered(n, node->sites);
-        const Evaluation& eval = ctx.evaluate(cfg);
-        if (eval.passed()) {
-            accepted.push_back(node);
-        } else {
-            for (const auto& child : node->children)
-                frontier.push_back(&child);
+    // Breadth-first refinement, one batch per tree level: sibling
+    // subtrees are independent candidates. With a single root the
+    // serial deque traversal visits nodes in exactly this level
+    // order, so the evaluation sequence is unchanged.
+    while (!level.empty()) {
+        std::vector<const StructureNode*> nodes;
+        for (const StructureNode* node : level)
+            if (!node->sites.empty())
+                // A node without sites of its own is skipped without
+                // descending, as in the serial traversal.
+                nodes.push_back(node);
+        std::vector<Config> batch;
+        batch.reserve(nodes.size());
+        for (const StructureNode* node : nodes)
+            batch.push_back(Config::withLowered(n, node->sites));
+        auto evals = ctx.evaluateBatch(batch);
+
+        std::vector<const StructureNode*> next;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (evals[i].passed()) {
+                accepted.push_back(nodes[i]);
+            } else {
+                for (const auto& child : nodes[i]->children)
+                    next.push_back(&child);
+            }
         }
+        level = std::move(next);
     }
     return accepted;
 }
@@ -55,13 +69,18 @@ HierarchicalSearch::run(SearchContext& ctx)
         if (eval.passed() || accepted.size() == 1)
             break;
 
+        // Re-score each accepted group (all cache hits from the
+        // discovery phase) to find the weakest contributor.
+        std::vector<Config> batch;
+        batch.reserve(accepted.size());
+        for (const auto* node : accepted)
+            batch.push_back(Config::withLowered(n, node->sites));
+        auto evals = ctx.evaluateBatch(batch);
         std::size_t worst = 0;
         double worstSpeedup = std::numeric_limits<double>::max();
-        for (std::size_t i = 0; i < accepted.size(); ++i) {
-            const Evaluation& e = ctx.evaluate(
-                Config::withLowered(n, accepted[i]->sites));
-            if (e.speedup < worstSpeedup) {
-                worstSpeedup = e.speedup;
+        for (std::size_t i = 0; i < evals.size(); ++i) {
+            if (evals[i].speedup < worstSpeedup) {
+                worstSpeedup = evals[i].speedup;
                 worst = i;
             }
         }

@@ -13,12 +13,15 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
 {
     std::size_t n = ctx.siteCount();
 
-    // Phase 1: hierarchical discovery of replaceable components.
+    // Phase 1: hierarchical discovery of replaceable components
+    // (batched level by level inside collectPassingComponents).
     auto components = collectPassingComponents(ctx);
     if (components.size() <= 1)
         return;
 
     // Phase 2: compositional combination of the component configs.
+    // As in CompositionalSearch, each worklist entry's compositions
+    // form one independent batch.
     std::vector<Config> passing;
     std::deque<std::size_t> worklist;
     std::unordered_set<std::string> attempted;
@@ -29,13 +32,13 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
         worklist.push_back(passing.size() - 1);
     }
 
-    auto tryConfig = [&](const Config& cfg) {
-        if (!attempted.insert(cfg.toString()).second)
-            return;
-        const Evaluation& eval = ctx.evaluate(cfg);
-        if (eval.passed()) {
-            passing.push_back(cfg);
-            worklist.push_back(passing.size() - 1);
+    auto tryBatch = [&](const std::vector<Config>& batch) {
+        auto evals = ctx.evaluateBatch(batch);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (evals[i].passed()) {
+                passing.push_back(batch[i]);
+                worklist.push_back(passing.size() - 1);
+            }
         }
     };
 
@@ -43,14 +46,18 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
         std::size_t cur = worklist.front();
         worklist.pop_front();
         std::size_t limit = passing.size();
+        std::vector<Config> batch;
         for (std::size_t j = 0; j < limit; ++j) {
             if (j == cur)
                 continue;
             Config combined = passing[cur].unionWith(passing[j]);
             if (combined == passing[cur] || combined == passing[j])
                 continue;
-            tryConfig(combined);
+            if (!attempted.insert(combined.toString()).second)
+                continue;
+            batch.push_back(std::move(combined));
         }
+        tryBatch(batch);
     }
 }
 

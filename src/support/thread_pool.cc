@@ -18,13 +18,28 @@ ThreadPool::ThreadPool(std::size_t workers)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown(Shutdown::Drain);
+}
+
+void
+ThreadPool::shutdown(Shutdown mode)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_ && threads_.empty())
+            return; // already shut down
         stop_ = true;
+        if (mode == Shutdown::Cancel) {
+            // Destroying a packaged_task before invoking it breaks its
+            // future: waiters see std::future_error, not a hang.
+            cancelled_ += queue_.size();
+            queue_.clear();
+        }
     }
     cv_.notify_all();
     for (auto& t : threads_)
         t.join();
+    threads_.clear();
 }
 
 std::future<void>
@@ -57,6 +72,9 @@ ThreadPool::workerLoop()
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty()) {
+                // stop_ with a non-empty queue keeps draining; workers
+                // exit only once a Drain shutdown has emptied it (a
+                // Cancel shutdown empties it up front).
                 if (stop_)
                     return;
                 continue;

@@ -6,8 +6,9 @@
  * Fixed-size thread pool.
  *
  * Substitutes for the paper's SLURM cluster scheduling: the harness
- * offloads each application/algorithm analysis job to a pool worker
- * (DESIGN.md, Section 2).
+ * offloads each application/algorithm analysis job to a pool worker,
+ * and SearchContext::evaluateBatch offloads in-search configuration
+ * evaluations (DESIGN.md, Sections 2 and 9).
  */
 
 #include <condition_variable>
@@ -24,10 +25,16 @@ namespace hpcmixp::support {
 /** A fixed-size pool of worker threads executing queued jobs in FIFO order. */
 class ThreadPool {
   public:
+    /** What happens to still-queued jobs when the pool shuts down. */
+    enum class Shutdown {
+        Drain,  ///< run every queued job to completion, then join
+        Cancel, ///< drop queued jobs (their futures break), then join
+    };
+
     /** Start @p workers threads (0 means hardware concurrency). */
     explicit ThreadPool(std::size_t workers);
 
-    /** Drains outstanding work, then joins all workers. */
+    /** Equivalent to shutdown(Shutdown::Drain). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -39,8 +46,20 @@ class ThreadPool {
     /** Block until the queue is empty and all workers are idle. */
     void waitIdle();
 
-    /** Number of worker threads. */
+    /**
+     * Stop the pool and join all workers. Drain runs every queued job
+     * first; Cancel discards queued (not yet started) jobs, whose
+     * futures then throw std::future_error(broken_promise). Jobs
+     * already running always finish. Idempotent; submit() after
+     * shutdown is a programming error.
+     */
+    void shutdown(Shutdown mode);
+
+    /** Number of worker threads (0 once shut down). */
     std::size_t workerCount() const { return threads_.size(); }
+
+    /** Jobs discarded by a Cancel shutdown. */
+    std::size_t cancelledCount() const { return cancelled_; }
 
   private:
     void workerLoop();
@@ -51,6 +70,7 @@ class ThreadPool {
     std::condition_variable cv_;
     std::condition_variable idleCv_;
     std::size_t active_ = 0;
+    std::size_t cancelled_ = 0;
     bool stop_ = false;
 };
 

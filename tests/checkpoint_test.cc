@@ -5,13 +5,18 @@
  * context restores it and finishes without re-executing anything.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "search/combinational.h"
 #include "search/driver.h"
+#include "search/fault.h"
 #include "support/json.h"
 #include "support/logging.h"
 
@@ -42,11 +47,23 @@ class CountingProblem : public SearchProblem {
         return eval;
     }
 
-    int rawCalls_ = 0;
+    // Atomic: batch evaluation calls evaluate() from pool workers.
+    std::atomic<int> rawCalls_{0};
 
   private:
     std::size_t sites_;
 };
+
+/** Order-independent view of an exportCache() snapshot. */
+std::vector<std::string>
+canonicalCache(const Value& cache)
+{
+    std::vector<std::string> dumps;
+    for (const auto& e : cache.at("evaluations").items())
+        dumps.push_back(e.dump());
+    std::sort(dumps.begin(), dumps.end());
+    return dumps;
+}
 
 TEST(Checkpoint, ResumedSearchDoesNotReExecute)
 {
@@ -207,6 +224,81 @@ TEST(Checkpoint, NaNQualityLossSurvivesSerialization)
         restored.evaluate(Config::allLowered(1)); // cache hit
     EXPECT_TRUE(std::isnan(eval.qualityLoss));
     EXPECT_EQ(restored.evaluatedCount(), 0u);
+}
+
+/**
+ * Ordered commit makes every checkpoint *prefix* deterministic, not
+ * just the final state: the sequence of periodic snapshots a parallel
+ * batch produces is identical to the serial one.
+ */
+TEST(Checkpoint, PeriodicSnapshotsMatchSerialUnderParallelBatches)
+{
+    auto snapshots = [](std::size_t jobs) {
+        CountingProblem problem(4);
+        SearchContext ctx(problem, {100, 0.0});
+        ctx.setSearchJobs(jobs);
+        std::vector<std::vector<std::string>> dumps;
+        ctx.setCheckpointHook(2, [&](const Value& v) {
+            dumps.push_back(canonicalCache(v));
+        });
+        std::vector<Config> batch;
+        for (std::size_t i = 0; i < 4; ++i)
+            batch.push_back(Config::withLowered(4, {i}));
+        batch.push_back(Config::withLowered(4, {0})); // duplicate
+        batch.push_back(Config::withLowered(4, {1, 2}));
+        ctx.evaluateBatch(batch);
+        return dumps;
+    };
+    auto serial = snapshots(1);
+    auto parallel = snapshots(4);
+    ASSERT_EQ(serial.size(), 2u); // snapshots after executions 2 and 4
+    EXPECT_EQ(parallel, serial);
+}
+
+/**
+ * Checkpoint JSON written by a faulty parallel campaign round-trips
+ * identically to the serial campaign's: same entries (including the
+ * quarantined runtime_fail ones), and importing the parallel snapshot
+ * reproduces it bit-for-bit on re-export.
+ */
+TEST(Checkpoint, FaultyParallelCheckpointRoundTripsIdentically)
+{
+    using hpcmixp::search::FaultPlan;
+    using hpcmixp::search::FaultyProblem;
+
+    auto campaign = [](std::size_t jobs) {
+        CountingProblem inner(4);
+        FaultPlan plan;
+        plan.crashRate = 0.5;
+        plan.seed = 17;
+        FaultyProblem faulty(inner, plan);
+        CombinationalSearch cb;
+        SearchRunOptions run;
+        run.resilience.maxAttempts = 2;
+        run.resilience.sleepBetweenRetries = false;
+        run.searchJobs = jobs;
+        Value cache;
+        run.checkpointSink = [&cache](const Value& v) { cache = v; };
+        runSearch(faulty, cb, {1000, 0.0}, run);
+        return cache;
+    };
+    Value serial = campaign(1);
+    Value parallel = campaign(4);
+    EXPECT_EQ(canonicalCache(parallel), canonicalCache(serial));
+
+    // The stress run did quarantine something, so the equality above
+    // covers failure entries, not just clean ones.
+    std::size_t runtimeFails = 0;
+    for (const auto& e : parallel.at("evaluations").items())
+        if (e.at("status").asString() == "runtime_fail")
+            ++runtimeFails;
+    EXPECT_GT(runtimeFails, 0u);
+
+    CountingProblem fresh(4);
+    SearchContext restored(fresh, {1000, 0.0});
+    restored.importCache(parallel);
+    EXPECT_EQ(canonicalCache(restored.exportCache()),
+              canonicalCache(parallel));
 }
 
 } // namespace

@@ -9,8 +9,11 @@
  * injection-vs-clean equivalence of all six strategies.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -236,7 +239,8 @@ class ScriptedProblem : public search::SearchProblem {
   private:
     bool withStructure_;
     StructureNode tree_;
-    int rawCalls_ = 0;
+    // Atomic: batch evaluation calls evaluate() from pool workers.
+    std::atomic<int> rawCalls_{0};
 };
 
 TEST(FaultDeterminism, DrawsAreDeterministicPerSeed)
@@ -396,6 +400,89 @@ TEST(Resilience, AllStrategiesMatchCleanRunUnderInjection)
     // The injector did fire: the equivalence above was earned by
     // retries, not by the faults never happening.
     EXPECT_GT(totalRetries, 0u);
+}
+
+/**
+ * Batch-parallel stress pin: with fault injection and retries active,
+ * a 4-worker search must report exactly the serial run's trajectory —
+ * including the resilience counters. Fault draws are a pure function
+ * of (seed, config key, attempt), and each configuration's attempt
+ * sequence stays private to its evaluation task, so worker scheduling
+ * cannot change which faults fire.
+ */
+TEST(Resilience, BatchParallelMatchesSerialUnderInjection)
+{
+    search::SearchBudget budget{100000, 0.0};
+    std::size_t totalRetries = 0;
+    for (const char* code : {"CB", "CM", "DD", "HR", "HC", "GA"}) {
+        auto runWith = [&](std::size_t jobs) {
+            ScriptedProblem inner;
+            FaultPlan plan;
+            plan.crashRate = 0.15;
+            plan.nanRate = 0.05;
+            plan.seed = 2020;
+            FaultyProblem faulty(inner, plan);
+            search::SearchRunOptions run;
+            run.resilience.maxAttempts = 12;
+            run.resilience.sleepBetweenRetries = false;
+            run.searchJobs = jobs;
+            return search::runSearch(faulty, code, budget, run);
+        };
+        auto serial = runWith(1);
+        auto parallel = runWith(4);
+
+        EXPECT_EQ(parallel.best, serial.best) << code;
+        EXPECT_DOUBLE_EQ(parallel.bestEvaluation.speedup,
+                         serial.bestEvaluation.speedup)
+            << code;
+        EXPECT_EQ(parallel.evaluated, serial.evaluated) << code;
+        EXPECT_EQ(parallel.cacheHits, serial.cacheHits) << code;
+        EXPECT_EQ(parallel.retries, serial.retries) << code;
+        EXPECT_EQ(parallel.deadlineMisses, serial.deadlineMisses)
+            << code;
+        EXPECT_EQ(parallel.quarantined, serial.quarantined) << code;
+        totalRetries += parallel.retries;
+    }
+    EXPECT_GT(totalRetries, 0u);
+}
+
+/**
+ * Quarantine parity: when retries run out, serial and parallel runs
+ * must quarantine the *same* configurations (observable as identical
+ * runtime_fail cache entries), not merely the same number of them.
+ */
+TEST(Resilience, ParallelQuarantineSetMatchesSerial)
+{
+    using hpcmixp::support::json::Value;
+    auto quarantineKeys = [&](std::size_t jobs,
+                              std::size_t& quarantined) {
+        ScriptedProblem inner(false);
+        FaultPlan plan;
+        plan.crashRate = 0.6; // enough to exhaust 2 attempts at times
+        plan.seed = 17;
+        FaultyProblem faulty(inner, plan);
+        search::SearchRunOptions run;
+        run.resilience.maxAttempts = 2;
+        run.resilience.sleepBetweenRetries = false;
+        run.searchJobs = jobs;
+        Value cache;
+        run.checkpointSink = [&cache](const Value& v) { cache = v; };
+        auto result =
+            search::runSearch(faulty, "CB", {100000, 0.0}, run);
+        quarantined = result.quarantined;
+        std::vector<std::string> keys;
+        for (const auto& e : cache.at("evaluations").items())
+            if (e.at("status").asString() == "runtime_fail")
+                keys.push_back(e.at("config").asString());
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    };
+    std::size_t serialQuarantined = 0, parallelQuarantined = 0;
+    auto serial = quarantineKeys(1, serialQuarantined);
+    auto parallel = quarantineKeys(4, parallelQuarantined);
+    EXPECT_GT(serialQuarantined, 0u);
+    EXPECT_EQ(parallelQuarantined, serialQuarantined);
+    EXPECT_EQ(parallel, serial);
 }
 
 } // namespace

@@ -5,13 +5,17 @@
  * invariants and a brute-force reference.
  */
 
+#include <algorithm>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "search/driver.h"
 #include "search/genetic.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace {
@@ -73,10 +77,55 @@ class RandomProblem : public SearchProblem {
     std::vector<bool> toxic_;
 };
 
+/** RandomProblem plus a two-module structure tree so the hierarchical
+ *  strategies (HR, HC) can run over it. */
+class StructuredRandomProblem : public RandomProblem {
+  public:
+    StructuredRandomProblem(std::size_t sites, std::uint64_t seed)
+        : RandomProblem(sites, seed)
+    {
+        tree_.name = "prog";
+        StructureNode left, right;
+        left.name = "modA";
+        right.name = "modB";
+        for (std::size_t i = 0; i < sites; ++i) {
+            tree_.sites.push_back(i);
+            StructureNode leaf;
+            leaf.name = "v" + std::to_string(i);
+            leaf.sites = {i};
+            StructureNode& half = i < sites / 2 ? left : right;
+            half.sites.push_back(i);
+            half.children.push_back(std::move(leaf));
+        }
+        tree_.children = {std::move(left), std::move(right)};
+    }
+
+    const StructureNode* structure() const override { return &tree_; }
+
+  private:
+    StructureNode tree_;
+};
+
 SearchBudget
 bigBudget()
 {
     return {1000000, 0.0};
+}
+
+/** Order-independent view of an exportCache() snapshot: every entry's
+ *  dump, sorted by config key (the map dump order is unspecified). */
+std::vector<std::string>
+canonicalCache(const hpcmixp::support::json::Value& cache)
+{
+    std::vector<std::pair<std::string, std::string>> entries;
+    for (const auto& e : cache.at("evaluations").items())
+        entries.emplace_back(e.at("config").asString(), e.dump());
+    std::sort(entries.begin(), entries.end());
+    std::vector<std::string> dumps;
+    dumps.reserve(entries.size());
+    for (auto& [key, dump] : entries)
+        dumps.push_back(std::move(dump));
+    return dumps;
 }
 
 class SearchProperty : public ::testing::TestWithParam<std::uint64_t> {
@@ -178,6 +227,79 @@ TEST_P(SearchProperty, CacheNeverReExecutes)
     }
     EXPECT_EQ(ctx.evaluatedCount(), distinct);
     EXPECT_EQ(ctx.cacheHitCount(), 200u - distinct);
+}
+
+/**
+ * The headline pin of batch-parallel evaluation: for every strategy,
+ * a 4-worker search must traverse exactly the trajectory of the
+ * serial search — same best configuration, same EV / cache-hit /
+ * compile-failure accounting, and a bit-identical evaluation cache.
+ * (Commit-in-submission-order makes this hold; see DESIGN.md §9.)
+ */
+TEST_P(SearchProperty, ParallelBatchesMatchSerialTrajectory)
+{
+    using hpcmixp::support::json::Value;
+    for (const char* code : {"CB", "CM", "DD", "HR", "HC", "GA"}) {
+        auto runWith = [&](std::size_t jobs, Value& cache) {
+            StructuredRandomProblem problem(7, GetParam());
+            SearchRunOptions run;
+            run.searchJobs = jobs;
+            run.checkpointSink = [&cache](const Value& v) {
+                cache = v;
+            };
+            return runSearch(problem, code, bigBudget(), run);
+        };
+        Value serialCache, parallelCache;
+        auto serial = runWith(1, serialCache);
+        auto parallel = runWith(4, parallelCache);
+
+        EXPECT_EQ(parallel.foundImprovement, serial.foundImprovement)
+            << code;
+        EXPECT_EQ(parallel.best, serial.best) << code;
+        EXPECT_DOUBLE_EQ(parallel.bestEvaluation.speedup,
+                         serial.bestEvaluation.speedup)
+            << code;
+        EXPECT_EQ(parallel.evaluated, serial.evaluated) << code;
+        EXPECT_EQ(parallel.cacheHits, serial.cacheHits) << code;
+        EXPECT_EQ(parallel.compileFailures, serial.compileFailures)
+            << code;
+        EXPECT_EQ(canonicalCache(parallelCache),
+                  canonicalCache(serialCache))
+            << code;
+    }
+}
+
+/**
+ * Budget exhaustion must cut a parallel search at exactly the same
+ * configuration as the serial search: speculative evaluations past
+ * the budget are discarded, never committed.
+ */
+TEST_P(SearchProperty, ParallelBudgetTruncationMatchesSerial)
+{
+    using hpcmixp::support::json::Value;
+    for (const char* code : {"CB", "GA"}) {
+        for (std::size_t cap : {3u, 7u}) {
+            auto runWith = [&](std::size_t jobs, Value& cache) {
+                StructuredRandomProblem problem(7, GetParam());
+                SearchRunOptions run;
+                run.searchJobs = jobs;
+                run.checkpointSink = [&cache](const Value& v) {
+                    cache = v;
+                };
+                return runSearch(problem, code,
+                                 SearchBudget{cap, 0.0}, run);
+            };
+            Value serialCache, parallelCache;
+            auto serial = runWith(1, serialCache);
+            auto parallel = runWith(4, parallelCache);
+            EXPECT_EQ(parallel.timedOut, serial.timedOut) << code;
+            EXPECT_EQ(parallel.evaluated, serial.evaluated) << code;
+            EXPECT_EQ(parallel.best, serial.best) << code;
+            EXPECT_EQ(canonicalCache(parallelCache),
+                      canonicalCache(serialCache))
+                << code << " cap=" << cap;
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SearchProperty,

@@ -4,8 +4,10 @@
  * and all six strategies against controllable mock problems.
  */
 
+#include <atomic>
 #include <functional>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -78,7 +80,8 @@ class MockProblem : public SearchProblem {
     PassFn compiles_;
     StructureNode tree_;
     bool hasTree_ = false;
-    int rawCalls_ = 0;
+    // Atomic: batch evaluation calls evaluate() from pool workers.
+    std::atomic<int> rawCalls_{0};
 };
 
 SearchBudget
@@ -175,6 +178,87 @@ TEST(Context, BudgetExhaustionThrows)
     EXPECT_THROW(ctx.evaluate(Config::withLowered(8, {3})),
                  BudgetExhausted);
     EXPECT_TRUE(ctx.exhausted());
+}
+
+// ---- SearchContext::evaluateBatch --------------------------------------
+
+TEST(BatchEvaluate, AccountsHitsAndDuplicatesLikeTheSerialLoop)
+{
+    for (std::size_t jobs : {1u, 4u}) {
+        MockProblem problem(3, [](const Config&) { return true; });
+        SearchContext ctx(problem, bigBudget());
+        ctx.setSearchJobs(jobs);
+        ctx.evaluate(Config::withLowered(3, {0})); // pre-batch cache
+
+        std::vector<Config> batch{
+            Config::withLowered(3, {0}),    // hit on pre-batch cache
+            Config::withLowered(3, {1}),    // fresh
+            Config::withLowered(3, {1}),    // duplicate of a fresh one
+            Config::withLowered(3, {1, 2}), // fresh
+        };
+        auto evals = ctx.evaluateBatch(batch);
+        ASSERT_EQ(evals.size(), 4u);
+        EXPECT_DOUBLE_EQ(evals[1].speedup, evals[2].speedup);
+        EXPECT_EQ(ctx.evaluatedCount(), 3u) << "jobs=" << jobs;
+        EXPECT_EQ(ctx.cacheHitCount(), 2u) << "jobs=" << jobs;
+        EXPECT_EQ(problem.rawCalls(), 3) << "jobs=" << jobs;
+        ASSERT_TRUE(ctx.hasBest());
+        EXPECT_EQ(ctx.bestConfig(), Config::withLowered(3, {1, 2}));
+    }
+}
+
+TEST(BatchEvaluate, BudgetCutsTheBatchAtTheSerialPoint)
+{
+    for (std::size_t jobs : {1u, 4u}) {
+        MockProblem problem(8, [](const Config&) { return true; });
+        SearchContext ctx(problem, {3, 0.0});
+        ctx.setSearchJobs(jobs);
+        std::vector<Config> batch;
+        for (std::size_t i = 0; i < 6; ++i)
+            batch.push_back(Config::withLowered(8, {i}));
+        EXPECT_THROW(ctx.evaluateBatch(batch), BudgetExhausted);
+        // Exactly the serial prefix committed; the speculative tail
+        // left no trace in EV, cache, or best.
+        EXPECT_EQ(ctx.evaluatedCount(), 3u) << "jobs=" << jobs;
+        EXPECT_TRUE(ctx.isCached(Config::withLowered(8, {2})));
+        EXPECT_FALSE(ctx.isCached(Config::withLowered(8, {3})));
+        EXPECT_TRUE(ctx.exhausted());
+        ASSERT_TRUE(ctx.hasBest());
+        EXPECT_EQ(ctx.bestConfig().count(), 1u);
+    }
+}
+
+TEST(BatchEvaluate, CompileFailuresCountedIdenticallyInParallel)
+{
+    for (std::size_t jobs : {1u, 4u}) {
+        MockProblem problem(4, [](const Config&) { return true; });
+        problem.setCompileCheck(
+            [](const Config& c) { return c.count() != 1; });
+        SearchContext ctx(problem, bigBudget());
+        ctx.setSearchJobs(jobs);
+        std::vector<Config> batch{
+            Config::withLowered(4, {0}),    // compile fail
+            Config::withLowered(4, {0, 1}), // runs
+            Config::withLowered(4, {2}),    // compile fail
+            Config::withLowered(4, {2, 3}), // runs
+        };
+        auto evals = ctx.evaluateBatch(batch);
+        EXPECT_EQ(evals[0].status, EvalStatus::CompileFail);
+        EXPECT_EQ(ctx.evaluatedCount(), 2u) << "jobs=" << jobs;
+        EXPECT_EQ(ctx.compileFailCount(), 2u) << "jobs=" << jobs;
+    }
+}
+
+TEST(BatchEvaluate, EmptyAndSingletonBatches)
+{
+    MockProblem problem(2, [](const Config&) { return true; });
+    SearchContext ctx(problem, bigBudget());
+    ctx.setSearchJobs(4);
+    EXPECT_TRUE(ctx.evaluateBatch({}).empty());
+    std::vector<Config> one{Config::withLowered(2, {0})};
+    auto evals = ctx.evaluateBatch(one);
+    ASSERT_EQ(evals.size(), 1u);
+    EXPECT_EQ(ctx.evaluatedCount(), 1u);
 }
 
 // ---- Strategies ----------------------------------------------------------

@@ -5,9 +5,13 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -305,6 +309,83 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency)
 {
     ThreadPool pool(0);
     EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPool, DrainShutdownRunsQueuedJobs)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    std::atomic<bool> started{false};
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    // The single worker blocks on the gate, so the next 8 jobs are
+    // guaranteed to still be queued when shutdown begins.
+    pool.submit([&, opened] {
+        started = true;
+        opened.wait();
+        ++count;
+    });
+    while (!started)
+        std::this_thread::yield();
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] { ++count; });
+
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        gate.set_value();
+    });
+    pool.shutdown(ThreadPool::Shutdown::Drain);
+    releaser.join();
+
+    EXPECT_EQ(count.load(), 9); // every queued job still ran
+    EXPECT_EQ(pool.cancelledCount(), 0u);
+    EXPECT_EQ(pool.workerCount(), 0u);
+}
+
+TEST(ThreadPool, CancelShutdownDropsQueuedJobsAndBreaksFutures)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    std::atomic<bool> started{false};
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    auto running = pool.submit([&, opened] {
+        started = true;
+        opened.wait();
+        ++count;
+    });
+    while (!started)
+        std::this_thread::yield();
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 8; ++i)
+        queued.push_back(pool.submit([&] { ++count; }));
+
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        gate.set_value();
+    });
+    pool.shutdown(ThreadPool::Shutdown::Cancel);
+    releaser.join();
+
+    // The in-flight job always completes; the queued ones were
+    // dropped and their futures broken rather than left hanging.
+    EXPECT_EQ(count.load(), 1);
+    EXPECT_EQ(pool.cancelledCount(), 8u);
+    running.get();
+    for (auto& f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(2);
+    pool.submit([] {}).get();
+    pool.shutdown(ThreadPool::Shutdown::Drain);
+    pool.shutdown(ThreadPool::Shutdown::Cancel); // no-op after the first
+    EXPECT_EQ(pool.workerCount(), 0u);
+    EXPECT_EQ(pool.cancelledCount(), 0u);
 }
 
 
