@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Microbenchmark: evaluation-pipeline throughput, seed path vs the
+ * prepare/execute split.
+ *
+ * One "evaluation" reproduces what the tuner does per candidate
+ * configuration at --reps timing repetitions:
+ *
+ *   seed path      one untimed verification run plus --reps timed
+ *                  runs, each a full run — precision-map resolution,
+ *                  input conversion, output allocation, kernel.
+ *   prepare/exec   prepare once (cached input views), then --reps
+ *                  pure executes against a reusable per-thread
+ *                  workspace; the verification output is the first
+ *                  timed rep.
+ *
+ * Reports evaluations/sec for both paths, serial and at 4 evaluation
+ * threads sharing one benchmark instance (the --search-jobs shape),
+ * and writes the numbers to BENCH_eval_pipeline.json.
+ *
+ * Extra flag beyond the common set:
+ *   --window S   seconds of measurement per cell (default 0.4)
+ */
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchmarks/registry.h"
+#include "runtime/workspace.h"
+#include "support/json.h"
+#include "support/timer.h"
+#include "verify/comparator.h"
+
+namespace {
+
+using namespace hpcmixp;
+using benchmarks::Benchmark;
+using benchmarks::PrecisionMap;
+using benchmarks::PrepareOptions;
+using benchmarks::RunOutput;
+using benchmarks::RunPlan;
+using runtime::RunWorkspace;
+namespace json = support::json;
+
+/** The suite's fastest kernels: per-eval overhead matters most here. */
+const char* kSmallKernels[] = {"eos", "hydro-1d", "banded-lin-eq",
+                               "diff-predictor", "gen-lin-recur",
+                               "innerprod"};
+
+/** Alternating single/double assignment over the sorted bind keys. */
+PrecisionMap
+mixedMap(const Benchmark& bench)
+{
+    std::set<std::string> keys;
+    const auto& program = bench.programModel();
+    for (model::VarId v : program.realVariables()) {
+        const auto& var = program.variable(v);
+        if (!var.bindKey.empty())
+            keys.insert(var.bindKey);
+    }
+    PrecisionMap pm;
+    std::size_t i = 0;
+    for (const std::string& k : keys)
+        if (i++ % 2 == 0)
+            pm.set(k, runtime::Precision::Float32);
+    return pm;
+}
+
+/** Seed protocol: verify run + reps timed runs, all fully fresh. */
+void
+seedEvaluation(const Benchmark& bench, const PrecisionMap& pm,
+               const verify::OutputComparator& comparator,
+               std::span<const double> reference, std::size_t reps)
+{
+    PrepareOptions uncached;
+    uncached.reuseInputCache = false;
+    {
+        RunWorkspace ws;
+        RunPlan plan = bench.prepare(pm, uncached);
+        RunOutput output = bench.execute(plan, ws);
+        (void)comparator.verify(reference, output.values);
+    }
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        support::WallTimer timer;
+        RunWorkspace ws;
+        RunPlan plan = bench.prepare(pm, uncached);
+        (void)bench.execute(plan, ws);
+        samples.push_back(timer.seconds());
+    }
+    (void)support::trimmedMean(std::move(samples));
+}
+
+/** New protocol: prepare once, reps executes, verify the first rep. */
+void
+pipelineEvaluation(const Benchmark& bench, const PrecisionMap& pm,
+                   const verify::OutputComparator& comparator,
+                   std::span<const double> reference, std::size_t reps,
+                   RunWorkspace& ws)
+{
+    RunPlan plan = bench.prepare(pm);
+    std::vector<double> samples;
+    samples.reserve(reps);
+    RunOutput first;
+    for (std::size_t i = 0; i < reps; ++i) {
+        support::WallTimer timer;
+        RunOutput output = bench.execute(plan, ws);
+        samples.push_back(timer.seconds());
+        if (i == 0)
+            first = std::move(output);
+    }
+    (void)comparator.verify(reference, first.values);
+    (void)support::trimmedMean(std::move(samples));
+}
+
+/** Evaluations/sec of @p evaluation over @p seconds of wall clock. */
+template <class Fn>
+double
+throughput(double seconds, Fn&& evaluation)
+{
+    // Warm caches (and, for the pipeline path, the input conversions).
+    evaluation();
+    support::WallTimer timer;
+    std::size_t evals = 0;
+    do {
+        evaluation();
+        ++evals;
+    } while (timer.seconds() < seconds);
+    return static_cast<double>(evals) / timer.seconds();
+}
+
+/** Same measurement with @p jobs threads sharing the benchmark. */
+template <class Fn>
+double
+throughputParallel(double seconds, int jobs, Fn&& evaluation)
+{
+    std::atomic<std::size_t> evals{0};
+    support::WallTimer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+        threads.emplace_back([&] {
+            evaluation();  // per-thread warm-up, untimed share
+            do {
+                evaluation();
+                evals.fetch_add(1, std::memory_order_relaxed);
+            } while (timer.seconds() < seconds);
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
+    return static_cast<double>(evals.load()) / timer.seconds();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchutil::BenchOptions options = benchutil::parseOptions(argc, argv);
+    support::CommandLine cl(argc, argv);
+    double window = cl.getDouble("window",
+                                 support::quickMode() ? 0.05 : 0.4);
+    constexpr int kJobs = 4;
+    // reps = 1 isolates the protocol win (two full runs collapse to
+    // one pure execute); the configured default (3) shows the mixed
+    // effect once kernel time amortizes the saved setup.
+    const std::size_t repsList[] = {1, options.tuner.searchReps};
+
+    support::Table table({"kernel", "reps", "serial-seed/s",
+                          "serial-pipe/s", "serial-x", "jobs4-seed/s",
+                          "jobs4-pipe/s", "jobs4-x"});
+    json::Value doc = json::Value::object();
+    doc.set("bench", json::Value::string("eval_pipeline"));
+    doc.set("jobs", json::Value::number(kJobs));
+    json::Value rows = json::Value::array();
+
+    for (const char* name : kSmallKernels) {
+        auto bench = benchmarks::BenchmarkRegistry::instance().create(name);
+        PrecisionMap pm = mixedMap(*bench);
+        PrecisionMap allDouble;
+        RunOutput reference = bench->run(allDouble);
+        verify::OutputComparator comparator("RMSE", 1e6);
+
+        for (std::size_t reps : repsList) {
+            auto seedEval = [&] {
+                seedEvaluation(*bench, pm, comparator,
+                               reference.values, reps);
+            };
+            auto pipeEval = [&] {
+                thread_local RunWorkspace workspace;
+                pipelineEvaluation(*bench, pm, comparator,
+                                   reference.values, reps, workspace);
+            };
+
+            double serialSeed = throughput(window, seedEval);
+            double serialPipe = throughput(window, pipeEval);
+            double jobsSeed =
+                throughputParallel(window, kJobs, seedEval);
+            double jobsPipe =
+                throughputParallel(window, kJobs, pipeEval);
+
+            table.addRow(
+                {name, support::Table::cell(static_cast<long>(reps)),
+                 support::Table::cell(serialSeed, 1),
+                 support::Table::cell(serialPipe, 1),
+                 support::Table::cell(serialPipe / serialSeed, 2),
+                 support::Table::cell(jobsSeed, 1),
+                 support::Table::cell(jobsPipe, 1),
+                 support::Table::cell(jobsPipe / jobsSeed, 2)});
+
+            json::Value row = json::Value::object();
+            row.set("kernel", json::Value::string(name));
+            row.set("reps",
+                    json::Value::number(static_cast<double>(reps)));
+            row.set("serial_seed_evals_per_sec",
+                    json::Value::number(serialSeed));
+            row.set("serial_pipeline_evals_per_sec",
+                    json::Value::number(serialPipe));
+            row.set("serial_speedup",
+                    json::Value::number(serialPipe / serialSeed));
+            row.set("jobs4_seed_evals_per_sec",
+                    json::Value::number(jobsSeed));
+            row.set("jobs4_pipeline_evals_per_sec",
+                    json::Value::number(jobsPipe));
+            row.set("jobs4_speedup",
+                    json::Value::number(jobsPipe / jobsSeed));
+            rows.push(std::move(row));
+        }
+    }
+    doc.set("kernels", std::move(rows));
+
+    benchutil::emit(table, options);
+    std::ofstream out("BENCH_eval_pipeline.json");
+    out << doc.dump(2) << "\n";
+    std::cout << "wrote BENCH_eval_pipeline.json\n";
+    return 0;
+}

@@ -64,11 +64,10 @@ cndf(T x)
  */
 template <class TS, class TC>
 void
-priceRegion(const std::vector<TS>& sptprice,
-            const std::vector<TS>& strike, const std::vector<TS>& rate,
-            const std::vector<TS>& volatility,
-            const std::vector<TS>& otime,
-            const std::vector<int>& otype, std::vector<TS>& prices)
+priceRegion(std::span<const TS> sptprice, std::span<const TS> strike,
+            std::span<const TS> rate, std::span<const TS> volatility,
+            std::span<const TS> otime, const std::vector<int>& otype,
+            std::span<TS> prices)
 {
     std::size_t n = prices.size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -99,12 +98,19 @@ priceRegion(const std::vector<TS>& sptprice,
     }
 }
 
-/** Convert an mp::Buffer into a working vector of type T. */
+/**
+ * Convert an mp::Buffer into a working array of type T held in a
+ * workspace slot — the region boundary's genuine cast pass, minus the
+ * per-run allocation.
+ */
 template <class T>
-std::vector<T>
-toWorking(const runtime::Buffer& buffer)
+std::span<T>
+toWorking(runtime::RunWorkspace& ws, std::size_t slot,
+          const runtime::Buffer& buffer)
 {
-    std::vector<T> out(buffer.size());
+    runtime::Buffer& work =
+        ws.zeroed(slot, buffer.size(), runtime::precisionOf<T>());
+    auto out = work.as<T>();
     runtime::dispatch1(buffer.precision(), [&](auto tag) {
         using Src = typename decltype(tag)::type;
         auto view = buffer.as<Src>();
@@ -146,29 +152,45 @@ class Blackscholes final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kLocals, pm.get(keyLocals_));
+        plan.setKnob(kCndf, pm.get(keyCndf_));
+        plan.setKnob(kPrices, pm.get(keyPrices_));
+        bindInput(plan, kSpt, sptData_, pm.get(keySpt_), options);
+        bindInput(plan, kStrike, strikeData_, pm.get(keyStrike_),
+                  options);
+        bindInput(plan, kRate, rateData_, pm.get(keyRate_), options);
+        bindInput(plan, kVol, volData_, pm.get(keyVol_), options);
+        bindInput(plan, kOtime, timeData_, pm.get(keyOtime_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer spt = Buffer::fromDoubles(sptData_, pm.get("sptprice"));
-        Buffer strike = Buffer::fromDoubles(strikeData_,
-                                            pm.get("strike"));
-        Buffer rate = Buffer::fromDoubles(rateData_, pm.get("rate"));
-        Buffer vol = Buffer::fromDoubles(volData_,
-                                         pm.get("volatility"));
-        Buffer otime = Buffer::fromDoubles(timeData_, pm.get("otime"));
-        Buffer prices(n_, pm.get("prices"));
+        Buffer& prices = ws.zeroed(kPrices, n_, plan.knob(kPrices));
 
         runtime::dispatch2(
-            pm.get("locals"), pm.get("cndf"), [&](auto ts, auto tc) {
+            plan.knob(kLocals), plan.knob(kCndf),
+            [&](auto ts, auto tc) {
                 using TS = typename decltype(ts)::type;
                 using TC = typename decltype(tc)::type;
-                auto s = toWorking<TS>(spt);
-                auto k = toWorking<TS>(strike);
-                auto r = toWorking<TS>(rate);
-                auto v = toWorking<TS>(vol);
-                auto t = toWorking<TS>(otime);
-                std::vector<TS> out(n_);
+                auto s = toWorking<TS>(ws, kSpt, plan.input(kSpt));
+                auto k =
+                    toWorking<TS>(ws, kStrike, plan.input(kStrike));
+                auto r = toWorking<TS>(ws, kRate, plan.input(kRate));
+                auto v = toWorking<TS>(ws, kVol, plan.input(kVol));
+                auto t =
+                    toWorking<TS>(ws, kOtime, plan.input(kOtime));
+                Buffer& outBuf = ws.zeroed(kWorkOut, n_,
+                                           runtime::precisionOf<TS>());
+                auto out = outBuf.as<TS>();
                 priceRegion<TS, TC>(s, k, r, v, t, otype_, out);
                 for (std::size_t i = 0; i < n_; ++i)
                     prices.storeDouble(i,
@@ -178,6 +200,18 @@ class Blackscholes final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t {
+        kSpt,
+        kStrike,
+        kRate,
+        kVol,
+        kOtime,
+        kPrices,
+        kLocals,
+        kCndf,
+        kWorkOut
+    };
+
     void
     buildModel()
     {
@@ -225,12 +259,20 @@ class Blackscholes final : public Benchmark {
 
     model::ProgramModel model_;
     std::size_t n_;
-    std::vector<double> sptData_;
-    std::vector<double> strikeData_;
-    std::vector<double> rateData_;
-    std::vector<double> volData_;
-    std::vector<double> timeData_;
+    CachedInput sptData_;
+    CachedInput strikeData_;
+    CachedInput rateData_;
+    CachedInput volData_;
+    CachedInput timeData_;
     std::vector<int> otype_;
+    model::BindKeyId keySpt_ = model::internBindKey("sptprice");
+    model::BindKeyId keyStrike_ = model::internBindKey("strike");
+    model::BindKeyId keyRate_ = model::internBindKey("rate");
+    model::BindKeyId keyVol_ = model::internBindKey("volatility");
+    model::BindKeyId keyOtime_ = model::internBindKey("otime");
+    model::BindKeyId keyPrices_ = model::internBindKey("prices");
+    model::BindKeyId keyLocals_ = model::internBindKey("locals");
+    model::BindKeyId keyCndf_ = model::internBindKey("cndf");
 };
 
 } // namespace

@@ -167,17 +167,37 @@ class Cfd final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kVariables, pm.get(keyVariables_));
+        plan.setKnob(kFluxes, pm.get(keyFluxes_));
+        plan.setKnob(kStepFactors, pm.get(keyStepFactors_));
+        bindInput(plan, kInitState, initState_,
+                  pm.get(keyVariables_), options);
+        bindInput(plan, kNormals, normalData_, pm.get(keyNormals_),
+                  options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer variables = Buffer::fromDoubles(initState_,
-                                               pm.get("variables"));
-        Buffer oldVariables(initState_.size(), pm.get("variables"));
-        Buffer fluxes(initState_.size(), pm.get("fluxes"));
-        Buffer stepFactors(cells_, pm.get("step_factors"));
-        Buffer normals = Buffer::fromDoubles(normalData_,
-                                             pm.get("normals"));
+        // The solver advances the state in place; start from a copy of
+        // the converted initial state.
+        Buffer& variables = ws.copyOf(kVariables, plan.input(kInitState));
+        Buffer& oldVariables = ws.zeroed(kOldVariables,
+                                         variables.size(),
+                                         plan.knob(kVariables));
+        Buffer& fluxes = ws.zeroed(kFluxes, variables.size(),
+                                   plan.knob(kFluxes));
+        Buffer& stepFactors =
+            ws.zeroed(kStepFactors, cells_, plan.knob(kStepFactors));
+        const Buffer& normals = plan.input(kNormals);
 
         runtime::dispatch4(
             variables.precision(), fluxes.precision(),
@@ -213,6 +233,15 @@ class Cfd final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t {
+        kVariables,
+        kOldVariables,
+        kFluxes,
+        kStepFactors,
+        kInitState,
+        kNormals
+    };
+
     void
     buildMesh()
     {
@@ -221,7 +250,7 @@ class Cfd final : public Benchmark {
             return (k * nx_ + j) * nx_ + i;
         };
         neighborData_.resize(cells_ * kFaces);
-        normalData_.resize(cells_ * kFaces * 3);
+        std::vector<double> normalData(cells_ * kFaces * 3);
         const double faceArea = 0.05;
         for (std::size_t k = 0; k < nx_; ++k) {
             for (std::size_t j = 0; j < nx_; ++j) {
@@ -248,23 +277,24 @@ class Cfd final : public Benchmark {
                                               dk + 1) - 1) % nx_;
                         neighborData_[c * kFaces + f] =
                             static_cast<std::int32_t>(idx(ni, nj, nk));
-                        normalData_[(c * kFaces + f) * 3 + 0] =
+                        normalData[(c * kFaces + f) * 3 + 0] =
                             faceArea * dirs[f][0];
-                        normalData_[(c * kFaces + f) * 3 + 1] =
+                        normalData[(c * kFaces + f) * 3 + 1] =
                             faceArea * dirs[f][1];
-                        normalData_[(c * kFaces + f) * 3 + 2] =
+                        normalData[(c * kFaces + f) * 3 + 2] =
                             faceArea * dirs[f][2];
                     }
                 }
             }
         }
+        normalData_ = std::move(normalData);
     }
 
     void
     buildInitialState()
     {
         // Smooth density/energy perturbation around a uniform flow.
-        initState_.resize(cells_ * kVars);
+        std::vector<double> initState(cells_ * kVars);
         for (std::size_t c = 0; c < cells_; ++c) {
             double phase =
                 2.0 * M_PI * static_cast<double>(c % nx_) /
@@ -274,14 +304,15 @@ class Cfd final : public Benchmark {
             double uy = 0.02 * std::cos(phase);
             double uz = 0.0;
             double pressure = 1.0;
-            initState_[c * kVars + 0] = rho;
-            initState_[c * kVars + 1] = rho * ux;
-            initState_[c * kVars + 2] = rho * uy;
-            initState_[c * kVars + 3] = rho * uz;
-            initState_[c * kVars + 4] =
+            initState[c * kVars + 0] = rho;
+            initState[c * kVars + 1] = rho * ux;
+            initState[c * kVars + 2] = rho * uy;
+            initState[c * kVars + 3] = rho * uz;
+            initState[c * kVars + 4] =
                 pressure / (kGamma - 1.0) +
                 0.5 * rho * (ux * ux + uy * uy + uz * uz);
         }
+        initState_ = std::move(initState);
     }
 
     void
@@ -365,8 +396,13 @@ class Cfd final : public Benchmark {
     std::size_t cells_;
     std::size_t iterations_;
     std::vector<std::int32_t> neighborData_;
-    std::vector<double> normalData_;
-    std::vector<double> initState_;
+    CachedInput normalData_;
+    CachedInput initState_;
+    model::BindKeyId keyVariables_ = model::internBindKey("variables");
+    model::BindKeyId keyFluxes_ = model::internBindKey("fluxes");
+    model::BindKeyId keyStepFactors_ =
+        model::internBindKey("step_factors");
+    model::BindKeyId keyNormals_ = model::internBindKey("normals");
 };
 
 } // namespace

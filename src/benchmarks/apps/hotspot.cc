@@ -106,14 +106,27 @@ class Hotspot final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kTemp, tempData_, pm.get(keyTemp_), options);
+        bindInput(plan, kPower, powerData_, pm.get(keyPower_),
+                  options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer temp = Buffer::fromDoubles(tempData_, pm.get("temp"));
-        Buffer result(tempData_.size(), pm.get("temp"));
-        Buffer power = Buffer::fromDoubles(powerData_,
-                                           pm.get("power"));
+        // The ping-pong iteration mutates temp; work on a copy.
+        Buffer& temp = ws.copyOf(kTemp, plan.input(kTemp));
+        Buffer& result =
+            ws.zeroed(kResult, temp.size(), temp.precision());
+        const Buffer& power = plan.input(kPower);
 
         runtime::dispatch2(
             temp.precision(), power.precision(), [&](auto tt, auto tp) {
@@ -127,6 +140,8 @@ class Hotspot final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t { kTemp, kResult, kPower };
+
     void
     buildModel()
     {
@@ -165,8 +180,10 @@ class Hotspot final : public Benchmark {
     std::size_t rows_;
     std::size_t cols_;
     std::size_t iterations_;
-    std::vector<double> tempData_;
-    std::vector<double> powerData_;
+    CachedInput tempData_;
+    CachedInput powerData_;
+    model::BindKeyId keyTemp_ = model::internBindKey("temp");
+    model::BindKeyId keyPower_ = model::internBindKey("power");
 };
 
 } // namespace

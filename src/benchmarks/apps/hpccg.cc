@@ -104,21 +104,36 @@ class Hpccg final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        runtime::Precision pv = pm.get(keyVectors_);
+        plan.setKnob(kX, pv);
+        plan.setKnob(kScalars, pm.get(keyScalars_));
+        bindInput(plan, kValues, valueData_, pm.get(keyMatrix_),
+                  options);
+        bindInput(plan, kB, bData_, pv, options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
         std::size_t n = nx_ * nx_ * nx_;
-        Buffer values = Buffer::fromDoubles(valueData_,
-                                            pm.get("matrix"));
-        Buffer x(n, pm.get("vectors"));
-        Buffer b = Buffer::fromDoubles(bData_, pm.get("vectors"));
-        Buffer r(n, pm.get("vectors"));
-        Buffer p(n, pm.get("vectors"));
-        Buffer ap(n, pm.get("vectors"));
+        const Buffer& values = plan.input(kValues);
+        const Buffer& b = plan.input(kB);
+        runtime::Precision pv = plan.knob(kX);
+        Buffer& x = ws.zeroed(kX, n, pv);
+        Buffer& r = ws.zeroed(kR, n, pv);
+        Buffer& p = ws.zeroed(kP, n, pv);
+        Buffer& ap = ws.zeroed(kAp, n, pv);
 
         runtime::dispatch3(
-            x.precision(), values.precision(), pm.get("scalars"),
+            x.precision(), values.precision(), plan.knob(kScalars),
             [&](auto tv, auto tm, auto ts) {
                 using TV = typename decltype(tv)::type;
                 using TM = typename decltype(tm)::type;
@@ -133,6 +148,8 @@ class Hpccg final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t { kX, kR, kP, kAp, kValues, kB, kScalars };
+
     void
     buildMatrix()
     {
@@ -142,6 +159,7 @@ class Hpccg final : public Benchmark {
         auto idx = [&](std::size_t i, std::size_t j, std::size_t k) {
             return (k * nx_ + j) * nx_ + i;
         };
+        std::vector<double> valueData;
         rowStartData_.assign(1, 0);
         for (std::size_t k = 0; k < nx_; ++k) {
             for (std::size_t j = 0; j < nx_; ++j) {
@@ -165,8 +183,8 @@ class Hpccg final : public Benchmark {
                                     continue;
                                 bool diag =
                                     di == 0 && dj == 0 && dk == 0;
-                                valueData_.push_back(diag ? 27.0
-                                                          : -1.0);
+                                valueData.push_back(diag ? 27.0
+                                                         : -1.0);
                                 colData_.push_back(
                                     static_cast<std::int32_t>(idx(
                                         static_cast<std::size_t>(ii),
@@ -177,19 +195,21 @@ class Hpccg final : public Benchmark {
                         }
                     }
                     rowStartData_.push_back(static_cast<std::int32_t>(
-                        valueData_.size()));
+                        valueData.size()));
                 }
             }
         }
         // Right-hand side for the known solution x* = 0.01 everywhere.
-        bData_.assign(n, 0.0);
+        std::vector<double> bData(n, 0.0);
         for (std::size_t row = 0; row < n; ++row) {
             double sum = 0.0;
             for (std::int32_t c = rowStartData_[row];
                  c < rowStartData_[row + 1]; ++c)
-                sum += valueData_[static_cast<std::size_t>(c)];
-            bData_[row] = 0.01 * sum;
+                sum += valueData[static_cast<std::size_t>(c)];
+            bData[row] = 0.01 * sum;
         }
+        valueData_ = std::move(valueData);
+        bData_ = std::move(bData);
     }
 
     void
@@ -275,10 +295,13 @@ class Hpccg final : public Benchmark {
     model::ProgramModel model_;
     std::size_t nx_;
     std::size_t iterations_;
-    std::vector<double> valueData_;
+    CachedInput valueData_;
     std::vector<std::int32_t> colData_;
     std::vector<std::int32_t> rowStartData_;
-    std::vector<double> bData_;
+    CachedInput bData_;
+    model::BindKeyId keyVectors_ = model::internBindKey("vectors");
+    model::BindKeyId keyMatrix_ = model::internBindKey("matrix");
+    model::BindKeyId keyScalars_ = model::internBindKey("scalars");
 };
 
 } // namespace

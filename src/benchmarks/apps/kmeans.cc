@@ -100,15 +100,28 @@ class Kmeans final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kFeatures, featureData_, pm.get(keyFeatures_),
+                  options);
+        bindInput(plan, kCentroids, centroidData_,
+                  pm.get(keyClusters_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer features = Buffer::fromDoubles(featureData_,
-                                              pm.get("features"));
-        Buffer centroids = Buffer::fromDoubles(centroidData_,
-                                               pm.get("clusters"));
-        std::vector<int> membership(points_, 0);
+        const Buffer& features = plan.input(kFeatures);
+        // Lloyd's algorithm updates the centroids in place.
+        Buffer& centroids = ws.copyOf(kCentroids,
+                                      plan.input(kCentroids));
+        std::vector<int>& membership = ws.ints(kMembership, points_);
 
         runtime::dispatch2(
             features.precision(), centroids.precision(),
@@ -129,6 +142,8 @@ class Kmeans final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t { kFeatures, kCentroids, kMembership };
+
     void
     generateBlobs()
     {
@@ -137,19 +152,20 @@ class Kmeans final : public Benchmark {
         std::vector<double> centers(k_ * dims_);
         for (auto& c : centers)
             c = rng.uniform(-10.0, 10.0);
-        featureData_.resize(points_ * dims_);
+        std::vector<double> featureData(points_ * dims_);
         for (std::size_t p = 0; p < points_; ++p) {
             std::size_t blob = rng.nextBounded(
                 static_cast<std::uint32_t>(k_));
             for (std::size_t d = 0; d < dims_; ++d)
-                featureData_[p * dims_ + d] =
+                featureData[p * dims_ + d] =
                     centers[blob * dims_ + d] + 0.3 * rng.normal();
         }
         // Initial centroids: the first K points (Rodinia's choice).
-        centroidData_.assign(featureData_.begin(),
-                             featureData_.begin() +
-                                 static_cast<std::ptrdiff_t>(
-                                     k_ * dims_));
+        centroidData_ = std::vector<double>(
+            featureData.begin(),
+            featureData.begin() +
+                static_cast<std::ptrdiff_t>(k_ * dims_));
+        featureData_ = std::move(featureData);
     }
 
     void
@@ -190,8 +206,10 @@ class Kmeans final : public Benchmark {
     std::size_t dims_;
     std::size_t k_;
     std::size_t iterations_;
-    std::vector<double> featureData_;
-    std::vector<double> centroidData_;
+    CachedInput featureData_;
+    CachedInput centroidData_;
+    model::BindKeyId keyFeatures_ = model::internBindKey("features");
+    model::BindKeyId keyClusters_ = model::internBindKey("clusters");
 };
 
 } // namespace

@@ -170,13 +170,25 @@ class LavaMd final : public Benchmark {
         return model_;
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kFv, pm.get(keyFv_));
+        bindInput(plan, kRv, rvData_, pm.get(keyRv_), options);
+        bindInput(plan, kQv, qvData_, pm.get(keyQv_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer rv = Buffer::fromDoubles(rvData_, pm.get("rv"));
-        Buffer qv = Buffer::fromDoubles(qvData_, pm.get("qv"));
-        Buffer fv(rvData_.size(), pm.get("fv"));
+        const Buffer& rv = plan.input(kRv);
+        const Buffer& qv = plan.input(kQv);
+        Buffer& fv = ws.zeroed(kFv, rvData_.size(), plan.knob(kFv));
 
         runtime::dispatch3(
             rv.precision(), qv.precision(), fv.precision(),
@@ -193,6 +205,8 @@ class LavaMd final : public Benchmark {
     }
 
   private:
+    enum Slot : std::size_t { kRv, kQv, kFv };
+
     void
     buildModel()
     {
@@ -224,8 +238,11 @@ class LavaMd final : public Benchmark {
     model::ProgramModel model_;
     std::size_t boxes1d_;
     std::size_t particlesPerBox_;
-    std::vector<double> rvData_;
-    std::vector<double> qvData_;
+    CachedInput rvData_;
+    CachedInput qvData_;
+    model::BindKeyId keyRv_ = model::internBindKey("rv");
+    model::BindKeyId keyQv_ = model::internBindKey("qv");
+    model::BindKeyId keyFv_ = model::internBindKey("fv");
 };
 
 } // namespace

@@ -1,21 +1,41 @@
 #include "benchmarks/benchmark.h"
 
+#include "support/logging.h"
+
 namespace hpcmixp::benchmarks {
 
 runtime::Precision
 PrecisionMap::get(const std::string& key) const
 {
-    for (const auto& [name, p] : entries_)
-        if (name == key)
+    return get(model::internBindKey(key));
+}
+
+runtime::Precision
+PrecisionMap::get(model::BindKeyId key) const
+{
+    for (const auto& [id, p] : entries_)
+        if (id == key)
             return p;
+    // Unmentioned knobs default to double — but a key no model ever
+    // declares can never be set by the tuner, so querying it is almost
+    // certainly a typo'd knob name. Warn once per key. (The gate on
+    // anyBindKeyDeclared keeps model-free unit tests silent.)
+    if (model::anyBindKeyDeclared() && !model::bindKeyDeclared(key))
+        model::warnUndeclaredBindKey(key);
     return runtime::Precision::Float64;
 }
 
 void
 PrecisionMap::set(const std::string& key, runtime::Precision p)
 {
-    for (auto& [name, existing] : entries_) {
-        if (name == key) {
+    set(model::internBindKey(key), p);
+}
+
+void
+PrecisionMap::set(model::BindKeyId key, runtime::Precision p)
+{
+    for (auto& [id, existing] : entries_) {
+        if (id == key) {
             existing = p;
             return;
         }
@@ -26,10 +46,99 @@ PrecisionMap::set(const std::string& key, runtime::Precision p)
 bool
 PrecisionMap::allDouble() const
 {
-    for (const auto& [name, p] : entries_)
+    for (const auto& [id, p] : entries_)
         if (p != runtime::Precision::Float64)
             return false;
     return true;
+}
+
+const runtime::Buffer&
+CachedInput::view(runtime::Precision p) const
+{
+    if (p == runtime::Precision::Float32) {
+        std::call_once(once32_, [&] {
+            f32_ = runtime::Buffer::fromDoubles(values_, p);
+        });
+        return f32_;
+    }
+    std::call_once(once64_, [&] {
+        f64_ = runtime::Buffer::fromDoubles(
+            values_, runtime::Precision::Float64);
+    });
+    return f64_;
+}
+
+runtime::Buffer
+CachedInput::convert(runtime::Precision p) const
+{
+    return runtime::Buffer::fromDoubles(values_, p);
+}
+
+void
+RunPlan::setKnob(std::size_t slot, runtime::Precision p)
+{
+    if (knobs_.size() <= slot)
+        knobs_.resize(slot + 1, runtime::Precision::Float64);
+    knobs_[slot] = p;
+}
+
+runtime::Precision
+RunPlan::knob(std::size_t slot) const
+{
+    HPCMIXP_ASSERT(slot < knobs_.size(), "run plan knob slot unset");
+    return knobs_[slot];
+}
+
+void
+RunPlan::bindInput(std::size_t slot, const runtime::Buffer& view)
+{
+    if (inputs_.size() <= slot)
+        inputs_.resize(slot + 1, nullptr);
+    inputs_[slot] = &view;
+}
+
+void
+RunPlan::adoptInput(std::size_t slot, runtime::Buffer owned)
+{
+    owned_.push_back(std::move(owned));
+    bindInput(slot, owned_.back());
+}
+
+const runtime::Buffer&
+RunPlan::input(std::size_t slot) const
+{
+    HPCMIXP_ASSERT(slot < inputs_.size() && inputs_[slot] != nullptr,
+                   "run plan input slot unbound");
+    return *inputs_[slot];
+}
+
+RunOutput
+Benchmark::run(const PrecisionMap& precisions) const
+{
+    runtime::RunWorkspace workspace;
+    return execute(prepare(precisions), workspace);
+}
+
+RunPlan
+Benchmark::prepare(const PrecisionMap& precisions,
+                   const PrepareOptions&) const
+{
+    RunPlan plan;
+    plan.fallbackMap_ = precisions;
+    plan.fallbackOnly_ = true;
+    return plan;
+}
+
+RunOutput
+Benchmark::execute(const RunPlan& plan, runtime::RunWorkspace&) const
+{
+    // A run()-only benchmark reaches here through the tuner's
+    // prepare/execute path; forward to its run(). (A benchmark class
+    // overriding neither run() nor this pair is a bug — it would
+    // recurse through the two defaults.)
+    HPCMIXP_ASSERT(plan.fallbackOnly_,
+                   "plan-aware benchmark is missing execute()");
+    return run(plan.fallbackMap_);
 }
 
 } // namespace hpcmixp::benchmarks

@@ -15,39 +15,186 @@
  *    (MAE for all programs except K-means, which uses MCR — paper
  *    Section IV).
  *
- * run() must be deterministic for a fixed PrecisionMap: all synthetic
- * inputs are generated from fixed seeds, so verification compares
- * numerics only.
+ * Execution is split into two phases so the tuner pays configuration
+ * cost once, not once per timed repetition:
+ *
+ *  - prepare(pm) resolves every knob of the PrecisionMap and binds the
+ *    precision-converted input views into a RunPlan. Input conversion
+ *    goes through a per-benchmark immutable CachedInput, so each
+ *    source array is converted to a given precision at most once per
+ *    process.
+ *  - execute(plan, workspace) runs the timed kernel region against a
+ *    reusable RunWorkspace that recycles output/scratch storage across
+ *    repetitions and configurations.
+ *
+ * run() composes the two against a private workspace; user benchmarks
+ * may override run() alone (simplest) or the prepare()/execute() pair.
+ *
+ * run()/execute() must be deterministic for a fixed PrecisionMap: all
+ * synthetic inputs are generated from fixed seeds, so verification
+ * compares numerics only.
  */
 
+#include <deque>
+#include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "model/bind_keys.h"
 #include "model/program_model.h"
+#include "runtime/buffer.h"
 #include "runtime/precision.h"
+#include "runtime/workspace.h"
 
 namespace hpcmixp::benchmarks {
 
-/** Precision assignment for a benchmark's runtime knobs. */
+/**
+ * Precision assignment for a benchmark's runtime knobs.
+ *
+ * Keys are stored interned (model::BindKeyId), so the per-prepare
+ * lookups are integer scans of a short vector rather than repeated
+ * string comparisons. Querying a key that no ProgramModel variable
+ * declares warns once per key — such a key can never be set by the
+ * tuner, so the query is almost certainly a typo'd knob name.
+ */
 class PrecisionMap {
   public:
     /** Precision of knob @p key; unmentioned knobs default to double. */
     runtime::Precision get(const std::string& key) const;
 
+    /** As above for a pre-interned key (the hot path). */
+    runtime::Precision get(model::BindKeyId key) const;
+
     /** Set knob @p key to @p p. */
     void set(const std::string& key, runtime::Precision p);
+
+    /** As above for a pre-interned key. */
+    void set(model::BindKeyId key, runtime::Precision p);
 
     /** True when every knob is left at double precision. */
     bool allDouble() const;
 
   private:
-    std::vector<std::pair<std::string, runtime::Precision>> entries_;
+    std::vector<std::pair<model::BindKeyId, runtime::Precision>>
+        entries_;
 };
 
 /** The canonical output of one benchmark run. */
 struct RunOutput {
     std::vector<double> values; ///< widened output vector (may hold NaN)
 };
+
+/**
+ * An immutable input array with cached per-precision runtime views.
+ *
+ * Benchmarks keep their seeded source data in CachedInput members; the
+ * double and float views are materialized lazily, at most once per
+ * process, under a once-flag (thread-safe, so concurrent `--search-jobs`
+ * evaluators can share one benchmark instance). The cached conversion
+ * is Buffer::fromDoubles, bit-identical to a fresh per-run conversion.
+ *
+ * Assign the source values before the first view() call; the views
+ * are immutable afterwards.
+ */
+class CachedInput {
+  public:
+    CachedInput() = default;
+    explicit CachedInput(std::vector<double> values)
+        : values_(std::move(values))
+    {
+    }
+
+    CachedInput&
+    operator=(std::vector<double> values)
+    {
+        values_ = std::move(values);
+        return *this;
+    }
+
+    /** Element count of the source array. */
+    std::size_t size() const { return values_.size(); }
+
+    /** The source values (always double). */
+    std::span<const double> doubles() const { return values_; }
+
+    /** Cached immutable view at @p p, converted on first use. */
+    const runtime::Buffer& view(runtime::Precision p) const;
+
+    /** Freshly converted owning copy — the seed's per-run cost,
+     *  kept for the uncached prepare path (see PrepareOptions). */
+    runtime::Buffer convert(runtime::Precision p) const;
+
+  private:
+    std::vector<double> values_;
+    mutable std::once_flag once32_;
+    mutable std::once_flag once64_;
+    mutable runtime::Buffer f32_;
+    mutable runtime::Buffer f64_;
+};
+
+/** Options for Benchmark::prepare(). */
+struct PrepareOptions {
+    /**
+     * Bind inputs from the benchmark's input cache (the default,
+     * convert-once-per-process). When false every input is freshly
+     * converted into plan-owned storage — the per-run conversion cost
+     * of the pre-split pipeline, kept so bench_eval_pipeline can A/B
+     * the two honestly and tests can prove them bit-identical.
+     */
+    bool reuseInputCache = true;
+};
+
+/**
+ * A resolved, executable configuration of one benchmark.
+ *
+ * prepare() fills two dense slot-indexed tables: knob precisions
+ * (one per tunable knob, resolved from the PrecisionMap once) and
+ * input views (borrowed from the input cache, or plan-owned fresh
+ * conversions). A plan stays valid for the benchmark's lifetime and
+ * may be executed any number of times, from any thread.
+ */
+class RunPlan {
+  public:
+    /** Record the resolved precision of knob slot @p slot. */
+    void setKnob(std::size_t slot, runtime::Precision p);
+
+    /** Resolved precision of knob slot @p slot. */
+    runtime::Precision knob(std::size_t slot) const;
+
+    /** Bind slot @p slot to an externally owned (cached) view. */
+    void bindInput(std::size_t slot, const runtime::Buffer& view);
+
+    /** Bind slot @p slot to a freshly converted plan-owned buffer. */
+    void adoptInput(std::size_t slot, runtime::Buffer owned);
+
+    /** The input bound to slot @p slot. */
+    const runtime::Buffer& input(std::size_t slot) const;
+
+  private:
+    friend class Benchmark;
+
+    std::vector<runtime::Precision> knobs_;
+    std::vector<const runtime::Buffer*> inputs_;
+    // Deque: growing must not move buffers inputs_ points into.
+    std::deque<runtime::Buffer> owned_;
+
+    // Fallback for benchmarks that only override run().
+    PrecisionMap fallbackMap_;
+    bool fallbackOnly_ = false;
+};
+
+/** Bind @p input at @p slot: cached view or fresh copy per options. */
+inline void
+bindInput(RunPlan& plan, std::size_t slot, const CachedInput& input,
+          runtime::Precision p, const PrepareOptions& options)
+{
+    if (options.reuseInputCache)
+        plan.bindInput(slot, input.view(p));
+    else
+        plan.adoptInput(slot, input.convert(p));
+}
 
 /** One benchmark program of the suite. */
 class Benchmark {
@@ -69,8 +216,30 @@ class Benchmark {
     /** The program model consumed by the Typeforge analysis. */
     virtual const model::ProgramModel& programModel() const = 0;
 
-    /** Execute the workload under @p precisions. */
-    virtual RunOutput run(const PrecisionMap& precisions) const = 0;
+    /**
+     * Execute the workload under @p precisions.
+     *
+     * The default composes prepare() and execute() against a private
+     * workspace; a benchmark must override either this or the
+     * prepare()/execute() pair.
+     */
+    virtual RunOutput run(const PrecisionMap& precisions) const;
+
+    /**
+     * Resolve @p precisions into an executable plan: one knob lookup
+     * and one input bind per slot. The default wraps the map for
+     * run()-only benchmarks.
+     */
+    virtual RunPlan prepare(const PrecisionMap& precisions,
+                            const PrepareOptions& options = {}) const;
+
+    /**
+     * Run the timed kernel region of @p plan against @p workspace.
+     * Deterministic: the same plan yields bit-identical output no
+     * matter what the workspace was previously used for.
+     */
+    virtual RunOutput execute(const RunPlan& plan,
+                              runtime::RunWorkspace& workspace) const;
 };
 
 } // namespace hpcmixp::benchmarks

@@ -63,12 +63,25 @@ class BandedLinEq final : public KernelBase {
         return "Banded linear systems solution";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kX, xData_, pm.get(keyX_), options);
+        bindInput(plan, kY, yData_, pm.get(keyY_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
-        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
+        // The kernel updates x in place; work on a workspace copy so
+        // the plan's input view stays pristine.
+        Buffer& x = ws.copyOf(kX, plan.input(kX));
+        const Buffer& y = plan.input(kY);
 
         runtime::dispatch2(
             x.precision(), y.precision(), [&](auto tx, auto ty) {
@@ -81,6 +94,8 @@ class BandedLinEq final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kY };
+
     void
     buildModel()
     {
@@ -98,8 +113,10 @@ class BandedLinEq final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> xData_;
-    std::vector<double> yData_;
+    CachedInput xData_;
+    CachedInput yData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyY_ = model::internBindKey("y");
 };
 
 } // namespace

@@ -69,13 +69,26 @@ class DiffPredictor final : public KernelBase {
         return "Difference predictors";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        runtime::Precision pp = pm.get(keyPx_);
+        plan.setKnob(kPx, pp);
+        bindInput(plan, kPx0, pxData_, pp, options);
+        bindInput(plan, kCx, cxData_, pm.get(keyCx_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer px(pxData_.size(), pm.get("px"));
-        Buffer px0 = Buffer::fromDoubles(pxData_, pm.get("px"));
-        Buffer cx = Buffer::fromDoubles(cxData_, pm.get("cx"));
+        Buffer& px = ws.zeroed(kPx, pxData_.size(), plan.knob(kPx));
+        const Buffer& px0 = plan.input(kPx0);
+        const Buffer& cx = plan.input(kCx);
 
         runtime::dispatch2(
             px.precision(), cx.precision(), [&](auto tp, auto tc) {
@@ -89,6 +102,8 @@ class DiffPredictor final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kPx, kCx, kPx0 };
+
     void
     buildModel()
     {
@@ -106,8 +121,10 @@ class DiffPredictor final : public KernelBase {
 
     std::size_t rows_;
     std::size_t repeats_;
-    std::vector<double> pxData_;
-    std::vector<double> cxData_;
+    CachedInput pxData_;
+    CachedInput cxData_;
+    model::BindKeyId keyPx_ = model::internBindKey("px");
+    model::BindKeyId keyCx_ = model::internBindKey("cx");
 };
 
 } // namespace

@@ -60,15 +60,30 @@ class Eos final : public KernelBase {
         return "Equation of state fragment";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kX, pm.get(keyX_));
+        runtime::Precision pyz = pm.get(keyYz_);
+        bindInput(plan, kU, uData_, pm.get(keyU_), options);
+        bindInput(plan, kY, yData_, pyz, options);
+        bindInput(plan, kZ, zData_, pyz, options);
+        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x(n_, pm.get("x"));
-        Buffer u = Buffer::fromDoubles(uData_, pm.get("u"));
-        Buffer y = Buffer::fromDoubles(yData_, pm.get("yz"));
-        Buffer z = Buffer::fromDoubles(zData_, pm.get("yz"));
-        Buffer coef = Buffer::fromDoubles(coefData_, pm.get("coef"));
+        Buffer& x = ws.zeroed(kX, n_, plan.knob(kX));
+        const Buffer& u = plan.input(kU);
+        const Buffer& y = plan.input(kY);
+        const Buffer& z = plan.input(kZ);
+        const Buffer& coef = plan.input(kCoef);
 
         runtime::dispatch4(
             x.precision(), u.precision(), y.precision(),
@@ -87,6 +102,8 @@ class Eos final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kU, kY, kZ, kCoef };
+
     void
     buildModel()
     {
@@ -119,10 +136,14 @@ class Eos final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> uData_;
-    std::vector<double> yData_;
-    std::vector<double> zData_;
-    std::vector<double> coefData_;
+    CachedInput uData_;
+    CachedInput yData_;
+    CachedInput zData_;
+    CachedInput coefData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyU_ = model::internBindKey("u");
+    model::BindKeyId keyYz_ = model::internBindKey("yz");
+    model::BindKeyId keyCoef_ = model::internBindKey("coef");
 };
 
 } // namespace

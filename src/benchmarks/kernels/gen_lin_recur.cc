@@ -51,12 +51,24 @@ class GenLinRecur final : public KernelBase {
         return "General linear recurrence equations";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kW, wData_, pm.get(keyW_), options);
+        bindInput(plan, kB, bData_, pm.get(keyB_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer w = Buffer::fromDoubles(wData_, pm.get("w"));
-        Buffer b = Buffer::fromDoubles(bData_, pm.get("b"));
+        // The recurrence overwrites w; work on a workspace copy.
+        Buffer& w = ws.copyOf(kW, plan.input(kW));
+        const Buffer& b = plan.input(kB);
 
         runtime::dispatch2(
             w.precision(), b.precision(), [&](auto tw, auto tb) {
@@ -69,6 +81,8 @@ class GenLinRecur final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kW, kB };
+
     void
     buildModel()
     {
@@ -86,8 +100,10 @@ class GenLinRecur final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> wData_;
-    std::vector<double> bData_;
+    CachedInput wData_;
+    CachedInput bData_;
+    model::BindKeyId keyW_ = model::internBindKey("w");
+    model::BindKeyId keyB_ = model::internBindKey("b");
 };
 
 } // namespace

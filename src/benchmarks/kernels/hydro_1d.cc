@@ -52,14 +52,27 @@ class Hydro1d final : public KernelBase {
         return "Hydrodynamics fragment";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kX, pm.get(keyX_));
+        bindInput(plan, kY, yData_, pm.get(keyY_), options);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
+        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x(n_, pm.get("x"));
-        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
-        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
-        Buffer coef = Buffer::fromDoubles(coefData_, pm.get("coef"));
+        Buffer& x = ws.zeroed(kX, n_, plan.knob(kX));
+        const Buffer& y = plan.input(kY);
+        const Buffer& z = plan.input(kZ);
+        const Buffer& coef = plan.input(kCoef);
 
         runtime::dispatch4(
             x.precision(), y.precision(), z.precision(),
@@ -76,6 +89,8 @@ class Hydro1d final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kY, kZ, kCoef };
+
     void
     buildModel()
     {
@@ -99,9 +114,13 @@ class Hydro1d final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> yData_;
-    std::vector<double> zData_;
-    std::vector<double> coefData_;
+    CachedInput yData_;
+    CachedInput zData_;
+    CachedInput coefData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyY_ = model::internBindKey("y");
+    model::BindKeyId keyZ_ = model::internBindKey("z");
+    model::BindKeyId keyCoef_ = model::internBindKey("coef");
 };
 
 } // namespace

@@ -58,13 +58,26 @@ class Iccg final : public KernelBase {
         return "Incomplete Cholesky conjugate gradient";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        runtime::Precision px = pm.get(keyX_);
+        plan.setKnob(kX, px);
+        bindInput(plan, kX0, xData_, px, options);
+        bindInput(plan, kV, vData_, pm.get(keyV_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x(xData_.size(), pm.get("x"));
-        Buffer x0 = Buffer::fromDoubles(xData_, pm.get("x"));
-        Buffer v = Buffer::fromDoubles(vData_, pm.get("v"));
+        Buffer& x = ws.zeroed(kX, xData_.size(), plan.knob(kX));
+        const Buffer& x0 = plan.input(kX0);
+        const Buffer& v = plan.input(kV);
 
         runtime::dispatch2(
             x.precision(), v.precision(), [&](auto tx, auto tv) {
@@ -78,6 +91,8 @@ class Iccg final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kV, kX0 };
+
     void
     buildModel()
     {
@@ -95,8 +110,10 @@ class Iccg final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> xData_;
-    std::vector<double> vData_;
+    CachedInput xData_;
+    CachedInput vData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyV_ = model::internBindKey("v");
 };
 
 } // namespace

@@ -50,15 +50,27 @@ class Innerprod final : public KernelBase {
         return "Inner product";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        plan.setKnob(kQ, pm.get(keyQ_));
+        bindInput(plan, kX, xData_, pm.get(keyX_), options);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace&) const override
     {
         using runtime::Buffer;
-        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
-        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
+        const Buffer& x = plan.input(kX);
+        const Buffer& z = plan.input(kZ);
 
         double q = runtime::dispatch3(
-            x.precision(), z.precision(), pm.get("q"),
+            x.precision(), z.precision(), plan.knob(kQ),
             [&](auto tx, auto tz, auto tq) -> double {
                 using TX = typename decltype(tx)::type;
                 using TZ = typename decltype(tz)::type;
@@ -70,6 +82,8 @@ class Innerprod final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kZ, kQ };
+
     void
     buildModel()
     {
@@ -91,8 +105,11 @@ class Innerprod final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> xData_;
-    std::vector<double> zData_;
+    CachedInput xData_;
+    CachedInput zData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyZ_ = model::internBindKey("z");
+    model::BindKeyId keyQ_ = model::internBindKey("q");
 };
 
 } // namespace

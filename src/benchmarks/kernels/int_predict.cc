@@ -54,12 +54,24 @@ class IntPredict final : public KernelBase {
         return "Integrate predictors";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kPx, pxData_, pm.get(keyPx_), options);
+        bindInput(plan, kDm, dmData_, pm.get(keyDm_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer px = Buffer::fromDoubles(pxData_, pm.get("px"));
-        Buffer dm = Buffer::fromDoubles(dmData_, pm.get("dm"));
+        // Column 0 is overwritten; work on a workspace copy.
+        Buffer& px = ws.copyOf(kPx, plan.input(kPx));
+        const Buffer& dm = plan.input(kDm);
 
         runtime::dispatch2(
             px.precision(), dm.precision(), [&](auto tp, auto td) {
@@ -72,6 +84,8 @@ class IntPredict final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kPx, kDm };
+
     void
     buildModel()
     {
@@ -89,8 +103,10 @@ class IntPredict final : public KernelBase {
 
     std::size_t rows_;
     std::size_t repeats_;
-    std::vector<double> pxData_;
-    std::vector<double> dmData_;
+    CachedInput pxData_;
+    CachedInput dmData_;
+    model::BindKeyId keyPx_ = model::internBindKey("px");
+    model::BindKeyId keyDm_ = model::internBindKey("dm");
 };
 
 } // namespace

@@ -53,15 +53,29 @@ class Planckian final : public KernelBase {
         return "Planckian distribution";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        runtime::Precision pin = pm.get(keyIn_);
+        plan.setKnob(kW, pm.get(keyOut_));
+        bindInput(plan, kX, xData_, pin, options);
+        bindInput(plan, kU, uData_, pin, options);
+        bindInput(plan, kV, vData_, pin, options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x = Buffer::fromDoubles(xData_, pm.get("in"));
-        Buffer u = Buffer::fromDoubles(uData_, pm.get("in"));
-        Buffer v = Buffer::fromDoubles(vData_, pm.get("in"));
-        Buffer w(n_, pm.get("out"));
-        Buffer y(n_, pm.get("out"));
+        const Buffer& x = plan.input(kX);
+        const Buffer& u = plan.input(kU);
+        const Buffer& v = plan.input(kV);
+        Buffer& w = ws.zeroed(kW, n_, plan.knob(kW));
+        Buffer& y = ws.zeroed(kY, n_, plan.knob(kW));
 
         runtime::dispatch2(
             x.precision(), w.precision(), [&](auto ti, auto to) {
@@ -81,6 +95,8 @@ class Planckian final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kU, kV, kW, kY };
+
     void
     buildModel()
     {
@@ -117,9 +133,11 @@ class Planckian final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> xData_;
-    std::vector<double> uData_;
-    std::vector<double> vData_;
+    CachedInput xData_;
+    CachedInput uData_;
+    CachedInput vData_;
+    model::BindKeyId keyIn_ = model::internBindKey("in");
+    model::BindKeyId keyOut_ = model::internBindKey("out");
 };
 
 } // namespace

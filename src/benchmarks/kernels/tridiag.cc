@@ -48,13 +48,26 @@ class Tridiag final : public KernelBase {
         return "Tridiagonal linear systems solution";
     }
 
+    RunPlan
+    prepare(const PrecisionMap& pm,
+            const PrepareOptions& options) const override
+    {
+        RunPlan plan;
+        bindInput(plan, kX, xData_, pm.get(keyX_), options);
+        bindInput(plan, kY, yData_, pm.get(keyY_), options);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
+        return plan;
+    }
+
     RunOutput
-    run(const PrecisionMap& pm) const override
+    execute(const RunPlan& plan,
+            runtime::RunWorkspace& ws) const override
     {
         using runtime::Buffer;
-        Buffer x = Buffer::fromDoubles(xData_, pm.get("x"));
-        Buffer y = Buffer::fromDoubles(yData_, pm.get("y"));
-        Buffer z = Buffer::fromDoubles(zData_, pm.get("z"));
+        // The recurrence overwrites x; work on a workspace copy.
+        Buffer& x = ws.copyOf(kX, plan.input(kX));
+        const Buffer& y = plan.input(kY);
+        const Buffer& z = plan.input(kZ);
 
         runtime::dispatch3(
             x.precision(), y.precision(), z.precision(),
@@ -69,6 +82,8 @@ class Tridiag final : public KernelBase {
     }
 
   private:
+    enum Slot : std::size_t { kX, kY, kZ };
+
     void
     buildModel()
     {
@@ -89,9 +104,12 @@ class Tridiag final : public KernelBase {
 
     std::size_t n_;
     std::size_t repeats_;
-    std::vector<double> xData_;
-    std::vector<double> yData_;
-    std::vector<double> zData_;
+    CachedInput xData_;
+    CachedInput yData_;
+    CachedInput zData_;
+    model::BindKeyId keyX_ = model::internBindKey("x");
+    model::BindKeyId keyY_ = model::internBindKey("y");
+    model::BindKeyId keyZ_ = model::internBindKey("z");
 };
 
 } // namespace

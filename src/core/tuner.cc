@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "runtime/workspace.h"
 #include "support/logging.h"
 #include "support/timer.h"
 #include "verify/metrics.h"
@@ -92,6 +93,19 @@ siteIndexOf(const std::vector<model::VarId>& variables, model::VarId var)
     HPCMIXP_ASSERT(it != variables.end() && *it == var,
                    "variable is not a search site");
     return static_cast<std::size_t>(it - variables.begin());
+}
+
+/**
+ * Reusable per-thread execution arena. One workspace per evaluation
+ * thread keeps executes allocation-free across reps and configurations
+ * while composing with --search-jobs (each worker thread gets its own
+ * arena, so concurrent evaluations never share scratch buffers).
+ */
+runtime::RunWorkspace&
+evalWorkspace()
+{
+    thread_local runtime::RunWorkspace workspace;
+    return workspace;
 }
 
 } // namespace
@@ -196,17 +210,27 @@ void
 BenchmarkTuner::runBaseline()
 {
     PrecisionMap allDouble;
-    benchmarks::RunOutput output = benchmark_.run(allDouble);
-    reference_ = std::move(output.values);
+    benchmarks::RunPlan plan = benchmark_.prepare(allDouble);
+    runtime::RunWorkspace& ws = evalWorkspace();
+    // The baseline anchors every speedup ratio, so it is always
+    // measured with the full final-measurement protocol. The reference
+    // output comes from the first timed rep: every rep produces the
+    // same values, so no extra untimed run is needed.
+    std::size_t reps = std::max<std::size_t>(
+        std::max(options_.searchReps, options_.finalReps), 1);
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        support::WallTimer timer;
+        benchmarks::RunOutput output = benchmark_.execute(plan, ws);
+        samples.push_back(timer.seconds());
+        if (i == 0)
+            reference_ = std::move(output.values);
+    }
     if (reference_.empty())
         support::fatal(support::strCat("benchmark ", benchmark_.name(),
                                        " produced no output"));
-    // The baseline anchors every speedup ratio, so it is always
-    // measured with the full final-measurement protocol.
-    auto timing = support::repeatTimed(
-        [&] { (void)benchmark_.run(allDouble); },
-        std::max(options_.searchReps, options_.finalReps));
-    baselineSeconds_ = timing.meanSeconds;
+    baselineSeconds_ = support::trimmedMean(std::move(samples));
 }
 
 PrecisionMap
@@ -246,9 +270,26 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
     Evaluation eval;
     PrecisionMap pm = precisionMapFor(cfg);
 
+    // Prepare once per configuration: precision resolution and input
+    // conversion happen here, outside the timed region. Each timed rep
+    // is a pure execute against the per-thread workspace arena, and the
+    // verification output is taken from the first timed rep instead of
+    // a separate untimed run.
     benchmarks::RunOutput output;
+    std::vector<double> samples;
     try {
-        output = benchmark_.run(pm);
+        benchmarks::RunPlan plan = benchmark_.prepare(pm);
+        runtime::RunWorkspace& ws = evalWorkspace();
+        std::size_t timedReps = std::max<std::size_t>(reps, 1);
+        samples.reserve(timedReps);
+        for (std::size_t i = 0; i < timedReps; ++i) {
+            support::WallTimer timer;
+            benchmarks::RunOutput repOutput =
+                benchmark_.execute(plan, ws);
+            samples.push_back(timer.seconds());
+            if (i == 0)
+                output = std::move(repOutput);
+        }
     } catch (const std::exception&) {
         eval.status = EvalStatus::RuntimeFail;
         eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
@@ -257,11 +298,8 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
 
     verify::Verdict verdict =
         comparator_.verify(reference_, output.values);
-    auto timing = support::repeatTimed(
-        [&] { (void)benchmark_.run(pm); }, reps);
-
-    eval.runtimeSeconds = timing.meanSeconds;
-    eval.speedup = baselineSeconds_ / timing.meanSeconds;
+    eval.runtimeSeconds = support::trimmedMean(std::move(samples));
+    eval.speedup = baselineSeconds_ / eval.runtimeSeconds;
     eval.qualityLoss = verdict.loss;
     eval.status =
         verdict.passed ? EvalStatus::Pass : EvalStatus::QualityFail;
@@ -275,9 +313,29 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
     PrecisionMap pm = precisionMapFor(cfg);
     PrecisionMap allDouble;
 
+    // Both versions are prepared once and interleaved as pure executes;
+    // the verification output comes from the first timed tuned rep.
     benchmarks::RunOutput output;
+    std::size_t reps = std::max<std::size_t>(options_.finalReps, 1);
+    std::vector<double> baseSamples;
+    std::vector<double> cfgSamples;
     try {
-        output = benchmark_.run(pm);
+        benchmarks::RunPlan cfgPlan = benchmark_.prepare(pm);
+        benchmarks::RunPlan basePlan = benchmark_.prepare(allDouble);
+        runtime::RunWorkspace& ws = evalWorkspace();
+        baseSamples.reserve(reps);
+        cfgSamples.reserve(reps);
+        for (std::size_t i = 0; i < reps; ++i) {
+            support::WallTimer timer;
+            (void)benchmark_.execute(basePlan, ws);
+            baseSamples.push_back(timer.seconds());
+            timer.reset();
+            benchmarks::RunOutput repOutput =
+                benchmark_.execute(cfgPlan, ws);
+            cfgSamples.push_back(timer.seconds());
+            if (i == 0)
+                output = std::move(repOutput);
+        }
     } catch (const std::exception&) {
         eval.status = EvalStatus::RuntimeFail;
         eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
@@ -286,19 +344,6 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
     verify::Verdict verdict =
         comparator_.verify(reference_, output.values);
 
-    std::size_t reps = options_.finalReps;
-    std::vector<double> baseSamples;
-    std::vector<double> cfgSamples;
-    baseSamples.reserve(reps);
-    cfgSamples.reserve(reps);
-    for (std::size_t i = 0; i < reps; ++i) {
-        support::WallTimer timer;
-        (void)benchmark_.run(allDouble);
-        baseSamples.push_back(timer.seconds());
-        timer.reset();
-        (void)benchmark_.run(pm);
-        cfgSamples.push_back(timer.seconds());
-    }
     double baseMean = support::trimmedMean(baseSamples);
     double cfgMean = support::trimmedMean(cfgSamples);
 

@@ -1,0 +1,110 @@
+#include "model/bind_keys.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace hpcmixp::model {
+
+namespace {
+
+struct Entry {
+    std::string name;
+    std::atomic<bool> declared{false};
+    std::atomic<bool> warned{false};
+};
+
+/**
+ * The interner table. Entries live in a deque so that the string_view
+ * keys of the id map (which view entry names) and references handed
+ * out by bindKeyName() stay valid as the table grows.
+ */
+struct Interner {
+    std::mutex mutex;
+    std::unordered_map<std::string_view, BindKeyId> ids;
+    std::deque<Entry> entries;
+    std::atomic<bool> anyDeclared{false};
+};
+
+Interner&
+interner()
+{
+    static Interner table;
+    return table;
+}
+
+Entry&
+entryOf(BindKeyId id)
+{
+    Interner& in = interner();
+    std::lock_guard<std::mutex> lock(in.mutex);
+    HPCMIXP_ASSERT(id < in.entries.size(), "unknown bind key id");
+    return in.entries[id];
+}
+
+} // namespace
+
+BindKeyId
+internBindKey(std::string_view key)
+{
+    Interner& in = interner();
+    std::lock_guard<std::mutex> lock(in.mutex);
+    auto it = in.ids.find(key);
+    if (it != in.ids.end())
+        return it->second;
+    BindKeyId id = static_cast<BindKeyId>(in.entries.size());
+    in.entries.emplace_back();
+    in.entries.back().name = std::string(key);
+    in.ids.emplace(in.entries.back().name, id);
+    return id;
+}
+
+const std::string&
+bindKeyName(BindKeyId id)
+{
+    return entryOf(id).name;
+}
+
+void
+declareBindKey(std::string_view key)
+{
+    BindKeyId id = internBindKey(key);
+    entryOf(id).declared.store(true, std::memory_order_relaxed);
+    interner().anyDeclared.store(true, std::memory_order_relaxed);
+}
+
+bool
+bindKeyDeclared(BindKeyId id)
+{
+    return entryOf(id).declared.load(std::memory_order_relaxed);
+}
+
+bool
+anyBindKeyDeclared()
+{
+    return interner().anyDeclared.load(std::memory_order_relaxed);
+}
+
+void
+warnUndeclaredBindKey(BindKeyId id)
+{
+    Entry& entry = entryOf(id);
+    if (entry.warned.exchange(true, std::memory_order_relaxed))
+        return;
+    support::warn(support::strCat(
+        "precision map queried for bind key '", entry.name,
+        "' that no model variable declares (typo'd knob name?)"));
+}
+
+std::size_t
+internedBindKeyCount()
+{
+    Interner& in = interner();
+    std::lock_guard<std::mutex> lock(in.mutex);
+    return in.entries.size();
+}
+
+} // namespace hpcmixp::model

@@ -1,0 +1,55 @@
+#ifndef HPCMIXP_MODEL_BIND_KEYS_H_
+#define HPCMIXP_MODEL_BIND_KEYS_H_
+
+/**
+ * @file
+ * Process-wide interning of runtime bind keys.
+ *
+ * Bind keys are the short strings that connect a ProgramModel variable
+ * to the runtime knob it controls ("x", "coef", ...). The hot path of
+ * a tuning campaign resolves them for every prepared configuration, so
+ * PrecisionMap stores small integer ids instead of strings and lookups
+ * stop doing linear string comparisons (benchmarks intern their keys
+ * once at construction).
+ *
+ * The interner also remembers which keys have been *declared* by a
+ * ProgramModel variable. Querying a PrecisionMap for a key that no
+ * model declares is almost always a typo in a benchmark's prepare() —
+ * the knob would silently stay double and the cluster untunable — so
+ * PrecisionMap::get warns once per key (see warnUndeclaredBindKey).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpcmixp::model {
+
+/** Small dense id of an interned bind key. */
+using BindKeyId = std::uint32_t;
+
+/** Intern @p key (idempotent, thread-safe); returns its id. */
+BindKeyId internBindKey(std::string_view key);
+
+/** The key string of @p id; panics on an unknown id. */
+const std::string& bindKeyName(BindKeyId id);
+
+/** Mark @p key as declared by some model variable. */
+void declareBindKey(std::string_view key);
+
+/** True when some ProgramModel declared @p id as a variable bind key. */
+bool bindKeyDeclared(BindKeyId id);
+
+/** True when at least one bind key has been declared process-wide. */
+bool anyBindKeyDeclared();
+
+/** Warn about a query for an undeclared key, once per key. */
+void warnUndeclaredBindKey(BindKeyId id);
+
+/** Number of interned keys (test hook). */
+std::size_t internedBindKeyCount();
+
+} // namespace hpcmixp::model
+
+#endif // HPCMIXP_MODEL_BIND_KEYS_H_

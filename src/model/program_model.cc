@@ -1,5 +1,6 @@
 #include "model/program_model.h"
 
+#include "model/bind_keys.h"
 #include "support/logging.h"
 
 namespace hpcmixp::model {
@@ -44,6 +45,8 @@ ProgramModel::addVariableImpl(FunctionId function, ModuleId module,
     v.module = module;
     v.isParameter = isParameter;
     v.bindKey = bindKey;
+    if (!bindKey.empty())
+        declareBindKey(bindKey);
     variables_.push_back(std::move(v));
     return variables_.back().id;
 }

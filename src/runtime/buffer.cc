@@ -56,6 +56,36 @@ Buffer::fillFrom(std::span<const double> values)
     }
 }
 
+void
+Buffer::reshape(std::size_t elements, Precision p)
+{
+    precision_ = p;
+    size_ = elements;
+    // clear() keeps capacity, so both lanes retain their high-water
+    // allocation across precision flips.
+    if (p == Precision::Float32) {
+        f64_.clear();
+        f32_.assign(elements, 0.0f);
+    } else {
+        f32_.clear();
+        f64_.assign(elements, 0.0);
+    }
+}
+
+void
+Buffer::copyFrom(const Buffer& src)
+{
+    precision_ = src.precision_;
+    size_ = src.size_;
+    if (precision_ == Precision::Float32) {
+        f64_.clear();
+        f32_.assign(src.f32_.begin(), src.f32_.end());
+    } else {
+        f32_.clear();
+        f64_.assign(src.f64_.begin(), src.f64_.end());
+    }
+}
+
 std::vector<double>
 Buffer::toDoubles() const
 {

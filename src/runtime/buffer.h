@@ -69,6 +69,17 @@ class Buffer {
     /** Overwrite all elements from doubles, converting as needed. */
     void fillFrom(std::span<const double> values);
 
+    /**
+     * Resize/retype to @p elements at @p p, zero-filling every
+     * element. Reuses the existing allocation when capacity allows —
+     * the workspace arena's no-realloc guarantee rests on this.
+     */
+    void reshape(std::size_t elements, Precision p);
+
+    /** Become an exact copy of @p src (precision and contents),
+     *  reusing the existing allocation when capacity allows. */
+    void copyFrom(const Buffer& src);
+
     /** Copy out all elements widened to double. */
     std::vector<double> toDoubles() const;
 

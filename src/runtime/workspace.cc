@@ -1,0 +1,49 @@
+#include "runtime/workspace.h"
+
+namespace hpcmixp::runtime {
+
+Buffer&
+RunWorkspace::zeroed(std::size_t slot, std::size_t elements, Precision p)
+{
+    if (slot >= buffers_.size())
+        buffers_.resize(slot + 1);
+    buffers_[slot].reshape(elements, p);
+    return buffers_[slot];
+}
+
+Buffer&
+RunWorkspace::copyOf(std::size_t slot, const Buffer& src)
+{
+    if (slot >= buffers_.size())
+        buffers_.resize(slot + 1);
+    buffers_[slot].copyFrom(src);
+    return buffers_[slot];
+}
+
+std::vector<double>&
+RunWorkspace::doubles(std::size_t slot, std::size_t n)
+{
+    if (slot >= doubles_.size())
+        doubles_.resize(slot + 1);
+    doubles_[slot].assign(n, 0.0);
+    return doubles_[slot];
+}
+
+std::vector<int>&
+RunWorkspace::ints(std::size_t slot, std::size_t n)
+{
+    if (slot >= ints_.size())
+        ints_.resize(slot + 1);
+    ints_[slot].assign(n, 0);
+    return ints_[slot];
+}
+
+void
+RunWorkspace::reset()
+{
+    buffers_.clear();
+    doubles_.clear();
+    ints_.clear();
+}
+
+} // namespace hpcmixp::runtime

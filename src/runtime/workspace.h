@@ -1,0 +1,70 @@
+#ifndef HPCMIXP_RUNTIME_WORKSPACE_H_
+#define HPCMIXP_RUNTIME_WORKSPACE_H_
+
+/**
+ * @file
+ * Reusable scratch arena for benchmark execution.
+ *
+ * A RunWorkspace owns the output and scratch storage a benchmark's
+ * execute() needs, keyed by small slot indices. Acquiring a slot
+ * resizes and re-initializes the slot's storage *in place*: across the
+ * thousands of evaluations of a tuning campaign each slot reaches its
+ * high-water allocation once and the allocator drops out of the timed
+ * region entirely.
+ *
+ * Acquisition always re-initializes (zero-fill or copy), so a
+ * workspace carries no state between runs: executing configuration A,
+ * then B, then A again yields bit-identical outputs (pinned by the
+ * eval_pipeline tests).
+ *
+ * A workspace is not thread-safe. Use one per evaluation thread — the
+ * tuner keeps one thread_local instance, which composes with the
+ * batch-parallel `--search-jobs` evaluator under TSan.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "runtime/buffer.h"
+#include "runtime/precision.h"
+
+namespace hpcmixp::runtime {
+
+/** Per-thread arena of recyclable buffers and scratch vectors. */
+class RunWorkspace {
+  public:
+    RunWorkspace() = default;
+    RunWorkspace(const RunWorkspace&) = delete;
+    RunWorkspace& operator=(const RunWorkspace&) = delete;
+
+    /** Zero-filled buffer of @p elements at @p p in slot @p slot. */
+    Buffer& zeroed(std::size_t slot, std::size_t elements, Precision p);
+
+    /** Buffer in slot @p slot holding an exact copy of @p src
+     *  (the mutable working copy of a cached input). */
+    Buffer& copyOf(std::size_t slot, const Buffer& src);
+
+    /** Zero-filled double scratch vector in slot @p slot. */
+    std::vector<double>& doubles(std::size_t slot, std::size_t n);
+
+    /** Zero-filled int scratch vector in slot @p slot. */
+    std::vector<int>& ints(std::size_t slot, std::size_t n);
+
+    /** Number of buffer slots ever touched (test hook). */
+    std::size_t bufferSlots() const { return buffers_.size(); }
+
+    /** Drop all storage, returning the arena to its initial state. */
+    void reset();
+
+  private:
+    // Deques: acquiring a new slot must not invalidate references to
+    // slots handed out earlier in the same execute().
+    std::deque<Buffer> buffers_;
+    std::deque<std::vector<double>> doubles_;
+    std::deque<std::vector<int>> ints_;
+};
+
+} // namespace hpcmixp::runtime
+
+#endif // HPCMIXP_RUNTIME_WORKSPACE_H_

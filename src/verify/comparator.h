@@ -44,8 +44,16 @@ class OutputComparator {
     double threshold() const { return threshold_; }
 
   private:
+    /**
+     * Built-in metrics resolved at construction so verify() can derive
+     * the verdict from one fused ErrorStats pass; custom metrics fall
+     * back to the compute()/loss() calls.
+     */
+    enum class Fused { None, Mae, Mse, Rmse, R2, Mcr };
+
     const Metric* metric_;
     double threshold_;
+    Fused fused_ = Fused::None;
 };
 
 } // namespace hpcmixp::verify

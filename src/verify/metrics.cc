@@ -23,6 +23,27 @@ checkShapes(std::span<const double> reference, std::span<const double> test)
 
 } // namespace
 
+ErrorStats
+computeErrorStats(std::span<const double> reference,
+                  std::span<const double> test)
+{
+    checkShapes(reference, test);
+    ErrorStats stats;
+    stats.n = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        double r = reference[i];
+        double t = test[i];
+        double d = r - t;
+        stats.sumAbs += std::abs(d);
+        stats.sumSq += d * d;
+        stats.sumRef += r;
+        stats.sumRefSq += r * r;
+        if (std::isnan(t) || std::llround(r) != std::llround(t))
+            ++stats.mismatches;
+    }
+    return stats;
+}
+
 double
 MeanAbsoluteError::compute(std::span<const double> reference,
                            std::span<const double> test) const
@@ -105,11 +126,11 @@ MisclassificationRate::compute(std::span<const double> reference,
 
 MetricRegistry::MetricRegistry()
 {
-    metrics_.push_back(std::make_unique<MeanAbsoluteError>());
-    metrics_.push_back(std::make_unique<MeanSquareError>());
-    metrics_.push_back(std::make_unique<RootMeanSquareError>());
-    metrics_.push_back(std::make_unique<CoefficientOfDetermination>());
-    metrics_.push_back(std::make_unique<MisclassificationRate>());
+    add(std::make_unique<MeanAbsoluteError>());
+    add(std::make_unique<MeanSquareError>());
+    add(std::make_unique<RootMeanSquareError>());
+    add(std::make_unique<CoefficientOfDetermination>());
+    add(std::make_unique<MisclassificationRate>());
 }
 
 MetricRegistry&
@@ -127,16 +148,17 @@ MetricRegistry::add(std::unique_ptr<Metric> metric)
     HPCMIXP_ASSERT(metric != nullptr, "null metric registered");
     if (has(metric->name()))
         fatal(strCat("metric '", metric->name(), "' already registered"));
-    metrics_.push_back(std::move(metric));
+    std::string lowered = support::toLower(metric->name());
+    metrics_.emplace_back(std::move(lowered), std::move(metric));
 }
 
 const Metric&
 MetricRegistry::get(const std::string& name) const
 {
     std::string wanted = support::toLower(name);
-    for (const auto& m : metrics_)
-        if (support::toLower(m->name()) == wanted)
-            return *m;
+    for (const auto& [lowered, metric] : metrics_)
+        if (lowered == wanted)
+            return *metric;
     support::fatal(support::strCat("unknown quality metric '", name, "'"));
 }
 
@@ -144,8 +166,8 @@ bool
 MetricRegistry::has(const std::string& name) const
 {
     std::string wanted = support::toLower(name);
-    for (const auto& m : metrics_)
-        if (support::toLower(m->name()) == wanted)
+    for (const auto& [lowered, metric] : metrics_)
+        if (lowered == wanted)
             return true;
     return false;
 }
@@ -155,8 +177,8 @@ MetricRegistry::names() const
 {
     std::vector<std::string> out;
     out.reserve(metrics_.size());
-    for (const auto& m : metrics_)
-        out.push_back(m->name());
+    for (const auto& [lowered, metric] : metrics_)
+        out.push_back(metric->name());
     return out;
 }
 
