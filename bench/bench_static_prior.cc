@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Measurement: EV saved by the mixp-lint static prior.
+ *
+ * For every annotated benchmark and every search strategy, tunes the
+ * benchmark twice from the same baseline — --static-prior off, then on
+ * — and reports EV (configurations actually executed) for both runs,
+ * the relative reduction, and whether the accuracy outcome of the
+ * winning configuration is unchanged (both winners within the quality
+ * threshold). The pruning claim is only honest when the AC column
+ * stays "yes": a prior that saves evaluations by pinning the cluster
+ * the search would have profitably lowered is a regression, not an
+ * optimisation.
+ *
+ * Extra flag beyond the common set:
+ *   --json F   write the full result document to F
+ *              (default BENCH_static_prior.json)
+ */
+
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp;
+
+/** One strategy A/B measurement on one benchmark. */
+struct PriorRun {
+    std::string benchmark;
+    std::string strategy;
+    std::size_t evOff = 0;
+    std::size_t evOn = 0;
+    double reduction = 0.0; ///< 1 - evOn/evOff
+    bool acMatch = false;   ///< both winners meet the threshold
+    double qualityOff = 0.0;
+    double qualityOn = 0.0;
+    double speedupOn = 1.0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv, 500);
+    support::CommandLine cl(argc, argv);
+    std::string jsonPath =
+        cl.getString("json", "BENCH_static_prior.json");
+
+    // The annotated subset: benchmarks whose models carry dataflow
+    // facts, so the lint prior has verdicts to act on.
+    std::vector<std::string> names{"innerprod",     "hpccg",
+                                   "banded-lin-eq", "gen-lin-recur",
+                                   "iccg",          "tridiag"};
+    std::vector<std::string> strategies{"CB", "CM", "DD",
+                                        "GA", "HR", "HC"};
+    if (support::quickMode())
+        strategies = {"CB", "CM", "DD"};
+
+    std::vector<PriorRun> runs;
+    support::Table table({"benchmark", "strategy", "EV off", "EV on",
+                          "saved", "AC", "speedup"});
+
+    for (const std::string& name : names) {
+        auto benchmark =
+            benchmarks::BenchmarkRegistry::instance().create(name);
+        core::BenchmarkTuner tuner(*benchmark, options.tuner);
+        for (const std::string& code : strategies) {
+            PriorRun run;
+            run.benchmark = name;
+            run.strategy = code;
+
+            tuner.setStaticPriorMode(search::PriorMode::Off);
+            core::TuneOutcome off = tuner.tune(code);
+            tuner.setStaticPriorMode(search::PriorMode::On);
+            core::TuneOutcome on = tuner.tune(code);
+
+            run.evOff = off.search.evaluated;
+            run.evOn = on.search.evaluated;
+            run.reduction =
+                run.evOff == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(run.evOn) /
+                                static_cast<double>(run.evOff);
+            run.qualityOff = off.finalQualityLoss;
+            run.qualityOn = on.finalQualityLoss;
+            run.speedupOn = on.finalSpeedup;
+            // Both winners within the threshold (the baseline, when a
+            // search found no improvement, trivially qualifies).
+            run.acMatch =
+                off.finalQualityLoss <= options.tuner.threshold &&
+                on.finalQualityLoss <= options.tuner.threshold;
+            runs.push_back(run);
+
+            table.addRow(
+                {name, code,
+                 support::Table::cell(static_cast<long>(run.evOff)),
+                 support::Table::cell(static_cast<long>(run.evOn)),
+                 support::Table::cell(100.0 * run.reduction, 1),
+                 run.acMatch ? "yes" : "NO",
+                 support::Table::cell(run.speedupOn, 2)});
+        }
+    }
+
+    std::cout << "Static-prior EV reduction (threshold "
+              << options.tuner.threshold << ", budget "
+              << options.tuner.budget.maxEvaluations << ")\n";
+    benchutil::emit(table, options);
+
+    using support::json::Value;
+    Value doc = Value::object();
+    doc.set("threshold", Value::number(options.tuner.threshold));
+    doc.set("budget",
+            Value::number(static_cast<double>(
+                options.tuner.budget.maxEvaluations)));
+    Value rows = Value::array();
+    for (const PriorRun& run : runs) {
+        Value row = Value::object();
+        row.set("benchmark", Value::string(run.benchmark));
+        row.set("strategy", Value::string(run.strategy));
+        row.set("ev_off", Value::number(static_cast<double>(run.evOff)));
+        row.set("ev_on", Value::number(static_cast<double>(run.evOn)));
+        row.set("reduction", Value::number(run.reduction));
+        row.set("ac_match", Value::boolean(run.acMatch));
+        row.set("quality_off", Value::number(run.qualityOff));
+        row.set("quality_on", Value::number(run.qualityOn));
+        row.set("speedup_on", Value::number(run.speedupOn));
+        rows.push(std::move(row));
+    }
+    doc.set("runs", std::move(rows));
+    std::ofstream out(jsonPath);
+    if (!out)
+        support::fatal("cannot open --json output file");
+    out << doc.dump(2) << '\n';
+    return 0;
+}

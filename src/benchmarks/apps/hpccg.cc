@@ -290,6 +290,18 @@ class Hpccg final : public Benchmark {
         // the original source).
         model_.addSameType(crt, dres);
         model_.addSameType(ssum, dres);
+
+        // Dataflow facts for mixp-lint: the ddot/sparsemv accumulators
+        // and rtrans are loop-carried reductions, and rtrans (via its
+        // oldRtrans copy) divides in the alpha/beta updates.
+        model_.markFact(dres, DataflowFact::Accumulator);
+        model_.markFact(dres, DataflowFact::LoopCarried);
+        model_.markFact(ssum, DataflowFact::Accumulator);
+        model_.markFact(ssum, DataflowFact::LoopCarried);
+        model_.markFact(crt, DataflowFact::Accumulator);
+        model_.markFact(crt, DataflowFact::LoopCarried);
+        model_.markFact(crt, DataflowFact::Divisor);
+        model_.markDataflowAnalyzed();
     }
 
     model::ProgramModel model_;

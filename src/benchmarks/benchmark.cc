@@ -21,7 +21,7 @@ PrecisionMap::get(model::BindKeyId key) const
     // certainly a typo'd knob name. Warn once per key. (The gate on
     // anyBindKeyDeclared keeps model-free unit tests silent.)
     if (model::anyBindKeyDeclared() && !model::bindKeyDeclared(key))
-        model::warnUndeclaredBindKey(key);
+        model::warnUndeclaredBindKey(key, owner_);
     return runtime::Precision::Float64;
 }
 

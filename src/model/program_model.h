@@ -74,6 +74,35 @@ using VarId = std::uint32_t;
 /** Sentinel for "no owner" ids. */
 constexpr std::uint32_t kInvalidId = 0xffffffffu;
 
+/**
+ * Per-variable dataflow facts recorded alongside the type-dependence
+ * edges. The type analysis alone cannot tell an accumulator from a
+ * scratch temporary; these facts carry exactly the usage patterns the
+ * mixp-lint sensitivity rules consume (DESIGN.md Section 11). Facts are
+ * stored as a bitmask so a variable can carry several at once.
+ *
+ * Builder-built models annotate facts explicitly; the mini-C frontend
+ * infers them during parsing.
+ */
+enum class DataflowFact : std::uint8_t {
+    Accumulator = 1u << 0,   ///< x += e / x = x + e inside a loop
+    Cancellation = 1u << 1,  ///< operand of a Real subtraction
+    Divisor = 1u << 2,       ///< appears as a divisor / denominator
+    BranchCompare = 1u << 3, ///< compared against a constant
+    LiteralInit = 1u << 4,   ///< only ever written from literals
+    LoopCarried = 1u << 5,   ///< value of iteration i feeds i+1
+};
+
+/** Stable lowercase name of one fact (reports, JSON). */
+const char* dataflowFactName(DataflowFact fact);
+
+/** All facts in a fixed order (iteration helper for reports). */
+inline constexpr DataflowFact kAllDataflowFacts[] = {
+    DataflowFact::Accumulator,  DataflowFact::Cancellation,
+    DataflowFact::Divisor,      DataflowFact::BranchCompare,
+    DataflowFact::LiteralInit,  DataflowFact::LoopCarried,
+};
+
 /** Kinds of type-dependence edges between two variables. */
 enum class DependenceKind {
     Assign,    ///< dst = src (or compound assignment)
@@ -99,6 +128,7 @@ struct Variable {
     ModuleId module = kInvalidId;
     bool isParameter = false;
     std::string bindKey; ///< runtime knob name; empty = cold variable
+    std::uint8_t facts = 0; ///< DataflowFact bitmask
 };
 
 /** A function containing variables. */
@@ -158,6 +188,17 @@ class ProgramModel {
     /** Record an explicit same-type constraint. */
     void addSameType(VarId a, VarId b);
 
+    /**
+     * Mark a dataflow fact on @p var. Also flags the model as
+     * dataflow-analyzed, so lint can distinguish "analyzed and clean"
+     * from "never annotated".
+     */
+    void markFact(VarId var, DataflowFact fact);
+
+    /** Flag the model as dataflow-analyzed without marking a fact
+     *  (frontend-parsed programs may legitimately have none). */
+    void markDataflowAnalyzed() { dataflowAnalyzed_ = true; }
+
     // --- queries ----------------------------------------------------
 
     const std::string& name() const { return name_; }
@@ -180,6 +221,15 @@ class ProgramModel {
     VarId findVariable(const std::string& functionName,
                        const std::string& name) const;
 
+    /** True when @p var carries @p fact. */
+    bool hasFact(VarId var, DataflowFact fact) const;
+
+    /** Fact bitmask of @p var. */
+    std::uint8_t facts(VarId var) const;
+
+    /** True when facts were recorded (or analysis explicitly ran). */
+    bool dataflowAnalyzed() const { return dataflowAnalyzed_; }
+
   private:
     VarId addVariableImpl(FunctionId function, ModuleId module,
                           const std::string& name, TypeInfo type,
@@ -191,6 +241,7 @@ class ProgramModel {
     std::vector<Function> functions_;
     std::vector<Variable> variables_;
     std::vector<Dependence> deps_;
+    bool dataflowAnalyzed_ = false;
 };
 
 } // namespace hpcmixp::model

@@ -45,6 +45,18 @@ void
 CombinationalSearch::run(SearchContext& ctx)
 {
     std::size_t n = ctx.siteCount();
+    // With a static prior the sweep enumerates combinations of the
+    // *free* sites only; pinned (KeepDouble) sites never appear in any
+    // generated configuration, shrinking the space from 2^n to 2^f.
+    std::vector<std::size_t> sites;
+    if (const StaticPrior* prior = ctx.prior()) {
+        sites = prior->freeSites();
+    } else {
+        sites.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            sites[i] = i;
+    }
+    std::size_t f = sites.size();
     // Every combination is independent, so the sweep batches freely.
     // Bounded chunks keep memory flat on large cardinalities; chunk
     // size does not affect the trajectory (commit order is the
@@ -58,9 +70,14 @@ CombinationalSearch::run(SearchContext& ctx)
             batch.clear();
         }
     };
-    for (std::size_t card = n; card >= 1; --card) {
-        forEachCombination(n, card, [&](const auto& pick) {
-            batch.push_back(Config::withLowered(n, pick));
+    std::vector<std::size_t> mapped;
+    for (std::size_t card = f; card >= 1; --card) {
+        forEachCombination(f, card, [&](const auto& pick) {
+            mapped.clear();
+            mapped.reserve(pick.size());
+            for (std::size_t i : pick)
+                mapped.push_back(sites[i]);
+            batch.push_back(Config::withLowered(n, mapped));
             if (batch.size() >= chunk)
                 flush();
         });

@@ -28,11 +28,15 @@ CompositionalSearch::run(SearchContext& ctx)
     };
 
     // Phase 1: each site individually — one embarrassingly parallel
-    // batch.
+    // batch. Sites pinned by a static prior are never proposed, so no
+    // pinned site can reach phase 2 through a passing single either.
     {
+        const StaticPrior* prior = ctx.prior();
         std::vector<Config> singles;
         singles.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
+            if (prior && prior->pinned(i))
+                continue;
             Config cfg = Config::withLowered(n, {i});
             if (attempted.insert(cfg.toString()).second)
                 singles.push_back(std::move(cfg));

@@ -37,6 +37,23 @@ SearchContext::SearchContext(SearchProblem& problem, SearchBudget budget,
 SearchContext::~SearchContext() = default;
 
 void
+SearchContext::setPrior(StaticPrior prior)
+{
+    HPCMIXP_ASSERT(!prior.enabled() ||
+                       prior.siteCount() == problem_.siteCount(),
+                   "static prior site count does not match problem");
+    prior_ = std::move(prior);
+}
+
+const StaticPrior*
+SearchContext::prior() const
+{
+    // prior_ is installed before the search starts and immutable
+    // afterwards, so strategies may read it without the lock.
+    return prior_.enabled() ? &prior_ : nullptr;
+}
+
+void
 SearchContext::setCheckpointHook(std::size_t everyExecutions,
                                  CheckpointSink sink)
 {
@@ -96,6 +113,16 @@ SearchContext::evaluateResilient(const Config& config,
                                  TaskCounters& counters,
                                  support::Pcg32& jitterRng)
 {
+    // Strict prior mode: a configuration that lowers a pinned site is
+    // rejected like an uncompilable one, without executing anything.
+    // This also guards non-strategy entry points (cache imports were
+    // evaluated elsewhere, but resumed *searches* re-derive candidates
+    // through here).
+    if (prior_.strict() && prior_.violates(config)) {
+        Evaluation rejected;
+        rejected.status = EvalStatus::CompileFail;
+        return rejected;
+    }
     std::size_t maxAttempts =
         resilience_.maxAttempts > 0 ? resilience_.maxAttempts : 1;
     Evaluation eval;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "search/config.h"
+#include "search/prior.h"
 #include "search/problem.h"
 #include "support/json.h"
 #include "support/retry.h"
@@ -124,6 +125,18 @@ class SearchContext {
     void setSearchJobs(std::size_t jobs);
     std::size_t searchJobs() const;
 
+    /**
+     * Install a static sensitivity prior (DESIGN.md Section 11).
+     * Strategies consult prior() to prune, seed and order their
+     * candidate generation; in Strict mode the context additionally
+     * records any configuration violating a pin as a compile failure
+     * without executing it. Must be installed before the search runs.
+     */
+    void setPrior(StaticPrior prior);
+
+    /** The installed prior, or nullptr when absent/Off. */
+    const StaticPrior* prior() const;
+
     /** True when @p config has already been evaluated. */
     bool isCached(const Config& config) const;
 
@@ -204,6 +217,7 @@ class SearchContext {
     SearchProblem& problem_;
     SearchBudget budget_;
     ResiliencePolicy resilience_;
+    StaticPrior prior_; ///< set before the search; read-only after
     support::Pcg32 retryRng_;
     support::WallTimer timer_;
 

@@ -7,11 +7,12 @@ namespace hpcmixp::search {
 
 namespace {
 
-/** Configuration that lowers every site not in @p kept. */
+/** @p loweredAll with every site in @p kept raised back to double. */
 Config
-configKeeping(std::size_t n, const std::vector<std::size_t>& kept)
+configKeeping(const Config& loweredAll,
+              const std::vector<std::size_t>& kept)
 {
-    Config cfg = Config::allLowered(n);
+    Config cfg = loweredAll;
     for (std::size_t i : kept)
         cfg.set(i, false);
     return cfg;
@@ -37,8 +38,16 @@ DeltaDebugSearch::run(SearchContext& ctx)
     if (n == 0)
         return;
 
-    // Fast path: everything can be lowered.
-    if (ctx.evaluate(configKeeping(n, {})).passed())
+    // With a static prior the ddmin universe is the free sites only:
+    // "all lowered" already keeps the pinned sites double, and they
+    // never enter the kept set, so no round proposes lowering them.
+    const StaticPrior* prior = ctx.prior();
+    Config loweredAll = Config::allLowered(n);
+    if (prior)
+        loweredAll = prior->clamped(std::move(loweredAll));
+
+    // Fast path: everything (free) can be lowered.
+    if (ctx.evaluate(configKeeping(loweredAll, {})).passed())
         return;
 
     // Speculative ddmin over the kept set, starting from "keep
@@ -51,9 +60,14 @@ DeltaDebugSearch::run(SearchContext& ctx)
     // that candidates the serial loop would have skipped get
     // evaluated speculatively, which is exactly the latency-hiding
     // trade the paper's cluster campaigns make.
-    std::vector<std::size_t> kept(n);
-    for (std::size_t i = 0; i < n; ++i)
-        kept[i] = i;
+    std::vector<std::size_t> kept;
+    if (prior) {
+        kept = prior->freeSites();
+    } else {
+        kept.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            kept[i] = i;
+    }
     std::size_t granularity = 2;
 
     auto firstPassing =
@@ -62,7 +76,7 @@ DeltaDebugSearch::run(SearchContext& ctx)
         std::vector<Config> batch;
         batch.reserve(candidates.size());
         for (const auto& c : candidates)
-            batch.push_back(configKeeping(n, c));
+            batch.push_back(configKeeping(loweredAll, c));
         auto evals = ctx.evaluateBatch(batch);
         for (std::size_t i = 0; i < evals.size(); ++i)
             if (evals[i].passed())

@@ -10,6 +10,8 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
 {
     SearchContext ctx(problem, budget, run.resilience);
     ctx.setSearchJobs(run.searchJobs);
+    if (run.prior.enabled())
+        ctx.setPrior(run.prior);
     if (!run.initialCache.isNull()) {
         // A checkpoint that no longer matches the problem (changed
         // configuration, different granularity) must not kill the

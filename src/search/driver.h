@@ -39,6 +39,7 @@ struct SearchRunOptions {
     SearchContext::CheckpointSink checkpointSink; ///< snapshot receiver
     support::json::Value initialCache; ///< non-null: importCache() first
     std::size_t searchJobs = 1;       ///< intra-search batch parallelism
+    StaticPrior prior;                ///< static sensitivity prior (Off = none)
 };
 
 /**

@@ -41,6 +41,7 @@ GeneticSearch::run(SearchContext& ctx)
     HPCMIXP_ASSERT(opt.population >= 2, "GA population must be >= 2");
 
     support::Pcg32 rng(opt.seed);
+    const StaticPrior* prior = ctx.prior();
 
     auto randomConfig = [&] {
         Config cfg(n);
@@ -65,6 +66,15 @@ GeneticSearch::run(SearchContext& ctx)
         seeds.reserve(opt.population);
         for (std::size_t i = 0; i < opt.population; ++i)
             seeds.push_back(randomConfig());
+        if (prior) {
+            // Replace one random individual with the SafeToNarrow
+            // mask and clamp the rest, *after* all draws: the RNG
+            // stream is untouched, so the Off-mode trajectory is
+            // bit-identical to a build without the prior subsystem.
+            seeds[0] = prior->seedConfig();
+            for (std::size_t i = 1; i < seeds.size(); ++i)
+                seeds[i] = prior->clamped(std::move(seeds[i]));
+        }
         auto evals = ctx.evaluateBatch(seeds);
         for (std::size_t i = 0; i < seeds.size(); ++i)
             population.push_back(
@@ -113,6 +123,12 @@ GeneticSearch::run(SearchContext& ctx)
                     child.set(i, !child.test(i));
             children.push_back(std::move(child));
         }
+        if (prior)
+            // Crossover and mutation may flip a pinned site; clamp
+            // after breeding so the per-child draw count (and the RNG
+            // stream) stays what it was without a prior.
+            for (Config& child : children)
+                child = prior->clamped(std::move(child));
         auto evals = ctx.evaluateBatch(children);
         for (std::size_t i = 0; i < children.size(); ++i)
             next.push_back(

@@ -1,5 +1,6 @@
 #include "search/hierarchical.h"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -7,15 +8,26 @@
 
 namespace hpcmixp::search {
 
-std::vector<const StructureNode*>
+std::vector<ComponentGroup>
 collectPassingComponents(SearchContext& ctx)
 {
     const StructureNode* root = ctx.structure();
     if (!root)
         support::fatal("hierarchical search requires program structure");
 
+    const StaticPrior* prior = ctx.prior();
     std::size_t n = ctx.siteCount();
-    std::vector<const StructureNode*> accepted;
+
+    auto groupSites = [&](const StructureNode* node) {
+        std::vector<std::size_t> sites;
+        sites.reserve(node->sites.size());
+        for (std::size_t s : node->sites)
+            if (!prior || !prior->pinned(s))
+                sites.push_back(s);
+        return sites;
+    };
+
+    std::vector<ComponentGroup> accepted;
     std::vector<const StructureNode*> level{root};
 
     // Breadth-first refinement, one batch per tree level: sibling
@@ -23,24 +35,36 @@ collectPassingComponents(SearchContext& ctx)
     // serial deque traversal visits nodes in exactly this level
     // order, so the evaluation sequence is unchanged.
     while (!level.empty()) {
-        std::vector<const StructureNode*> nodes;
-        for (const StructureNode* node : level)
-            if (!node->sites.empty())
-                // A node without sites of its own is skipped without
-                // descending, as in the serial traversal.
-                nodes.push_back(node);
+        std::vector<ComponentGroup> nodes;
+        for (const StructureNode* node : level) {
+            // A node without sites of its own — or, under a prior,
+            // with every site pinned — is skipped without descending
+            // (its children can only hold a subset of its sites).
+            auto sites = groupSites(node);
+            if (!sites.empty())
+                nodes.push_back({node, std::move(sites)});
+        }
+        if (prior)
+            // Visit the riskiest components first so a budget-cut
+            // search has already resolved the sensitive subtrees.
+            std::stable_sort(nodes.begin(), nodes.end(),
+                             [&](const ComponentGroup& a,
+                                 const ComponentGroup& b) {
+                                 return prior->groupScore(a.sites) >
+                                        prior->groupScore(b.sites);
+                             });
         std::vector<Config> batch;
         batch.reserve(nodes.size());
-        for (const StructureNode* node : nodes)
-            batch.push_back(Config::withLowered(n, node->sites));
+        for (const ComponentGroup& group : nodes)
+            batch.push_back(Config::withLowered(n, group.sites));
         auto evals = ctx.evaluateBatch(batch);
 
         std::vector<const StructureNode*> next;
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             if (evals[i].passed()) {
-                accepted.push_back(nodes[i]);
+                accepted.push_back(std::move(nodes[i]));
             } else {
-                for (const auto& child : nodes[i]->children)
+                for (const auto& child : nodes[i].node->children)
                     next.push_back(&child);
             }
         }
@@ -62,9 +86,9 @@ HierarchicalSearch::run(SearchContext& ctx)
     // individual speedup until the combination passes.
     while (!accepted.empty()) {
         Config combined(n);
-        for (const auto* node : accepted)
+        for (const ComponentGroup& group : accepted)
             combined =
-                combined.unionWith(Config::withLowered(n, node->sites));
+                combined.unionWith(Config::withLowered(n, group.sites));
         const Evaluation& eval = ctx.evaluate(combined);
         if (eval.passed() || accepted.size() == 1)
             break;
@@ -73,8 +97,8 @@ HierarchicalSearch::run(SearchContext& ctx)
         // discovery phase) to find the weakest contributor.
         std::vector<Config> batch;
         batch.reserve(accepted.size());
-        for (const auto* node : accepted)
-            batch.push_back(Config::withLowered(n, node->sites));
+        for (const ComponentGroup& group : accepted)
+            batch.push_back(Config::withLowered(n, group.sites));
         auto evals = ctx.evaluateBatch(batch);
         std::size_t worst = 0;
         double worstSpeedup = std::numeric_limits<double>::max();

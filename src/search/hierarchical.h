@@ -13,6 +13,9 @@
  * paper highlights at strict thresholds (Sections II-B, IV-B).
  */
 
+#include <cstddef>
+#include <vector>
+
 #include "search/strategy.h"
 
 namespace hpcmixp::search {
@@ -30,12 +33,24 @@ class HierarchicalSearch : public SearchStrategy {
 };
 
 /**
+ * A structure node together with the sites its group replacement
+ * actually lowers. Without a static prior these are the node's own
+ * sites; with one, pinned (KeepDouble) sites are filtered out.
+ */
+struct ComponentGroup {
+    const StructureNode* node = nullptr;
+    std::vector<std::size_t> sites;
+};
+
+/**
  * Shared helper for HR and HC: breadth-first descent that collects the
  * set of structure nodes whose group replacement passes individually.
  * Failing non-leaf nodes are expanded; failing leaves are dropped.
- * Returns the passing nodes in discovery order.
+ * Returns the passing groups in discovery order. With a static prior,
+ * each tree level is visited in descending sensitivity-score order and
+ * nodes whose sites are all pinned are skipped outright.
  */
-std::vector<const StructureNode*>
+std::vector<ComponentGroup>
 collectPassingComponents(SearchContext& ctx);
 
 } // namespace hpcmixp::search

@@ -25,8 +25,8 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
     std::vector<Config> passing;
     std::deque<std::size_t> worklist;
     std::unordered_set<std::string> attempted;
-    for (const auto* node : components) {
-        Config cfg = Config::withLowered(n, node->sites);
+    for (const ComponentGroup& group : components) {
+        Config cfg = Config::withLowered(n, group.sites);
         attempted.insert(cfg.toString());
         passing.push_back(cfg);
         worklist.push_back(passing.size() - 1);

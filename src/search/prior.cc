@@ -1,0 +1,106 @@
+#include "search/prior.h"
+
+#include "support/logging.h"
+
+namespace hpcmixp::search {
+
+using support::fatal;
+using support::strCat;
+
+const char*
+priorModeName(PriorMode mode)
+{
+    switch (mode) {
+    case PriorMode::Off: return "off";
+    case PriorMode::On: return "on";
+    case PriorMode::Strict: return "strict";
+    }
+    return "off";
+}
+
+PriorMode
+parsePriorMode(const std::string& text)
+{
+    if (text == "off")
+        return PriorMode::Off;
+    if (text == "on")
+        return PriorMode::On;
+    if (text == "strict")
+        return PriorMode::Strict;
+    fatal(strCat("unknown --static-prior mode '", text,
+                 "' (expected on, off, or strict)"));
+}
+
+StaticPrior::StaticPrior(PriorMode mode, std::vector<bool> pinned,
+                         std::vector<bool> narrow,
+                         std::vector<int> scores)
+    : mode_(mode), pinned_(std::move(pinned)),
+      narrow_(std::move(narrow)), scores_(std::move(scores))
+{
+    HPCMIXP_ASSERT(pinned_.size() == narrow_.size() &&
+                       pinned_.size() == scores_.size(),
+                   "static prior vectors disagree on site count");
+}
+
+std::size_t
+StaticPrior::pinnedCount() const
+{
+    std::size_t n = 0;
+    for (bool p : pinned_)
+        if (p)
+            ++n;
+    return n;
+}
+
+std::vector<std::size_t>
+StaticPrior::freeSites() const
+{
+    std::vector<std::size_t> free;
+    free.reserve(pinned_.size());
+    for (std::size_t i = 0; i < pinned_.size(); ++i)
+        if (!pinned_[i])
+            free.push_back(i);
+    return free;
+}
+
+Config
+StaticPrior::seedConfig() const
+{
+    Config config(pinned_.size());
+    for (std::size_t i = 0; i < narrow_.size(); ++i)
+        if (narrow_[i] && !pinned_[i])
+            config.set(i);
+    return config;
+}
+
+bool
+StaticPrior::violates(const Config& config) const
+{
+    for (std::size_t i = 0; i < pinned_.size() && i < config.size();
+         ++i)
+        if (pinned_[i] && config.test(i))
+            return true;
+    return false;
+}
+
+Config
+StaticPrior::clamped(Config config) const
+{
+    for (std::size_t i = 0; i < pinned_.size() && i < config.size();
+         ++i)
+        if (pinned_[i] && config.test(i))
+            config.set(i, false);
+    return config;
+}
+
+int
+StaticPrior::groupScore(const std::vector<std::size_t>& sites) const
+{
+    int total = 0;
+    for (std::size_t site : sites)
+        if (site < scores_.size())
+            total += scores_[site];
+    return total;
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,106 @@
+#ifndef HPCMIXP_SEARCH_PRIOR_H_
+#define HPCMIXP_SEARCH_PRIOR_H_
+
+/**
+ * @file
+ * Static sensitivity prior for the search strategies.
+ *
+ * mixp-lint (typeforge/lint.h) classifies each search site before any
+ * configuration runs; StaticPrior carries those verdicts into the
+ * search layer in site-index space, so the search library does not
+ * depend on typeforge. A prior affects strategies three ways:
+ *
+ *  - *pinned* sites (KeepDouble verdicts) are removed from the
+ *    enumerated space of CB / CM / DD / HR / HC — they stay double in
+ *    every generated configuration;
+ *  - the *narrow* mask (SafeToNarrow verdicts) seeds the GA's initial
+ *    population with one individual that lowers exactly those sites;
+ *  - per-site *scores* order hierarchical traversal by descending
+ *    sensitivity, so HR/HC visit the risky components first.
+ *
+ * Modes (harness `--static-prior`):
+ *  - Off:    no prior; trajectories are bit-identical to a build
+ *            without this subsystem.
+ *  - On:     prune + seed + order as above.
+ *  - Strict: additionally treat any configuration violating a pin as
+ *            a compile failure, whatever its origin (cache imports,
+ *            hand-written resume files).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "search/config.h"
+
+namespace hpcmixp::search {
+
+/** Prior application mode (harness --static-prior=on|off|strict). */
+enum class PriorMode { Off, On, Strict };
+
+/** Stable lowercase name ("off", "on", "strict"). */
+const char* priorModeName(PriorMode mode);
+
+/** Parse a --static-prior spelling; fatal()s on anything else. */
+PriorMode parsePriorMode(const std::string& text);
+
+/** Per-site static sensitivity verdicts, in site-index space. */
+class StaticPrior {
+  public:
+    /** An absent prior (mode Off, no effect on any strategy). */
+    StaticPrior() = default;
+
+    /**
+     * A prior over @p sites sites. @p pinned marks KeepDouble sites,
+     * @p narrow marks SafeToNarrow sites, @p scores carries the
+     * per-site sensitivity scores (higher = more sensitive). All
+     * three vectors must have @p sites entries.
+     */
+    StaticPrior(PriorMode mode, std::vector<bool> pinned,
+                std::vector<bool> narrow, std::vector<int> scores);
+
+    /** True when the prior participates in search (mode != Off). */
+    bool enabled() const { return mode_ != PriorMode::Off; }
+
+    /** True in Strict mode only. */
+    bool strict() const { return mode_ == PriorMode::Strict; }
+
+    PriorMode mode() const { return mode_; }
+
+    /** Number of sites this prior was built for. */
+    std::size_t siteCount() const { return pinned_.size(); }
+
+    /** Is site @p i pinned to double? */
+    bool pinned(std::size_t i) const { return pinned_[i]; }
+
+    /** Number of pinned sites. */
+    std::size_t pinnedCount() const;
+
+    /** Sensitivity score of site @p i. */
+    int score(std::size_t i) const { return scores_[i]; }
+
+    /** Indices of sites free to vary (not pinned), ascending. */
+    std::vector<std::size_t> freeSites() const;
+
+    /** GA seed: the SafeToNarrow mask (never includes pinned sites). */
+    Config seedConfig() const;
+
+    /** True when @p config lowers any pinned site. */
+    bool violates(const Config& config) const;
+
+    /** @p config with every pinned site forced back to double. */
+    Config clamped(Config config) const;
+
+    /** Sum of member scores over @p sites (hierarchical ordering). */
+    int groupScore(const std::vector<std::size_t>& sites) const;
+
+  private:
+    PriorMode mode_ = PriorMode::Off;
+    std::vector<bool> pinned_;
+    std::vector<bool> narrow_;
+    std::vector<int> scores_;
+};
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_PRIOR_H_

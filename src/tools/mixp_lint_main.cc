@@ -1,0 +1,117 @@
+/**
+ * @file
+ * mixp-lint — standalone static precision-sensitivity linter.
+ *
+ *   mixp-lint [--json] [--benchmark <name>] [--all] [file.c ...]
+ *
+ * Runs the lint rule catalog (typeforge/lint.h) over the program
+ * models of the built-in benchmarks and/or source files written in
+ * the mirror language, and prints the sensitivity report. Source
+ * files are parsed tolerantly: syntax errors become diagnostics, the
+ * recovered part of the model is still linted, and the exit status is
+ * non-zero so CI catches them.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "support/cli.h"
+#include "support/logging.h"
+#include "typeforge/frontend/parser.h"
+#include "typeforge/lint.h"
+
+namespace {
+
+using namespace hpcmixp;
+
+void
+emit(const typeforge::SensitivityReport& report, bool json, bool& first)
+{
+    if (json) {
+        // Reports stream as a JSON array so multiple targets stay one
+        // parseable document.
+        std::cout << (first ? "[\n" : ",\n")
+                  << typeforge::lintReportToJson(report).dump(2);
+    } else {
+        if (!first)
+            std::cout << '\n';
+        typeforge::printLintReport(std::cout, report);
+    }
+    first = false;
+}
+
+int
+lintFile(const std::string& path, bool json, bool& first)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "mixp-lint: cannot open " << path << '\n';
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    typeforge::frontend::ParseResult parsed =
+        typeforge::frontend::parseProgram(text.str(), path);
+    for (const auto& d : parsed.diagnostics)
+        std::cerr << path << ':' << d.line << ':' << d.column << ": "
+                  << d.message << '\n';
+    emit(typeforge::lint(parsed.model), json, first);
+    return parsed.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    support::CommandLine cl(argc, argv);
+
+    if (cl.has("help")) {
+        std::cout
+            << "usage: mixp-lint [options] [file ...]\n"
+               "  --benchmark <name>  lint one built-in benchmark\n"
+               "  --all               lint every built-in benchmark\n"
+               "  --json              emit JSON instead of text\n"
+               "  file ...            lint mirror-language source files\n"
+               "Exit status is 1 when any file has syntax errors.\n";
+        return 0;
+    }
+
+    bool json = cl.getBool("json", false);
+    int status = 0;
+    bool first = true;
+
+    try {
+        auto& registry = benchmarks::BenchmarkRegistry::instance();
+        std::vector<std::string> names;
+        if (cl.getBool("all", false))
+            names = registry.names();
+        else if (cl.has("benchmark"))
+            names.push_back(cl.getString("benchmark", ""));
+        if (names.empty() && cl.positional().empty()) {
+            std::cerr << "mixp-lint: nothing to lint (try --all, "
+                         "--benchmark <name>, or a source file)\n";
+            return 2;
+        }
+
+        for (const std::string& name : names) {
+            auto benchmark = registry.create(name);
+            emit(typeforge::lint(benchmark->programModel()), json,
+                 first);
+        }
+        for (const std::string& path : cl.positional())
+            status |= lintFile(path, json, first);
+
+        if (json)
+            std::cout << "\n]\n";
+    } catch (const support::FatalError& e) {
+        std::cerr << "mixp-lint: " << e.what() << '\n';
+        return 1;
+    }
+    return status;
+}

@@ -28,7 +28,12 @@ lex(const std::string& source)
     std::vector<Token> tokens;
     std::size_t i = 0;
     int line = 1;
+    std::size_t lineStart = 0;
     std::size_t n = source.size();
+
+    auto column = [&](std::size_t pos) {
+        return static_cast<int>(pos - lineStart + 1);
+    };
 
     auto peek = [&](std::size_t off = 0) -> char {
         return i + off < n ? source[i + off] : '\0';
@@ -39,6 +44,7 @@ lex(const std::string& source)
         if (c == '\n') {
             ++line;
             ++i;
+            lineStart = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -65,8 +71,10 @@ lex(const std::string& source)
                     fatal(strCat("lex: unterminated comment opened on"
                                  " line ",
                                  startLine));
-                if (source[i] == '\n')
+                if (source[i] == '\n') {
                     ++line;
+                    lineStart = i + 1;
+                }
                 if (source[i] == '*' && peek(1) == '/') {
                     i += 2;
                     break;
@@ -84,7 +92,8 @@ lex(const std::string& source)
                     source[i] == '_'))
                 ++i;
             tokens.push_back({TokenKind::Identifier,
-                              source.substr(start, i - start), line});
+                              source.substr(start, i - start), line,
+                              column(start)});
             continue;
         }
         // Numeric literals (integers, floats, exponents, suffixes).
@@ -106,7 +115,8 @@ lex(const std::string& source)
                 }
             }
             tokens.push_back({TokenKind::Number,
-                              source.substr(start, i - start), line});
+                              source.substr(start, i - start), line,
+                              column(start)});
             continue;
         }
         // String and char literals; contents are irrelevant.
@@ -116,8 +126,10 @@ lex(const std::string& source)
             while (i < n && source[i] != quote) {
                 if (source[i] == '\\')
                     ++i;
-                if (i < n && source[i] == '\n')
+                if (i < n && source[i] == '\n') {
                     ++line;
+                    lineStart = i + 1;
+                }
                 ++i;
             }
             if (i >= n)
@@ -125,7 +137,8 @@ lex(const std::string& source)
                              line));
             ++i;
             tokens.push_back({TokenKind::String,
-                              source.substr(start, i - start), line});
+                              source.substr(start, i - start), line,
+                              column(start)});
             continue;
         }
         // Punctuators, longest match first.
@@ -133,7 +146,8 @@ lex(const std::string& source)
         for (const char* p : kPuncts) {
             std::size_t len = std::char_traits<char>::length(p);
             if (source.compare(i, len, p) == 0) {
-                tokens.push_back({TokenKind::Punct, p, line});
+                tokens.push_back({TokenKind::Punct, p, line,
+                                  column(i)});
                 i += len;
                 matched = true;
                 break;
@@ -143,7 +157,7 @@ lex(const std::string& source)
             fatal(strCat("lex: stray character '", std::string(1, c),
                          "' on line ", line));
     }
-    tokens.push_back({TokenKind::End, "", line});
+    tokens.push_back({TokenKind::End, "", line, column(i)});
     return tokens;
 }
 

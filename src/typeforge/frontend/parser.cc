@@ -2,7 +2,6 @@
 
 #include <fstream>
 #include <map>
-#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +11,7 @@
 namespace hpcmixp::typeforge::frontend {
 
 using model::BaseType;
+using model::DataflowFact;
 using model::FunctionId;
 using model::ModuleId;
 using model::ProgramModel;
@@ -22,7 +22,10 @@ using support::strCat;
 
 namespace {
 
-/** Reduced expression value: just enough for dependence extraction. */
+/**
+ * Reduced expression value: just enough for dependence extraction and
+ * dataflow-fact inference.
+ */
 struct Value {
     enum class Kind {
         Var,       ///< resolves to a declared variable
@@ -33,27 +36,45 @@ struct Value {
     Kind kind = Kind::Other;
     VarId var = model::kInvalidId; ///< for Var / AddressOf
     std::string callee;            ///< for Call
+    bool literal = false;          ///< numeric literal (possibly cast/negated)
+    /** Array variable whose element this value is (arr[i], *arr);
+     *  survives direct subscripting only, not arithmetic. */
+    VarId rootArray = model::kInvalidId;
 
     static Value
     ofVar(VarId v)
     {
-        return {Kind::Var, v, {}};
+        Value val;
+        val.kind = Kind::Var;
+        val.var = v;
+        return val;
     }
     static Value
     addressOf(VarId v)
     {
-        return {Kind::AddressOf, v, {}};
+        Value val;
+        val.kind = Kind::AddressOf;
+        val.var = v;
+        return val;
     }
     static Value
     call(std::string name)
     {
-        return {Kind::Call, model::kInvalidId, std::move(name)};
+        Value val;
+        val.kind = Kind::Call;
+        val.callee = std::move(name);
+        return val;
     }
     static Value
     other()
     {
         return {};
     }
+};
+
+/** Internal control-flow exception for recoverable syntax errors. */
+struct SyntaxError {
+    ParseDiagnostic diag;
 };
 
 bool
@@ -79,23 +100,29 @@ struct DeclSpec {
 
 class Parser {
   public:
-    Parser(const std::string& source, const std::string& name)
-        : tokens_(lex(source)), model_(name)
+    Parser(std::vector<Token> tokens, const std::string& name)
+        : tokens_(std::move(tokens)), model_(name)
     {
         moduleId_ = model_.addModule(name);
     }
 
-    ProgramModel
+    ParseResult
     run()
     {
         collectSignatures();
         pos_ = 0;
+        reporting_ = true;
         parseTopLevel();
         resolveReturnEdges();
-        return std::move(model_);
+        finalizeLiteralInits();
+        model_.markDataflowAnalyzed();
+        return {std::move(model_), std::move(diagnostics_)};
     }
 
   private:
+    /** Cap on reported diagnostics; beyond it parsing gives up. */
+    static constexpr std::size_t kMaxDiagnostics = 25;
+
     // --- token cursor ------------------------------------------------
 
     const Token& peek(std::size_t off = 0) const
@@ -127,8 +154,8 @@ class Parser {
     expectPunct(const char* p)
     {
         if (!acceptPunct(p))
-            fatal(strCat("parse: expected '", p, "' on line ",
-                         peek().line, ", found '", peek().text, "'"));
+            syntaxError(strCat("expected '", p, "', found '",
+                               describeToken(peek()), "'"));
     }
 
     bool
@@ -146,16 +173,94 @@ class Parser {
     {
         if (!peek().is(TokenKind::Identifier) ||
             isDeclSpecKeyword(peek().text))
-            fatal(strCat("parse: expected ", what, " on line ",
-                         peek().line, ", found '", peek().text, "'"));
+            syntaxError(strCat("expected ", what, ", found '",
+                               describeToken(peek()), "'"));
         return advance().text;
+    }
+
+    static std::string
+    describeToken(const Token& t)
+    {
+        return t.is(TokenKind::End) ? std::string("end of input")
+                                    : t.text;
     }
 
     [[noreturn]] void
     syntaxError(const std::string& what)
     {
-        fatal(strCat("parse: ", what, " on line ", peek().line,
-                     " near '", peek().text, "'"));
+        throw SyntaxError{{peek().line, peek().column, what}};
+    }
+
+    /** Record a diagnostic; at the cap, abandon the rest of the input. */
+    void
+    report(ParseDiagnostic diag)
+    {
+        if (!reporting_ || diagnostics_.size() > kMaxDiagnostics)
+            return;
+        if (diagnostics_.size() == kMaxDiagnostics) {
+            diagnostics_.push_back(
+                {diag.line, diag.column,
+                 "too many syntax errors; giving up"});
+            pos_ = tokens_.size() - 1; // jump to End
+            return;
+        }
+        diagnostics_.push_back(std::move(diag));
+    }
+
+    // --- error recovery ----------------------------------------------
+
+    /**
+     * Skip to the start of the next plausible top-level declaration:
+     * past a ';' at bracket depth zero, or past the '}' closing a
+     * brace construct. Always makes progress.
+     */
+    void
+    synchronizeTopLevel()
+    {
+        int depth = 0;
+        while (!peek().is(TokenKind::End)) {
+            const Token& t = advance();
+            if (t.isPunct("(") || t.isPunct("["))
+                ++depth;
+            else if (t.isPunct(")") || t.isPunct("]")) {
+                if (depth > 0)
+                    --depth;
+            } else if (t.isPunct("{")) {
+                ++depth;
+            } else if (t.isPunct("}")) {
+                if (depth > 0)
+                    --depth;
+                if (depth == 0)
+                    return;
+            } else if (t.isPunct(";") && depth == 0) {
+                return;
+            }
+        }
+    }
+
+    /**
+     * Skip to the next statement boundary inside a block: past a ';'
+     * at depth zero, or *up to* (not past) a '}' so the enclosing
+     * block can close. Always makes progress unless already at '}'.
+     */
+    void
+    synchronizeStatement()
+    {
+        int depth = 0;
+        while (!peek().is(TokenKind::End)) {
+            if (depth == 0 && peek().isPunct("}"))
+                return;
+            const Token& t = advance();
+            if (t.isPunct("(") || t.isPunct("[") || t.isPunct("{"))
+                ++depth;
+            else if (t.isPunct(")") || t.isPunct("]") ||
+                     t.isPunct("}")) {
+                if (depth > 0)
+                    --depth;
+            } else if (t.isPunct(";") && depth == 0) {
+                return;
+            }
+        }
     }
 
     // --- type parsing --------------------------------------------------
@@ -234,24 +339,31 @@ class Parser {
     void
     collectSignatures()
     {
+        // Phase A is silent: anything malformed is skipped here and
+        // reported by the full phase-B parse of the same tokens.
+        reporting_ = false;
         pos_ = 0;
         while (!peek().is(TokenKind::End)) {
-            if (!atDeclSpec()) {
-                advance(); // stray token; top-level parse will report
-                continue;
-            }
-            DeclSpec spec = parseDeclSpec();
-            int depth = parsePointerStars();
-            if (!peek().is(TokenKind::Identifier)) {
-                // e.g. "struct;" style noise: skip to ';'
-                skipToSemicolon();
-                continue;
-            }
-            std::string name = advance().text;
-            if (peek().isPunct("(")) {
-                declareFunction(name, spec, depth);
-            } else {
-                skipToSemicolon();
+            try {
+                if (!atDeclSpec()) {
+                    advance(); // stray token; phase B will report
+                    continue;
+                }
+                DeclSpec spec = parseDeclSpec();
+                int depth = parsePointerStars();
+                if (!peek().is(TokenKind::Identifier)) {
+                    // e.g. "struct;" style noise: skip to ';'
+                    skipToSemicolon();
+                    continue;
+                }
+                std::string name = advance().text;
+                if (peek().isPunct("(")) {
+                    declareFunction(name, spec, depth);
+                } else {
+                    skipToSemicolon();
+                }
+            } catch (const SyntaxError&) {
+                synchronizeTopLevel();
             }
         }
     }
@@ -331,10 +443,15 @@ class Parser {
     parseTopLevel()
     {
         while (!peek().is(TokenKind::End)) {
-            if (!atDeclSpec())
-                syntaxError("expected a declaration");
-            DeclSpec spec = parseDeclSpec();
-            parseTopLevelDeclarators(spec);
+            try {
+                if (!atDeclSpec())
+                    syntaxError("expected a declaration");
+                DeclSpec spec = parseDeclSpec();
+                parseTopLevelDeclarators(spec);
+            } catch (const SyntaxError& e) {
+                report(e.diag);
+                synchronizeTopLevel();
+            }
         }
     }
 
@@ -356,9 +473,11 @@ class Parser {
             if (acceptPunct("=")) {
                 if (peek().isPunct("{")) {
                     skipBalancedBraces(); // aggregate initializer
+                    noteWrite(var, false);
                 } else {
                     Value init = parseAssignmentExpr();
                     recordAssign(var, init);
+                    noteWrite(var, init.literal);
                 }
             }
             if (acceptPunct(","))
@@ -371,10 +490,13 @@ class Parser {
     void
     parseFunctionRest(const std::string& name)
     {
-        // The signature (and its parameter VarIds) already exist.
+        // The signature (and its parameter VarIds) was created by
+        // phase A — unless phase A already choked on it, in which
+        // case report and skip the whole definition.
         auto it = signatures_.find(name);
-        HPCMIXP_ASSERT(it != signatures_.end(),
-                       "function signature missing in phase B");
+        if (it == signatures_.end())
+            syntaxError(strCat("function '", name,
+                               "' has an unparsable signature"));
         currentFn_ = &it->second;
 
         // Re-skip the parameter list tokens.
@@ -431,13 +553,32 @@ class Parser {
         expectPunct("{");
         pushScope();
         while (!peek().isPunct("}")) {
-            if (peek().is(TokenKind::End))
-                syntaxError("unterminated block");
-            parseStatement();
+            if (peek().is(TokenKind::End)) {
+                if (!reportedUnterminated_) {
+                    reportedUnterminated_ = true;
+                    report({peek().line, peek().column,
+                            "unterminated block"});
+                }
+                popScope();
+                return;
+            }
+            try {
+                parseStatement();
+            } catch (const SyntaxError& e) {
+                report(e.diag);
+                synchronizeStatement();
+            }
         }
         popScope();
         expectPunct("}");
     }
+
+    /** RAII loop-nesting marker (exception-safe around recovery). */
+    struct LoopGuard {
+        explicit LoopGuard(int& depth) : depth_(depth) { ++depth_; }
+        ~LoopGuard() { --depth_; }
+        int& depth_;
+    };
 
     void
     parseStatement()
@@ -462,6 +603,7 @@ class Parser {
             return;
         }
         if (acceptIdent("while")) {
+            LoopGuard loop(loopDepth_);
             expectPunct("(");
             parseExpr();
             expectPunct(")");
@@ -469,6 +611,7 @@ class Parser {
             return;
         }
         if (acceptIdent("do")) {
+            LoopGuard loop(loopDepth_);
             parseStatement();
             if (!acceptIdent("while"))
                 syntaxError("expected 'while' after do-body");
@@ -489,16 +632,19 @@ class Parser {
                     expectPunct(";");
                 }
             }
-            if (!peek().isPunct(";"))
-                parseExpr();
-            expectPunct(";");
-            if (!peek().isPunct(")")) {
-                parseExpr();
-                while (acceptPunct(","))
+            {
+                LoopGuard loop(loopDepth_);
+                if (!peek().isPunct(";"))
                     parseExpr();
+                expectPunct(";");
+                if (!peek().isPunct(")")) {
+                    parseExpr();
+                    while (acceptPunct(","))
+                        parseExpr();
+                }
+                expectPunct(")");
+                parseStatement();
             }
-            expectPunct(")");
-            parseStatement();
             popScope();
             return;
         }
@@ -535,9 +681,11 @@ class Parser {
             if (acceptPunct("=")) {
                 if (peek().isPunct("{")) {
                     skipBalancedBraces(); // aggregate initializer
+                    noteWrite(var, false);
                 } else {
                     Value init = parseAssignmentExpr();
                     recordAssign(var, init);
+                    noteWrite(var, init.literal);
                 }
             }
         } while (acceptPunct(","));
@@ -577,6 +725,120 @@ class Parser {
         }
     }
 
+    // --- dataflow fact inference -------------------------------------------
+
+    /**
+     * The variable a fact about this value should attach to: a Real
+     * scalar variable itself, or the Real array whose element it is.
+     */
+    VarId
+    factTarget(const Value& v) const
+    {
+        if (v.kind == Value::Kind::Var) {
+            const auto& var = model_.variable(v.var);
+            if (var.type.base == BaseType::Real &&
+                !var.type.isPointer())
+                return v.var;
+            return model::kInvalidId;
+        }
+        if (v.rootArray != model::kInvalidId) {
+            const auto& var = model_.variable(v.rootArray);
+            if (var.type.base == BaseType::Real)
+                return v.rootArray;
+        }
+        return model::kInvalidId;
+    }
+
+    /** Assignment facts (accumulation, recurrence) apply to scalar
+     *  targets only; per-element array updates are not reductions. */
+    VarId
+    scalarTarget(const Value& v) const
+    {
+        if (v.kind != Value::Kind::Var)
+            return model::kInvalidId;
+        const auto& var = model_.variable(v.var);
+        if (var.type.base == BaseType::Real && !var.type.isPointer())
+            return v.var;
+        return model::kInvalidId;
+    }
+
+    /** Tracks the rhs of `target = ...` to spot self-references. */
+    struct ExprFrame {
+        VarId target = model::kInvalidId;
+        bool refsTarget = false; ///< target read anywhere in the rhs
+        bool additive = false;   ///< target is an operand of a +/-
+    };
+
+    struct FrameGuard {
+        FrameGuard(std::vector<ExprFrame>& frames, VarId target)
+            : frames_(frames)
+        {
+            frames_.push_back({target, false, false});
+        }
+        ~FrameGuard() { frames_.pop_back(); }
+        ExprFrame& frame() { return frames_.back(); }
+        std::vector<ExprFrame>& frames_;
+    };
+
+    void
+    noteTargetRef(VarId var)
+    {
+        if (var != model::kInvalidId && !exprFrames_.empty() &&
+            exprFrames_.back().target == var)
+            exprFrames_.back().refsTarget = true;
+    }
+
+    /** Record a write to a (possible) scalar var for LiteralInit. */
+    void
+    noteWrite(VarId var, bool literal)
+    {
+        const auto& v = model_.variable(var);
+        if (v.type.base != BaseType::Real || v.type.isPointer())
+            return;
+        std::uint8_t& bits = writeInfo_[var];
+        bits |= kWroteAny;
+        if (!literal)
+            bits |= kWroteNonLiteral;
+    }
+
+    void
+    finalizeLiteralInits()
+    {
+        for (const auto& [var, bits] : writeInfo_)
+            if ((bits & kWroteNonLiteral) == 0)
+                model_.markFact(var, DataflowFact::LiteralInit);
+    }
+
+    /** Per-operator fact extraction, before operands are combined. */
+    void
+    noteBinaryFacts(const std::string& op, const Value& lhs,
+                    const Value& rhs)
+    {
+        VarId lt = factTarget(lhs);
+        VarId rt = factTarget(rhs);
+        if (op == "-") {
+            if (lt != model::kInvalidId)
+                model_.markFact(lt, DataflowFact::Cancellation);
+            if (rt != model::kInvalidId)
+                model_.markFact(rt, DataflowFact::Cancellation);
+        } else if (op == "/" || op == "%") {
+            if (rt != model::kInvalidId)
+                model_.markFact(rt, DataflowFact::Divisor);
+        } else if (op == "<" || op == ">" || op == "<=" ||
+                   op == ">=" || op == "==" || op == "!=") {
+            if (rhs.literal && lt != model::kInvalidId)
+                model_.markFact(lt, DataflowFact::BranchCompare);
+            if (lhs.literal && rt != model::kInvalidId)
+                model_.markFact(rt, DataflowFact::BranchCompare);
+        }
+        if ((op == "+" || op == "-") && !exprFrames_.empty()) {
+            VarId target = exprFrames_.back().target;
+            if (target != model::kInvalidId &&
+                (lt == target || rt == target))
+                exprFrames_.back().additive = true;
+        }
+    }
+
     // --- expressions --------------------------------------------------------
 
     Value
@@ -598,13 +860,46 @@ class Parser {
         for (const char* op : kAssignOps) {
             if (peek().isPunct(op)) {
                 advance();
-                Value rhs = parseAssignmentExpr();
+                Value rhs = parseSelfAwareRhs(op, lhs);
                 if (lhs.kind == Value::Kind::Var)
                     recordAssign(lhs.var, rhs);
                 return lhs;
             }
         }
         return lhs;
+    }
+
+    /** Parse the rhs of an assignment, inferring accumulation /
+     *  recurrence / literal-init facts for the target as we go. */
+    Value
+    parseSelfAwareRhs(const std::string& op, const Value& lhs)
+    {
+        VarId scalar = scalarTarget(lhs);
+        if (op != "=") {
+            Value rhs = parseAssignmentExpr();
+            if (scalar != model::kInvalidId) {
+                noteWrite(scalar, false);
+                if (loopDepth_ > 0) {
+                    model_.markFact(scalar,
+                                    DataflowFact::LoopCarried);
+                    if (op == "+=" || op == "-=")
+                        model_.markFact(scalar,
+                                        DataflowFact::Accumulator);
+                }
+            }
+            return rhs;
+        }
+        FrameGuard guard(exprFrames_, scalar);
+        Value rhs = parseAssignmentExpr();
+        if (scalar != model::kInvalidId) {
+            noteWrite(scalar, rhs.literal);
+            if (guard.frame().refsTarget && loopDepth_ > 0) {
+                model_.markFact(scalar, DataflowFact::LoopCarried);
+                if (guard.frame().additive)
+                    model_.markFact(scalar, DataflowFact::Accumulator);
+            }
+        }
+        return rhs;
     }
 
     Value
@@ -658,8 +953,10 @@ class Parser {
             int prec = binaryPrecedence(peek());
             if (prec < minPrec || prec < 0)
                 return lhs;
+            std::string op = peek().text;
             advance();
             Value rhs = parseBinary(prec + 1);
+            noteBinaryFacts(op, lhs, rhs);
             lhs = combine(lhs, rhs);
         }
     }
@@ -667,6 +964,7 @@ class Parser {
     /**
      * Pointer arithmetic keeps the pointer operand as the root
      * (pool + offset is still pool); everything else is Other.
+     * A combination of two literals is still a literal (1.0 / 3.0).
      */
     Value
     combine(const Value& a, const Value& b) const
@@ -679,7 +977,9 @@ class Parser {
             return a;
         if (pointerRoot(b))
             return b;
-        return Value::other();
+        Value v = Value::other();
+        v.literal = a.literal && b.literal;
+        return v;
     }
 
     Value
@@ -687,16 +987,32 @@ class Parser {
     {
         if (acceptPunct("&")) {
             Value v = parseUnary();
-            if (v.kind == Value::Kind::Var)
+            if (v.kind == Value::Kind::Var) {
+                // &x escapes x: it may be written through the pointer,
+                // so it no longer counts as literal-initialized.
+                noteWrite(v.var, false);
                 return Value::addressOf(v.var);
+            }
             return Value::other();
         }
         if (acceptPunct("*")) {
-            parseUnary();
-            return Value::other(); // element-level access
+            Value v = parseUnary();
+            Value elem = Value::other(); // element-level access
+            if (v.kind == Value::Kind::Var &&
+                model_.variable(v.var).type.isPointer())
+                elem.rootArray = v.var;
+            else if (v.rootArray != model::kInvalidId)
+                elem.rootArray = v.rootArray;
+            noteTargetRef(elem.rootArray);
+            return elem;
         }
-        if (acceptPunct("-") || acceptPunct("+") || acceptPunct("!") ||
-            acceptPunct("~")) {
+        if (acceptPunct("-") || acceptPunct("+")) {
+            Value v = parseUnary();
+            Value r = Value::other();
+            r.literal = v.literal; // -1.0 is still a literal
+            return r;
+        }
+        if (acceptPunct("!") || acceptPunct("~")) {
             parseUnary();
             return Value::other();
         }
@@ -714,7 +1030,14 @@ class Parser {
             if (acceptPunct("[")) {
                 parseExpr();
                 expectPunct("]");
-                v = Value::other(); // element-level access
+                Value elem = Value::other(); // element-level access
+                if (v.kind == Value::Kind::Var &&
+                    model_.variable(v.var).type.isPointer())
+                    elem.rootArray = v.var;
+                else if (v.rootArray != model::kInvalidId)
+                    elem.rootArray = v.rootArray;
+                noteTargetRef(elem.rootArray);
+                v = elem;
                 continue;
             }
             if (acceptPunct("++") || acceptPunct("--"))
@@ -733,6 +1056,9 @@ class Parser {
     void
     parseCallArguments(const std::string& callee)
     {
+        const Token& open = peek();
+        int callLine = open.line;
+        int callColumn = open.column;
         expectPunct("(");
         std::vector<Value> args;
         if (!peek().isPunct(")")) {
@@ -746,6 +1072,12 @@ class Parser {
         if (it == signatures_.end())
             return; // external: no constraint
         const Signature& sig = it->second;
+        if (args.size() != sig.params.size())
+            report({callLine, callColumn,
+                    strCat("call to '", callee, "' passes ",
+                           args.size(), " argument",
+                           args.size() == 1 ? "" : "s", ", expected ",
+                           sig.params.size())});
         for (std::size_t i = 0;
              i < args.size() && i < sig.params.size(); ++i) {
             const Value& arg = args[i];
@@ -780,8 +1112,13 @@ class Parser {
             expectPunct(")");
             return v;
         }
-        if (peek().is(TokenKind::Number) ||
-            peek().is(TokenKind::String)) {
+        if (peek().is(TokenKind::Number)) {
+            advance();
+            Value v = Value::other();
+            v.literal = true;
+            return v;
+        }
+        if (peek().is(TokenKind::String)) {
             advance();
             return Value::other();
         }
@@ -811,6 +1148,7 @@ class Parser {
             VarId var = lookup(name);
             if (var == model::kInvalidId)
                 return Value::other(); // unknown name: e.g. NULL, macros
+            noteTargetRef(var);
             return Value::ofVar(var);
         }
         syntaxError("expected an expression");
@@ -825,6 +1163,9 @@ class Parser {
         std::vector<VarId> returnedVars;
     };
 
+    static constexpr std::uint8_t kWroteAny = 1;
+    static constexpr std::uint8_t kWroteNonLiteral = 2;
+
     std::vector<Token> tokens_;
     std::size_t pos_ = 0;
     ProgramModel model_;
@@ -834,14 +1175,31 @@ class Parser {
     std::vector<std::map<std::string, VarId>> scopes_;
     Signature* currentFn_ = nullptr;
     std::vector<std::pair<VarId, std::string>> pendingReturns_;
+    std::vector<ParseDiagnostic> diagnostics_;
+    bool reporting_ = false;
+    bool reportedUnterminated_ = false;
+    int loopDepth_ = 0;
+    std::vector<ExprFrame> exprFrames_;
+    std::map<VarId, std::uint8_t> writeInfo_;
 };
 
 } // namespace
 
-ProgramModel
+ParseResult
 parseProgram(const std::string& source, const std::string& name)
 {
-    return Parser(source, name).run();
+    std::vector<Token> tokens;
+    try {
+        tokens = lex(source);
+    } catch (const support::FatalError& e) {
+        // Lexical errors have no recovery point; surface them as a
+        // single diagnostic on an empty model.
+        ParseResult result{ProgramModel(name), {}};
+        result.model.addModule(name);
+        result.diagnostics.push_back({0, 0, e.what()});
+        return result;
+    }
+    return Parser(std::move(tokens), name).run();
 }
 
 ProgramModel
@@ -852,7 +1210,13 @@ parseProgramFile(const std::string& path)
         fatal(strCat("frontend: cannot open '", path, "'"));
     std::ostringstream buf;
     buf << in.rdbuf();
-    return parseProgram(buf.str(), path);
+    ParseResult result = parseProgram(buf.str(), path);
+    if (!result.ok()) {
+        const ParseDiagnostic& d = result.diagnostics.front();
+        fatal(strCat("parse: ", d.message, " at ", path, ":", d.line,
+                     ":", d.column));
+    }
+    return std::move(result.model);
 }
 
 } // namespace hpcmixp::typeforge::frontend

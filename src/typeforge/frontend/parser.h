@@ -20,27 +20,63 @@
  * type, assignments between variables, call argument-to-parameter
  * bindings, address-of bindings, and return-value flow. Control flow
  * and arithmetic are consumed but deliberately not modelled — the
- * analysis is purely type-based, like Typeforge's (Section II-C).
+ * *clustering* analysis is purely type-based, like Typeforge's
+ * (Section II-C).
+ *
+ * On top of the type facts, the binder additionally infers per-variable
+ * *dataflow facts* (model::DataflowFact) consumed by the mixp-lint
+ * sensitivity rules: accumulation in loops, subtraction operands
+ * (cancellation), divisor use, comparison against literals,
+ * literal-only initialization, and loop-carried recurrences.
  *
  * Functions that are called but never declared are treated as
  * external (their arguments impose no constraints), matching the
  * paper's Listing 1 where `init` and `init_scalar` are unbound.
+ *
+ * Syntax errors are *recoverable*: parseProgram always returns a
+ * (possibly partial) model together with the list of diagnostics, so
+ * tools like mixp-lint can still report on the parts that parsed.
+ * parseProgramFile keeps the historical fatal-on-error contract for
+ * CLI compatibility.
  */
 
 #include <string>
+#include <vector>
 
 #include "model/program_model.h"
 
 namespace hpcmixp::typeforge::frontend {
 
+/** One recoverable syntax diagnostic with its source position. */
+struct ParseDiagnostic {
+    int line = 0;   ///< 1-based; 0 when no position is known
+    int column = 0; ///< 1-based; 0 when no position is known
+    std::string message;
+};
+
+/** Result of a tolerant parse: the model plus anything that went wrong. */
+struct ParseResult {
+    model::ProgramModel model;
+    std::vector<ParseDiagnostic> diagnostics;
+
+    /** True when the source parsed without any diagnostics. */
+    bool ok() const { return diagnostics.empty(); }
+};
+
 /**
  * Parse @p source (mini-C) into a ProgramModel named @p name.
- * fatal()s with line information on syntax errors.
+ * Never fatal()s on malformed input: syntax errors are reported in
+ * ParseResult::diagnostics (with line:column) and parsing resynchronizes
+ * at the next statement or top-level declaration, so the returned model
+ * covers everything that did parse.
  */
-model::ProgramModel parseProgram(const std::string& source,
-                                 const std::string& name);
+ParseResult parseProgram(const std::string& source,
+                         const std::string& name);
 
-/** Parse a source file; fatal()s if unreadable. */
+/**
+ * Parse a source file; fatal()s if unreadable or on the first syntax
+ * diagnostic (historical CLI-friendly behavior).
+ */
 model::ProgramModel parseProgramFile(const std::string& path);
 
 } // namespace hpcmixp::typeforge::frontend

@@ -31,6 +31,7 @@ struct Token {
     TokenKind kind = TokenKind::End;
     std::string text;
     int line = 0;
+    int column = 0; ///< 1-based column of the token's first character
 
     bool is(TokenKind k) const { return kind == k; }
     bool

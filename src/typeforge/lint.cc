@@ -1,0 +1,251 @@
+#include "typeforge/lint.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "typeforge/report.h"
+
+namespace hpcmixp::typeforge {
+
+using model::DataflowFact;
+using model::ProgramModel;
+using model::VarId;
+using support::strCat;
+
+const char*
+sensitivityName(Sensitivity s)
+{
+    switch (s) {
+    case Sensitivity::KeepDouble: return "keep-double";
+    case Sensitivity::SafeToNarrow: return "safe-to-narrow";
+    case Sensitivity::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+const char*
+lintSeverityName(LintSeverity s)
+{
+    switch (s) {
+    case LintSeverity::Info: return "info";
+    case LintSeverity::Warning: return "warning";
+    case LintSeverity::Critical: return "critical";
+    }
+    return "info";
+}
+
+const std::vector<LintRule>&
+lintRules()
+{
+    // Weights are calibrated so that a lone reduction accumulator
+    // (MP001, which in practice always carries MP003 too) clears
+    // kKeepDoubleScore on its own, while any single weak signal does
+    // not. MP006 is advisory: it strengthens the SafeToNarrow story
+    // without affecting the score.
+    static const std::vector<LintRule> kRules = {
+        {"MP001-accumulator", LintSeverity::Critical,
+         DataflowFact::Accumulator, 4,
+         "updated by accumulation inside a loop; narrowing compounds "
+         "rounding error across iterations"},
+        {"MP002-cancellation", LintSeverity::Warning,
+         DataflowFact::Cancellation, 2,
+         "operand of a floating-point subtraction; vulnerable to "
+         "catastrophic cancellation"},
+        {"MP003-loop-carried", LintSeverity::Warning,
+         DataflowFact::LoopCarried, 2,
+         "loop-carried recurrence; each iteration feeds rounding "
+         "error into the next"},
+        {"MP004-divisor", LintSeverity::Warning,
+         DataflowFact::Divisor, 1,
+         "used as a divisor; small absolute errors are amplified"},
+        {"MP005-branch-compare", LintSeverity::Info,
+         DataflowFact::BranchCompare, 1,
+         "compared against a constant; precision changes may flip "
+         "control flow"},
+        {"MP006-literal-init", LintSeverity::Info,
+         DataflowFact::LiteralInit, 0,
+         "only ever written from literals; exactly representable in "
+         "float if the literals are"},
+    };
+    return kRules;
+}
+
+std::size_t
+SensitivityReport::count(Sensitivity s) const
+{
+    std::size_t n = 0;
+    for (const auto& c : clusters)
+        if (c.sensitivity == s)
+            ++n;
+    return n;
+}
+
+namespace {
+
+std::string
+lintLocation(const ProgramModel& program, VarId var)
+{
+    const auto& v = program.variable(var);
+    std::string moduleName = v.module != model::kInvalidId
+                                 ? program.module(v.module).name
+                                 : std::string();
+    std::string functionName =
+        v.function != model::kInvalidId
+            ? program.function(v.function).name
+            : std::string();
+    return strCat(moduleName, ":", functionName, ":", v.name);
+}
+
+} // namespace
+
+SensitivityReport
+lint(const model::ProgramModel& program)
+{
+    return lint(program, analyze(program));
+}
+
+SensitivityReport
+lint(const model::ProgramModel& program, const ClusterSet& clusters)
+{
+    SensitivityReport report;
+    report.program = program.name();
+    report.analyzed = program.dataflowAnalyzed();
+
+    // Findings: every rule firing on every Real variable, ordered by
+    // VarId then catalog order (deterministic for golden files).
+    for (VarId var : program.realVariables()) {
+        for (const LintRule& rule : lintRules()) {
+            if (!program.hasFact(var, rule.fact))
+                continue;
+            LintFinding finding;
+            finding.ruleId = rule.id;
+            finding.severity = rule.severity;
+            finding.var = var;
+            finding.location = lintLocation(program, var);
+            finding.message = rule.summary;
+            report.findings.push_back(std::move(finding));
+        }
+    }
+
+    // Cluster verdicts: aggregate member scores.
+    for (std::size_t i = 0; i < clusters.clusterCount(); ++i) {
+        ClusterVerdict verdict;
+        verdict.cluster = i;
+        for (VarId var : clusters.members(i)) {
+            verdict.members.push_back(qualifiedName(program, var));
+            for (const LintRule& rule : lintRules()) {
+                if (!program.hasFact(var, rule.fact))
+                    continue;
+                verdict.score += rule.weight;
+                if (std::find(verdict.ruleIds.begin(),
+                              verdict.ruleIds.end(),
+                              rule.id) == verdict.ruleIds.end())
+                    verdict.ruleIds.push_back(rule.id);
+            }
+        }
+        if (verdict.score >= kKeepDoubleScore)
+            verdict.sensitivity = Sensitivity::KeepDouble;
+        else if (verdict.score == 0 && report.analyzed)
+            verdict.sensitivity = Sensitivity::SafeToNarrow;
+        else
+            verdict.sensitivity = Sensitivity::Unknown;
+        report.clusters.push_back(std::move(verdict));
+    }
+    return report;
+}
+
+void
+printLintReport(std::ostream& os, const SensitivityReport& report)
+{
+    os << "mixp-lint report for '" << report.program << "'\n";
+    os << "dataflow facts: "
+       << (report.analyzed ? "analyzed" : "unavailable") << "\n";
+    os << "findings: " << report.findings.size() << "\n";
+    for (const auto& finding : report.findings) {
+        os << "  [" << finding.ruleId << "] "
+           << lintSeverityName(finding.severity) << " "
+           << finding.location << " - " << finding.message << "\n";
+    }
+    os << "clusters: " << report.clusters.size() << " ("
+       << report.count(Sensitivity::KeepDouble) << " keep-double, "
+       << report.count(Sensitivity::SafeToNarrow)
+       << " safe-to-narrow, " << report.count(Sensitivity::Unknown)
+       << " unknown)\n";
+    for (const auto& verdict : report.clusters) {
+        os << "  cluster " << verdict.cluster << " ["
+           << sensitivityName(verdict.sensitivity) << ", score "
+           << verdict.score << "] {";
+        for (std::size_t i = 0; i < verdict.members.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << verdict.members[i];
+        }
+        os << "}";
+        if (!verdict.ruleIds.empty()) {
+            os << " rules: ";
+            for (std::size_t i = 0; i < verdict.ruleIds.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << verdict.ruleIds[i];
+            }
+        }
+        os << "\n";
+    }
+}
+
+support::json::Value
+lintReportToJson(const SensitivityReport& report)
+{
+    using support::json::Value;
+    Value root = Value::object();
+    root.set("program", Value::string(report.program));
+    root.set("analyzed", Value::boolean(report.analyzed));
+
+    Value findings = Value::array();
+    for (const auto& finding : report.findings) {
+        Value f = Value::object();
+        f.set("rule", Value::string(finding.ruleId));
+        f.set("severity",
+              Value::string(lintSeverityName(finding.severity)));
+        f.set("location", Value::string(finding.location));
+        f.set("message", Value::string(finding.message));
+        findings.push(std::move(f));
+    }
+    root.set("findings", std::move(findings));
+
+    Value clusters = Value::array();
+    for (const auto& verdict : report.clusters) {
+        Value c = Value::object();
+        c.set("index",
+              Value::number(static_cast<double>(verdict.cluster)));
+        c.set("sensitivity",
+              Value::string(sensitivityName(verdict.sensitivity)));
+        c.set("score",
+              Value::number(static_cast<double>(verdict.score)));
+        Value members = Value::array();
+        for (const auto& member : verdict.members)
+            members.push(Value::string(member));
+        c.set("members", std::move(members));
+        Value rules = Value::array();
+        for (const auto& id : verdict.ruleIds)
+            rules.push(Value::string(id));
+        c.set("rules", std::move(rules));
+        clusters.push(std::move(c));
+    }
+    root.set("clusters", std::move(clusters));
+
+    Value summary = Value::object();
+    summary.set("keep_double",
+                Value::number(static_cast<double>(
+                    report.count(Sensitivity::KeepDouble))));
+    summary.set("safe_to_narrow",
+                Value::number(static_cast<double>(
+                    report.count(Sensitivity::SafeToNarrow))));
+    summary.set("unknown",
+                Value::number(static_cast<double>(
+                    report.count(Sensitivity::Unknown))));
+    root.set("summary", std::move(summary));
+    return root;
+}
+
+} // namespace hpcmixp::typeforge

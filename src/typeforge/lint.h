@@ -1,0 +1,119 @@
+#ifndef HPCMIXP_TYPEFORGE_LINT_H_
+#define HPCMIXP_TYPEFORGE_LINT_H_
+
+/**
+ * @file
+ * mixp-lint: static precision-sensitivity analysis.
+ *
+ * The paper's pipeline is purely dynamic — Typeforge only partitions
+ * variables into type-compatible clusters, and every precision decision
+ * is discovered by running configurations. mixp-lint adds the static
+ * prior (DESIGN.md Section 11): a catalog of rules over the dataflow
+ * facts recorded on the ProgramModel (model::DataflowFact) scores every
+ * variable, clusters aggregate their members' scores, and each cluster
+ * is classified as
+ *
+ *  - KeepDouble:   strong numeric-sensitivity signals (reduction
+ *                  accumulators, cancellation + division chains) — the
+ *                  search should not waste evaluations lowering it;
+ *  - SafeToNarrow: analyzed and clean — a good first candidate for
+ *                  Float32;
+ *  - Unknown:      no dataflow facts available (unannotated model) or
+ *                  weak signals only.
+ *
+ * The verdicts feed search::StaticPrior, which prunes KeepDouble
+ * clusters out of the enumerated space and seeds search with the
+ * SafeToNarrow mask.
+ */
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/program_model.h"
+#include "support/json.h"
+#include "typeforge/clustering.h"
+
+namespace hpcmixp::typeforge {
+
+/** Cluster classification produced by the lint rules. */
+enum class Sensitivity {
+    KeepDouble,   ///< strong signals: pin to double during search
+    SafeToNarrow, ///< analyzed, no risk signals: narrow first
+    Unknown,      ///< unannotated model or weak signals only
+};
+
+/** Stable lowercase name ("keep-double", ...). */
+const char* sensitivityName(Sensitivity s);
+
+/** Severity of one lint rule. */
+enum class LintSeverity { Info, Warning, Critical };
+
+/** Stable lowercase name ("info", "warning", "critical"). */
+const char* lintSeverityName(LintSeverity s);
+
+/**
+ * One rule of the catalog: a dataflow fact, a stable id, and the
+ * weight it contributes to its cluster's sensitivity score.
+ */
+struct LintRule {
+    const char* id;            ///< stable id, e.g. "MP001-accumulator"
+    LintSeverity severity;
+    model::DataflowFact fact;  ///< the fact that triggers the rule
+    int weight;                ///< score contribution (0 = advisory)
+    const char* summary;       ///< one-line human description
+};
+
+/** The fixed rule catalog, in id order. */
+const std::vector<LintRule>& lintRules();
+
+/** Cluster score at or above which a cluster is KeepDouble. */
+inline constexpr int kKeepDoubleScore = 3;
+
+/** One rule firing on one variable. */
+struct LintFinding {
+    std::string ruleId;
+    LintSeverity severity = LintSeverity::Info;
+    model::VarId var = model::kInvalidId;
+    std::string location; ///< "module:function:variable"
+    std::string message;
+};
+
+/** Verdict for one Typeforge cluster. */
+struct ClusterVerdict {
+    std::size_t cluster = 0; ///< index into the ClusterSet
+    Sensitivity sensitivity = Sensitivity::Unknown;
+    int score = 0;
+    std::vector<std::string> members; ///< qualified names
+    std::vector<std::string> ruleIds; ///< rules firing in this cluster
+};
+
+/** Full lint result for one program. */
+struct SensitivityReport {
+    std::string program;
+    bool analyzed = false; ///< dataflow facts were available
+    std::vector<LintFinding> findings;
+    std::vector<ClusterVerdict> clusters;
+
+    /** Number of clusters with verdict @p s. */
+    std::size_t count(Sensitivity s) const;
+};
+
+/** Run the rules over @p program with a fresh clustering. */
+SensitivityReport lint(const model::ProgramModel& program);
+
+/** Run the rules against an existing clustering. */
+SensitivityReport lint(const model::ProgramModel& program,
+                       const ClusterSet& clusters);
+
+/** Render the fixed-format text report (golden-file stable). */
+void printLintReport(std::ostream& os,
+                     const SensitivityReport& report);
+
+/** Render the report as a JSON document. */
+support::json::Value lintReportToJson(const SensitivityReport& report);
+
+} // namespace hpcmixp::typeforge
+
+#endif // HPCMIXP_TYPEFORGE_LINT_H_

@@ -15,6 +15,7 @@
 
 #include "benchmarks/benchmark.h"
 #include "benchmarks/registry.h"
+#include "model/bind_keys.h"
 #include "support/logging.h"
 #include "typeforge/clustering.h"
 #include "verify/metrics.h"
@@ -199,6 +200,28 @@ TEST(Hotspot, SinglePrecisionErrorIsTiny)
     double loss = mae.compute(ref.values, low.values);
     // Dissipative iteration: rounding does not accumulate.
     EXPECT_LT(loss, 1e-6);
+}
+
+TEST(PrecisionMapTest, UndeclaredKeyWarnsOnceAndNamesTheOwner)
+{
+    // Ensure the "any key declared" gate is open even when this test
+    // runs before every model-building test.
+    hpcmixp::model::declareBindKey("pmwarn_declared");
+
+    PrecisionMap pm;
+    pm.setOwner("pmwarn-probe");
+    testing::internal::CaptureStderr();
+    (void)pm.get("pmwarn_typo");
+    (void)pm.get("pmwarn_typo"); // second query: already warned
+    (void)pm.get("pmwarn_declared"); // declared: never warns
+    std::string err = testing::internal::GetCapturedStderr();
+
+    EXPECT_NE(err.find("pmwarn_typo"), std::string::npos) << err;
+    EXPECT_NE(err.find("pmwarn-probe"), std::string::npos)
+        << "warning should name the owning benchmark: " << err;
+    EXPECT_EQ(err.find("pmwarn_typo"), err.rfind("pmwarn_typo"))
+        << "undeclared-key warning must fire once per key: " << err;
+    EXPECT_EQ(err.find("pmwarn_declared"), std::string::npos) << err;
 }
 
 } // namespace

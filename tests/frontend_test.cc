@@ -22,6 +22,19 @@ using namespace hpcmixp;
 using namespace hpcmixp::typeforge;
 using namespace hpcmixp::typeforge::frontend;
 
+/** Parse source that must be well-formed; returns just the model. */
+model::ProgramModel
+parseOk(const std::string& source, const std::string& name)
+{
+    ParseResult result = parseProgram(source, name);
+    EXPECT_TRUE(result.ok())
+        << "unexpected diagnostic: "
+        << (result.diagnostics.empty()
+                ? std::string("none")
+                : result.diagnostics.front().message);
+    return std::move(result.model);
+}
+
 // ---- lexer ------------------------------------------------------------
 
 TEST(Lexer, TokenizesIdentifiersNumbersPuncts)
@@ -95,7 +108,7 @@ void foo() {
 
 TEST(Frontend, Listing1PartitionsExactlyAsThePaper)
 {
-    model::ProgramModel m = parseProgram(kListing1, "listing1.c");
+    model::ProgramModel m = parseOk(kListing1, "listing1.c");
     ClusterSet set = analyze(m);
 
     EXPECT_EQ(set.variableCount(), 7u);
@@ -117,7 +130,7 @@ TEST(Frontend, Listing1PartitionsExactlyAsThePaper)
 
 TEST(Frontend, Listing1Structure)
 {
-    model::ProgramModel m = parseProgram(kListing1, "listing1.c");
+    model::ProgramModel m = parseOk(kListing1, "listing1.c");
     ASSERT_EQ(m.functions().size(), 2u);
     EXPECT_EQ(m.functions()[0].name, "vect_mult");
     EXPECT_EQ(m.functions()[1].name, "foo");
@@ -145,7 +158,7 @@ void foo(double **ptr, int elements) {
 
 TEST(Frontend, Listing2ParsesWithExternalCalls)
 {
-    model::ProgramModel m = parseProgram(kListing2, "listing2.c");
+    model::ProgramModel m = parseOk(kListing2, "listing2.c");
     // ptr, fd and performComputation's data parameter are Real.
     EXPECT_GE(m.realVariables().size(), 3u);
     // fopen/malloc/fread are external: no constraints recorded from
@@ -158,7 +171,7 @@ TEST(Frontend, Listing2ParsesWithExternalCalls)
 
 TEST(Frontend, PointerAssignmentUnifies)
 {
-    auto m = parseProgram("double *pool;\n"
+    auto m = parseOk("double *pool;\n"
                           "double *x;\n"
                           "double *y;\n"
                           "void setup(int n) {\n"
@@ -172,7 +185,7 @@ TEST(Frontend, PointerAssignmentUnifies)
 
 TEST(Frontend, ScalarAssignmentDoesNotUnify)
 {
-    auto m = parseProgram("void f() {\n"
+    auto m = parseOk("void f() {\n"
                           "    double a;\n"
                           "    double b = 1.0;\n"
                           "    a = b;\n"
@@ -184,7 +197,7 @@ TEST(Frontend, ScalarAssignmentDoesNotUnify)
 
 TEST(Frontend, ReturnValueFlowUnifiesPointers)
 {
-    auto m = parseProgram("double *buffer;\n"
+    auto m = parseOk("double *buffer;\n"
                           "double* get_buffer() { return buffer; }\n"
                           "void f() {\n"
                           "    double *local = get_buffer();\n"
@@ -198,7 +211,7 @@ TEST(Frontend, ReturnValueFlowUnifiesPointers)
 
 TEST(Frontend, AddressOfLocalIntoPointerVariable)
 {
-    auto m = parseProgram("void f() {\n"
+    auto m = parseOk("void f() {\n"
                           "    double v;\n"
                           "    double *p = &v;\n"
                           "}\n",
@@ -209,7 +222,7 @@ TEST(Frontend, AddressOfLocalIntoPointerVariable)
 
 TEST(Frontend, CallBindThroughPrototype)
 {
-    auto m = parseProgram("void kernel(double *data);\n"
+    auto m = parseOk("void kernel(double *data);\n"
                           "double *field;\n"
                           "void drive() { kernel(field); }\n",
                           "t.c");
@@ -220,7 +233,7 @@ TEST(Frontend, CallBindThroughPrototype)
 
 TEST(Frontend, IntegerVariablesAreNotTunable)
 {
-    auto m = parseProgram("int counter;\n"
+    auto m = parseOk("int counter;\n"
                           "unsigned long big;\n"
                           "double real_one;\n",
                           "t.c");
@@ -229,7 +242,7 @@ TEST(Frontend, IntegerVariablesAreNotTunable)
 
 TEST(Frontend, ControlFlowIsConsumed)
 {
-    auto m = parseProgram(
+    auto m = parseOk(
         "void f(int n) {\n"
         "    double acc = 0.0;\n"
         "    for (int i = 0; i < n; i++) {\n"
@@ -245,7 +258,7 @@ TEST(Frontend, ControlFlowIsConsumed)
 
 TEST(Frontend, PointerArithmeticKeepsRoot)
 {
-    auto m = parseProgram("double *base;\n"
+    auto m = parseOk("double *base;\n"
                           "void f(int off) {\n"
                           "    double *view = base + 2 * off;\n"
                           "}\n",
@@ -256,7 +269,7 @@ TEST(Frontend, PointerArithmeticKeepsRoot)
 
 TEST(Frontend, ElementAccessIsScalarLevel)
 {
-    auto m = parseProgram("double *a;\n"
+    auto m = parseOk("double *a;\n"
                           "double *b;\n"
                           "void f(int i) { a[i] = b[i]; }\n",
                           "t.c");
@@ -267,7 +280,7 @@ TEST(Frontend, ElementAccessIsScalarLevel)
 
 TEST(Frontend, AggregateInitializersAndSizeof)
 {
-    auto m = parseProgram(
+    auto m = parseOk(
         "double coef[3] = {0.1, 0.2, 0.3};\n"
         "void f() { int s = sizeof(double) + sizeof coef; }\n",
         "t.c");
@@ -276,7 +289,7 @@ TEST(Frontend, AggregateInitializersAndSizeof)
 
 TEST(Frontend, StaticGlobalsAndMultipleDeclarators)
 {
-    auto m = parseProgram("static double x[100], *y, z;\n", "t.c");
+    auto m = parseOk("static double x[100], *y, z;\n", "t.c");
     EXPECT_EQ(m.realVariables().size(), 3u);
     EXPECT_TRUE(
         m.variable(m.findVariable("x")).type.isPointer());
@@ -288,7 +301,7 @@ TEST(Frontend, StaticGlobalsAndMultipleDeclarators)
 
 TEST(Frontend, ShadowingUsesInnermostScope)
 {
-    auto m = parseProgram("double g;\n"
+    auto m = parseOk("double g;\n"
                           "void f() {\n"
                           "    double *g;\n"
                           "    double *h = g;\n" // binds to local g
@@ -302,28 +315,184 @@ TEST(Frontend, ShadowingUsesInnermostScope)
     EXPECT_EQ(set.clusterCount(), 2u);
 }
 
-TEST(Frontend, SyntaxErrorsAreFatalWithLineInfo)
+TEST(Frontend, SyntaxErrorsBecomeDiagnosticsWithPositions)
 {
-    try {
-        parseProgram("void f( {\n}", "bad.c");
-        FAIL() << "expected FatalError";
-    } catch (const support::FatalError& e) {
-        EXPECT_NE(std::string(e.what()).find("line"),
-                  std::string::npos);
-    }
-    EXPECT_THROW(parseProgram("double x", "bad.c"),
-                 support::FatalError);
-    EXPECT_THROW(parseProgram("void f() { return 1.0 }\n", "bad.c"),
-                 support::FatalError);
+    ParseResult bad = parseProgram("void f( {\n}", "bad.c");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_GE(bad.diagnostics.front().line, 1);
+    EXPECT_GE(bad.diagnostics.front().column, 1);
+
+    EXPECT_FALSE(parseProgram("double x", "bad.c").ok());
+    EXPECT_FALSE(
+        parseProgram("void f() { return 1.0 }\n", "bad.c").ok());
+
+    // The file entry point keeps the fatal contract.
     EXPECT_THROW(parseProgramFile("/no/such/file.c"),
                  support::FatalError);
+}
+
+TEST(Frontend, UnterminatedBlockIsRecoverable)
+{
+    ParseResult r = parseProgram("double g;\n"
+                                 "void f() {\n"
+                                 "    double a = 1.0;\n",
+                                 "bad.c");
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_NE(r.diagnostics[0].message.find("unterminated"),
+              std::string::npos);
+    // Everything before the missing '}' still landed in the model.
+    EXPECT_EQ(r.model.realVariables().size(), 2u);
+}
+
+TEST(Frontend, UnknownTypeIsRecoverable)
+{
+    ParseResult r = parseProgram("floatt x;\n"
+                                 "double y;\n",
+                                 "bad.c");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diagnostics[0].line, 1);
+    // Recovery resumes at the next declaration.
+    EXPECT_EQ(r.model.realVariables().size(), 1u);
+    EXPECT_EQ(r.model.variable(r.model.findVariable("y")).name, "y");
+}
+
+TEST(Frontend, BadCallArityIsDiagnosed)
+{
+    ParseResult r = parseProgram(
+        "void scale(double *v, double s) {}\n"
+        "double *data;\n"
+        "void f() { scale(data); }\n",
+        "bad.c");
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].line, 3);
+    EXPECT_NE(r.diagnostics[0].message.find("expected 2"),
+              std::string::npos);
+    // The binding of the arguments that were passed still happens.
+    ClusterSet set = analyze(r.model);
+    EXPECT_EQ(set.clusterOf(r.model.findVariable("data")),
+              set.clusterOf(r.model.findVariable("v")));
+}
+
+TEST(Frontend, BadStatementRecoversWithinFunction)
+{
+    ParseResult r = parseProgram("void f() {\n"
+                                 "    double a = 1.0;\n"
+                                 "    a = = 2.0;\n"
+                                 "    double b = 3.0;\n"
+                                 "}\n"
+                                 "double tail;\n",
+                                 "bad.c");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diagnostics[0].line, 3);
+    // a, b, and the trailing global all survive the bad statement.
+    EXPECT_EQ(r.model.realVariables().size(), 3u);
+}
+
+TEST(Frontend, LexicalErrorsBecomeDiagnostics)
+{
+    EXPECT_FALSE(parseProgram("/* unterminated", "bad.c").ok());
+    EXPECT_FALSE(parseProgram("a $ b", "bad.c").ok());
+}
+
+// ---- dataflow fact inference -------------------------------------------
+
+TEST(Frontend, InfersAccumulatorAndLoopCarried)
+{
+    auto m = parseOk(kListing1, "listing1.c");
+    auto res = m.findVariable("vect_mult", "res");
+    EXPECT_TRUE(m.hasFact(res, model::DataflowFact::Accumulator));
+    EXPECT_TRUE(m.hasFact(res, model::DataflowFact::LoopCarried));
+    EXPECT_TRUE(m.dataflowAnalyzed());
+    // ratio is read-only inside the loop: not an accumulator.
+    auto ratio = m.findVariable("vect_mult", "ratio");
+    EXPECT_FALSE(m.hasFact(ratio, model::DataflowFact::Accumulator));
+}
+
+TEST(Frontend, InfersExplicitSelfRecurrence)
+{
+    auto m = parseOk("void f(int n) {\n"
+                     "    double s = 0.0;\n"
+                     "    double t = 1.0;\n"
+                     "    for (int i = 0; i < n; i++) {\n"
+                     "        s = s + t;\n"
+                     "        t = t * 0.5;\n"
+                     "    }\n"
+                     "}\n",
+                     "t.c");
+    auto s = m.findVariable("f", "s");
+    auto t = m.findVariable("f", "t");
+    EXPECT_TRUE(m.hasFact(s, model::DataflowFact::Accumulator));
+    EXPECT_TRUE(m.hasFact(s, model::DataflowFact::LoopCarried));
+    // t feeds itself multiplicatively: loop-carried, not accumulator.
+    EXPECT_FALSE(m.hasFact(t, model::DataflowFact::Accumulator));
+    EXPECT_TRUE(m.hasFact(t, model::DataflowFact::LoopCarried));
+}
+
+TEST(Frontend, InfersCancellationAndDivisor)
+{
+    auto m = parseOk("double num;\n"
+                     "double den;\n"
+                     "double *field;\n"
+                     "void f(int i) {\n"
+                     "    double d = num - field[i];\n"
+                     "    double q = d / den;\n"
+                     "}\n",
+                     "t.c");
+    EXPECT_TRUE(m.hasFact(m.findVariable("num"),
+                          model::DataflowFact::Cancellation));
+    EXPECT_TRUE(m.hasFact(m.findVariable("field"),
+                          model::DataflowFact::Cancellation));
+    EXPECT_TRUE(m.hasFact(m.findVariable("den"),
+                          model::DataflowFact::Divisor));
+    EXPECT_FALSE(m.hasFact(m.findVariable("f", "q"),
+                           model::DataflowFact::Divisor));
+}
+
+TEST(Frontend, InfersBranchCompareAndLiteralInit)
+{
+    auto m = parseOk("void f(double tol) {\n"
+                     "    double eps = 1.0e-9;\n"
+                     "    double x = init_scalar();\n"
+                     "    if (tol < 0.5) { x = 1.0; }\n"
+                     "}\n",
+                     "t.c");
+    EXPECT_TRUE(m.hasFact(m.findVariable("f", "tol"),
+                          model::DataflowFact::BranchCompare));
+    EXPECT_TRUE(m.hasFact(m.findVariable("f", "eps"),
+                          model::DataflowFact::LiteralInit));
+    // x is written from a call, so not literal-only.
+    EXPECT_FALSE(m.hasFact(m.findVariable("f", "x"),
+                           model::DataflowFact::LiteralInit));
+}
+
+TEST(Frontend, AddressTakenVariablesAreNotLiteralInit)
+{
+    auto m = parseOk("void f() {\n"
+                     "    double v = 0.0;\n"
+                     "    init_scalar(&v);\n"
+                     "}\n",
+                     "t.c");
+    EXPECT_FALSE(m.hasFact(m.findVariable("f", "v"),
+                           model::DataflowFact::LiteralInit));
+}
+
+TEST(Frontend, ArrayElementUpdatesAreNotAccumulators)
+{
+    auto m = parseOk("void f(double *out, double *in, int n) {\n"
+                     "    for (int i = 0; i < n; i++) {\n"
+                     "        out[i] += in[i];\n"
+                     "    }\n"
+                     "}\n",
+                     "t.c");
+    EXPECT_FALSE(m.hasFact(m.findVariable("f", "out"),
+                           model::DataflowFact::Accumulator));
 }
 
 TEST(Frontend, FrontendModelMatchesBuilderModelOnListing1)
 {
     // The frontend-derived model and a hand-built model must agree on
     // the partitioning (cross-validation of both construction paths).
-    model::ProgramModel parsed = parseProgram(kListing1, "x.c");
+    model::ProgramModel parsed = parseOk(kListing1, "x.c");
 
     model::ProgramModel built("x.c");
     auto mod = built.addModule("x.c");

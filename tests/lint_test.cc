@@ -1,0 +1,250 @@
+/**
+ * @file
+ * mixp-lint rule engine: classification thresholds, the acceptance
+ * clusters of the annotated benchmarks, and golden-file stability of
+ * the text and JSON renderers over Listing 1 and every built-in
+ * benchmark model.
+ *
+ * Regenerate the golden files after an intentional format change with
+ *   HPCMIXP_REGEN_GOLDEN=1 ctest -R LintGolden
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "typeforge/frontend/parser.h"
+#include "typeforge/lint.h"
+
+namespace {
+
+using namespace hpcmixp;
+using model::DataflowFact;
+using typeforge::Sensitivity;
+
+const char* kListing1 = R"(
+void vect_mult(int n, double *input, double *inout, double ratio) {
+    double res;
+    for (int i = 0; i < n; i++) {
+        res += ratio * input[i];
+    }
+    *inout += res;
+}
+
+void foo() {
+    double arr[10];
+    init(10, arr);
+    double val = init_scalar();
+    double scale = init_scalar();
+    vect_mult(10, arr, &val, scale);
+}
+)";
+
+/** A two-variable model with no facts; callers add the facts. */
+struct TwoScalarModel {
+    model::ProgramModel m{"probe"};
+    model::VarId a;
+    model::VarId b;
+
+    TwoScalarModel()
+    {
+        model::ModuleId mod = m.addModule("probe.c");
+        model::FunctionId f = m.addFunction(mod, "f");
+        a = m.addVariable(f, "a", model::realScalar());
+        b = m.addVariable(f, "b", model::realScalar());
+    }
+};
+
+const typeforge::ClusterVerdict&
+verdictOf(const typeforge::SensitivityReport& report,
+          const std::string& memberSubstring)
+{
+    for (const auto& cv : report.clusters)
+        for (const std::string& member : cv.members)
+            if (member.find(memberSubstring) != std::string::npos)
+                return cv;
+    ADD_FAILURE() << "no cluster with member " << memberSubstring;
+    static typeforge::ClusterVerdict none;
+    return none;
+}
+
+TEST(Lint, RuleCatalogHasUniqueIdsAndCoversEveryFact)
+{
+    const auto& rules = typeforge::lintRules();
+    ASSERT_EQ(rules.size(), std::size(model::kAllDataflowFacts));
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        for (std::size_t j = i + 1; j < rules.size(); ++j) {
+            EXPECT_STRNE(rules[i].id, rules[j].id);
+            EXPECT_NE(rules[i].fact, rules[j].fact);
+        }
+    }
+}
+
+TEST(Lint, UnanalyzedModelIsAllUnknown)
+{
+    TwoScalarModel probe;
+    auto report = typeforge::lint(probe.m);
+    EXPECT_FALSE(report.analyzed);
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.count(Sensitivity::Unknown),
+              report.clusters.size());
+}
+
+TEST(Lint, AccumulatorCrossesTheKeepDoubleThreshold)
+{
+    TwoScalarModel probe;
+    probe.m.markFact(probe.a, DataflowFact::Accumulator);
+    auto report = typeforge::lint(probe.m);
+    EXPECT_TRUE(report.analyzed);
+    const auto& risky = verdictOf(report, "::a");
+    EXPECT_EQ(risky.sensitivity, Sensitivity::KeepDouble);
+    EXPECT_GE(risky.score, typeforge::kKeepDoubleScore);
+    // The clean variable in the analyzed model narrows safely.
+    EXPECT_EQ(verdictOf(report, "::b").sensitivity,
+              Sensitivity::SafeToNarrow);
+}
+
+TEST(Lint, WeakSignalsStayUnknown)
+{
+    // A lone cancellation (weight 2) is below the pin threshold:
+    // worth a warning, not worth excluding from the search.
+    TwoScalarModel probe;
+    probe.m.markFact(probe.a, DataflowFact::Cancellation);
+    auto report = typeforge::lint(probe.m);
+    const auto& cv = verdictOf(report, "::a");
+    EXPECT_EQ(cv.sensitivity, Sensitivity::Unknown);
+    EXPECT_LT(cv.score, typeforge::kKeepDoubleScore);
+    EXPECT_EQ(cv.ruleIds.size(), 1u);
+}
+
+TEST(Lint, ClusterAggregatesMemberScores)
+{
+    // Two weak members in one cluster cross the threshold together.
+    model::ProgramModel m("probe");
+    model::ModuleId mod = m.addModule("probe.c");
+    model::FunctionId f = m.addFunction(mod, "f");
+    model::VarId a = m.addVariable(f, "a", model::realScalar());
+    model::VarId b = m.addVariable(f, "b", model::realScalar());
+    m.addSameType(a, b);
+    m.markFact(a, DataflowFact::Cancellation);
+    m.markFact(b, DataflowFact::LoopCarried);
+    auto report = typeforge::lint(m);
+    const auto& cv = verdictOf(report, "::a");
+    EXPECT_EQ(cv.sensitivity, Sensitivity::KeepDouble);
+    EXPECT_EQ(cv.score, 4);
+    EXPECT_EQ(cv.members.size(), 2u);
+    EXPECT_EQ(cv.ruleIds.size(), 2u);
+}
+
+TEST(Lint, Listing1FlagsTheAccumulatorChain)
+{
+    auto parsed =
+        typeforge::frontend::parseProgram(kListing1, "listing1");
+    ASSERT_TRUE(parsed.ok());
+    auto report = typeforge::lint(parsed.model);
+    EXPECT_TRUE(report.analyzed);
+    // res accumulates inside the loop; *inout += res happens once per
+    // call, so inout stays narrowable along with everything else.
+    EXPECT_EQ(verdictOf(report, "vect_mult::res").sensitivity,
+              Sensitivity::KeepDouble);
+    EXPECT_EQ(report.count(Sensitivity::KeepDouble), 1u);
+    EXPECT_EQ(verdictOf(report, "vect_mult::inout").sensitivity,
+              Sensitivity::SafeToNarrow);
+    EXPECT_EQ(verdictOf(report, "foo::scale").sensitivity,
+              Sensitivity::SafeToNarrow);
+}
+
+// Acceptance: the known accumulator clusters of the annotated
+// benchmarks are pinned, and nothing else is.
+TEST(Lint, InnerprodAccumulatorIsKeepDouble)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("innerprod");
+    auto report = typeforge::lint(bench->programModel());
+    EXPECT_TRUE(report.analyzed);
+    EXPECT_EQ(verdictOf(report, "::q").sensitivity,
+              Sensitivity::KeepDouble);
+    EXPECT_EQ(report.count(Sensitivity::KeepDouble), 1u);
+    EXPECT_EQ(report.count(Sensitivity::SafeToNarrow), 2u);
+}
+
+TEST(Lint, HpccgScalarsClusterIsKeepDouble)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("hpccg");
+    auto report = typeforge::lint(bench->programModel());
+    EXPECT_TRUE(report.analyzed);
+    const auto& scalars = verdictOf(report, "ddot::result");
+    EXPECT_EQ(scalars.sensitivity, Sensitivity::KeepDouble);
+    // result, sum and rtrans share the cluster via same-type edges.
+    EXPECT_EQ(scalars.members.size(), 3u);
+    EXPECT_EQ(report.count(Sensitivity::KeepDouble), 1u);
+    // The CG vectors and the matrix stay available to the search.
+    EXPECT_EQ(verdictOf(report, "main::x").sensitivity,
+              Sensitivity::SafeToNarrow);
+    EXPECT_EQ(verdictOf(report, "main::A_values").sensitivity,
+              Sensitivity::SafeToNarrow);
+}
+
+// ---- golden files ------------------------------------------------------
+
+std::string
+goldenPath(const std::string& name)
+{
+    return std::string(HPCMIXP_GOLDEN_DIR) + "/lint/" + name;
+}
+
+void
+compareOrRegen(const std::string& file, const std::string& actual)
+{
+    std::string path = goldenPath(file);
+    if (std::getenv("HPCMIXP_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with HPCMIXP_REGEN_GOLDEN=1)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str()) << "golden mismatch: " << path;
+}
+
+std::string
+renderText(const typeforge::SensitivityReport& report)
+{
+    std::ostringstream os;
+    typeforge::printLintReport(os, report);
+    return os.str();
+}
+
+TEST(LintGolden, Listing1TextAndJson)
+{
+    auto parsed =
+        typeforge::frontend::parseProgram(kListing1, "listing1");
+    ASSERT_TRUE(parsed.ok());
+    auto report = typeforge::lint(parsed.model);
+    compareOrRegen("listing1.txt", renderText(report));
+    compareOrRegen("listing1.json",
+                   typeforge::lintReportToJson(report).dump(2) + "\n");
+}
+
+TEST(LintGolden, EveryBenchmarkModelTextAndJson)
+{
+    auto& registry = benchmarks::BenchmarkRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        auto bench = registry.create(name);
+        auto report = typeforge::lint(bench->programModel());
+        compareOrRegen(name + ".txt", renderText(report));
+        compareOrRegen(
+            name + ".json",
+            typeforge::lintReportToJson(report).dump(2) + "\n");
+    }
+}
+
+} // namespace

@@ -125,7 +125,8 @@ TEST_P(SourceMirrorTest, FrontendClustersMatchBuilderClusters)
     auto builderClusters = analyze(bench->programModel());
 
     auto parsed = parseProgram(mirror.source, mirror.benchmark);
-    auto parsedClusters = analyze(parsed);
+    ASSERT_TRUE(parsed.ok());
+    auto parsedClusters = analyze(parsed.model);
 
     EXPECT_EQ(parsedClusters.clusterCount(),
               builderClusters.clusterCount())
@@ -158,8 +159,8 @@ void kernel6(double *pw, double *pb) {
 }
 void main_driver() { kernel6(w, b); }
 )";
-    auto a = analyze(parseProgram(kMirrors[6].source, "bare"));
-    auto b = analyze(parseProgram(withAcc, "with-acc"));
+    auto a = analyze(parseProgram(kMirrors[6].source, "bare").model);
+    auto b = analyze(parseProgram(withAcc, "with-acc").model);
     EXPECT_EQ(b.clusterCount(), a.clusterCount() + 1);
     EXPECT_EQ(b.variableCount(), a.variableCount() + 1);
 }
@@ -182,9 +183,10 @@ void main_driver() {
 }
 )";
     auto parsed = parseProgram(source, "hotspot-mirror");
+    ASSERT_TRUE(parsed.ok());
     auto bench =
         benchmarks::BenchmarkRegistry::instance().create("hotspot");
-    EXPECT_EQ(analyze(parsed).clusterCount(),
+    EXPECT_EQ(analyze(parsed.model).clusterCount(),
               analyze(bench->programModel()).clusterCount());
 }
 
@@ -201,9 +203,10 @@ void main_driver() {
 }
 )";
     auto parsed = parseProgram(source, "lavamd-mirror");
+    ASSERT_TRUE(parsed.ok());
     auto bench =
         benchmarks::BenchmarkRegistry::instance().create("lavamd");
-    EXPECT_EQ(analyze(parsed).clusterCount(),
+    EXPECT_EQ(analyze(parsed.model).clusterCount(),
               analyze(bench->programModel()).clusterCount());
 }
 
