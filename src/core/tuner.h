@@ -25,6 +25,8 @@
 #include "benchmarks/benchmark.h"
 #include "search/driver.h"
 #include "search/fault.h"
+#include "search/memo_store.h"
+#include "search/portfolio.h"
 #include "search/problem.h"
 #include "typeforge/clustering.h"
 #include "verify/comparator.h"
@@ -63,6 +65,14 @@ struct TunerOptions {
     /** mixp-lint static prior mode (harness --static-prior). Off
      *  reproduces the uninstrumented trajectories bit-for-bit. */
     search::PriorMode staticPrior = search::PriorMode::Off;
+
+    /**
+     * Persistent cross-run memo-cache (harness --memo-cache). When
+     * set, every search consults the benchmark-fingerprinted table
+     * before executing a configuration and publishes what it ran;
+     * null keeps evaluation purely in-process.
+     */
+    std::shared_ptr<search::MemoStore> memoStore;
 };
 
 /** Per-search run options (resilience + checkpoint wiring) derived
@@ -75,6 +85,33 @@ struct TuneOutcome {
     search::Config clusterConfig;   ///< winner at cluster granularity
     double finalSpeedup = 1.0;      ///< 10-run protocol measurement
     double finalQualityLoss = 0.0;  ///< loss of the winner
+};
+
+/**
+ * Result of racing several strategies against the shared memo store.
+ *
+ * `portfolio.winner` is the in-race winner under the deterministic
+ * portfolio rule, judged on speedups measured *while* the entrants
+ * contend for the machine. `winnerCode`/`clusterConfig` may differ:
+ * they are picked by re-measuring every improving entrant's best
+ * configuration — plus the top passing entries of the shared
+ * cluster-level memo table, which catch optima an entrant executed
+ * but misranked under contention — with the serial final protocol,
+ * the authoritative comparison. `winnerCode` is "pool" when the
+ * returned configuration came from the shared table rather than any
+ * entrant's pick.
+ */
+struct PortfolioOutcome {
+    search::PortfolioResult portfolio; ///< per-strategy results + winner
+    std::string winnerCode;            ///< strategy code of the winner
+    search::Config clusterConfig;      ///< winner at cluster granularity
+    double finalSpeedup = 1.0;         ///< 10-run protocol measurement
+    double finalQualityLoss = 0.0;     ///< loss of the winner
+
+    /// Portfolio-wide accounting, summed over entrants.
+    std::size_t totalEvaluated = 0;
+    std::size_t totalCacheHits = 0;
+    std::size_t totalMemoHits = 0;
 };
 
 /** Drives mixed-precision tuning of one benchmark. */
@@ -121,6 +158,37 @@ class BenchmarkTuner {
     /** As above for an externally configured strategy instance. */
     TuneOutcome tune(search::SearchStrategy& strategy);
 
+    /**
+     * Race @p strategyCodes (empty = all registered strategies)
+     * concurrently against the shared memo store and re-time the
+     * deterministic winner with the final protocol. Without a memo
+     * store the entrants still race, just without cross-strategy
+     * deduplication.
+     */
+    PortfolioOutcome
+    tunePortfolio(const std::vector<std::string>& strategyCodes = {},
+                  search::PortfolioMode mode =
+                      search::PortfolioMode::Best,
+                  std::size_t workers = 0);
+
+    /**
+     * The evaluation-function fingerprint of this tuner at one search
+     * granularity: benchmark name, input signature (hash of the
+     * baseline reference output), metric, threshold, site count and
+     * precision ladder. Addresses the memo-cache and stamps
+     * checkpoints.
+     */
+    search::MemoFingerprint
+    fingerprint(search::Granularity granularity) const;
+
+    /**
+     * Search-run wiring for one granularity: resilience, checkpoint,
+     * parallelism (searchRunOptions) plus the static prior and, when
+     * a memo store is configured, the fingerprinted memo table.
+     */
+    search::SearchRunOptions
+    runOptionsFor(search::Granularity granularity);
+
     /** Evaluate one cluster configuration with @p reps timing reps. */
     search::Evaluation evaluateClusterConfig(const search::Config& cfg,
                                              std::size_t reps);
@@ -152,6 +220,13 @@ class BenchmarkTuner {
     void setStaticPriorMode(search::PriorMode mode)
     {
         options_.staticPrior = mode;
+    }
+
+    /** Swap the memo store between tune() calls, so one tuner (one
+     *  baseline) can A/B cold and warm campaigns. Null detaches. */
+    void setMemoStore(std::shared_ptr<search::MemoStore> store)
+    {
+        options_.memoStore = std::move(store);
     }
 
     /** Reduce a variable-level config to its cluster-level equivalent

@@ -55,6 +55,7 @@ fillSearchCounters(AnalysisResult& result,
     result.evaluated = searchResult.evaluated;
     result.compileFailures = searchResult.compileFailures;
     result.cacheHits = searchResult.cacheHits;
+    result.memoHits = searchResult.memoHits;
     result.retries = searchResult.retries;
     result.deadlineMisses = searchResult.deadlineMisses;
     result.quarantined = searchResult.quarantined;
@@ -151,6 +152,63 @@ PrecimoniousAnalysis::analyze(const benchmarks::Benchmark& benchmark,
     return result;
 }
 
+AnalysisResult
+PortfolioAnalysis::analyze(const benchmarks::Benchmark& benchmark,
+                           const core::TunerOptions& options,
+                           const ExtraArgs& args)
+{
+    std::vector<std::string> codes;
+    if (auto it = args.find("strategies"); it != args.end()) {
+        for (const std::string& spelling :
+             support::split(it->second, ','))
+            codes.push_back(
+                FloatsmithAnalysis::algorithmCode(spelling));
+    }
+
+    search::PortfolioMode mode = search::PortfolioMode::Best;
+    if (auto it = args.find("mode"); it != args.end()) {
+        std::string m = toLower(it->second);
+        if (m == "race")
+            mode = search::PortfolioMode::Race;
+        else if (m != "best")
+            fatal(strCat("portfolio: unknown mode '", it->second,
+                         "' (expected best or race)"));
+    }
+    std::size_t workers = 0; // 0 = one worker per entrant
+    if (auto it = args.find("workers"); it != args.end()) {
+        long v = support::parseLong(it->second, "workers");
+        if (v < 0)
+            fatal("portfolio: 'workers' must be non-negative");
+        workers = static_cast<std::size_t>(v);
+    }
+
+    core::BenchmarkTuner tuner(benchmark, options);
+    core::PortfolioOutcome outcome =
+        tuner.tunePortfolio(codes, mode, workers);
+    const search::SearchResult& winner =
+        outcome.portfolio.results[outcome.portfolio.winner];
+
+    AnalysisResult result;
+    result.analysis = name();
+    result.detail = strCat("winner:", outcome.winnerCode);
+    result.speedup = outcome.finalSpeedup;
+    result.qualityLoss = outcome.finalQualityLoss;
+    // Portfolio-wide accounting; the per-entrant breakdown lives in
+    // the portfolio result, the table shows the campaign totals.
+    result.evaluated = outcome.totalEvaluated;
+    result.cacheHits = outcome.totalCacheHits;
+    result.memoHits = outcome.totalMemoHits;
+    for (const auto& entrant : outcome.portfolio.results) {
+        result.compileFailures += entrant.compileFailures;
+        result.retries += entrant.retries;
+        result.deadlineMisses += entrant.deadlineMisses;
+        result.quarantined += entrant.quarantined;
+    }
+    result.timedOut = winner.timedOut;
+    result.configuration = outcome.clusterConfig.toString();
+    return result;
+}
+
 AnalysisRegistry::AnalysisRegistry()
 {
     add("floatsmith",
@@ -159,6 +217,8 @@ AnalysisRegistry::AnalysisRegistry()
         [] { return std::make_unique<SinglePrecisionAnalysis>(); });
     add("precimonious",
         [] { return std::make_unique<PrecimoniousAnalysis>(); });
+    add("portfolio",
+        [] { return std::make_unique<PortfolioAnalysis>(); });
 }
 
 AnalysisRegistry&

@@ -38,7 +38,8 @@ struct AnalysisResult {
     double qualityLoss = 0.0;    ///< final quality loss
     std::size_t evaluated = 0;   ///< configurations executed
     std::size_t compileFailures = 0;
-    std::size_t cacheHits = 0;   ///< repeat/checkpoint-restored queries
+    std::size_t cacheHits = 0;   ///< in-run repeat queries
+    std::size_t memoHits = 0;    ///< cross-run memo-cache hits
     std::size_t retries = 0;     ///< transient-failure re-attempts
     std::size_t deadlineMisses = 0; ///< attempts discarded as stragglers
     std::size_t quarantined = 0; ///< configs failed after retries
@@ -93,6 +94,21 @@ class SinglePrecisionAnalysis : public Analysis {
 class PrecimoniousAnalysis : public Analysis {
   public:
     std::string name() const override { return "precimonious"; }
+    AnalysisResult analyze(const benchmarks::Benchmark& benchmark,
+                           const core::TunerOptions& options,
+                           const ExtraArgs& args) override;
+};
+
+/**
+ * Portfolio analysis: race several strategies (default: all six)
+ * concurrently against the shared memo store and report the
+ * deterministic winner. Extra args: `strategies` (comma-separated
+ * codes), `mode` (`best` or `race`), `workers` (thread count,
+ * 0 = one per entrant).
+ */
+class PortfolioAnalysis : public Analysis {
+  public:
+    std::string name() const override { return "portfolio"; }
     AnalysisResult analyze(const benchmarks::Benchmark& benchmark,
                            const core::TunerOptions& options,
                            const ExtraArgs& args) override;

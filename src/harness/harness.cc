@@ -103,6 +103,8 @@ analysisResultToJson(const AnalysisResult& r)
           Value::number(static_cast<double>(r.compileFailures)));
     v.set("cache_hits",
           Value::number(static_cast<double>(r.cacheHits)));
+    v.set("memo_hits",
+          Value::number(static_cast<double>(r.memoHits)));
     v.set("retries", Value::number(static_cast<double>(r.retries)));
     v.set("deadline_misses",
           Value::number(static_cast<double>(r.deadlineMisses)));
@@ -131,6 +133,7 @@ analysisResultFromJson(const Value& v)
     r.evaluated = count("evaluated");
     r.compileFailures = count("compile_failures");
     r.cacheHits = count("cache_hits");
+    r.memoHits = count("memo_hits");
     r.retries = count("retries");
     r.deadlineMisses = count("deadline_misses");
     r.quarantined = count("quarantined");
@@ -318,6 +321,13 @@ runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& opts)
         options.tuner.searchJobs = clamped;
     }
 
+    // One store for the whole campaign: jobs sharing a benchmark and
+    // threshold share a table, everything else just shares the
+    // directory.
+    if (!options.memoCacheDir.empty())
+        options.tuner.memoStore =
+            std::make_shared<search::MemoStore>(options.memoCacheDir);
+
     ResumeState resume;
     if (!options.resumePath.empty())
         resume = loadResume(options.resumePath);
@@ -328,7 +338,14 @@ runJobs(const std::vector<JobSpec>& jobs, const HarnessOptions& opts)
             options.checkpointPath);
 
     auto runOne = [&](std::size_t i) {
-        const JobSpec& spec = jobs[i];
+        JobSpec spec = jobs[i];
+        // --portfolio swaps the configured analysis for the racing
+        // portfolio; the key follows so checkpoints of the two setups
+        // never alias.
+        if (options.portfolio) {
+            spec.analysis = "portfolio";
+            spec.extraArgs["mode"] = options.portfolioMode;
+        }
         std::string key = jobKey(spec, i);
 
         if (auto it = resume.completed.find(key);
@@ -407,6 +424,9 @@ resultsToJson(const std::vector<JobResult>& results)
         entry.set("cache_hits",
                   Value::number(
                       static_cast<double>(r.result.cacheHits)));
+        entry.set("memo_hits",
+                  Value::number(
+                      static_cast<double>(r.result.memoHits)));
         entry.set("retries",
                   Value::number(
                       static_cast<double>(r.result.retries)));
@@ -429,12 +449,13 @@ void
 printResults(std::ostream& os, const std::vector<JobResult>& results)
 {
     support::Table table({"benchmark", "analysis", "algorithm",
-                          "speedup", "quality", "EV", "retries",
-                          "status"});
+                          "speedup", "quality", "EV", "cache", "memo",
+                          "retries", "status"});
     for (const auto& r : results) {
         if (!r.error.empty()) {
             table.addRow({r.spec.benchmark, r.spec.analysis, "-", "-",
-                          "-", "-", "-", strCat("error: ", r.error)});
+                          "-", "-", "-", "-", "-",
+                          strCat("error: ", r.error)});
             continue;
         }
         const char* status = r.result.timedOut ? "timeout"
@@ -446,6 +467,10 @@ printResults(std::ostream& os, const std::vector<JobResult>& results)
                       support::Table::cellSci(r.result.qualityLoss),
                       support::Table::cell(
                           static_cast<long>(r.result.evaluated)),
+                      support::Table::cell(
+                          static_cast<long>(r.result.cacheHits)),
+                      support::Table::cell(
+                          static_cast<long>(r.result.memoHits)),
                       support::Table::cell(
                           static_cast<long>(r.result.retries)),
                       status});

@@ -65,6 +65,22 @@ struct HarnessOptions {
 
     /** Executed configurations between search-cache snapshots. */
     std::size_t checkpointEvery = 8;
+
+    /**
+     * Directory of the persistent cross-run memo-cache (--memo-cache).
+     * Every job consults the benchmark-fingerprinted table before
+     * executing a configuration and publishes what it ran, so a
+     * repeated campaign re-executes nothing. Empty disables it.
+     */
+    std::string memoCacheDir;
+
+    /** Run every job through the portfolio analysis (--portfolio),
+     *  racing the strategies against the shared memo store instead of
+     *  the analysis the configuration names. */
+    bool portfolio = false;
+
+    /** Portfolio finisher policy: "best" or "race". */
+    std::string portfolioMode = "best";
 };
 
 /** One completed job. */

@@ -7,6 +7,8 @@
  *                     [--budget E] [--seed S] [--retries N]
  *                     [--deadline S] [--fault-rate P]
  *                     [--checkpoint F] [--resume F]
+ *                     [--memo-cache DIR] [--portfolio]
+ *                     [--portfolio-mode best|race]
  *                     [--static-prior on|off|strict] [--verbose]
  *
  * Reads a Listing-4-style YAML configuration, runs every declared
@@ -58,6 +60,12 @@ main(int argc, char** argv)
                "  --checkpoint  write campaign progress to this file\n"
                "  --resume      restore an interrupted campaign from"
                " this file\n"
+               "  --memo-cache  persistent cross-run evaluation cache"
+               " directory\n"
+               "  --portfolio   race all strategies per benchmark"
+               " instead of the configured analysis\n"
+               "  --portfolio-mode  best (run all to budget) or race"
+               " (first finisher cancels the rest)\n"
                "  --static-prior  mixp-lint search prior: on, off or"
                " strict (default off)\n"
                "  --json        write a JSON report to this file\n";
@@ -104,6 +112,11 @@ main(int argc, char** argv)
 
         options.tuner.staticPrior = search::parsePriorMode(
             cl.getString("static-prior", "off"));
+
+        options.memoCacheDir = cl.getString("memo-cache", "");
+        options.portfolio = cl.getBool("portfolio", false);
+        options.portfolioMode =
+            cl.getString("portfolio-mode", "best");
 
         options.checkpointPath = cl.getString("checkpoint", "");
         options.resumePath = cl.getString("resume", "");

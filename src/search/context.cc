@@ -54,6 +54,30 @@ SearchContext::prior() const
 }
 
 void
+SearchContext::setMemo(std::shared_ptr<MemoTable> memo)
+{
+    HPCMIXP_ASSERT(!memo ||
+                       memo->fingerprint().sites ==
+                           problem_.siteCount(),
+                   "memo table site count does not match problem");
+    memo_ = std::move(memo);
+}
+
+void
+SearchContext::setFingerprint(MemoFingerprint fingerprint)
+{
+    fingerprint_ = std::move(fingerprint);
+}
+
+void
+SearchContext::setCancelFlag(
+    std::shared_ptr<const std::atomic<bool>> flag)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancel_ = std::move(flag);
+}
+
+void
 SearchContext::setCheckpointHook(std::size_t everyExecutions,
                                  CheckpointSink sink)
 {
@@ -82,7 +106,9 @@ SearchContext::checkBudgetLocked()
     bool overEvals = executed_ >= budget_.maxEvaluations;
     bool overTime = budget_.maxSeconds > 0.0 &&
                     timer_.seconds() >= budget_.maxSeconds;
-    if (overEvals || overTime) {
+    bool cancelled =
+        cancel_ && cancel_->load(std::memory_order_relaxed);
+    if (overEvals || overTime || cancelled) {
         exhausted_ = true;
         throw BudgetExhausted();
     }
@@ -175,6 +201,10 @@ SearchContext::commitLocked(std::string key, const Config& config,
         ++compileFails_;
     }
     noteBestLocked(config, eval);
+    // Publish to the persistent memo before caching locally, so no
+    // other context can observe the local commit yet miss the memo.
+    if (ran && memo_)
+        memo_->publish(key, eval);
     const Evaluation& stored =
         cache_.emplace(std::move(key), std::move(eval)).first->second;
     if (ran && checkpointEvery_ > 0 && checkpointSink_ &&
@@ -183,12 +213,32 @@ SearchContext::commitLocked(std::string key, const Config& config,
     return stored;
 }
 
+/**
+ * Commit a cross-run memo hit: the stored evaluation enters the local
+ * cache and competes for best-so-far, but nothing executed — no EV, no
+ * budget consumption, no checkpoint snapshot. Caller holds the lock.
+ */
+const Evaluation&
+SearchContext::commitMemoHitLocked(std::string key,
+                                   const Config& config,
+                                   Evaluation eval)
+{
+    ++memoHits_;
+    noteBestLocked(config, eval);
+    return cache_.emplace(std::move(key), std::move(eval))
+        .first->second;
+}
+
 const Evaluation&
 SearchContext::evaluate(const Config& config)
 {
     HPCMIXP_ASSERT(config.size() == problem_.siteCount(),
                    "config size does not match problem site count");
     std::string key = config.toString();
+    // Strict prior mode rejects pinned configurations without
+    // executing; the rejection must also bypass the memo, whose
+    // entries may come from runs with a different prior mode.
+    bool strictReject = prior_.strict() && prior_.violates(config);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = cache_.find(key);
@@ -196,6 +246,11 @@ SearchContext::evaluate(const Config& config)
             ++cacheHits_;
             noteBestLocked(config, it->second);
             return it->second;
+        }
+        if (memo_ && !strictReject) {
+            if (auto hit = memo_->lookup(key))
+                return commitMemoHitLocked(std::move(key), config,
+                                           std::move(*hit));
         }
         checkBudgetLocked();
     }
@@ -225,35 +280,49 @@ SearchContext::evaluateBatch(std::span<const Config> configs)
         return out;
     }
 
-    // Plan: classify each candidate against the cache and against
-    // earlier batch entries. Only first occurrences of uncached
-    // configurations ("fresh") get an evaluation task; repeats become
-    // cache hits at commit time, exactly as in the serial loop.
-    enum class Kind { Hit, Duplicate, Fresh };
+    // Plan: classify each candidate against the cache, the persistent
+    // memo and earlier batch entries. Only first occurrences of
+    // uncached, unmemoized configurations ("fresh") get an evaluation
+    // task; memo hits commit the stored evaluation without a task, and
+    // repeats become cache hits at commit time, exactly as in the
+    // serial loop.
+    enum class Kind { Hit, Duplicate, Memo, Fresh };
     struct Slot {
         std::string key;
         Kind kind = Kind::Fresh;
         std::size_t fresh = 0; ///< task index when kind == Fresh
+        Evaluation memoEval;   ///< payload when kind == Kind::Memo
     };
     std::vector<Slot> plan;
     plan.reserve(configs.size());
     std::size_t freshCount = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        std::unordered_map<std::string, std::size_t> firstFresh;
+        // Keys already claimed by an earlier slot of this batch —
+        // fresh tasks and memo commits alike; repeats of either are
+        // in-run cache hits once the first occurrence commits.
+        std::unordered_map<std::string, std::size_t> claimed;
         for (const auto& config : configs) {
             HPCMIXP_ASSERT(config.size() == problem_.siteCount(),
                            "config size does not match problem site count");
             Slot slot;
             slot.key = config.toString();
+            bool strictReject =
+                prior_.strict() && prior_.violates(config);
+            std::optional<Evaluation> memoHit;
             if (cache_.count(slot.key) > 0) {
                 slot.kind = Kind::Hit;
-            } else if (firstFresh.count(slot.key) > 0) {
+            } else if (claimed.count(slot.key) > 0) {
                 slot.kind = Kind::Duplicate;
+            } else if (memo_ && !strictReject &&
+                       (memoHit = memo_->lookup(slot.key))) {
+                slot.kind = Kind::Memo;
+                slot.memoEval = std::move(*memoHit);
+                claimed.emplace(slot.key, plan.size());
             } else {
                 slot.kind = Kind::Fresh;
                 slot.fresh = freshCount++;
-                firstFresh.emplace(slot.key, slot.fresh);
+                claimed.emplace(slot.key, plan.size());
             }
             plan.push_back(std::move(slot));
         }
@@ -306,6 +375,12 @@ SearchContext::evaluateBatch(std::span<const Config> configs)
             out[i] = commitLocked(std::move(slot.key), configs[i],
                                   std::move(results[slot.fresh]),
                                   counters[slot.fresh]);
+        } else if (slot.kind == Kind::Memo) {
+            // As in the serial path: a memo hit commits without a
+            // budget check, EV increment or checkpoint snapshot.
+            out[i] = commitMemoHitLocked(std::move(slot.key),
+                                         configs[i],
+                                         std::move(slot.memoEval));
         } else {
             // Hit on the pre-batch cache, or repeat of a fresh entry
             // committed earlier in this loop.
@@ -356,6 +431,13 @@ SearchContext::cacheHitCount() const
 }
 
 std::size_t
+SearchContext::memoHitCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memoHits_;
+}
+
+std::size_t
 SearchContext::retryCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -383,41 +465,6 @@ SearchContext::exhausted() const
     return exhausted_;
 }
 
-namespace {
-
-const char*
-statusName(EvalStatus status)
-{
-    switch (status) {
-      case EvalStatus::Pass:
-        return "pass";
-      case EvalStatus::QualityFail:
-        return "quality_fail";
-      case EvalStatus::CompileFail:
-        return "compile_fail";
-      case EvalStatus::RuntimeFail:
-        return "runtime_fail";
-    }
-    return "unknown";
-}
-
-EvalStatus
-statusFromName(const std::string& name)
-{
-    if (name == "pass")
-        return EvalStatus::Pass;
-    if (name == "quality_fail")
-        return EvalStatus::QualityFail;
-    if (name == "compile_fail")
-        return EvalStatus::CompileFail;
-    if (name == "runtime_fail")
-        return EvalStatus::RuntimeFail;
-    support::fatal(
-        support::strCat("checkpoint: unknown status '", name, "'"));
-}
-
-} // namespace
-
 support::json::Value
 SearchContext::exportCacheLocked() const
 {
@@ -425,11 +472,13 @@ SearchContext::exportCacheLocked() const
     Value root = Value::object();
     root.set("sites", Value::number(static_cast<double>(
                           problem_.siteCount())));
+    if (fingerprint_.valid())
+        root.set("fingerprint", fingerprint_.toJson());
     Value entries = Value::array();
     for (const auto& [key, eval] : cache_) {
         Value e = Value::object();
         e.set("config", Value::string(key));
-        e.set("status", Value::string(statusName(eval.status)));
+        e.set("status", Value::string(evalStatusName(eval.status)));
         e.set("runtime_seconds", Value::number(eval.runtimeSeconds));
         e.set("speedup", Value::number(eval.speedup));
         e.set("quality_loss", Value::number(eval.qualityLoss));
@@ -459,14 +508,34 @@ SearchContext::importCache(const support::json::Value& checkpoint)
         fatal(support::strCat("checkpoint: has ", sites,
                               " sites, problem has ",
                               problem_.siteCount()));
+    // A checkpoint from another evaluation function — different
+    // benchmark, input, metric or threshold — must not seed this run:
+    // its evaluations would be silently wrong at this threshold. The
+    // rejection happens before any entry lands in the cache, and is
+    // recoverable (the caller simply starts fresh).
+    if (fingerprint_.valid() && checkpoint.has("fingerprint")) {
+        auto fp =
+            MemoFingerprint::fromJson(checkpoint.at("fingerprint"));
+        if (!fp)
+            fatal("checkpoint: malformed fingerprint");
+        if (!(*fp == fingerprint_))
+            throw CheckpointMismatch(support::strCat(
+                "checkpoint fingerprint [", fp->describe(),
+                "] does not match this run [",
+                fingerprint_.describe(), "]"));
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& entry : checkpoint.at("evaluations").items()) {
         const std::string& key = entry.at("config").asString();
         if (key.size() != sites)
             fatal("checkpoint: malformed config bits");
         Evaluation eval;
-        eval.status =
-            statusFromName(entry.at("status").asString());
+        auto status =
+            evalStatusFromName(entry.at("status").asString());
+        if (!status)
+            fatal(support::strCat("checkpoint: unknown status '",
+                                  entry.at("status").asString(), "'"));
+        eval.status = *status;
         eval.runtimeSeconds =
             entry.at("runtime_seconds").isNull()
                 ? 0.0
@@ -482,6 +551,11 @@ SearchContext::importCache(const support::json::Value& checkpoint)
         for (std::size_t i = 0; i < sites; ++i)
             config.set(i, key[i] == '1');
         noteBestLocked(config, eval);
+        // Checkpoint-to-memo migration: a resumed run with a memo
+        // attached makes its restored evaluations durable for every
+        // future run.
+        if (memo_)
+            memo_->publish(key, eval);
         cache_[key] = eval;
     }
 }

@@ -31,6 +31,7 @@
  * batch is in flight.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "search/config.h"
+#include "search/memo_store.h"
 #include "search/prior.h"
 #include "search/problem.h"
 #include "support/json.h"
@@ -66,6 +68,19 @@ struct SearchBudget {
 class BudgetExhausted : public std::runtime_error {
   public:
     BudgetExhausted() : std::runtime_error("search budget exhausted") {}
+};
+
+/**
+ * Thrown by importCache() for a checkpoint whose fingerprint does not
+ * match the current run. Recoverable — the caller drops the checkpoint
+ * and starts fresh — unlike fatal(), which signals user error.
+ */
+class CheckpointMismatch : public std::runtime_error {
+  public:
+    explicit CheckpointMismatch(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
 };
 
 /** Per-evaluation resilience policy (retries, deadline, backoff). */
@@ -137,6 +152,34 @@ class SearchContext {
     /** The installed prior, or nullptr when absent/Off. */
     const StaticPrior* prior() const;
 
+    /**
+     * Attach a persistent memo table (DESIGN.md Section 12). Cache
+     * misses consult the table before executing — a memo hit commits
+     * the stored evaluation without running, without consuming budget
+     * and without counting as EV — and freshly executed evaluations
+     * are published back. The table's fingerprint site count must
+     * match the problem.
+     */
+    void setMemo(std::shared_ptr<MemoTable> memo);
+
+    /** The attached memo table, or nullptr. */
+    const std::shared_ptr<MemoTable>& memo() const { return memo_; }
+
+    /**
+     * Name the evaluation function this context runs (benchmark,
+     * threshold, ...). exportCache() embeds it, and importCache()
+     * rejects checkpoints carrying a different fingerprint.
+     */
+    void setFingerprint(MemoFingerprint fingerprint);
+
+    /**
+     * Install a cooperative cancellation flag: once it reads true the
+     * next budget check throws BudgetExhausted, so a portfolio can
+     * stop the remaining strategies after a winner finishes. Cache and
+     * memo hits still resolve after cancellation.
+     */
+    void setCancelFlag(std::shared_ptr<const std::atomic<bool>> flag);
+
     /** True when @p config has already been evaluated. */
     bool isCached(const Config& config) const;
 
@@ -151,8 +194,12 @@ class SearchContext {
     /** Configurations rejected as compile failures. */
     std::size_t compileFailCount() const;
 
-    /** Cache hits (repeat queries). */
+    /** In-run cache hits (repeat queries within this context). */
     std::size_t cacheHitCount() const;
+
+    /** Cross-run memo hits (first-time queries served by the memo
+     *  table instead of an execution). */
+    std::size_t memoHitCount() const;
 
     /** Re-attempts after transient RuntimeFails. */
     std::size_t retryCount() const;
@@ -191,8 +238,16 @@ class SearchContext {
      */
     support::json::Value exportCache() const;
 
-    /** Restore a checkpoint produced by exportCache(). fatal()s on a
-     *  malformed document or mismatched site count. */
+    /**
+     * Restore a checkpoint produced by exportCache(). fatal()s on a
+     * malformed document or mismatched site count; throws the
+     * recoverable CheckpointMismatch — before touching the cache —
+     * when the checkpoint's embedded fingerprint differs from this
+     * context's, so stale evaluations from another benchmark or
+     * threshold never poison the run. Restored entries are published
+     * to an attached memo table (the checkpoint-to-memo migration
+     * path).
+     */
     void importCache(const support::json::Value& checkpoint);
 
   private:
@@ -209,6 +264,9 @@ class SearchContext {
     const Evaluation& commitLocked(std::string key, const Config& config,
                                    Evaluation eval,
                                    const TaskCounters& counters);
+    const Evaluation& commitMemoHitLocked(std::string key,
+                                          const Config& config,
+                                          Evaluation eval);
     Evaluation evaluateResilient(const Config& config,
                                  TaskCounters& counters,
                                  support::Pcg32& jitterRng);
@@ -218,6 +276,11 @@ class SearchContext {
     SearchBudget budget_;
     ResiliencePolicy resilience_;
     StaticPrior prior_; ///< set before the search; read-only after
+    /// Installed before the search, immutable after; MemoTable is
+    /// internally synchronized, so no context lock is needed to use it.
+    std::shared_ptr<MemoTable> memo_;
+    MemoFingerprint fingerprint_; ///< set before the search
+    std::shared_ptr<const std::atomic<bool>> cancel_;
     support::Pcg32 retryRng_;
     support::WallTimer timer_;
 
@@ -227,6 +290,7 @@ class SearchContext {
     std::size_t executed_ = 0;
     std::size_t compileFails_ = 0;
     std::size_t cacheHits_ = 0;
+    std::size_t memoHits_ = 0;
     std::size_t retries_ = 0;
     std::size_t deadlineMisses_ = 0;
     std::size_t quarantined_ = 0;

@@ -12,15 +12,25 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
     ctx.setSearchJobs(run.searchJobs);
     if (run.prior.enabled())
         ctx.setPrior(run.prior);
+    if (run.fingerprint.valid())
+        ctx.setFingerprint(run.fingerprint);
+    if (run.memo)
+        ctx.setMemo(run.memo);
+    if (run.cancel)
+        ctx.setCancelFlag(run.cancel);
     if (!run.initialCache.isNull()) {
         // A checkpoint that no longer matches the problem (changed
-        // configuration, different granularity) must not kill the
-        // campaign — the search simply starts fresh.
+        // configuration, different granularity) or carries another
+        // run's fingerprint (stale benchmark/threshold) must not kill
+        // the campaign — the search simply starts fresh.
         try {
             ctx.importCache(run.initialCache);
         } catch (const support::FatalError& e) {
             support::warn(support::strCat(
                 "ignoring unusable search checkpoint: ", e.what()));
+        } catch (const CheckpointMismatch& e) {
+            support::warn(support::strCat(
+                "ignoring stale search checkpoint: ", e.what()));
         }
     }
     if (run.checkpointEvery > 0 && run.checkpointSink)
@@ -38,6 +48,7 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
     result.evaluated = ctx.evaluatedCount();
     result.compileFailures = ctx.compileFailCount();
     result.cacheHits = ctx.cacheHitCount();
+    result.memoHits = ctx.memoHitCount();
     result.retries = ctx.retryCount();
     result.deadlineMisses = ctx.deadlineMissCount();
     result.quarantined = ctx.quarantinedCount();

@@ -21,7 +21,8 @@ struct SearchResult {
     Evaluation bestEvaluation;      ///< its evaluation
     std::size_t evaluated = 0;      ///< EV: configs executed
     std::size_t compileFailures = 0;
-    std::size_t cacheHits = 0;
+    std::size_t cacheHits = 0;      ///< in-run repeat queries
+    std::size_t memoHits = 0;       ///< cross-run memo-cache hits
     std::size_t retries = 0;        ///< transient-failure re-attempts
     std::size_t deadlineMisses = 0; ///< attempts discarded as stragglers
     std::size_t quarantined = 0;    ///< configs failed after retries
@@ -40,6 +41,10 @@ struct SearchRunOptions {
     support::json::Value initialCache; ///< non-null: importCache() first
     std::size_t searchJobs = 1;       ///< intra-search batch parallelism
     StaticPrior prior;                ///< static sensitivity prior (Off = none)
+    MemoFingerprint fingerprint;      ///< evaluation-function identity
+    std::shared_ptr<MemoTable> memo;  ///< persistent memo-cache table
+    /// Cooperative cancellation (portfolio mode); null = never.
+    std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 /**

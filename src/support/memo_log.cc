@@ -1,0 +1,115 @@
+#include "support/memo_log.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace hpcmixp::support {
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t size)
+{
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(const std::string& text)
+{
+    return fnv1a64(text.data(), text.size());
+}
+
+namespace {
+
+/** Checksum rendered exactly as it appears on a record line. */
+std::string
+checksumOf(const std::string& record)
+{
+    char buf[9];
+    std::snprintf(buf, sizeof(buf), "%08x",
+                  static_cast<unsigned>(fnv1a64(record) & 0xffffffffu));
+    return buf;
+}
+
+} // namespace
+
+AppendLog::AppendLog(std::string path, std::string header)
+    : path_(std::move(path))
+{
+    load(header);
+    // Reopen for appending only after recovery has truncated the tail;
+    // opening in app mode first would write past the partial record.
+    out_.open(path_, std::ios::app);
+    if (!out_)
+        fatal(strCat("memo log: cannot open '", path_,
+                     "' for appending"));
+    if (out_.tellp() == std::ofstream::pos_type(0)) {
+        out_ << header << '\n';
+        out_.flush();
+    }
+}
+
+void
+AppendLog::load(const std::string& header)
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return; // fresh log; the constructor writes the header
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    if (text.empty())
+        return; // fresh log; the constructor writes the header
+
+    // Header line: present, terminated and matching, or the whole file
+    // is stale (the fingerprint behind this log changed).
+    std::size_t eol = text.find('\n');
+    if (eol == std::string::npos ||
+        text.compare(0, eol, header) != 0) {
+        reset_ = true;
+        std::ofstream wipe(path_, std::ios::trunc);
+        return;
+    }
+
+    // Records: keep the longest prefix of durable lines. The first
+    // malformed or unterminated line and everything after it is the
+    // partial tail a crash mid-append leaves behind.
+    std::size_t durable = eol + 1;
+    std::size_t pos = durable;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            break; // unterminated tail
+        // "<8 hex> <record>"
+        if (end - pos < 10 || text[pos + 8] != ' ')
+            break;
+        std::string record = text.substr(pos + 9, end - pos - 9);
+        if (text.compare(pos, 8, checksumOf(record)) != 0)
+            break;
+        records_.push_back(std::move(record));
+        pos = end + 1;
+        durable = pos;
+    }
+    if (durable < text.size()) {
+        truncatedBytes_ = text.size() - durable;
+        std::filesystem::resize_file(path_, durable);
+    }
+}
+
+void
+AppendLog::append(const std::string& record)
+{
+    HPCMIXP_ASSERT(record.find('\n') == std::string::npos,
+                   "memo log records must be newline-free");
+    out_ << checksumOf(record) << ' ' << record << '\n';
+    out_.flush();
+}
+
+} // namespace hpcmixp::support

@@ -5,6 +5,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -398,6 +399,95 @@ TEST(HarnessCheckpoint, PartialSearchCacheResumesWithCacheHits)
     EXPECT_FALSE(results[0].restored); // resumed, not restored whole
     EXPECT_GT(results[0].result.cacheHits, 0u);
     std::remove(path.c_str());
+}
+
+TEST(HarnessMemo, WarmCampaignRerunExecutesNothing)
+{
+    std::string dir = ::testing::TempDir() + "harness_memo_store";
+    std::filesystem::remove_all(dir);
+
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    fs:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'ddebug'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {100, 0.0};
+    options.memoCacheDir = dir;
+
+    auto cold = runJobs(jobs, options);
+    ASSERT_EQ(cold.size(), 1u);
+    ASSERT_TRUE(cold[0].error.empty()) << cold[0].error;
+    EXPECT_GT(cold[0].result.evaluated, 0u);
+    EXPECT_EQ(cold[0].result.memoHits, 0u);
+
+    // Same campaign, new process (new store handle over the same
+    // directory): every search query is a cross-run memo hit.
+    auto warm = runJobs(jobs, options);
+    ASSERT_TRUE(warm[0].error.empty()) << warm[0].error;
+    EXPECT_EQ(warm[0].result.evaluated, 0u);
+    EXPECT_EQ(warm[0].result.memoHits, cold[0].result.evaluated);
+    EXPECT_EQ(warm[0].result.configuration,
+              cold[0].result.configuration);
+
+    // The two hit kinds land in separate table columns and JSON keys.
+    std::ostringstream os;
+    printResults(os, warm);
+    EXPECT_NE(os.str().find("memo"), std::string::npos);
+    auto json = resultsToJson(warm);
+    ASSERT_EQ(json.items().size(), 1u);
+    const auto& entry = json.items()[0];
+    EXPECT_EQ(entry.at("memo_hits").asLong(),
+              static_cast<long>(warm[0].result.memoHits));
+    EXPECT_TRUE(entry.has("cache_hits"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessPortfolio, OverrideRacesStrategiesPerBenchmark)
+{
+    std::string dir = ::testing::TempDir() + "harness_portfolio_store";
+    std::filesystem::remove_all(dir);
+
+    // The configured analysis is ignored under --portfolio; the memo
+    // store dedups the entrants against each other.
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    fs:\n"
+        "      name: 'floatsmith'\n      extra_args:\n"
+        "        algorithm: 'ddebug'\n"));
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {100, 0.0};
+    options.memoCacheDir = dir;
+    options.portfolio = true;
+    auto results = runJobs(jobs, options);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+    EXPECT_EQ(results[0].result.analysis, "portfolio");
+    EXPECT_NE(results[0].result.detail.find("winner:"),
+              std::string::npos);
+    EXPECT_GT(results[0].result.evaluated, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessPortfolio, AnalysisIsDirectlyConfigurable)
+{
+    auto jobs = parseConfig(support::yaml::parse(
+        "tridiag:\n  threshold: 1e-3\n  analysis:\n    pf:\n"
+        "      name: 'portfolio'\n      extra_args:\n"
+        "        strategies: 'ddebug,genetic'\n"
+        "        mode: 'race'\n"
+        "        workers: '2'\n"));
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].analysis, "portfolio");
+    HarnessOptions options;
+    options.tuner.searchReps = 1;
+    options.tuner.finalReps = 3;
+    options.tuner.budget = {100, 0.0};
+    auto results = runJobs(jobs, options);
+    ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+    EXPECT_EQ(results[0].result.analysis, "portfolio");
 }
 
 TEST(HarnessRun, PrecimoniousAnalysisReportsCompileFailures)
