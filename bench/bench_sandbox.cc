@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Measurement: the cost of fork isolation (DESIGN.md §13).
+ *
+ * For each benchmark, runs the same combinational (CB) campaign twice
+ * from identical options — once in-process (--isolation=none) and
+ * once with every search evaluation forked (--isolation=fork) — and
+ * compares evaluation throughput. Both runs are fault-free, so they
+ * execute the same configuration set (CB's exploration order is
+ * fixed; the reported winner may differ by timing noise, exactly as
+ * between two in-process runs) and the wall difference is purely the
+ * fork+arena+reap machinery. The headline check: at reps >= 3 on
+ * application benchmarks, sandbox overhead stays under 10% — the
+ * fork tax is paid once per evaluation while the program runs reps
+ * times.
+ *
+ * Extra flag beyond the common set:
+ *   --json F   write the full result document to F
+ *              (default BENCH_sandbox.json)
+ */
+
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hpcmixp;
+
+struct SandboxRun {
+    std::string benchmark;
+    std::size_t evaluated = 0;
+    double noneSeconds = 0.0;
+    double forkSeconds = 0.0;
+    double noneEvalsPerSec = 0.0;
+    double forkEvalsPerSec = 0.0;
+    double overheadPct = 0.0;
+    double spawnMeanMs = 0.0;
+    bool evMatch = false; ///< both modes executed the same EV count
+};
+
+double
+rate(std::size_t count, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace hpcmixp;
+    auto options = benchutil::parseOptions(argc, argv, 300);
+    support::CommandLine cl(argc, argv);
+    std::string jsonPath = cl.getString("json", "BENCH_sandbox.json");
+
+    // Application benchmarks, not microkernels: per-evaluation
+    // runtime must dwarf the ~ms fork tax for the overhead number to
+    // mean anything — a kernel finishing in 2 ms under-reps would
+    // show 100% overhead for 2 ms of absolute cost.
+    std::vector<std::string> names{"kmeans", "hotspot", "lavamd"};
+    if (support::quickMode())
+        names = {"kmeans"};
+
+    support::Table table({"benchmark", "EV", "ev/s none", "ev/s fork",
+                          "overhead %", "spawn ms", "EV match"});
+    std::vector<SandboxRun> runs;
+
+    for (const std::string& name : names) {
+        auto benchmark =
+            benchmarks::BenchmarkRegistry::instance().create(name);
+
+        SandboxRun run;
+        run.benchmark = name;
+
+        // One tuner per mode: isolation is fixed at construction.
+        // Both campaigns are clean, so they walk the same trajectory
+        // and the wall-clock delta isolates the sandbox machinery.
+        core::TunerOptions noneOptions = options.tuner;
+        noneOptions.isolation = support::IsolationMode::None;
+        core::BenchmarkTuner noneTuner(*benchmark, noneOptions);
+        core::TuneOutcome none = noneTuner.tune("CB");
+
+        core::TunerOptions forkOptions = options.tuner;
+        forkOptions.isolation = support::IsolationMode::Fork;
+        core::BenchmarkTuner forkTuner(*benchmark, forkOptions);
+        core::TuneOutcome forked = forkTuner.tune("CB");
+
+        run.evaluated = none.search.evaluated;
+        run.noneSeconds = none.search.searchSeconds;
+        run.forkSeconds = forked.search.searchSeconds;
+        run.noneEvalsPerSec =
+            rate(none.search.evaluated, run.noneSeconds);
+        run.forkEvalsPerSec =
+            rate(forked.search.evaluated, run.forkSeconds);
+        run.overheadPct =
+            run.noneSeconds > 0.0
+                ? (run.forkSeconds / run.noneSeconds - 1.0) * 100.0
+                : 0.0;
+        run.spawnMeanMs =
+            forkTuner.sandboxStats().spawnOverheadMeanSeconds * 1e3;
+        run.evMatch =
+            forked.search.evaluated == none.search.evaluated;
+        runs.push_back(run);
+
+        table.addRow(
+            {name,
+             support::Table::cell(static_cast<long>(run.evaluated)),
+             support::Table::cell(run.noneEvalsPerSec, 1),
+             support::Table::cell(run.forkEvalsPerSec, 1),
+             support::Table::cell(run.overheadPct, 1),
+             support::Table::cell(run.spawnMeanMs, 3),
+             run.evMatch ? "yes" : "NO"});
+    }
+
+    std::cout << "Fork-isolation overhead, CB campaigns (budget "
+              << options.tuner.budget.maxEvaluations << ", reps "
+              << options.tuner.searchReps << ")\n";
+    benchutil::emit(table, options);
+
+    using support::json::Value;
+    Value doc = Value::object();
+    doc.set("budget",
+            Value::number(static_cast<double>(
+                options.tuner.budget.maxEvaluations)));
+    doc.set("reps",
+            Value::number(
+                static_cast<double>(options.tuner.searchReps)));
+    Value rows = Value::array();
+    for (const SandboxRun& run : runs) {
+        Value row = Value::object();
+        row.set("benchmark", Value::string(run.benchmark));
+        row.set("evaluated",
+                Value::number(static_cast<double>(run.evaluated)));
+        row.set("none_seconds", Value::number(run.noneSeconds));
+        row.set("fork_seconds", Value::number(run.forkSeconds));
+        row.set("none_evals_per_sec",
+                Value::number(run.noneEvalsPerSec));
+        row.set("fork_evals_per_sec",
+                Value::number(run.forkEvalsPerSec));
+        row.set("overhead_pct", Value::number(run.overheadPct));
+        row.set("spawn_mean_ms", Value::number(run.spawnMeanMs));
+        row.set("ev_match", Value::boolean(run.evMatch));
+        rows.push(std::move(row));
+    }
+    doc.set("kernels", std::move(rows));
+    std::ofstream out(jsonPath);
+    if (!out)
+        support::fatal("cannot open --json output file");
+    out << doc.dump(2) << '\n';
+    return 0;
+}

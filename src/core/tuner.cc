@@ -9,6 +9,7 @@
 #include "search/genetic.h"
 #include "support/logging.h"
 #include "support/memo_log.h"
+#include "support/shm_arena.h"
 #include "support/timer.h"
 #include "typeforge/lint.h"
 #include "verify/metrics.h"
@@ -111,6 +112,23 @@ evalWorkspace()
     return workspace;
 }
 
+/**
+ * Fixed-size result record a sandboxed child commits to the arena.
+ * POD only: it crosses the process boundary as raw bytes. The child
+ * ships the fused ErrorStats so the parent can re-derive the verdict
+ * without the output vector; for custom (non-fusible) metrics the
+ * child's own verdict fields are authoritative.
+ */
+struct SandboxPayload {
+    double runtimeSeconds = 0.0;   ///< trimmed mean over timed reps
+    double childWallSeconds = 0.0; ///< child-side wall clock
+    std::uint32_t passed = 0;
+    std::uint32_t pad = 0;
+    double loss = 0.0;
+    double rawValue = 0.0;
+    verify::ErrorStats stats;
+};
+
 } // namespace
 
 bool
@@ -129,6 +147,18 @@ BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
                                           : options_.metric,
                   options_.threshold)
 {
+    // Sandbox configuration sanity, checked before any evaluation
+    // runs: raw fault injection is only survivable in forked children
+    // (FaultyProblem re-checks via the sandboxed flag), and a raw hang
+    // spins forever unless a deadline arms the parent's SIGKILL.
+    options_.faultPlan.sandboxed =
+        options_.isolation == support::IsolationMode::Fork;
+    if (options_.faultPlan.rawHangRate > 0.0 &&
+        options_.resilience.deadlineSeconds <= 0.0)
+        support::fatal(
+            "raw hang injection (--fault-raw-hang-rate) spins until "
+            "the parent kills it; it requires a positive --deadline");
+
     // Each bind key must live in exactly one cluster, otherwise the
     // cluster -> knob mapping would be ambiguous.
     std::map<std::string, std::size_t> keyCluster;
@@ -272,6 +302,9 @@ Evaluation
 BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
                                       std::size_t reps)
 {
+    if (options_.isolation == support::IsolationMode::Fork)
+        return evaluateSandboxed(cfg, reps);
+
     Evaluation eval;
     PrecisionMap pm = precisionMapFor(cfg);
 
@@ -309,6 +342,163 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
     eval.status =
         verdict.passed ? EvalStatus::Pass : EvalStatus::QualityFail;
     return eval;
+}
+
+/**
+ * One evaluation attempt in a forked, crash-contained child.
+ *
+ * prepare() stays in the parent: input conversion is cached per
+ * process (CachedInput), and the child inherits the prepared RunPlan
+ * through copy-on-write for free — forking before prepare() would
+ * re-convert inputs in every child and throw the work away with it.
+ * The child only executes, verifies against the inherited reference,
+ * and commits a fixed-size payload to the shared arena; the parent
+ * reaps, classifies the exit, and maps everything that is not a clean
+ * committed result to RuntimeFail for the ordinary retry/quarantine
+ * machinery (DESIGN.md §13).
+ */
+Evaluation
+BenchmarkTuner::evaluateSandboxed(const Config& cfg, std::size_t reps)
+{
+    // A raw fault drawn by FaultyProblem on this thread detonates
+    // inside the child, never in the parent.
+    const search::RawFault rawFault = search::takePendingRawFault();
+
+    Evaluation eval;
+    eval.status = EvalStatus::RuntimeFail;
+    eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
+    eval.memoizable = false;
+
+    if (options_.isolationMaxCrashes > 0) {
+        std::lock_guard<std::mutex> lock(sandboxMutex_);
+        if (sandbox_.crashedChildren() >= options_.isolationMaxCrashes) {
+            ++sandbox_.fastFailed;
+            if (!crashLoopWarned_) {
+                crashLoopWarned_ = true;
+                support::warn(support::strCat(
+                    benchmark_.name(), ": ", sandbox_.crashedChildren(),
+                    " crashed children reached --isolation-max-crashes; "
+                    "failing further sandboxed attempts without forking"));
+            }
+            return eval;
+        }
+    }
+
+    support::ShmArena arena(sizeof(SandboxPayload));
+    support::ChildOutcome child;
+    try {
+        PrecisionMap pm = precisionMapFor(cfg);
+        benchmarks::RunPlan plan = benchmark_.prepare(pm);
+        child = support::runInFork(
+            [&] {
+                search::executeRawFault(rawFault);
+                runtime::RunWorkspace ws; // child-private arena
+                support::WallTimer childTimer;
+                benchmarks::RunOutput output;
+                std::size_t timedReps = std::max<std::size_t>(reps, 1);
+                std::vector<double> samples;
+                samples.reserve(timedReps);
+                for (std::size_t i = 0; i < timedReps; ++i) {
+                    support::WallTimer timer;
+                    benchmarks::RunOutput repOutput =
+                        benchmark_.execute(plan, ws);
+                    samples.push_back(timer.seconds());
+                    if (i == 0)
+                        output = std::move(repOutput);
+                }
+                SandboxPayload payload;
+                payload.runtimeSeconds =
+                    support::trimmedMean(std::move(samples));
+                payload.stats = verify::computeErrorStats(
+                    reference_, output.values);
+                verify::Verdict verdict =
+                    comparator_.fusible()
+                        ? comparator_.verifyStats(payload.stats)
+                        : comparator_.verify(reference_, output.values);
+                payload.passed = verdict.passed ? 1 : 0;
+                payload.loss = verdict.loss;
+                payload.rawValue = verdict.rawValue;
+                payload.childWallSeconds = childTimer.seconds();
+                arena.commit(&payload, sizeof payload);
+            },
+            options_.resilience.deadlineSeconds);
+    } catch (const std::exception&) {
+        // prepare() failed in the parent — same classification the
+        // in-process path gives it, and nothing was forked.
+        eval.memoizable = true;
+        return eval;
+    }
+
+    SandboxPayload payload;
+    const bool arenaValid = child.exit == support::ChildExit::Clean &&
+                            arena.read(&payload, sizeof payload);
+    {
+        std::lock_guard<std::mutex> lock(sandboxMutex_);
+        ++sandbox_.forks;
+        switch (child.exit) {
+          case support::ChildExit::Clean:
+            if (arenaValid) {
+                ++sandbox_.cleanExits;
+                spawnOverheadSum_ += std::max(
+                    0.0, child.wallSeconds - payload.childWallSeconds);
+            } else {
+                // Exited 0 without a checksum-valid committed payload:
+                // died mid-write or never committed. Untrustworthy.
+                ++sandbox_.arenaCorrupt;
+            }
+            break;
+          case support::ChildExit::NonZeroExit:
+            ++sandbox_.nonZeroExits;
+            break;
+          case support::ChildExit::Signaled:
+            ++sandbox_.signaled;
+            break;
+          case support::ChildExit::KilledOnDeadline:
+            ++sandbox_.killedOnDeadline;
+            break;
+          case support::ChildExit::SpawnFailed:
+            ++sandbox_.spawnFailed;
+            break;
+        }
+    }
+
+    if (child.exit == support::ChildExit::KilledOnDeadline) {
+        // Report the kill so the resilience layer counts exactly one
+        // deadline miss — identical to a simulated straggler.
+        eval.deadlineMiss = true;
+        return eval;
+    }
+    if (child.exit == support::ChildExit::NonZeroExit &&
+        child.detail == support::kChildBodyThrew) {
+        // The child ran and threw a C++ exception the fork trampoline
+        // contained — the exact failure the in-process path catches
+        // and publishes, so keep it memoizable for trajectory (and
+        // memo-content) identity across isolation modes.
+        eval.memoizable = true;
+        return eval;
+    }
+    if (!arenaValid)
+        return eval; // crashed / signaled / corrupt: quarantine fodder
+
+    eval.memoizable = true;
+    eval.runtimeSeconds = payload.runtimeSeconds;
+    eval.speedup = baselineSeconds_ / payload.runtimeSeconds;
+    eval.qualityLoss = payload.loss;
+    eval.status = payload.passed != 0 ? EvalStatus::Pass
+                                      : EvalStatus::QualityFail;
+    return eval;
+}
+
+SandboxStats
+BenchmarkTuner::sandboxStats() const
+{
+    std::lock_guard<std::mutex> lock(sandboxMutex_);
+    SandboxStats stats = sandbox_;
+    stats.spawnOverheadMeanSeconds =
+        stats.cleanExits > 0
+            ? spawnOverheadSum_ / static_cast<double>(stats.cleanExits)
+            : 0.0;
+    return stats;
 }
 
 Evaluation

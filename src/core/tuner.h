@@ -19,6 +19,7 @@
  */
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "search/memo_store.h"
 #include "search/portfolio.h"
 #include "search/problem.h"
+#include "support/subprocess.h"
 #include "typeforge/clustering.h"
 #include "verify/comparator.h"
 
@@ -73,6 +75,52 @@ struct TunerOptions {
      * null keeps evaluation purely in-process.
      */
     std::shared_ptr<search::MemoStore> memoStore;
+
+    /**
+     * Where each search evaluation attempt executes (harness
+     * --isolation): in this process, or in a forked child per attempt
+     * so a configuration that SIGSEGVs, aborts or hangs is contained
+     * and quarantined instead of killing the tuner (DESIGN.md §13).
+     * Final measurements always run in-process — only configurations
+     * that already survived the sandbox reach them.
+     */
+    support::IsolationMode isolation = support::IsolationMode::None;
+
+    /**
+     * Crash-loop cutoff (harness --isolation-max-crashes): once this
+     * many children have crashed or been killed, further sandboxed
+     * attempts fail fast without forking. 0 = unlimited.
+     */
+    std::size_t isolationMaxCrashes = 0;
+};
+
+/**
+ * Sandboxed-evaluation accounting (isolation = Fork); all zero under
+ * in-process evaluation. Child deaths are classified by exit class —
+ * each nonzero-exit / signaled / killed / corrupt child surfaced to
+ * the search layer as a RuntimeFail and fed the ordinary
+ * retry-then-quarantine machinery.
+ */
+struct SandboxStats {
+    std::size_t forks = 0;            ///< children spawned
+    std::size_t cleanExits = 0;       ///< _exit(0) with a valid arena
+    std::size_t nonZeroExits = 0;     ///< exited with a nonzero code
+    std::size_t signaled = 0;         ///< died by signal (SIGSEGV, abort)
+    std::size_t killedOnDeadline = 0; ///< SIGKILLed by the parent
+    std::size_t arenaCorrupt = 0;     ///< exited 0 but tore the arena
+    std::size_t spawnFailed = 0;      ///< fork() itself failed
+    std::size_t fastFailed = 0;       ///< crash-loop cutoff short-circuits
+
+    /** Mean fork+reap overhead per clean child (parent wall clock
+     *  minus child-side execution wall clock). */
+    double spawnOverheadMeanSeconds = 0.0;
+
+    /** Children that produced no usable result. */
+    std::size_t crashedChildren() const
+    {
+        return nonZeroExits + signaled + killedOnDeadline +
+               arenaCorrupt + spawnFailed;
+    }
 };
 
 /** Per-search run options (resilience + checkpoint wiring) derived
@@ -189,9 +237,14 @@ class BenchmarkTuner {
     search::SearchRunOptions
     runOptionsFor(search::Granularity granularity);
 
-    /** Evaluate one cluster configuration with @p reps timing reps. */
+    /** Evaluate one cluster configuration with @p reps timing reps.
+     *  Runs in a forked child under isolation = Fork. */
     search::Evaluation evaluateClusterConfig(const search::Config& cfg,
                                              std::size_t reps);
+
+    /** Snapshot of the sandbox accounting (all zero when
+     *  isolation = None). */
+    SandboxStats sandboxStats() const;
 
     /**
      * Final measurement: interleaves finalReps baseline runs with
@@ -247,6 +300,8 @@ class BenchmarkTuner {
     void runBaseline();
     bool isVarLowered(const search::Config& varCfg,
                       model::VarId var) const;
+    search::Evaluation evaluateSandboxed(const search::Config& cfg,
+                                         std::size_t reps);
 
     const benchmarks::Benchmark& benchmark_;
     TunerOptions options_;
@@ -260,6 +315,13 @@ class BenchmarkTuner {
     std::unique_ptr<VariableProblem> variableProblem_;
     std::unique_ptr<search::FaultyProblem> faultyCluster_;
     std::unique_ptr<search::FaultyProblem> faultyVariable_;
+
+    /// Sandbox accounting; the mutex also serializes the crash-loop
+    /// cutoff decision across evaluateBatch workers.
+    mutable std::mutex sandboxMutex_;
+    SandboxStats sandbox_;
+    double spawnOverheadSum_ = 0.0;
+    bool crashLoopWarned_ = false;
 };
 
 } // namespace hpcmixp::core

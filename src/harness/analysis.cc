@@ -62,6 +62,18 @@ fillSearchCounters(AnalysisResult& result,
     result.timedOut = searchResult.timedOut;
 }
 
+/** Copy the sandbox accounting into an analysis result. */
+void
+fillSandboxStats(AnalysisResult& result, const core::SandboxStats& stats)
+{
+    result.childForks = stats.forks;
+    result.childKills = stats.killedOnDeadline;
+    result.childNonZeroExits = stats.nonZeroExits;
+    result.childSignaled = stats.signaled;
+    result.childArenaCorrupt = stats.arenaCorrupt;
+    result.childSpawnMeanSeconds = stats.spawnOverheadMeanSeconds;
+}
+
 } // namespace
 
 AnalysisResult
@@ -100,6 +112,7 @@ FloatsmithAnalysis::analyze(const benchmarks::Benchmark& benchmark,
     result.speedup = outcome.finalSpeedup;
     result.qualityLoss = outcome.finalQualityLoss;
     fillSearchCounters(result, outcome.search);
+    fillSandboxStats(result, tuner.sandboxStats());
     result.configuration = outcome.clusterConfig.toString();
     return result;
 }
@@ -138,6 +151,7 @@ PrecimoniousAnalysis::analyze(const benchmarks::Benchmark& benchmark,
     result.analysis = name();
     result.detail = "DD/variables";
     fillSearchCounters(result, searchResult);
+    fillSandboxStats(result, tuner.sandboxStats());
     if (searchResult.foundImprovement) {
         search::Config clusterCfg =
             tuner.toClusterConfig(searchResult.best);
@@ -205,6 +219,7 @@ PortfolioAnalysis::analyze(const benchmarks::Benchmark& benchmark,
         result.quarantined += entrant.quarantined;
     }
     result.timedOut = winner.timedOut;
+    fillSandboxStats(result, tuner.sandboxStats());
     result.configuration = outcome.clusterConfig.toString();
     return result;
 }

@@ -45,6 +45,14 @@ struct AnalysisResult {
     std::size_t quarantined = 0; ///< configs failed after retries
     bool timedOut = false;
     std::string configuration;   ///< winning cluster config bits
+
+    /// Sandbox accounting (--isolation=fork); all zero otherwise.
+    std::size_t childForks = 0;       ///< forked evaluation children
+    std::size_t childKills = 0;       ///< SIGKILLed on deadline
+    std::size_t childNonZeroExits = 0; ///< quarantined: nonzero exit
+    std::size_t childSignaled = 0;    ///< quarantined: died by signal
+    std::size_t childArenaCorrupt = 0; ///< quarantined: torn result arena
+    double childSpawnMeanSeconds = 0.0; ///< mean fork+reap overhead
 };
 
 /** Base class for harness analyses (the paper's plugin interface). */

@@ -112,6 +112,18 @@ analysisResultToJson(const AnalysisResult& r)
           Value::number(static_cast<double>(r.quarantined)));
     v.set("timed_out", Value::boolean(r.timedOut));
     v.set("configuration", Value::string(r.configuration));
+    v.set("child_forks",
+          Value::number(static_cast<double>(r.childForks)));
+    v.set("child_kills",
+          Value::number(static_cast<double>(r.childKills)));
+    v.set("child_nonzero_exits",
+          Value::number(static_cast<double>(r.childNonZeroExits)));
+    v.set("child_signaled",
+          Value::number(static_cast<double>(r.childSignaled)));
+    v.set("child_arena_corrupt",
+          Value::number(static_cast<double>(r.childArenaCorrupt)));
+    v.set("child_spawn_mean_seconds",
+          Value::number(r.childSpawnMeanSeconds));
     return v;
 }
 
@@ -139,6 +151,17 @@ analysisResultFromJson(const Value& v)
     r.quarantined = count("quarantined");
     r.timedOut = v.at("timed_out").asBool();
     r.configuration = v.at("configuration").asString();
+    // Sandbox fields are absent in pre-sandbox checkpoints; count()
+    // already defaults them to zero.
+    r.childForks = count("child_forks");
+    r.childKills = count("child_kills");
+    r.childNonZeroExits = count("child_nonzero_exits");
+    r.childSignaled = count("child_signaled");
+    r.childArenaCorrupt = count("child_arena_corrupt");
+    r.childSpawnMeanSeconds =
+        v.has("child_spawn_mean_seconds")
+            ? v.at("child_spawn_mean_seconds").asNumber()
+            : 0.0;
     return r;
 }
 
@@ -440,6 +463,27 @@ resultsToJson(const std::vector<JobResult>& results)
         entry.set("restored", Value::boolean(r.restored));
         entry.set("configuration",
                   Value::string(r.result.configuration));
+        // Sandbox breakdown (--isolation=fork): quarantines by child
+        // exit class plus the mean fork+reap overhead per clean child.
+        Value sandbox = Value::object();
+        sandbox.set("forks",
+                    Value::number(
+                        static_cast<double>(r.result.childForks)));
+        sandbox.set("kills",
+                    Value::number(
+                        static_cast<double>(r.result.childKills)));
+        sandbox.set("nonzero_exits",
+                    Value::number(static_cast<double>(
+                        r.result.childNonZeroExits)));
+        sandbox.set("signaled",
+                    Value::number(
+                        static_cast<double>(r.result.childSignaled)));
+        sandbox.set("arena_corrupt",
+                    Value::number(static_cast<double>(
+                        r.result.childArenaCorrupt)));
+        sandbox.set("spawn_overhead_mean_seconds",
+                    Value::number(r.result.childSpawnMeanSeconds));
+        entry.set("sandbox", std::move(sandbox));
         root.push(std::move(entry));
     }
     return root;
@@ -450,11 +494,11 @@ printResults(std::ostream& os, const std::vector<JobResult>& results)
 {
     support::Table table({"benchmark", "analysis", "algorithm",
                           "speedup", "quality", "EV", "cache", "memo",
-                          "retries", "status"});
+                          "retries", "kills", "spawn_ms", "status"});
     for (const auto& r : results) {
         if (!r.error.empty()) {
             table.addRow({r.spec.benchmark, r.spec.analysis, "-", "-",
-                          "-", "-", "-", "-", "-",
+                          "-", "-", "-", "-", "-", "-", "-",
                           strCat("error: ", r.error)});
             continue;
         }
@@ -473,6 +517,10 @@ printResults(std::ostream& os, const std::vector<JobResult>& results)
                           static_cast<long>(r.result.memoHits)),
                       support::Table::cell(
                           static_cast<long>(r.result.retries)),
+                      support::Table::cell(
+                          static_cast<long>(r.result.childKills)),
+                      support::Table::cell(
+                          r.result.childSpawnMeanSeconds * 1e3, 2),
                       status});
     }
     table.print(os);

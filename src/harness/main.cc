@@ -6,6 +6,8 @@
  *                     [--search-jobs N] [--reps R]
  *                     [--budget E] [--seed S] [--retries N]
  *                     [--deadline S] [--fault-rate P]
+ *                     [--isolation none|fork]
+ *                     [--isolation-max-crashes N]
  *                     [--checkpoint F] [--resume F]
  *                     [--memo-cache DIR] [--portfolio]
  *                     [--portfolio-mode best|race]
@@ -57,6 +59,16 @@ main(int argc, char** argv)
                "  --fault-nan-rate   injected NaN-output probability"
                " (default 0)\n"
                "  --fault-seed  fault decision seed (default --seed)\n"
+               "  --fault-raw-crash-rate  child abort() probability"
+               " (fork isolation only)\n"
+               "  --fault-raw-hang-rate   child spin-hang probability"
+               " (fork isolation + --deadline)\n"
+               "  --fault-raw-segv-rate   child SIGSEGV probability"
+               " (fork isolation only)\n"
+               "  --isolation   evaluation sandbox: none or fork"
+               " (default none)\n"
+               "  --isolation-max-crashes  fail fast after this many"
+               " crashed children (default 0 = unlimited)\n"
                "  --checkpoint  write campaign progress to this file\n"
                "  --resume      restore an interrupted campaign from"
                " this file\n"
@@ -109,6 +121,17 @@ main(int argc, char** argv)
             cl.getDouble("fault-nan-rate", 0.0);
         options.tuner.faultPlan.seed =
             static_cast<std::uint64_t>(cl.getLong("fault-seed", seed));
+        options.tuner.faultPlan.rawCrashRate =
+            cl.getDouble("fault-raw-crash-rate", 0.0);
+        options.tuner.faultPlan.rawHangRate =
+            cl.getDouble("fault-raw-hang-rate", 0.0);
+        options.tuner.faultPlan.rawSegvRate =
+            cl.getDouble("fault-raw-segv-rate", 0.0);
+
+        options.tuner.isolation = support::parseIsolationMode(
+            cl.getString("isolation", "none"));
+        options.tuner.isolationMaxCrashes = static_cast<std::size_t>(
+            cl.getLong("isolation-max-crashes", 0));
 
         options.tuner.staticPrior = search::parsePriorMode(
             cl.getString("static-prior", "off"));

@@ -155,15 +155,30 @@ SearchContext::evaluateResilient(const Config& config,
     for (std::size_t attempt = 1;; ++attempt) {
         support::WallTimer attemptTimer;
         eval = problem_.evaluate(config);
-        if (resilience_.deadlineSeconds > 0.0 &&
+        // A sandboxed attempt reports its own kill-on-deadline; an
+        // in-process straggler is caught post-hoc by the attempt
+        // timer. Both count as exactly one deadline miss and feed the
+        // same retry/backoff path, so counters are identical between
+        // simulated and forked hangs.
+        bool missedDeadline = eval.deadlineMiss;
+        if (!missedDeadline && resilience_.deadlineSeconds > 0.0 &&
             attemptTimer.seconds() > resilience_.deadlineSeconds &&
             eval.status != EvalStatus::CompileFail) {
             // The result arrived after the deadline: discard it.
+            missedDeadline = true;
+        }
+        if (missedDeadline) {
             ++counters.deadlineMisses;
+            const bool memoizable = eval.memoizable;
             eval = Evaluation{};
             eval.status = EvalStatus::RuntimeFail;
             eval.qualityLoss =
                 std::numeric_limits<double>::quiet_NaN();
+            eval.deadlineMiss = true;
+            // A killed child yielded no measurement worth sharing; a
+            // post-hoc-discarded in-process result keeps publishing
+            // as before.
+            eval.memoizable = memoizable;
         }
         if (eval.status != EvalStatus::RuntimeFail ||
             attempt >= maxAttempts)
@@ -203,7 +218,9 @@ SearchContext::commitLocked(std::string key, const Config& config,
     noteBestLocked(config, eval);
     // Publish to the persistent memo before caching locally, so no
     // other context can observe the local commit yet miss the memo.
-    if (ran && memo_)
+    // Results flagged non-memoizable (killed/crashed sandbox children)
+    // stay private to this run.
+    if (ran && memo_ && eval.memoizable)
         memo_->publish(key, eval);
     const Evaluation& stored =
         cache_.emplace(std::move(key), std::move(eval)).first->second;

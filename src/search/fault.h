@@ -37,14 +37,61 @@ struct FaultPlan {
     double hangSeconds = 0.02; ///< stall duration of a Hang fault
     std::uint64_t seed = 2020; ///< decision-stream seed
 
+    /**
+     * Raw (process-killing) fault rates. Unlike the simulated kinds
+     * above, these make the evaluation attempt genuinely abort(),
+     * spin forever, or write through a wild pointer — they are only
+     * legal when evaluations run in forked children (sandboxed below),
+     * where the parent contains and classifies the death.
+     */
+    double rawCrashRate = 0.0; ///< child abort()
+    double rawHangRate = 0.0;  ///< child spins until killed on deadline
+    double rawSegvRate = 0.0;  ///< child SIGSEGV via wild store
+
+    /**
+     * Set by the tuner when evaluations execute under
+     * --isolation=fork. Constructing a FaultyProblem with raw rates
+     * but without this flag is a recoverable configuration error.
+     */
+    bool sandboxed = false;
+
+    bool rawEnabled() const
+    {
+        return rawCrashRate > 0.0 || rawHangRate > 0.0 ||
+               rawSegvRate > 0.0;
+    }
+
     bool enabled() const
     {
-        return crashRate > 0.0 || hangRate > 0.0 || nanRate > 0.0;
+        return crashRate > 0.0 || hangRate > 0.0 || nanRate > 0.0 ||
+               rawEnabled();
     }
 };
 
 /** The fault drawn for one evaluation attempt. */
-enum class FaultKind { None, Crash, Hang, Nan };
+enum class FaultKind { None, Crash, Hang, Nan, RawCrash, RawHang, RawSegv };
+
+/** A raw fault pending execution inside a sandboxed child. */
+enum class RawFault { None, Crash, Hang, Segv };
+
+/**
+ * Hand a drawn raw fault to the downstream sandbox executor. The
+ * channel is thread-local: FaultyProblem sets it just before calling
+ * the inner problem on the same thread, and the tuner's sandboxed
+ * evaluation path takes it and executes it inside the forked child.
+ */
+void setPendingRawFault(RawFault fault);
+
+/** Consume (and clear) the pending raw fault of this thread. */
+RawFault takePendingRawFault();
+
+/**
+ * Execute @p fault: Crash abort()s, Hang spins forever (until the
+ * parent's deadline SIGKILL), Segv stores through a wild pointer.
+ * Returns only for RawFault::None. Must only ever run inside a
+ * sandboxed child.
+ */
+void executeRawFault(RawFault fault);
 
 /**
  * Seeded decision stream: (configuration key, attempt) -> FaultKind.
@@ -65,12 +112,18 @@ class FaultInjector {
     std::size_t crashesInjected() const { return crashes_; }
     std::size_t hangsInjected() const { return hangs_; }
     std::size_t nansInjected() const { return nans_; }
+    std::size_t rawCrashesInjected() const { return rawCrashes_; }
+    std::size_t rawHangsInjected() const { return rawHangs_; }
+    std::size_t rawSegvsInjected() const { return rawSegvs_; }
 
   private:
     FaultPlan plan_;
     std::atomic<std::size_t> crashes_{0};
     std::atomic<std::size_t> hangs_{0};
     std::atomic<std::size_t> nans_{0};
+    std::atomic<std::size_t> rawCrashes_{0};
+    std::atomic<std::size_t> rawHangs_{0};
+    std::atomic<std::size_t> rawSegvs_{0};
 };
 
 /**
@@ -81,13 +134,17 @@ class FaultInjector {
  * faults run the inner problem and destroy the quality of a run that
  * completed. Compile failures pass through untouched — a
  * configuration that never runs cannot crash.
+ *
+ * Raw kinds (RawCrash/RawHang/RawSegv) are posted on the thread-local
+ * pending channel for the sandboxed executor to detonate inside the
+ * forked child; constructing a plan with raw rates outside a sandbox
+ * throws FatalError (recoverable) instead of letting the process die.
  */
 class FaultyProblem final : public SearchProblem {
   public:
-    FaultyProblem(SearchProblem& inner, FaultPlan plan)
-        : inner_(inner), injector_(plan)
-    {
-    }
+    /** Throws FatalError when @p plan has raw rates but is not
+     *  sandboxed. */
+    FaultyProblem(SearchProblem& inner, FaultPlan plan);
 
     std::size_t siteCount() const override { return inner_.siteCount(); }
 

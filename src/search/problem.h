@@ -35,6 +35,22 @@ struct Evaluation {
     double speedup = 0.0;        ///< baseline time / this time
     double qualityLoss = 0.0;    ///< uniform metric loss (NaN possible)
 
+    /**
+     * Transient (never serialized): the attempt itself reports that it
+     * blew the deadline — a sandboxed child the parent SIGKILLed. The
+     * resilience layer counts it exactly like a straggler it timed out
+     * post-hoc, keeping counters identical across isolation modes.
+     */
+    bool deadlineMiss = false;
+
+    /**
+     * Transient (never serialized): false marks a result that must not
+     * be published to the cross-run memo-cache — a killed or crashed
+     * sandbox child produced no trustworthy measurement, only this
+     * run's quarantine decision.
+     */
+    bool memoizable = true;
+
     bool passed() const { return status == EvalStatus::Pass; }
     bool ran() const
     {

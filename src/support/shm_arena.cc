@@ -1,0 +1,128 @@
+#include "support/shm_arena.h"
+
+#include <atomic>
+#include <cstring>
+
+#include <sys/mman.h>
+
+#include "support/logging.h"
+#include "support/memo_log.h"
+
+namespace hpcmixp::support {
+
+namespace {
+
+constexpr std::uint64_t kArenaMagic = 0x484d5850'41524e41ULL; // "HMXPARNA"
+constexpr std::uint32_t kStateEmpty = 0;
+constexpr std::uint32_t kStateCommitted = 0xc0117ed1;
+
+} // namespace
+
+struct ShmArena::Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;
+    std::uint64_t payloadSize;
+    std::uint64_t checksum;
+    std::atomic<std::uint32_t> state;
+};
+
+ShmArena::ShmArena(std::size_t capacity)
+{
+    mapBytes_ = sizeof(Header) + capacity;
+    void* map = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (map == MAP_FAILED)
+        fatal(strCat("mmap of ", mapBytes_,
+                     "-byte shared result arena failed"));
+    map_ = map;
+    Header* h = header();
+    h->magic = kArenaMagic;
+    h->capacity = capacity;
+    h->payloadSize = 0;
+    h->checksum = 0;
+    h->state.store(kStateEmpty, std::memory_order_relaxed);
+}
+
+ShmArena::~ShmArena()
+{
+    if (map_ != nullptr) ::munmap(map_, mapBytes_);
+}
+
+ShmArena::Header*
+ShmArena::header() const
+{
+    return static_cast<Header*>(map_);
+}
+
+unsigned char*
+ShmArena::payloadBase() const
+{
+    return static_cast<unsigned char*>(map_) + sizeof(Header);
+}
+
+std::size_t
+ShmArena::capacity() const
+{
+    return static_cast<std::size_t>(header()->capacity);
+}
+
+void
+ShmArena::reset()
+{
+    Header* h = header();
+    h->payloadSize = 0;
+    h->checksum = 0;
+    h->state.store(kStateEmpty, std::memory_order_release);
+}
+
+void
+ShmArena::commit(const void* data, std::size_t size)
+{
+    Header* h = header();
+    HPCMIXP_ASSERT(size <= capacity(),
+                   strCat("arena payload ", size, " exceeds capacity ",
+                          capacity()));
+    std::memcpy(payloadBase(), data, size);
+    h->payloadSize = size;
+    h->checksum = fnv1a64(payloadBase(), size);
+    // Last store; release-orders the payload and checksum before the
+    // flag a post-reap parent will acquire.
+    h->state.store(kStateCommitted, std::memory_order_release);
+}
+
+bool
+ShmArena::committed() const
+{
+    const Header* h = header();
+    if (h->magic != kArenaMagic) return false;
+    if (h->state.load(std::memory_order_acquire) != kStateCommitted)
+        return false;
+    const std::uint64_t size = h->payloadSize;
+    if (size > h->capacity) return false;
+    return h->checksum == fnv1a64(payloadBase(), size);
+}
+
+std::size_t
+ShmArena::payloadSize() const
+{
+    return committed() ? static_cast<std::size_t>(header()->payloadSize)
+                       : 0;
+}
+
+bool
+ShmArena::read(void* out, std::size_t size) const
+{
+    if (!committed()) return false;
+    if (static_cast<std::size_t>(header()->payloadSize) != size)
+        return false;
+    std::memcpy(out, payloadBase(), size);
+    return true;
+}
+
+void*
+ShmArena::payload()
+{
+    return payloadBase();
+}
+
+} // namespace hpcmixp::support

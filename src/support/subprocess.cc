@@ -1,0 +1,121 @@
+#include "support/subprocess.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+#include "support/retry.h"
+#include "support/timer.h"
+
+namespace hpcmixp::support {
+
+IsolationMode
+parseIsolationMode(const std::string& text)
+{
+    if (text == "none") return IsolationMode::None;
+    if (text == "fork") return IsolationMode::Fork;
+    fatal(strCat("unknown isolation mode '", text,
+                 "' (expected none or fork)"));
+}
+
+const char*
+isolationModeName(IsolationMode mode)
+{
+    switch (mode) {
+      case IsolationMode::None: return "none";
+      case IsolationMode::Fork: return "fork";
+    }
+    panic("unreachable isolation mode");
+}
+
+const char*
+childExitName(ChildExit exit)
+{
+    switch (exit) {
+      case ChildExit::Clean: return "clean";
+      case ChildExit::NonZeroExit: return "nonzero_exit";
+      case ChildExit::Signaled: return "signaled";
+      case ChildExit::KilledOnDeadline: return "killed_on_deadline";
+      case ChildExit::SpawnFailed: return "spawn_failed";
+    }
+    panic("unreachable child exit class");
+}
+
+ChildOutcome
+runInFork(const std::function<void()>& body, double deadlineSeconds)
+{
+    WallTimer timer;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ChildOutcome out;
+        out.exit = ChildExit::SpawnFailed;
+        out.detail = errno;
+        out.wallSeconds = timer.seconds();
+        return out;
+    }
+    if (pid == 0) {
+        // _exit (never exit): no atexit handlers, no flushing of stdio
+        // buffers copied from the parent.
+        try {
+            body();
+        } catch (...) {
+            ::_exit(kChildBodyThrew);
+        }
+        ::_exit(0);
+    }
+
+    // Without a deadline there is nothing to poll for: block in
+    // waitpid and pay zero wakeup-lag on top of the child's own wall
+    // time. With one, poll WNOHANG on a backoff capped well below the
+    // deadline granularity, and never sleep past the deadline itself.
+    int status = 0;
+    bool killed = false;
+    const bool blocking = deadlineSeconds <= 0.0;
+    double pollSeconds = 50e-6;
+    for (;;) {
+        const pid_t reaped =
+            ::waitpid(pid, &status, blocking || killed ? 0 : WNOHANG);
+        if (reaped == pid) break;
+        if (reaped < 0) {
+            if (errno == EINTR) continue;
+            panic(strCat("waitpid(", pid, ") failed: errno=", errno));
+        }
+        const double remaining = deadlineSeconds - timer.seconds();
+        if (!killed && remaining <= 0.0) {
+            ::kill(pid, SIGKILL);
+            killed = true;
+            continue; // blocking waitpid reaps the corpse
+        }
+        sleepForSeconds(std::min(pollSeconds, remaining));
+        if (pollSeconds < 500e-6) pollSeconds *= 2;
+    }
+
+    ChildOutcome out;
+    out.wallSeconds = timer.seconds();
+    if (killed) {
+        // Even if the child slipped an _exit(0) in before the SIGKILL
+        // landed, the deadline had passed: the result is void.
+        out.exit = ChildExit::KilledOnDeadline;
+        out.detail = SIGKILL;
+        return out;
+    }
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        out.exit = code == 0 ? ChildExit::Clean : ChildExit::NonZeroExit;
+        out.detail = code;
+        return out;
+    }
+    if (WIFSIGNALED(status)) {
+        out.exit = ChildExit::Signaled;
+        out.detail = WTERMSIG(status);
+        return out;
+    }
+    panic(strCat("unexpected waitpid status ", status));
+}
+
+} // namespace hpcmixp::support

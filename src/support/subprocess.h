@@ -1,0 +1,84 @@
+#ifndef HPCMIXP_SUPPORT_SUBPROCESS_H_
+#define HPCMIXP_SUPPORT_SUBPROCESS_H_
+
+/**
+ * @file
+ * Fork-based sandbox execution (DESIGN.md, Section 13).
+ *
+ * runInFork() runs a callable in a forked child process and reaps it,
+ * so a body that SIGSEGVs, aborts, spins forever or exits nonzero is
+ * contained: the parent observes a classified ChildOutcome instead of
+ * dying with the child. The parent enforces an optional wall-clock
+ * deadline for real — a child still running when it expires is
+ * SIGKILLed and reported as KilledOnDeadline.
+ *
+ * The child communicates results back through side channels prepared
+ * *before* the fork (see ShmArena); runInFork itself only transports
+ * control flow. The child never returns from runInFork: its body runs
+ * to completion and the child _exit()s (no atexit handlers, no stdio
+ * flush of buffers inherited from the parent), or it dies by signal.
+ *
+ * fork() without exec() means the child shares the parent's address
+ * space copy-on-write: prepared inputs are inherited for free, and no
+ * file descriptors are created by the mechanism itself, so repeated
+ * sandboxed evaluations cannot leak fds. Every child is reaped with
+ * waitpid() before runInFork returns — no zombies survive it.
+ */
+
+#include <functional>
+#include <string>
+
+namespace hpcmixp::support {
+
+/** Where an evaluation attempt executes (harness --isolation). */
+enum class IsolationMode {
+    None, ///< in the tuner process (the historical behavior)
+    Fork, ///< in a forked child per attempt, crash-contained
+};
+
+/** Parse "none" / "fork"; throws FatalError on anything else. */
+IsolationMode parseIsolationMode(const std::string& text);
+
+/** Canonical name of an IsolationMode ("none", "fork"). */
+const char* isolationModeName(IsolationMode mode);
+
+/** How a sandboxed child terminated. */
+enum class ChildExit {
+    Clean,            ///< _exit(0)
+    NonZeroExit,      ///< _exit(code != 0)
+    Signaled,         ///< killed by a signal it raised (SIGSEGV, abort)
+    KilledOnDeadline, ///< SIGKILLed by the parent at the deadline
+    SpawnFailed,      ///< fork() itself failed; no child ran
+};
+
+/** Canonical name of a ChildExit ("clean", "nonzero_exit", ...). */
+const char* childExitName(ChildExit exit);
+
+/** Classified, reaped outcome of one runInFork() call. */
+struct ChildOutcome {
+    ChildExit exit = ChildExit::Clean;
+
+    /** Exit code (NonZeroExit), terminating signal number (Signaled),
+     *  or errno (SpawnFailed); 0 otherwise. */
+    int detail = 0;
+
+    /** Parent-side wall clock from fork() to reap. */
+    double wallSeconds = 0.0;
+};
+
+/** Exit code used by runInFork's child when @p body throws. */
+inline constexpr int kChildBodyThrew = 61;
+
+/**
+ * Run @p body in a forked child and reap it.
+ *
+ * @p deadlineSeconds > 0 arms the kill-on-deadline timer; <= 0 waits
+ * forever. The call blocks until the child is reaped (at most the
+ * deadline plus one reap), and never leaves a zombie behind.
+ */
+ChildOutcome runInFork(const std::function<void()>& body,
+                       double deadlineSeconds);
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_SUBPROCESS_H_

@@ -35,32 +35,42 @@ OutputComparator::verify(std::span<const double> reference,
     if (fused_ == Fused::None) {
         verdict.rawValue = metric_->compute(reference, test);
         verdict.loss = metric_->loss(reference, test);
-    } else {
-        ErrorStats stats = computeErrorStats(reference, test);
-        switch (fused_) {
-        case Fused::Mae:
-            verdict.rawValue = stats.mae();
-            verdict.loss = verdict.rawValue;
-            break;
-        case Fused::Mse:
-            verdict.rawValue = stats.mse();
-            verdict.loss = verdict.rawValue;
-            break;
-        case Fused::Rmse:
-            verdict.rawValue = stats.rmse();
-            verdict.loss = verdict.rawValue;
-            break;
-        case Fused::R2:
-            verdict.rawValue = stats.r2();
-            verdict.loss = 1.0 - verdict.rawValue;
-            break;
-        case Fused::Mcr:
-            verdict.rawValue = stats.mcr();
-            verdict.loss = verdict.rawValue;
-            break;
-        case Fused::None:
-            break;
-        }
+        verdict.passed =
+            std::isfinite(verdict.loss) && verdict.loss <= threshold_;
+        return verdict;
+    }
+    return verifyStats(computeErrorStats(reference, test));
+}
+
+Verdict
+OutputComparator::verifyStats(const ErrorStats& stats) const
+{
+    HPCMIXP_ASSERT(fused_ != Fused::None,
+                   "verifyStats requires a fusible (built-in) metric");
+    Verdict verdict;
+    switch (fused_) {
+    case Fused::Mae:
+        verdict.rawValue = stats.mae();
+        verdict.loss = verdict.rawValue;
+        break;
+    case Fused::Mse:
+        verdict.rawValue = stats.mse();
+        verdict.loss = verdict.rawValue;
+        break;
+    case Fused::Rmse:
+        verdict.rawValue = stats.rmse();
+        verdict.loss = verdict.rawValue;
+        break;
+    case Fused::R2:
+        verdict.rawValue = stats.r2();
+        verdict.loss = 1.0 - verdict.rawValue;
+        break;
+    case Fused::Mcr:
+        verdict.rawValue = stats.mcr();
+        verdict.loss = verdict.rawValue;
+        break;
+    case Fused::None:
+        break;
     }
     verdict.passed =
         std::isfinite(verdict.loss) && verdict.loss <= threshold_;

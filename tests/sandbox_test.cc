@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Sandbox-execution tests (DESIGN.md §13): fork containment of
+ * genuinely crashing / hanging / SIGSEGVing configurations, real
+ * kill-on-deadline, shared-memory result-arena integrity, fd/zombie
+ * hygiene, memo-cache publication rules, and trajectory identity
+ * between in-process and forked evaluation.
+ *
+ * Carries the `sandbox` ctest label (and not `parallel`: fork and
+ * TSan do not mix).
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "search/driver.h"
+#include "search/fault.h"
+#include "search/memo_store.h"
+#include "support/logging.h"
+#include "support/shm_arena.h"
+#include "support/string_util.h"
+#include "support/subprocess.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace hpcmixp;
+using search::Config;
+using search::EvalStatus;
+using support::ChildExit;
+using support::ChildOutcome;
+using support::IsolationMode;
+using support::ShmArena;
+
+// ---- runInFork ---------------------------------------------------------
+
+TEST(RunInFork, CleanBodyExitsClean)
+{
+    ChildOutcome out = support::runInFork([] {}, 0.0);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    EXPECT_EQ(out.detail, 0);
+    EXPECT_GE(out.wallSeconds, 0.0);
+}
+
+TEST(RunInFork, NonzeroExitIsClassifiedWithCode)
+{
+    ChildOutcome out = support::runInFork([] { ::_exit(3); }, 0.0);
+    EXPECT_EQ(out.exit, ChildExit::NonZeroExit);
+    EXPECT_EQ(out.detail, 3);
+}
+
+TEST(RunInFork, ThrowingBodyUsesTheThrewExitCode)
+{
+    ChildOutcome out = support::runInFork(
+        [] { throw std::runtime_error("boom"); }, 0.0);
+    EXPECT_EQ(out.exit, ChildExit::NonZeroExit);
+    EXPECT_EQ(out.detail, support::kChildBodyThrew);
+}
+
+TEST(RunInFork, AbortingBodyIsContained)
+{
+    ChildOutcome out = support::runInFork([] { std::abort(); }, 0.0);
+    // Sanitizer runtimes may intercept the abort and _exit nonzero
+    // instead; either way the death is contained and classified.
+    EXPECT_TRUE(out.exit == ChildExit::Signaled ||
+                out.exit == ChildExit::NonZeroExit)
+        << support::childExitName(out.exit);
+}
+
+TEST(RunInFork, SegvIsContained)
+{
+    ChildOutcome out = support::runInFork(
+        [] { search::executeRawFault(search::RawFault::Segv); }, 0.0);
+    EXPECT_TRUE(out.exit == ChildExit::Signaled ||
+                out.exit == ChildExit::NonZeroExit)
+        << support::childExitName(out.exit);
+}
+
+TEST(RunInFork, GenuineSpinHangIsKilledOnDeadline)
+{
+    support::WallTimer timer;
+    ChildOutcome out = support::runInFork(
+        [] { search::executeRawFault(search::RawFault::Hang); }, 0.25);
+    EXPECT_EQ(out.exit, ChildExit::KilledOnDeadline);
+    EXPECT_GE(out.wallSeconds, 0.25);
+    // The kill is prompt: nowhere near a blocking wait.
+    EXPECT_LT(timer.seconds(), 10.0);
+}
+
+// ---- ShmArena ----------------------------------------------------------
+
+TEST(ShmArenaTest, RoundTripsAPayload)
+{
+    ShmArena arena(64);
+    EXPECT_EQ(arena.capacity(), 64u);
+    EXPECT_FALSE(arena.committed());
+    EXPECT_EQ(arena.payloadSize(), 0u);
+
+    double values[4] = {1.0, -2.5, 3.25, 1e-300};
+    arena.commit(values, sizeof values);
+    EXPECT_TRUE(arena.committed());
+    EXPECT_EQ(arena.payloadSize(), sizeof values);
+
+    double back[4] = {};
+    ASSERT_TRUE(arena.read(back, sizeof back));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(back[i], values[i]);
+}
+
+TEST(ShmArenaTest, UncommittedArenaReadsFalse)
+{
+    ShmArena arena(16);
+    double out = 0.0;
+    EXPECT_FALSE(arena.read(&out, sizeof out));
+}
+
+TEST(ShmArenaTest, SizeMismatchReadsFalse)
+{
+    ShmArena arena(16);
+    double v = 7.0;
+    arena.commit(&v, sizeof v);
+    float small = 0.0f;
+    EXPECT_FALSE(arena.read(&small, sizeof small));
+}
+
+TEST(ShmArenaTest, TornPayloadFailsTheChecksum)
+{
+    ShmArena arena(32);
+    double values[2] = {42.0, 43.0};
+    arena.commit(values, sizeof values);
+    ASSERT_TRUE(arena.committed());
+    // Simulate a child dying mid-write after the state flip would
+    // have been observed: flip one payload byte.
+    static_cast<unsigned char*>(arena.payload())[3] ^= 0xff;
+    EXPECT_FALSE(arena.committed());
+    double back[2];
+    EXPECT_FALSE(arena.read(back, sizeof back));
+}
+
+TEST(ShmArenaTest, ResetClearsACommit)
+{
+    ShmArena arena(8);
+    double v = 1.0;
+    arena.commit(&v, sizeof v);
+    arena.reset();
+    EXPECT_FALSE(arena.committed());
+}
+
+TEST(ShmArenaTest, ChildCommitIsVisibleAfterReap)
+{
+    ShmArena arena(sizeof(double));
+    ChildOutcome out = support::runInFork(
+        [&arena] {
+            double v = 6.5;
+            arena.commit(&v, sizeof v);
+        },
+        0.0);
+    ASSERT_EQ(out.exit, ChildExit::Clean);
+    double back = 0.0;
+    ASSERT_TRUE(arena.read(&back, sizeof back));
+    EXPECT_EQ(back, 6.5);
+}
+
+TEST(ShmArenaTest, KilledChildLeavesNoCommit)
+{
+    ShmArena arena(sizeof(double));
+    ChildOutcome out = support::runInFork(
+        [&arena] {
+            search::executeRawFault(search::RawFault::Hang);
+        },
+        0.2);
+    EXPECT_EQ(out.exit, ChildExit::KilledOnDeadline);
+    EXPECT_FALSE(arena.committed());
+}
+
+// ---- Tuner-level sandbox ----------------------------------------------
+
+/**
+ * Two-cluster benchmark whose `data` cluster misbehaves on demand
+ * when lowered; `aux` lowering perturbs the output past any sane
+ * threshold (deterministic quality fail), so the only passing
+ * improvement is data-only — which forces a timing-independent winner
+ * for trajectory-identity checks.
+ */
+class RawHostileBenchmark final : public benchmarks::Benchmark {
+  public:
+    enum class Mode { Clean, Abort, Segv, Spin, Exit3, Throw };
+
+    explicit RawHostileBenchmark(Mode mode)
+        : mode_(mode), model_("rawhostile")
+    {
+        using namespace model;
+        ModuleId m = model_.addModule("rawhostile.c");
+        FunctionId f = model_.addFunction(m, "f");
+        model_.addVariable(f, "data", realPointer(), "data");
+        model_.addVariable(f, "aux", realPointer(), "aux");
+    }
+
+    std::string name() const override { return "rawhostile"; }
+    std::string description() const override
+    {
+        return "sandbox containment benchmark";
+    }
+    bool isKernel() const override { return true; }
+
+    const model::ProgramModel& programModel() const override
+    {
+        return model_;
+    }
+
+    benchmarks::RunOutput
+    run(const benchmarks::PrecisionMap& pm) const override
+    {
+        bool dataLowered =
+            pm.get("data") == runtime::Precision::Float32;
+        bool auxLowered =
+            pm.get("aux") == runtime::Precision::Float32;
+        if (dataLowered) {
+            switch (mode_) {
+              case Mode::Abort:
+                std::abort();
+              case Mode::Segv:
+                search::executeRawFault(search::RawFault::Segv);
+                break;
+              case Mode::Spin:
+                search::executeRawFault(search::RawFault::Hang);
+                break;
+              case Mode::Exit3:
+                ::_exit(3);
+              case Mode::Throw:
+                throw std::runtime_error("hostile throw");
+              case Mode::Clean:
+                break;
+            }
+        }
+        benchmarks::RunOutput out;
+        out.values.assign(64, 1.0);
+        if (dataLowered)
+            out.values[0] += 1e-9; // tiny, below threshold
+        if (auxLowered)
+            out.values[0] += 1.0; // deterministic quality fail
+        return out;
+    }
+
+  private:
+    Mode mode_;
+    model::ProgramModel model_;
+};
+
+core::TunerOptions
+sandboxOptions()
+{
+    core::TunerOptions opt;
+    opt.metric = "MAE";
+    opt.threshold = 1e-6;
+    opt.searchReps = 1;
+    opt.finalReps = 3;
+    opt.budget = {200, 0.0};
+    opt.isolation = IsolationMode::Fork;
+    opt.resilience.maxAttempts = 2;
+    opt.resilience.sleepBetweenRetries = false;
+    return opt;
+}
+
+std::size_t
+dataCluster(const core::BenchmarkTuner& tuner,
+            const benchmarks::Benchmark& bench)
+{
+    return tuner.clusters().clusterOf(
+        bench.programModel().findVariable("data"));
+}
+
+TEST(SandboxTuner, SegvIsContainedAndQuarantined)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Segv);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(dataCluster(tuner, bench));
+
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+    EXPECT_FALSE(eval.memoizable);
+
+    auto stats = tuner.sandboxStats();
+    EXPECT_EQ(stats.forks, 1u);
+    // ASan converts the SEGV into a nonzero exit; bare builds die by
+    // signal. Both are containment.
+    EXPECT_EQ(stats.signaled + stats.nonZeroExits, 1u);
+}
+
+TEST(SandboxTuner, AbortingCampaignCompletesWithValidWinner)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Abort);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    auto outcome = tuner.tune("DD");
+
+    // The crashing cluster is quarantined, the search finishes, and
+    // the winner avoids it.
+    EXPECT_GT(outcome.search.quarantined, 0u);
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster(tuner, bench)));
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+    auto stats = tuner.sandboxStats();
+    EXPECT_GT(stats.signaled + stats.nonZeroExits, 0u);
+}
+
+TEST(SandboxTuner, NonzeroExitQuarantines)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Exit3);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    auto outcome = tuner.tune("DD");
+
+    EXPECT_GT(outcome.search.quarantined, 0u);
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster(tuner, bench)));
+    auto stats = tuner.sandboxStats();
+    EXPECT_GT(stats.nonZeroExits, 0u);
+    EXPECT_EQ(stats.killedOnDeadline, 0u);
+}
+
+TEST(SandboxTuner, GenuineHangIsKilledOnDeadline)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Spin);
+    core::TunerOptions opt = sandboxOptions();
+    opt.resilience.deadlineSeconds = 0.25;
+    core::BenchmarkTuner tuner(bench, opt);
+    auto outcome = tuner.tune("DD");
+
+    // The spin-looping configuration genuinely hung children; the
+    // parent killed and reaped each attempt, counted the misses, and
+    // the campaign still produced a quality-clean winner.
+    EXPECT_GT(outcome.search.deadlineMisses, 0u);
+    EXPECT_GT(outcome.search.quarantined, 0u);
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster(tuner, bench)));
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+    auto stats = tuner.sandboxStats();
+    EXPECT_GT(stats.killedOnDeadline, 0u);
+    EXPECT_EQ(stats.killedOnDeadline, outcome.search.deadlineMisses);
+}
+
+TEST(SandboxTuner, ThrowMatchesInProcessClassification)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Throw);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(dataCluster(tuner, bench));
+
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    // A contained C++ exception classifies exactly like the
+    // in-process catch: RuntimeFail, NaN loss — and stays memoizable.
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+    EXPECT_TRUE(eval.memoizable);
+    EXPECT_EQ(tuner.sandboxStats().nonZeroExits, 1u);
+}
+
+TEST(SandboxTuner, CrashLoopCutoffStopsForking)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Abort);
+    core::TunerOptions opt = sandboxOptions();
+    opt.isolationMaxCrashes = 3;
+    core::BenchmarkTuner tuner(bench, opt);
+
+    Config toxic(tuner.clusterCount());
+    toxic.set(dataCluster(tuner, bench));
+    for (int i = 0; i < 10; ++i) {
+        auto eval = tuner.evaluateClusterConfig(toxic, 1);
+        EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    }
+    auto stats = tuner.sandboxStats();
+    EXPECT_EQ(stats.forks, 3u);
+    EXPECT_EQ(stats.crashedChildren(), 3u);
+    EXPECT_EQ(stats.fastFailed, 7u);
+}
+
+/** /proc/self/fd entry count (excluding the iteration itself is not
+ *  needed: both samples are taken the same way). */
+std::size_t
+openFdCount()
+{
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator("/proc/self/fd"))
+        ++n;
+    return n;
+}
+
+TEST(SandboxTuner, HundredEvalsLeakNoFdsOrZombies)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Exit3);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    Config clean(tuner.clusterCount());
+    Config toxic(tuner.clusterCount());
+    toxic.set(dataCluster(tuner, bench));
+
+    const std::size_t before = openFdCount();
+    for (int i = 0; i < 50; ++i) {
+        (void)tuner.evaluateClusterConfig(clean, 1);
+        (void)tuner.evaluateClusterConfig(toxic, 1);
+    }
+    EXPECT_EQ(openFdCount(), before);
+    EXPECT_EQ(tuner.sandboxStats().forks, 100u);
+
+    // Every child was reaped: no zombies left for anyone to collect.
+    int status = 0;
+    pid_t reaped = ::waitpid(-1, &status, WNOHANG);
+    EXPECT_EQ(reaped, -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+/** Shared scratch for trajectory comparisons: the per-config cache
+ *  snapshot reduced to its timing-independent fields. */
+std::set<std::string>
+cacheSnapshot(const support::json::Value& cache)
+{
+    std::set<std::string> entries;
+    for (const auto& e : cache.at("evaluations").items()) {
+        double loss = e.at("quality_loss").isNull()
+                          ? -1.0
+                          : e.at("quality_loss").asNumber();
+        entries.insert(support::strCat(e.at("config").asString(), "|",
+                                       e.at("status").asString(), "|",
+                                       loss));
+    }
+    return entries;
+}
+
+TEST(SandboxTuner, ForkAndInProcessAreTrajectoryIdentical)
+{
+    auto campaign = [](IsolationMode isolation,
+                       support::json::Value& cache) {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::TunerOptions opt = sandboxOptions();
+        opt.isolation = isolation;
+        opt.checkpointEvery = 1;
+        opt.checkpointSink = [&cache](const support::json::Value& v) {
+            cache = v;
+        };
+        core::BenchmarkTuner tuner(bench, opt);
+        return tuner.tune("DD");
+    };
+
+    support::json::Value forkCache, inprocCache;
+    auto forked = campaign(IsolationMode::Fork, forkCache);
+    auto inproc = campaign(IsolationMode::None, inprocCache);
+
+    // Same EV, same winner, same cache contents (configs, statuses,
+    // quality losses — bit-identical arithmetic either side of the
+    // fork). Speedups are wall-clock and excluded by construction.
+    EXPECT_EQ(forked.search.evaluated, inproc.search.evaluated);
+    EXPECT_EQ(forked.search.cacheHits, inproc.search.cacheHits);
+    EXPECT_EQ(forked.search.compileFailures,
+              inproc.search.compileFailures);
+    EXPECT_EQ(forked.clusterConfig, inproc.clusterConfig);
+    EXPECT_EQ(forked.search.best, inproc.search.best);
+    EXPECT_DOUBLE_EQ(forked.finalQualityLoss, inproc.finalQualityLoss);
+    EXPECT_EQ(cacheSnapshot(forkCache), cacheSnapshot(inprocCache));
+
+    // And the sandbox really ran: every evaluation forked cleanly.
+    // (No assertion on spawn overhead magnitude — CI machines vary.)
+    support::json::Value cache;
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+    core::BenchmarkTuner tuner(bench, sandboxOptions());
+    (void)tuner.evaluateClusterConfig(Config(tuner.clusterCount()), 1);
+    EXPECT_EQ(tuner.sandboxStats().cleanExits, 1u);
+}
+
+TEST(SandboxTuner, BatchParallelForkMatchesSerialFork)
+{
+    auto campaign = [](std::size_t jobs) {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::TunerOptions opt = sandboxOptions();
+        opt.searchJobs = jobs;
+        core::BenchmarkTuner tuner(bench, opt);
+        return tuner.tune("DD");
+    };
+    auto serial = campaign(1);
+    auto parallel = campaign(4);
+    EXPECT_EQ(parallel.search.evaluated, serial.search.evaluated);
+    EXPECT_EQ(parallel.search.best, serial.search.best);
+    EXPECT_EQ(parallel.clusterConfig, serial.clusterConfig);
+}
+
+// ---- Memo-cache publication rules -------------------------------------
+
+class TempDir {
+  public:
+    explicit TempDir(const std::string& tag)
+        : path_(std::filesystem::temp_directory_path() /
+                (tag + std::to_string(::getpid())))
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    std::string string() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+TEST(SandboxMemo, PublishesOnlyCleanChildResults)
+{
+    TempDir dir("hpcmixp_sandbox_memo_");
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Segv);
+    core::TunerOptions opt = sandboxOptions();
+    opt.memoStore = std::make_shared<search::MemoStore>(dir.string());
+    core::BenchmarkTuner tuner(bench, opt);
+    auto outcome = tuner.tune("DD");
+    EXPECT_GT(outcome.search.quarantined, 0u);
+
+    auto table = opt.memoStore->table(
+        tuner.fingerprint(search::Granularity::Cluster));
+    auto entries = table->entries();
+    EXPECT_GT(entries.size(), 0u);
+    std::string toxicKey;
+    {
+        Config toxic(tuner.clusterCount());
+        toxic.set(dataCluster(tuner, bench));
+        toxicKey = toxic.toString();
+    }
+    for (const auto& [key, eval] : entries) {
+        // Crashed children never reach the memo: every published
+        // entry is a clean (ran-and-verified) result, and the
+        // SIGSEGVing configuration in particular is absent even
+        // though the search quarantined (and cached) it in-run.
+        EXPECT_NE(eval.status, EvalStatus::RuntimeFail) << key;
+        EXPECT_NE(key, toxicKey);
+    }
+}
+
+// ---- Raw fault injection legality -------------------------------------
+
+TEST(RawFaults, RejectedWithoutSandboxAsRecoverableError)
+{
+    search::FaultPlan plan;
+    plan.rawCrashRate = 0.5;
+    ASSERT_FALSE(plan.sandboxed);
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+    core::TunerOptions opt = sandboxOptions();
+    opt.isolation = IsolationMode::None;
+    opt.faultPlan = plan;
+    EXPECT_THROW(core::BenchmarkTuner(bench, opt),
+                 support::FatalError);
+}
+
+TEST(RawFaults, RawHangWithoutDeadlineIsRejected)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+    core::TunerOptions opt = sandboxOptions();
+    opt.faultPlan.rawHangRate = 0.5;
+    opt.resilience.deadlineSeconds = 0.0;
+    EXPECT_THROW(core::BenchmarkTuner(bench, opt),
+                 support::FatalError);
+}
+
+TEST(RawFaults, InjectedCrashesAreContainedDeterministically)
+{
+    auto countersFor = [](std::uint64_t seed) {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::TunerOptions opt = sandboxOptions();
+        opt.faultPlan.rawCrashRate = 0.4;
+        opt.faultPlan.seed = seed;
+        core::BenchmarkTuner tuner(bench, opt);
+        auto outcome = tuner.tune("DD");
+        return std::make_tuple(outcome.search.evaluated,
+                               outcome.search.retries,
+                               outcome.search.quarantined,
+                               tuner.sandboxStats().signaled +
+                                   tuner.sandboxStats().nonZeroExits);
+    };
+    auto a = countersFor(99);
+    auto b = countersFor(99);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(std::get<3>(a), 0u);
+}
+
+/**
+ * The satellite property test: with the same seed and a single
+ * nonzero rate r, `hangRate = r` (simulated in-process stall) and
+ * `rawHangRate = r` (genuine spin loop killed by the parent) fire on
+ * exactly the same (configuration, attempt) draws — so the campaign
+ * counters (EV, deadline misses, retries as the backoff input,
+ * quarantines) must be identical between isolation modes.
+ */
+TEST(RawFaults, SimulatedAndForkedHangCountersMatch)
+{
+    struct Counters {
+        std::size_t evaluated, deadlineMisses, retries, quarantined;
+        bool operator==(const Counters&) const = default;
+    };
+    auto campaign = [](bool forked) {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::TunerOptions opt = sandboxOptions();
+        opt.resilience.deadlineSeconds = 0.2;
+        opt.faultPlan.seed = 77;
+        if (forked) {
+            opt.isolation = IsolationMode::Fork;
+            opt.faultPlan.rawHangRate = 0.6;
+        } else {
+            opt.isolation = IsolationMode::None;
+            opt.faultPlan.hangRate = 0.6;
+            opt.faultPlan.hangSeconds = 0.4; // well past the deadline
+        }
+        core::BenchmarkTuner tuner(bench, opt);
+        auto outcome = tuner.tune("DD");
+        return Counters{outcome.search.evaluated,
+                        outcome.search.deadlineMisses,
+                        outcome.search.retries,
+                        outcome.search.quarantined};
+    };
+    Counters simulated = campaign(false);
+    Counters forked = campaign(true);
+    EXPECT_GT(simulated.deadlineMisses, 0u);
+    EXPECT_EQ(forked, simulated);
+}
+
+} // namespace
