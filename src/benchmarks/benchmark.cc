@@ -55,11 +55,24 @@ PrecisionMap::allDouble() const
 const runtime::Buffer&
 CachedInput::view(runtime::Precision p) const
 {
-    if (p == runtime::Precision::Float32) {
+    switch (p) {
+    case runtime::Precision::BFloat16:
+        std::call_once(onceBf16_, [&] {
+            bf16_ = runtime::Buffer::fromDoubles(values_, p);
+        });
+        return bf16_;
+    case runtime::Precision::Float16:
+        std::call_once(once16_, [&] {
+            f16_ = runtime::Buffer::fromDoubles(values_, p);
+        });
+        return f16_;
+    case runtime::Precision::Float32:
         std::call_once(once32_, [&] {
             f32_ = runtime::Buffer::fromDoubles(values_, p);
         });
         return f32_;
+    case runtime::Precision::Float64:
+        break;
     }
     std::call_once(once64_, [&] {
         f64_ = runtime::Buffer::fromDoubles(
@@ -139,6 +152,16 @@ Benchmark::execute(const RunPlan& plan, runtime::RunWorkspace&) const
     HPCMIXP_ASSERT(plan.fallbackOnly_,
                    "plan-aware benchmark is missing execute()");
     return run(plan.fallbackMap_);
+}
+
+RunOutput
+Benchmark::executeRefined(const RunPlan&, runtime::RunWorkspace&,
+                          const RefineControl&) const
+{
+    support::fatal(
+        support::strCat("benchmark '", name(),
+                        "' does not expose a residual hook; "
+                        "supportsRefinement() must gate this call"));
 }
 
 } // namespace hpcmixp::benchmarks

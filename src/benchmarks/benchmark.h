@@ -35,9 +35,11 @@
  * compares numerics only.
  */
 
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -136,8 +138,12 @@ class CachedInput {
 
   private:
     std::vector<double> values_;
+    mutable std::once_flag onceBf16_;
+    mutable std::once_flag once16_;
     mutable std::once_flag once32_;
     mutable std::once_flag once64_;
+    mutable runtime::Buffer bf16_;
+    mutable runtime::Buffer f16_;
     mutable runtime::Buffer f32_;
     mutable runtime::Buffer f64_;
 };
@@ -204,6 +210,31 @@ bindInput(RunPlan& plan, std::size_t slot, const CachedInput& input,
         plan.adoptInput(slot, input.convert(p));
 }
 
+/**
+ * Knobs of the iterative-refinement wrapper (`--refine=on`).
+ *
+ * Refinement follows the HPL-MxP recipe: execute at the configured
+ * (low) precision, compute the residual against the exact double
+ * inputs, solve a correction at the low precision, and apply the
+ * correction in double. Iteration stops when the residual max-norm
+ * reaches targetResidual, and *diverges* (throws RefineDiverged) when
+ * the residual turns non-finite or grows on consecutive iterations —
+ * a diverging configuration must surface as RuntimeFail, not a hang.
+ */
+struct RefineControl {
+    double targetResidual = 1e-10; ///< stop when max|r| falls below
+    std::size_t maxIterations = 30; ///< correction-step cap
+};
+
+/** Thrown by executeRefined() when refinement diverges. */
+class RefineDiverged : public std::runtime_error {
+  public:
+    explicit RefineDiverged(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 /** One benchmark program of the suite. */
 class Benchmark {
   public:
@@ -248,6 +279,25 @@ class Benchmark {
      */
     virtual RunOutput execute(const RunPlan& plan,
                               runtime::RunWorkspace& workspace) const;
+
+    /**
+     * True when the benchmark exposes a residual hook — i.e. its
+     * workload is a solve whose answer can be corrected by
+     * executeRefined(). Benchmarks without a hook run unrefined even
+     * under `--refine=on`.
+     */
+    virtual bool supportsRefinement() const { return false; }
+
+    /**
+     * Execute with iterative-refinement recovery: low-precision
+     * solve, double-precision residual, low-precision correction.
+     * Throws RefineDiverged when the iteration diverges. Only called
+     * when supportsRefinement() is true.
+     */
+    virtual RunOutput
+    executeRefined(const RunPlan& plan,
+                   runtime::RunWorkspace& workspace,
+                   const RefineControl& control) const;
 };
 
 } // namespace hpcmixp::benchmarks

@@ -32,6 +32,11 @@ class BenchmarkTuner::ClusterProblem final : public search::SearchProblem {
         return tuner_.clusterCount();
     }
 
+    std::size_t maxLevel() const override
+    {
+        return tuner_.options_.ladder.maxLevel();
+    }
+
     Evaluation
     evaluate(const Config& config) override
     {
@@ -58,16 +63,23 @@ class BenchmarkTuner::VariableProblem final
         return tuner_.variableCount();
     }
 
+    std::size_t maxLevel() const override
+    {
+        return tuner_.options_.ladder.maxLevel();
+    }
+
     Evaluation
     evaluate(const Config& config) override
     {
-        // Compile check: every cluster must be uniformly typed.
+        // Compile check: every cluster must be uniformly typed — under
+        // a ladder, uniform in *level*, not merely lowered-or-not.
         const auto& clusters = tuner_.clusters_;
         for (std::size_t c = 0; c < clusters.clusterCount(); ++c) {
             const auto& members = clusters.members(c);
-            bool first = tuner_.isVarLowered(config, members.front());
+            std::uint8_t first =
+                tuner_.varLevel(config, members.front());
             for (model::VarId v : members) {
-                if (tuner_.isVarLowered(config, v) != first) {
+                if (tuner_.varLevel(config, v) != first) {
                     Evaluation eval;
                     eval.status = EvalStatus::CompileFail;
                     return eval;
@@ -135,6 +147,40 @@ bool
 BenchmarkTuner::isVarLowered(const Config& varCfg, model::VarId var) const
 {
     return varCfg.test(siteIndexOf(variables_, var));
+}
+
+std::uint8_t
+BenchmarkTuner::varLevel(const Config& varCfg, model::VarId var) const
+{
+    return varCfg.level(siteIndexOf(variables_, var));
+}
+
+bool
+BenchmarkTuner::useRefinement(const Config& cfg) const
+{
+    // The baseline must stay a plain execute: it anchors the reference
+    // output and every speedup ratio. Benchmarks without a residual
+    // hook simply never refine.
+    return options_.refine && !cfg.isBaseline() &&
+           benchmark_.supportsRefinement();
+}
+
+benchmarks::RunOutput
+BenchmarkTuner::executeForConfig(const benchmarks::RunPlan& plan,
+                                 runtime::RunWorkspace& ws,
+                                 bool refined) const
+{
+    if (refined) {
+        benchmarks::RefineControl control;
+        // Drive the residual comfortably below the quality threshold;
+        // the floor keeps well-conditioned problems at (near) the
+        // reference answer.
+        control.targetResidual =
+            std::min(control.targetResidual,
+                     comparator_.threshold() * 1e-2);
+        return benchmark_.executeRefined(plan, ws, control);
+    }
+    return benchmark_.execute(plan, ws);
 }
 
 BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
@@ -276,12 +322,16 @@ BenchmarkTuner::precisionMapFor(const Config& clusterCfg) const
     pm.setOwner(benchmark_.name());
     const auto& program = benchmark_.programModel();
     for (std::size_t c = 0; c < clusterCount(); ++c) {
-        if (!clusterCfg.test(c))
+        std::uint8_t level = clusterCfg.level(c);
+        if (level == 0)
             continue;
+        // Level L binds the cluster to rung L of the campaign ladder
+        // (level 1 on the default ladder is Float32, as of old).
+        runtime::Precision p = options_.ladder.at(level);
         for (model::VarId v : clusters_.members(c)) {
             const auto& var = program.variable(v);
             if (!var.bindKey.empty())
-                pm.set(var.bindKey, runtime::Precision::Float32);
+                pm.set(var.bindKey, p);
         }
     }
     return pm;
@@ -291,10 +341,8 @@ Config
 BenchmarkTuner::toClusterConfig(const Config& varCfg) const
 {
     Config out(clusterCount());
-    for (std::size_t c = 0; c < clusterCount(); ++c) {
-        bool lowered = isVarLowered(varCfg, clusters_.members(c).front());
-        out.set(c, lowered);
-    }
+    for (std::size_t c = 0; c < clusterCount(); ++c)
+        out.setLevel(c, varLevel(varCfg, clusters_.members(c).front()));
     return out;
 }
 
@@ -315,6 +363,12 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
     // a separate untimed run.
     benchmarks::RunOutput output;
     std::vector<double> samples;
+    // Timed region includes the refinement sweeps: recovery is only a
+    // win when the corrected run is still faster than the baseline. A
+    // diverging refinement throws RefineDiverged, landing in the catch
+    // below as an ordinary RuntimeFail (never a hang — the iteration
+    // count is bounded).
+    const bool refined = useRefinement(cfg);
     try {
         benchmarks::RunPlan plan = benchmark_.prepare(pm);
         runtime::RunWorkspace& ws = evalWorkspace();
@@ -323,7 +377,7 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
         for (std::size_t i = 0; i < timedReps; ++i) {
             support::WallTimer timer;
             benchmarks::RunOutput repOutput =
-                benchmark_.execute(plan, ws);
+                executeForConfig(plan, ws, refined);
             samples.push_back(timer.seconds());
             if (i == 0)
                 output = std::move(repOutput);
@@ -386,6 +440,7 @@ BenchmarkTuner::evaluateSandboxed(const Config& cfg, std::size_t reps)
 
     support::ShmArena arena(sizeof(SandboxPayload));
     support::ChildOutcome child;
+    const bool refined = useRefinement(cfg);
     try {
         PrecisionMap pm = precisionMapFor(cfg);
         benchmarks::RunPlan plan = benchmark_.prepare(pm);
@@ -400,8 +455,11 @@ BenchmarkTuner::evaluateSandboxed(const Config& cfg, std::size_t reps)
                 samples.reserve(timedReps);
                 for (std::size_t i = 0; i < timedReps; ++i) {
                     support::WallTimer timer;
+                    // RefineDiverged thrown here is contained by the
+                    // fork trampoline (kChildBodyThrew) and classified
+                    // exactly like the in-process RuntimeFail.
                     benchmarks::RunOutput repOutput =
-                        benchmark_.execute(plan, ws);
+                        executeForConfig(plan, ws, refined);
                     samples.push_back(timer.seconds());
                     if (i == 0)
                         output = std::move(repOutput);
@@ -515,6 +573,7 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
     std::size_t reps = std::max<std::size_t>(options_.finalReps, 1);
     std::vector<double> baseSamples;
     std::vector<double> cfgSamples;
+    const bool refined = useRefinement(cfg);
     try {
         benchmarks::RunPlan cfgPlan = benchmark_.prepare(pm);
         benchmarks::RunPlan basePlan = benchmark_.prepare(allDouble);
@@ -527,7 +586,7 @@ BenchmarkTuner::finalMeasure(const Config& cfg)
             baseSamples.push_back(timer.seconds());
             timer.reset();
             benchmarks::RunOutput repOutput =
-                benchmark_.execute(cfgPlan, ws);
+                executeForConfig(cfgPlan, ws, refined);
             cfgSamples.push_back(timer.seconds());
             if (i == 0)
                 output = std::move(repOutput);
@@ -571,21 +630,37 @@ BenchmarkTuner::staticPrior(search::Granularity granularity) const
 
     bool variableLevel = granularity == search::Granularity::Variable;
     std::size_t sites = variableLevel ? variableCount() : clusterCount();
-    std::vector<bool> pinned(sites, false);
+    std::vector<std::uint8_t> caps(sites, 0);
     std::vector<bool> narrow(sites, false);
     std::vector<int> scores(sites, 0);
     for (std::size_t i = 0; i < sites; ++i) {
         // A variable site inherits the verdict of its cluster: pinning
         // (or narrowing) part of a cluster would split it, which the
         // variable-level problem rejects as a compile failure anyway.
+        // Each verdict maps to a per-rung floor: KeepDouble pins the
+        // site (cap 0), Unknown allows float but nothing deeper
+        // (cap 1), SafeToNarrow may take any rung. On the default
+        // two-rung ladder caps 1 and unbounded are indistinguishable,
+        // which is exactly the historical pinned/free split.
         std::size_t c =
             variableLevel ? clusters_.clusterOf(variables_[i]) : i;
-        pinned[i] = verdict[c] == typeforge::Sensitivity::KeepDouble;
-        narrow[i] = verdict[c] == typeforge::Sensitivity::SafeToNarrow;
+        switch (verdict[c]) {
+        case typeforge::Sensitivity::KeepDouble:
+            caps[i] = 0;
+            break;
+        case typeforge::Sensitivity::SafeToNarrow:
+            caps[i] = search::StaticPrior::kUnbounded;
+            narrow[i] = true;
+            break;
+        default:
+            caps[i] = 1;
+            break;
+        }
         scores[i] = clusterScore[c];
     }
-    return search::StaticPrior(options_.staticPrior, std::move(pinned),
-                               std::move(narrow), std::move(scores));
+    return search::StaticPrior::withCaps(
+        options_.staticPrior, std::move(caps), std::move(narrow),
+        std::move(scores));
 }
 
 search::SearchProblem&
@@ -643,6 +718,14 @@ BenchmarkTuner::fingerprint(search::Granularity granularity) const
     fp.sites = granularity == search::Granularity::Variable
                    ? variableCount()
                    : clusterCount();
+    // The ladder decides what a level digit *means*, and refinement
+    // changes what an evaluation measures; either difference makes
+    // cached entries incomparable. The default ladder without
+    // refinement renders as "f64:f32" — the historical fingerprint —
+    // so pre-ladder checkpoints and memo segments stay loadable.
+    fp.ladder = options_.ladder.describe();
+    if (options_.refine)
+        fp.ladder += "+ir";
     return fp;
 }
 
@@ -813,9 +896,7 @@ BenchmarkTuner::tunePortfolio(
             // sub-1.0 stored speedup.
             if (!eval.passed() || key.size() != clusterCount())
                 continue;
-            search::Config cluster(clusterCount());
-            for (std::size_t i = 0; i < key.size(); ++i)
-                cluster.set(i, key[i] == '1');
+            search::Config cluster = search::Config::fromString(key);
             bool duplicate = false;
             for (const Candidate& seen : candidates)
                 duplicate = duplicate || seen.cluster == cluster;

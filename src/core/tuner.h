@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "benchmarks/benchmark.h"
+#include "runtime/ladder.h"
 #include "search/driver.h"
 #include "search/fault.h"
 #include "search/memo_store.h"
@@ -45,6 +46,27 @@ struct TunerOptions {
 
     /** Campaign seed, shared by the GA and the fault injector. */
     std::uint64_t seed = 2020;
+
+    /**
+     * The precision ladder (harness --ladder). A site at config level
+     * L runs at rung L of this ladder; the default two-rung
+     * double->float ladder reproduces the pre-ladder binary campaign
+     * bit-for-bit (property-pinned trajectories).
+     */
+    runtime::PrecisionLadder ladder;
+
+    /**
+     * Iterative-refinement recovery (harness --refine). When on,
+     * every non-baseline evaluation of a benchmark that exposes a
+     * residual hook runs through Benchmark::executeRefined(): the
+     * low-precision execute is followed by high-precision residual
+     * correction, letting aggressive half/bfloat16 configurations
+     * pass thresholds they would otherwise fail. A diverging
+     * refinement throws RefineDiverged, which the evaluation layer
+     * reports as RuntimeFail. The fingerprint carries a "+ir" marker
+     * so refined and unrefined results never share a memo table.
+     */
+    bool refine = false;
 
     /** Retry/deadline/backoff policy for every search evaluation. */
     search::ResiliencePolicy resilience;
@@ -300,6 +322,12 @@ class BenchmarkTuner {
     void runBaseline();
     bool isVarLowered(const search::Config& varCfg,
                       model::VarId var) const;
+    std::uint8_t varLevel(const search::Config& varCfg,
+                          model::VarId var) const;
+    bool useRefinement(const search::Config& cfg) const;
+    benchmarks::RunOutput executeForConfig(
+        const benchmarks::RunPlan& plan, runtime::RunWorkspace& ws,
+        bool refined) const;
     search::Evaluation evaluateSandboxed(const search::Config& cfg,
                                          std::size_t reps);
 

@@ -11,7 +11,8 @@
  *                     [--checkpoint F] [--resume F]
  *                     [--memo-cache DIR] [--portfolio]
  *                     [--portfolio-mode best|race]
- *                     [--static-prior on|off|strict] [--verbose]
+ *                     [--static-prior on|off|strict]
+ *                     [--ladder SPEC] [--refine on|off] [--verbose]
  *
  * Reads a Listing-4-style YAML configuration, runs every declared
  * analysis job, and prints a result table. The resilience flags
@@ -80,6 +81,12 @@ main(int argc, char** argv)
                " (first finisher cancels the rest)\n"
                "  --static-prior  mixp-lint search prior: on, off or"
                " strict (default off)\n"
+               "  --ladder      precision ladder, deepest last, e.g."
+               " double,float,half or double,float,bf16"
+               " (default double,float)\n"
+               "  --refine      iterative-refinement recovery for"
+               " benchmarks with a residual hook: on or off"
+               " (default off)\n"
                "  --json        write a JSON report to this file\n";
         return cl.has("help") ? 0 : 2;
     }
@@ -135,6 +142,15 @@ main(int argc, char** argv)
 
         options.tuner.staticPrior = search::parsePriorMode(
             cl.getString("static-prior", "off"));
+
+        options.tuner.ladder = runtime::PrecisionLadder::parse(
+            cl.getString("ladder", "double,float"));
+        {
+            std::string refine = cl.getString("refine", "off");
+            if (refine != "on" && refine != "off")
+                support::fatal("--refine expects on or off");
+            options.tuner.refine = refine == "on";
+        }
 
         options.memoCacheDir = cl.getString("memo-cache", "");
         options.portfolio = cl.getBool("portfolio", false);

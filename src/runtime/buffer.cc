@@ -7,10 +7,20 @@ namespace hpcmixp::runtime {
 Buffer::Buffer(std::size_t elements, Precision p)
     : precision_(p), size_(elements)
 {
-    if (p == Precision::Float32)
+    switch (p) {
+    case Precision::BFloat16:
+        bf16_.assign(elements, BFloat16{});
+        break;
+    case Precision::Float16:
+        f16_.assign(elements, Half{});
+        break;
+    case Precision::Float32:
         f32_.assign(elements, 0.0f);
-    else
+        break;
+    case Precision::Float64:
         f64_.assign(elements, 0.0);
+        break;
+    }
 }
 
 void
@@ -27,19 +37,37 @@ double
 Buffer::loadDouble(std::size_t i) const
 {
     HPCMIXP_ASSERT(i < size_, "buffer index out of range");
-    return precision_ == Precision::Float32
-               ? static_cast<double>(f32_[i])
-               : f64_[i];
+    switch (precision_) {
+    case Precision::BFloat16:
+        return static_cast<double>(static_cast<float>(bf16_[i]));
+    case Precision::Float16:
+        return static_cast<double>(static_cast<float>(f16_[i]));
+    case Precision::Float32:
+        return static_cast<double>(f32_[i]);
+    case Precision::Float64:
+        break;
+    }
+    return f64_[i];
 }
 
 void
 Buffer::storeDouble(std::size_t i, double value)
 {
     HPCMIXP_ASSERT(i < size_, "buffer index out of range");
-    if (precision_ == Precision::Float32)
+    switch (precision_) {
+    case Precision::BFloat16:
+        bf16_[i] = BFloat16(value);
+        break;
+    case Precision::Float16:
+        f16_[i] = Half(value);
+        break;
+    case Precision::Float32:
         f32_[i] = static_cast<float>(value);
-    else
+        break;
+    case Precision::Float64:
         f64_[i] = value;
+        break;
+    }
 }
 
 void
@@ -47,12 +75,23 @@ Buffer::fillFrom(std::span<const double> values)
 {
     HPCMIXP_ASSERT(values.size() == size_,
                    "fillFrom size mismatch");
-    if (precision_ == Precision::Float32) {
+    switch (precision_) {
+    case Precision::BFloat16:
+        for (std::size_t i = 0; i < size_; ++i)
+            bf16_[i] = BFloat16(values[i]);
+        break;
+    case Precision::Float16:
+        for (std::size_t i = 0; i < size_; ++i)
+            f16_[i] = Half(values[i]);
+        break;
+    case Precision::Float32:
         for (std::size_t i = 0; i < size_; ++i)
             f32_[i] = static_cast<float>(values[i]);
-    } else {
+        break;
+    case Precision::Float64:
         for (std::size_t i = 0; i < size_; ++i)
             f64_[i] = values[i];
+        break;
     }
 }
 
@@ -61,14 +100,25 @@ Buffer::reshape(std::size_t elements, Precision p)
 {
     precision_ = p;
     size_ = elements;
-    // clear() keeps capacity, so both lanes retain their high-water
+    // clear() keeps capacity, so every lane retains its high-water
     // allocation across precision flips.
-    if (p == Precision::Float32) {
-        f64_.clear();
+    bf16_.clear();
+    f16_.clear();
+    f32_.clear();
+    f64_.clear();
+    switch (p) {
+    case Precision::BFloat16:
+        bf16_.assign(elements, BFloat16{});
+        break;
+    case Precision::Float16:
+        f16_.assign(elements, Half{});
+        break;
+    case Precision::Float32:
         f32_.assign(elements, 0.0f);
-    } else {
-        f32_.clear();
+        break;
+    case Precision::Float64:
         f64_.assign(elements, 0.0);
+        break;
     }
 }
 
@@ -77,12 +127,23 @@ Buffer::copyFrom(const Buffer& src)
 {
     precision_ = src.precision_;
     size_ = src.size_;
-    if (precision_ == Precision::Float32) {
-        f64_.clear();
+    bf16_.clear();
+    f16_.clear();
+    f32_.clear();
+    f64_.clear();
+    switch (precision_) {
+    case Precision::BFloat16:
+        bf16_.assign(src.bf16_.begin(), src.bf16_.end());
+        break;
+    case Precision::Float16:
+        f16_.assign(src.f16_.begin(), src.f16_.end());
+        break;
+    case Precision::Float32:
         f32_.assign(src.f32_.begin(), src.f32_.end());
-    } else {
-        f32_.clear();
+        break;
+    case Precision::Float64:
         f64_.assign(src.f64_.begin(), src.f64_.end());
+        break;
     }
 }
 
@@ -90,11 +151,22 @@ std::vector<double>
 Buffer::toDoubles() const
 {
     std::vector<double> out(size_);
-    if (precision_ == Precision::Float32) {
+    switch (precision_) {
+    case Precision::BFloat16:
+        for (std::size_t i = 0; i < size_; ++i)
+            out[i] = static_cast<double>(static_cast<float>(bf16_[i]));
+        break;
+    case Precision::Float16:
+        for (std::size_t i = 0; i < size_; ++i)
+            out[i] = static_cast<double>(static_cast<float>(f16_[i]));
+        break;
+    case Precision::Float32:
         for (std::size_t i = 0; i < size_; ++i)
             out[i] = static_cast<double>(f32_[i]);
-    } else {
+        break;
+    case Precision::Float64:
         out.assign(f64_.begin(), f64_.end());
+        break;
     }
     return out;
 }

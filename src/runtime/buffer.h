@@ -5,8 +5,9 @@
  * @file
  * Runtime-typed array storage — the paper's mp_malloc.
  *
- * A Buffer owns a contiguous array whose element type (float or double)
- * is chosen at *runtime* by the active mixed-precision configuration,
+ * A Buffer owns a contiguous array whose element type (bfloat16, half,
+ * float, or double — any rung of the active PrecisionLadder) is chosen
+ * at *runtime* by the active mixed-precision configuration,
  * exactly like the paper's `mp_malloc(elements, ptr)` which sizes the
  * allocation by the configured type of `ptr`. Typed access is through
  * as<T>(), which panics on a precision mismatch: a region template must
@@ -22,11 +23,12 @@
 #include <span>
 #include <vector>
 
+#include "runtime/half.h"
 #include "runtime/precision.h"
 
 namespace hpcmixp::runtime {
 
-/** A runtime-typed owning array of float32 or float64 elements. */
+/** A runtime-typed owning array of bf16/half/float/double elements. */
 class Buffer {
   public:
     /** An empty buffer (size 0, double precision). */
@@ -92,6 +94,8 @@ class Buffer {
     Precision precision_;
     std::size_t size_;
     // Exactly one of these is non-empty, matching precision_.
+    std::vector<BFloat16> bf16_;
+    std::vector<Half> f16_;
     std::vector<float> f32_;
     std::vector<double> f64_;
 };
@@ -101,7 +105,11 @@ std::span<T>
 Buffer::as()
 {
     checkAccess(precisionOf<T>());
-    if constexpr (precisionOf<T>() == Precision::Float32)
+    if constexpr (precisionOf<T>() == Precision::BFloat16)
+        return std::span<T>(reinterpret_cast<T*>(bf16_.data()), size_);
+    else if constexpr (precisionOf<T>() == Precision::Float16)
+        return std::span<T>(reinterpret_cast<T*>(f16_.data()), size_);
+    else if constexpr (precisionOf<T>() == Precision::Float32)
         return std::span<T>(reinterpret_cast<T*>(f32_.data()), size_);
     else
         return std::span<T>(reinterpret_cast<T*>(f64_.data()), size_);
@@ -112,7 +120,13 @@ std::span<const T>
 Buffer::as() const
 {
     checkAccess(precisionOf<T>());
-    if constexpr (precisionOf<T>() == Precision::Float32)
+    if constexpr (precisionOf<T>() == Precision::BFloat16)
+        return std::span<const T>(
+            reinterpret_cast<const T*>(bf16_.data()), size_);
+    else if constexpr (precisionOf<T>() == Precision::Float16)
+        return std::span<const T>(
+            reinterpret_cast<const T*>(f16_.data()), size_);
+    else if constexpr (precisionOf<T>() == Precision::Float32)
         return std::span<const T>(
             reinterpret_cast<const T*>(f32_.data()), size_);
     else

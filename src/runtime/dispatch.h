@@ -23,6 +23,7 @@
 
 #include <utility>
 
+#include "runtime/half.h"
 #include "runtime/precision.h"
 
 namespace hpcmixp::runtime {
@@ -33,17 +34,25 @@ struct TypeTag {
     using type = T;
 };
 
-/** Dispatch over one precision. */
+/** Dispatch over one precision (4 instantiations). */
 template <class Fn>
 decltype(auto)
 dispatch1(Precision p, Fn&& fn)
 {
-    if (p == Precision::Float32)
+    switch (p) {
+    case Precision::BFloat16:
+        return fn(TypeTag<BFloat16>{});
+    case Precision::Float16:
+        return fn(TypeTag<Half>{});
+    case Precision::Float32:
         return fn(TypeTag<float>{});
+    case Precision::Float64:
+        break;
+    }
     return fn(TypeTag<double>{});
 }
 
-/** Dispatch over two independent precisions (4 instantiations). */
+/** Dispatch over two independent precisions (16 instantiations). */
 template <class Fn>
 decltype(auto)
 dispatch2(Precision a, Precision b, Fn&& fn)
@@ -53,7 +62,7 @@ dispatch2(Precision a, Precision b, Fn&& fn)
     });
 }
 
-/** Dispatch over three independent precisions (8 instantiations). */
+/** Dispatch over three independent precisions (64 instantiations). */
 template <class Fn>
 decltype(auto)
 dispatch3(Precision a, Precision b, Precision c, Fn&& fn)
@@ -64,7 +73,7 @@ dispatch3(Precision a, Precision b, Precision c, Fn&& fn)
     });
 }
 
-/** Dispatch over four independent precisions (16 instantiations). */
+/** Dispatch over four independent precisions (256 instantiations). */
 template <class Fn>
 decltype(auto)
 dispatch4(Precision a, Precision b, Precision c, Precision d, Fn&& fn)

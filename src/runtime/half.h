@@ -1,0 +1,285 @@
+#ifndef HPCMIXP_RUNTIME_HALF_H_
+#define HPCMIXP_RUNTIME_HALF_H_
+
+/**
+ * @file
+ * Software-emulated 16-bit floating-point element types.
+ *
+ * `Half` (IEEE-754 binary16) and `BFloat16` are storage formats: a
+ * value lives in 16 bits in memory, arithmetic happens in float after
+ * an implicit widening conversion, and a store rounds back to 16 bits
+ * (round-to-nearest-even). That matches how region templates use
+ * them — `x[i] = static_cast<TX>(z[i] * (y[i] - x[i-1]))` computes in
+ * float and rounds once on the store — and is deliberately
+ * compiler-independent: gcc 12 has no `__bf16` arithmetic and
+ * `_Float16` semantics vary by target, while these emulated types
+ * produce bit-identical results everywhere, which the golden-pinned
+ * tests require.
+ *
+ * Conversion semantics (pinned by tests/runtime_test.cc):
+ *  - float -> 16-bit uses round-to-nearest-even, including subnormal
+ *    results; values whose magnitude rounds beyond the maximum finite
+ *    16-bit value overflow to infinity.
+ *  - NaN narrows to a quiet NaN, infinity stays infinity.
+ *  - double -> 16-bit goes through float first (one documented
+ *    double-rounding step, mirroring the Buffer's widening ladder).
+ */
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/precision.h"
+
+namespace hpcmixp::runtime {
+
+namespace detail {
+
+/** Round-to-nearest-even of (v >> shift); the carry may propagate. */
+constexpr std::uint32_t
+roundShiftRight(std::uint32_t v, unsigned shift)
+{
+    std::uint32_t out = v >> shift;
+    std::uint32_t rem = v & ((1u << shift) - 1u);
+    std::uint32_t half = 1u << (shift - 1u);
+    if (rem > half || (rem == half && (out & 1u)))
+        ++out;
+    return out;
+}
+
+constexpr std::uint16_t
+floatBitsToHalfBits(std::uint32_t f)
+{
+    std::uint32_t sign = (f >> 16) & 0x8000u;
+    std::uint32_t abs = f & 0x7fffffffu;
+    if (abs >= 0x7f800000u) // Inf or NaN
+        return static_cast<std::uint16_t>(
+            sign | (abs > 0x7f800000u ? 0x7e00u : 0x7c00u));
+    int exp = static_cast<int>(abs >> 23) - 127;
+    std::uint32_t man = abs & 0x007fffffu;
+    if (exp >= 16) // magnitude >= 2^16: overflow to Inf
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    if (exp >= -14) {
+        // Normal half; a mantissa rounding carry bumps the exponent
+        // (and 65520+ correctly carries into the Inf encoding).
+        std::uint32_t out = roundShiftRight(man, 13);
+        std::uint32_t bits =
+            (static_cast<std::uint32_t>(exp + 15) << 10) + out;
+        return static_cast<std::uint16_t>(sign | bits);
+    }
+    if (exp >= -25) {
+        // Subnormal half: make the implicit bit explicit, then round
+        // in units of 2^-24 (the subnormal ulp).
+        std::uint32_t full = man | 0x00800000u;
+        std::uint32_t out =
+            roundShiftRight(full, static_cast<unsigned>(-exp - 1));
+        return static_cast<std::uint16_t>(sign | out);
+    }
+    return static_cast<std::uint16_t>(sign); // underflows to +/-0
+}
+
+constexpr std::uint32_t
+halfBitsToFloatBits(std::uint16_t h)
+{
+    std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    std::uint32_t exp = (h >> 10) & 0x1fu;
+    std::uint32_t man = h & 0x3ffu;
+    if (exp == 31u) // Inf / NaN
+        return sign | 0x7f800000u | (man << 13);
+    if (exp == 0u) {
+        if (man == 0u)
+            return sign; // +/-0
+        // Subnormal half: renormalize into a float.
+        unsigned extra = 0;
+        std::uint32_t m = man;
+        while (!(m & 0x400u)) {
+            m <<= 1;
+            ++extra;
+        }
+        // value = 1.xxx * 2^(-14 - extra)  ->  biased float exponent
+        std::uint32_t fexp = 113u - extra;
+        return sign | (fexp << 23) | ((m & 0x3ffu) << 13);
+    }
+    return sign | ((exp + 112u) << 23) | (man << 13);
+}
+
+constexpr std::uint16_t
+floatBitsToBf16Bits(std::uint32_t f)
+{
+    if ((f & 0x7fffffffu) > 0x7f800000u) // NaN: truncate but quiet
+        return static_cast<std::uint16_t>((f >> 16) | 0x0040u);
+    // Round-to-nearest-even on the dropped low 16 bits; the carry
+    // propagates into the exponent, overflowing large finites to Inf.
+    std::uint32_t lsb = (f >> 16) & 1u;
+    return static_cast<std::uint16_t>((f + 0x7fffu + lsb) >> 16);
+}
+
+} // namespace detail
+
+/** IEEE-754 binary16 storage type (float compute, round on store). */
+struct Half {
+    std::uint16_t bits = 0;
+
+    constexpr Half() = default;
+
+    template <class U,
+              class = std::enable_if_t<std::is_convertible_v<U, float>>>
+    constexpr Half(U value)
+        : bits(detail::floatBitsToHalfBits(
+              std::bit_cast<std::uint32_t>(static_cast<float>(value))))
+    {
+    }
+
+    constexpr operator float() const
+    {
+        return std::bit_cast<float>(detail::halfBitsToFloatBits(bits));
+    }
+
+    // Compound assignment computes in float and rounds on the store,
+    // like every other use of the type.
+    constexpr Half&
+    operator+=(float v)
+    {
+        return *this = Half(static_cast<float>(*this) + v);
+    }
+    constexpr Half&
+    operator-=(float v)
+    {
+        return *this = Half(static_cast<float>(*this) - v);
+    }
+    constexpr Half&
+    operator*=(float v)
+    {
+        return *this = Half(static_cast<float>(*this) * v);
+    }
+    constexpr Half&
+    operator/=(float v)
+    {
+        return *this = Half(static_cast<float>(*this) / v);
+    }
+
+    static constexpr Half
+    fromBits(std::uint16_t b)
+    {
+        Half h;
+        h.bits = b;
+        return h;
+    }
+};
+
+/** bfloat16 storage type (float compute, round on store). */
+struct BFloat16 {
+    std::uint16_t bits = 0;
+
+    constexpr BFloat16() = default;
+
+    template <class U,
+              class = std::enable_if_t<std::is_convertible_v<U, float>>>
+    constexpr BFloat16(U value)
+        : bits(detail::floatBitsToBf16Bits(
+              std::bit_cast<std::uint32_t>(static_cast<float>(value))))
+    {
+    }
+
+    constexpr operator float() const
+    {
+        return std::bit_cast<float>(static_cast<std::uint32_t>(bits)
+                                    << 16);
+    }
+
+    constexpr BFloat16&
+    operator+=(float v)
+    {
+        return *this = BFloat16(static_cast<float>(*this) + v);
+    }
+    constexpr BFloat16&
+    operator-=(float v)
+    {
+        return *this = BFloat16(static_cast<float>(*this) - v);
+    }
+    constexpr BFloat16&
+    operator*=(float v)
+    {
+        return *this = BFloat16(static_cast<float>(*this) * v);
+    }
+    constexpr BFloat16&
+    operator/=(float v)
+    {
+        return *this = BFloat16(static_cast<float>(*this) / v);
+    }
+
+    static constexpr BFloat16
+    fromBits(std::uint16_t b)
+    {
+        BFloat16 v;
+        v.bits = b;
+        return v;
+    }
+};
+
+static_assert(sizeof(Half) == 2 && sizeof(BFloat16) == 2,
+              "16-bit storage types must be exactly two bytes");
+
+template <>
+constexpr Precision
+precisionOf<Half>()
+{
+    return Precision::Float16;
+}
+
+template <>
+constexpr Precision
+precisionOf<BFloat16>()
+{
+    return Precision::BFloat16;
+}
+
+} // namespace hpcmixp::runtime
+
+// Region templates pick their accumulator type as
+// std::common_type_t<TX, TY>. Teach the trait that a 16-bit storage
+// type combined with an arithmetic type accumulates as float would
+// (float stays float, double stays double), two identical storage
+// types keep their storage rounding, and the two 16-bit formats meet
+// in float — the type their arithmetic happens in.
+namespace std {
+
+template <class T>
+struct common_type<hpcmixp::runtime::Half, T>
+    : common_type<float, T> {
+};
+template <class T>
+struct common_type<T, hpcmixp::runtime::Half>
+    : common_type<T, float> {
+};
+template <class T>
+struct common_type<hpcmixp::runtime::BFloat16, T>
+    : common_type<float, T> {
+};
+template <class T>
+struct common_type<T, hpcmixp::runtime::BFloat16>
+    : common_type<T, float> {
+};
+template <>
+struct common_type<hpcmixp::runtime::Half, hpcmixp::runtime::Half> {
+    using type = hpcmixp::runtime::Half;
+};
+template <>
+struct common_type<hpcmixp::runtime::BFloat16,
+                   hpcmixp::runtime::BFloat16> {
+    using type = hpcmixp::runtime::BFloat16;
+};
+template <>
+struct common_type<hpcmixp::runtime::Half,
+                   hpcmixp::runtime::BFloat16> {
+    using type = float;
+};
+template <>
+struct common_type<hpcmixp::runtime::BFloat16,
+                   hpcmixp::runtime::Half> {
+    using type = float;
+};
+
+} // namespace std
+
+#endif // HPCMIXP_RUNTIME_HALF_H_

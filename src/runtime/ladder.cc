@@ -1,0 +1,92 @@
+#include "runtime/ladder.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace hpcmixp::runtime {
+
+using support::fatal;
+using support::strCat;
+
+namespace {
+
+Precision
+parseRung(const std::string& token)
+{
+    std::string name = support::toLower(support::trim(token));
+    if (name == "double" || name == "f64" || name == "float64")
+        return Precision::Float64;
+    if (name == "float" || name == "single" || name == "f32" ||
+        name == "float32")
+        return Precision::Float32;
+    if (name == "half" || name == "f16" || name == "float16" ||
+        name == "fp16")
+        return Precision::Float16;
+    if (name == "bfloat16" || name == "bf16")
+        return Precision::BFloat16;
+    fatal(strCat("ladder: unknown precision '", token,
+                 "' (expected double, float, half, or bfloat16)"));
+}
+
+std::string
+rungToken(Precision p)
+{
+    switch (p) {
+    case Precision::Float64:
+        return "f64";
+    case Precision::Float32:
+        return "f32";
+    case Precision::Float16:
+        return "f16";
+    case Precision::BFloat16:
+        break;
+    }
+    return "bf16";
+}
+
+} // namespace
+
+PrecisionLadder::PrecisionLadder(std::vector<Precision> rungs)
+    : rungs_(std::move(rungs))
+{
+    if (rungs_.empty())
+        fatal("ladder: needs at least one rung");
+    if (rungs_.front() != Precision::Float64)
+        fatal("ladder: rung 0 must be double (the reference tier)");
+    for (std::size_t i = 1; i < rungs_.size(); ++i)
+        if (!(rungs_[i] < rungs_[i - 1]))
+            fatal(strCat("ladder: rung ", i, " (",
+                         precisionName(rungs_[i]),
+                         ") must be strictly lower precision than ",
+                         precisionName(rungs_[i - 1])));
+}
+
+PrecisionLadder
+PrecisionLadder::parse(const std::string& spec)
+{
+    std::vector<Precision> rungs;
+    for (const std::string& token : support::split(spec, ','))
+        rungs.push_back(parseRung(token));
+    return PrecisionLadder(std::move(rungs));
+}
+
+Precision
+PrecisionLadder::at(std::size_t level) const
+{
+    HPCMIXP_ASSERT(level < rungs_.size(), "ladder level out of range");
+    return rungs_[level];
+}
+
+std::string
+PrecisionLadder::describe() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < rungs_.size(); ++i) {
+        if (i)
+            out += ':';
+        out += rungToken(rungs_[i]);
+    }
+    return out;
+}
+
+} // namespace hpcmixp::runtime

@@ -48,19 +48,39 @@ writeConvert(const Buffer& buffer, std::ostream& out)
 void
 mpFread(Buffer& buffer, Precision diskType, std::istream& in)
 {
-    if (diskType == Precision::Float32)
+    switch (diskType) {
+    case Precision::BFloat16:
+        readConvert<BFloat16>(buffer, in);
+        break;
+    case Precision::Float16:
+        readConvert<Half>(buffer, in);
+        break;
+    case Precision::Float32:
         readConvert<float>(buffer, in);
-    else
+        break;
+    case Precision::Float64:
         readConvert<double>(buffer, in);
+        break;
+    }
 }
 
 void
 mpFwrite(const Buffer& buffer, Precision diskType, std::ostream& out)
 {
-    if (diskType == Precision::Float32)
+    switch (diskType) {
+    case Precision::BFloat16:
+        writeConvert<BFloat16>(buffer, out);
+        break;
+    case Precision::Float16:
+        writeConvert<Half>(buffer, out);
+        break;
+    case Precision::Float32:
         writeConvert<float>(buffer, out);
-    else
+        break;
+    case Precision::Float64:
         writeConvert<double>(buffer, out);
+        break;
+    }
 }
 
 Buffer

@@ -5,10 +5,18 @@
  * @file
  * Floating-point precision levels.
  *
- * The paper's suite targets two levels: IEEE-754 binary64 ("double") and
- * binary32 ("single"). The enum is deliberately extensible in ordering —
- * lower enumerator value means lower precision — should half precision be
- * added later (the paper lists p=3 architectures as future scope).
+ * The paper's suite targets two levels: IEEE-754 binary64 ("double")
+ * and binary32 ("single"). This reproduction extends the suite with
+ * the sub-single storage formats of modern mixed-precision practice:
+ * IEEE-754 binary16 ("half") and bfloat16.
+ *
+ * Ordering contract (relied upon throughout the search layer and
+ * pinned by static_asserts below plus tests/runtime_test.cc): a
+ * *lower* enumerator value means *lower* precision. Precision here is
+ * ordered by significand width — bfloat16 (8 bits) < half (11) <
+ * float (24) < double (53) — so comparing enumerators compares
+ * representable accuracy, not range. New formats (FP8, posits) must
+ * slot into this total order.
  */
 
 #include <cstddef>
@@ -18,22 +26,79 @@ namespace hpcmixp::runtime {
 
 /** Available floating-point precisions, lowest first. */
 enum class Precision {
-    Float32 = 0, ///< IEEE-754 binary32 ("single")
-    Float64 = 1, ///< IEEE-754 binary64 ("double")
+    BFloat16 = 0, ///< bfloat16 (8-bit significand, float range)
+    Float16 = 1,  ///< IEEE-754 binary16 ("half")
+    Float32 = 2,  ///< IEEE-754 binary32 ("single")
+    Float64 = 3,  ///< IEEE-754 binary64 ("double")
 };
+
+// The ordering contract: lower enumerator value == lower precision.
+static_assert(Precision::BFloat16 < Precision::Float16,
+              "bfloat16 has a narrower significand than binary16");
+static_assert(Precision::Float16 < Precision::Float32,
+              "binary16 has a narrower significand than binary32");
+static_assert(Precision::Float32 < Precision::Float64,
+              "binary32 has a narrower significand than binary64");
 
 /** Number of bytes of one element at @p p. */
 constexpr std::size_t
 byteSize(Precision p)
 {
-    return p == Precision::Float32 ? 4 : 8;
+    switch (p) {
+    case Precision::BFloat16:
+    case Precision::Float16:
+        return 2;
+    case Precision::Float32:
+        return 4;
+    case Precision::Float64:
+        break;
+    }
+    return 8;
 }
 
-/** Human-readable name ("float" / "double"). */
+/** Significand width in bits (including the implicit leading bit). */
+constexpr std::size_t
+significandBits(Precision p)
+{
+    switch (p) {
+    case Precision::BFloat16:
+        return 8;
+    case Precision::Float16:
+        return 11;
+    case Precision::Float32:
+        return 24;
+    case Precision::Float64:
+        break;
+    }
+    return 53;
+}
+
+// Enumerator order must agree with significand width.
+static_assert(significandBits(Precision::BFloat16) <
+                  significandBits(Precision::Float16),
+              "enum order must track significand width");
+static_assert(significandBits(Precision::Float16) <
+                  significandBits(Precision::Float32),
+              "enum order must track significand width");
+static_assert(significandBits(Precision::Float32) <
+                  significandBits(Precision::Float64),
+              "enum order must track significand width");
+
+/** Human-readable name ("bfloat16" / "half" / "float" / "double"). */
 inline std::string
 precisionName(Precision p)
 {
-    return p == Precision::Float32 ? "float" : "double";
+    switch (p) {
+    case Precision::BFloat16:
+        return "bfloat16";
+    case Precision::Float16:
+        return "half";
+    case Precision::Float32:
+        return "float";
+    case Precision::Float64:
+        break;
+    }
+    return "double";
 }
 
 /** The precision of a C++ element type. */
@@ -53,6 +118,9 @@ precisionOf<double>()
 {
     return Precision::Float64;
 }
+
+// precisionOf<Half>() and precisionOf<BFloat16>() live in
+// runtime/half.h next to the emulated element types themselves.
 
 } // namespace hpcmixp::runtime
 

@@ -70,16 +70,57 @@ CombinationalSearch::run(SearchContext& ctx)
             batch.clear();
         }
     };
+    // Deepest rung each site may take: the ladder depth, tightened by
+    // a prior's per-site cap. With the default two-rung ladder every
+    // site's bound is 1 and the odometer below degenerates to exactly
+    // one all-level-1 configuration per subset — the pre-ladder sweep.
+    std::size_t maxLevel = ctx.maxLevel();
+    const StaticPrior* prior = ctx.prior();
+    auto levelBound = [&](std::size_t site) {
+        std::size_t bound = maxLevel;
+        if (prior && prior->enabled())
+            bound = std::min<std::size_t>(bound, prior->levelCap(site));
+        return static_cast<std::uint8_t>(bound);
+    };
+
     std::vector<std::size_t> mapped;
+    std::vector<std::uint8_t> levels;
+    std::vector<std::uint8_t> bounds;
     for (std::size_t card = f; card >= 1; --card) {
         forEachCombination(f, card, [&](const auto& pick) {
             mapped.clear();
             mapped.reserve(pick.size());
             for (std::size_t i : pick)
                 mapped.push_back(sites[i]);
-            batch.push_back(Config::withLowered(n, mapped));
-            if (batch.size() >= chunk)
-                flush();
+            // Odometer over per-site levels, shallowest first: the
+            // all-level-1 assignment leads, then the last position
+            // descends one rung at a time with lexicographic carry.
+            levels.assign(mapped.size(), 1);
+            bounds.clear();
+            bounds.reserve(mapped.size());
+            for (std::size_t site : mapped)
+                bounds.push_back(levelBound(site));
+            for (;;) {
+                Config cfg(n);
+                for (std::size_t j = 0; j < mapped.size(); ++j)
+                    cfg.setLevel(mapped[j], levels[j]);
+                batch.push_back(std::move(cfg));
+                if (batch.size() >= chunk)
+                    flush();
+                std::size_t j = mapped.size();
+                while (j > 0) {
+                    --j;
+                    if (levels[j] < bounds[j]) {
+                        ++levels[j];
+                        for (std::size_t k = j + 1;
+                             k < mapped.size(); ++k)
+                            levels[k] = 1;
+                        break;
+                    }
+                    if (j == 0)
+                        return;
+                }
+            }
         });
         flush();
     }

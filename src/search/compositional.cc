@@ -1,5 +1,6 @@
 #include "search/compositional.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 #include <vector>
@@ -28,18 +29,31 @@ CompositionalSearch::run(SearchContext& ctx)
     };
 
     // Phase 1: each site individually — one embarrassingly parallel
-    // batch. Sites pinned by a static prior are never proposed, so no
-    // pinned site can reach phase 2 through a passing single either.
+    // batch. Under a multi-rung ladder every (site, level) pair is a
+    // single, level ascending within a site; phase 2's unionWith takes
+    // the per-site max level, so deeper passing singles combine
+    // exactly like the binary ones did. Sites pinned by a static
+    // prior are never proposed, so no pinned site can reach phase 2
+    // through a passing single either; a prior's level cap bounds the
+    // proposed depth the same way.
     {
         const StaticPrior* prior = ctx.prior();
+        std::size_t maxLevel = ctx.maxLevel();
         std::vector<Config> singles;
-        singles.reserve(n);
+        singles.reserve(n * maxLevel);
         for (std::size_t i = 0; i < n; ++i) {
             if (prior && prior->pinned(i))
                 continue;
-            Config cfg = Config::withLowered(n, {i});
-            if (attempted.insert(cfg.toString()).second)
-                singles.push_back(std::move(cfg));
+            std::size_t bound = maxLevel;
+            if (prior && prior->enabled())
+                bound = std::min<std::size_t>(bound,
+                                              prior->levelCap(i));
+            for (std::size_t level = 1; level <= bound; ++level) {
+                Config cfg = Config::withLowered(
+                    n, {i}, static_cast<std::uint8_t>(level));
+                if (attempted.insert(cfg.toString()).second)
+                    singles.push_back(std::move(cfg));
+            }
         }
         tryBatch(singles);
     }

@@ -1,57 +1,98 @@
 #include "search/config.h"
 
+#include <algorithm>
+
 #include "support/logging.h"
 
 namespace hpcmixp::search {
 
 Config
 Config::withLowered(std::size_t sites,
-                    const std::vector<std::size_t>& lowered)
+                    const std::vector<std::size_t>& lowered,
+                    std::uint8_t level)
 {
     Config cfg(sites);
     for (std::size_t i : lowered)
-        cfg.set(i);
+        cfg.setLevel(i, level);
     return cfg;
 }
 
 Config
-Config::allLowered(std::size_t sites)
+Config::allLowered(std::size_t sites, std::uint8_t level)
 {
     Config cfg(sites);
     for (std::size_t i = 0; i < sites; ++i)
-        cfg.set(i);
+        cfg.setLevel(i, level);
+    return cfg;
+}
+
+Config
+Config::fromString(const std::string& key)
+{
+    Config cfg(key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        if (key[i] < '0' || key[i] > '9')
+            support::fatal(
+                support::strCat("config key '", key,
+                                "' holds a non-digit level"));
+        cfg.levels_[i] = static_cast<std::uint8_t>(key[i] - '0');
+    }
     return cfg;
 }
 
 bool
 Config::test(std::size_t i) const
 {
-    HPCMIXP_ASSERT(i < bits_.size(), "config site index out of range");
-    return bits_[i] != 0;
+    HPCMIXP_ASSERT(i < levels_.size(), "config site index out of range");
+    return levels_[i] != 0;
 }
 
 void
 Config::set(std::size_t i, bool lowered)
 {
-    HPCMIXP_ASSERT(i < bits_.size(), "config site index out of range");
-    bits_[i] = lowered ? 1 : 0;
+    setLevel(i, lowered ? 1 : 0);
+}
+
+std::uint8_t
+Config::level(std::size_t i) const
+{
+    HPCMIXP_ASSERT(i < levels_.size(), "config site index out of range");
+    return levels_[i];
+}
+
+void
+Config::setLevel(std::size_t i, std::uint8_t level)
+{
+    HPCMIXP_ASSERT(i < levels_.size(), "config site index out of range");
+    HPCMIXP_ASSERT(level <= 9, "config level exceeds digit encoding");
+    levels_[i] = level;
 }
 
 std::size_t
 Config::count() const
 {
     std::size_t n = 0;
-    for (auto b : bits_)
-        n += b;
+    for (auto l : levels_)
+        n += l != 0 ? 1 : 0;
     return n;
+}
+
+std::uint8_t
+Config::maxLevel() const
+{
+    std::uint8_t deepest = 0;
+    for (auto l : levels_)
+        if (l > deepest)
+            deepest = l;
+    return deepest;
 }
 
 std::vector<std::size_t>
 Config::lowered() const
 {
     std::vector<std::size_t> out;
-    for (std::size_t i = 0; i < bits_.size(); ++i)
-        if (bits_[i])
+    for (std::size_t i = 0; i < levels_.size(); ++i)
+        if (levels_[i])
             out.push_back(i);
     return out;
 }
@@ -63,7 +104,7 @@ Config::unionWith(const Config& other) const
                    "union of configs with different site counts");
     Config out(size());
     for (std::size_t i = 0; i < size(); ++i)
-        out.bits_[i] = bits_[i] | other.bits_[i];
+        out.levels_[i] = std::max(levels_[i], other.levels_[i]);
     return out;
 }
 
@@ -73,7 +114,7 @@ Config::isSubsetOf(const Config& other) const
     HPCMIXP_ASSERT(size() == other.size(),
                    "subset test on configs with different site counts");
     for (std::size_t i = 0; i < size(); ++i)
-        if (bits_[i] && !other.bits_[i])
+        if (levels_[i] > other.levels_[i])
             return false;
     return true;
 }
@@ -81,10 +122,9 @@ Config::isSubsetOf(const Config& other) const
 std::string
 Config::toString() const
 {
-    std::string out(bits_.size(), '0');
-    for (std::size_t i = 0; i < bits_.size(); ++i)
-        if (bits_[i])
-            out[i] = '1';
+    std::string out(levels_.size(), '0');
+    for (std::size_t i = 0; i < levels_.size(); ++i)
+        out[i] = static_cast<char>('0' + levels_[i]);
     return out;
 }
 

@@ -5,11 +5,15 @@
  * @file
  * A mixed-precision configuration.
  *
- * A configuration assigns one bit per *search site*: true means the
- * site is lowered to single precision, false means it stays double.
- * Sites are clusters for cluster-level strategies (CB, DD, GA) and
- * individual variables for variable-level strategies (CM, HR, HC),
- * mirroring the granularity split reported in the paper (Section IV-A).
+ * A configuration assigns one *ladder level* per search site: level 0
+ * means the site stays at the reference precision (double), level L>0
+ * binds it to rung L of the campaign's PrecisionLadder. The classic
+ * binary campaign is the two-rung ladder, where level 1 == "lowered
+ * to single" and the historical bool API (test/set) keeps its exact
+ * meaning. Sites are clusters for cluster-level strategies (CB, DD,
+ * GA) and individual variables for variable-level strategies (CM, HR,
+ * HC), mirroring the granularity split reported in the paper
+ * (Section IV-A).
  */
 
 #include <cstddef>
@@ -19,30 +23,43 @@
 
 namespace hpcmixp::search {
 
-/** Bit-per-site precision configuration. */
+/** Level-per-site precision configuration. */
 class Config {
   public:
     /** All-double configuration over @p sites sites (the baseline). */
-    explicit Config(std::size_t sites = 0) : bits_(sites, 0) {}
+    explicit Config(std::size_t sites = 0) : levels_(sites, 0) {}
 
-    /** Configuration with the given sites lowered. */
+    /** Configuration with the given sites at @p level. */
     static Config withLowered(std::size_t sites,
-                              const std::vector<std::size_t>& lowered);
+                              const std::vector<std::size_t>& lowered,
+                              std::uint8_t level = 1);
 
-    /** All-float configuration. */
-    static Config allLowered(std::size_t sites);
+    /** Every site at @p level (default: the all-float config). */
+    static Config allLowered(std::size_t sites, std::uint8_t level = 1);
+
+    /** Parse a toString() key, e.g. "0120"; fatal on non-digits. */
+    static Config fromString(const std::string& key);
 
     /** Number of sites. */
-    std::size_t size() const { return bits_.size(); }
+    std::size_t size() const { return levels_.size(); }
 
-    /** Is site @p i lowered to single precision? */
+    /** Is site @p i lowered below the reference precision? */
     bool test(std::size_t i) const;
 
-    /** Set site @p i lowered (true) or double (false). */
+    /** Set site @p i to level 1 (true) or back to double (false). */
     void set(std::size_t i, bool lowered = true);
 
-    /** Number of lowered sites. */
+    /** Ladder level of site @p i (0 = double). */
+    std::uint8_t level(std::size_t i) const;
+
+    /** Set site @p i to ladder level @p level. */
+    void setLevel(std::size_t i, std::uint8_t level);
+
+    /** Number of lowered (level > 0) sites. */
     std::size_t count() const;
+
+    /** Deepest level any site takes (0 for the baseline). */
+    std::uint8_t maxLevel() const;
 
     /** True when no site is lowered (the baseline). */
     bool isBaseline() const { return count() == 0; }
@@ -50,19 +67,21 @@ class Config {
     /** Indices of lowered sites, ascending. */
     std::vector<std::size_t> lowered() const;
 
-    /** Union: lowered in either configuration. */
+    /** Per-site deepest level of the two configurations. */
     Config unionWith(const Config& other) const;
 
-    /** True when every site lowered here is lowered in @p other. */
+    /** True when every site's level here is <= its level in
+     *  @p other (the pointwise ladder order). */
     bool isSubsetOf(const Config& other) const;
 
-    /** Compact string form, e.g. "1010"; usable as a cache key. */
+    /** Compact string form, one level digit per site, e.g. "1020";
+     *  usable as a cache key. Binary configs render as of old. */
     std::string toString() const;
 
     bool operator==(const Config& other) const = default;
 
   private:
-    std::vector<std::uint8_t> bits_;
+    std::vector<std::uint8_t> levels_;
 };
 
 } // namespace hpcmixp::search

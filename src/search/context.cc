@@ -545,7 +545,7 @@ SearchContext::importCache(const support::json::Value& checkpoint)
     for (const auto& entry : checkpoint.at("evaluations").items()) {
         const std::string& key = entry.at("config").asString();
         if (key.size() != sites)
-            fatal("checkpoint: malformed config bits");
+            fatal("checkpoint: malformed config levels");
         Evaluation eval;
         auto status =
             evalStatusFromName(entry.at("status").asString());
@@ -564,9 +564,7 @@ SearchContext::importCache(const support::json::Value& checkpoint)
             entry.at("quality_loss").isNull()
                 ? std::numeric_limits<double>::quiet_NaN()
                 : entry.at("quality_loss").asNumber();
-        Config config(sites);
-        for (std::size_t i = 0; i < sites; ++i)
-            config.set(i, key[i] == '1');
+        Config config = Config::fromString(key);
         noteBestLocked(config, eval);
         // Checkpoint-to-memo migration: a resumed run with a memo
         // attached makes its restored evaluations durable for every

@@ -105,6 +105,9 @@ class SearchContext {
     /** Number of sites in the underlying problem. */
     std::size_t siteCount() const { return problem_.siteCount(); }
 
+    /** Deepest ladder level a site may take (1 = binary campaign). */
+    std::size_t maxLevel() const { return problem_.maxLevel(); }
+
     /** Structure tree of the underlying problem (may be nullptr). */
     const StructureNode* structure() const { return problem_.structure(); }
 

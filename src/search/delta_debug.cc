@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "search/demotion.h"
+
 namespace hpcmixp::search {
 
 namespace {
@@ -47,8 +49,13 @@ DeltaDebugSearch::run(SearchContext& ctx)
         loweredAll = prior->clamped(std::move(loweredAll));
 
     // Fast path: everything (free) can be lowered.
-    if (ctx.evaluate(configKeeping(loweredAll, {})).passed())
+    if (ctx.evaluate(configKeeping(loweredAll, {})).passed()) {
+        // Under a deeper ladder, keep descending from the all-float
+        // configuration one rung at a time.
+        if (ctx.maxLevel() > 1)
+            greedyDemotionPass(ctx, loweredAll);
         return;
+    }
 
     // Speculative ddmin over the kept set, starting from "keep
     // everything" (the baseline, which trivially passes). Where the
@@ -128,6 +135,17 @@ DeltaDebugSearch::run(SearchContext& ctx)
                 break; // local minimum: no more clusters convertible
             granularity = std::min(kept.size(), granularity * 2);
         }
+    }
+
+    // ddmin settles *which* sites tolerate float; under a deeper
+    // ladder a greedy post-pass then settles *how far down* each one
+    // goes. Gated on maxLevel() > 1, so binary trajectories are
+    // untouched. The re-evaluation of the settled configuration is a
+    // cache hit whenever any ddmin round passed.
+    if (ctx.maxLevel() > 1) {
+        Config settled = configKeeping(loweredAll, kept);
+        if (ctx.evaluate(settled).passed())
+            greedyDemotionPass(ctx, std::move(settled));
     }
 }
 

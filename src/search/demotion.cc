@@ -1,0 +1,48 @@
+#include "search/demotion.h"
+
+#include <vector>
+
+namespace hpcmixp::search {
+
+Config
+greedyDemotionPass(SearchContext& ctx, Config start)
+{
+    std::size_t maxLevel = ctx.maxLevel();
+    if (maxLevel <= 1)
+        return start;
+    const StaticPrior* prior = ctx.prior();
+    bool usePrior = prior && prior->enabled();
+    Config cur = std::move(start);
+    for (;;) {
+        // Every one-rung demotion of a single lowered site is an
+        // independent candidate; commit the first passing one in site
+        // order, exactly as a serial scan would.
+        std::vector<Config> batch;
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+            std::uint8_t level = cur.level(i);
+            if (level == 0 || level >= maxLevel)
+                continue;
+            if (usePrior && level + 1 > prior->levelCap(i))
+                continue;
+            Config candidate = cur;
+            candidate.setLevel(i,
+                               static_cast<std::uint8_t>(level + 1));
+            batch.push_back(std::move(candidate));
+        }
+        if (batch.empty())
+            return cur;
+        auto evals = ctx.evaluateBatch(batch);
+        bool advanced = false;
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+            if (evals[j].passed()) {
+                cur = batch[j];
+                advanced = true;
+                break;
+            }
+        }
+        if (!advanced)
+            return cur;
+    }
+}
+
+} // namespace hpcmixp::search

@@ -1,0 +1,37 @@
+#ifndef HPCMIXP_SEARCH_DEMOTION_H_
+#define HPCMIXP_SEARCH_DEMOTION_H_
+
+/**
+ * @file
+ * Shared ladder-descent pass for the discrete strategies.
+ *
+ * The binary strategies (DD, HR, HC) discover *which* sites tolerate
+ * lowering at rung 1 (float). Under a deeper PrecisionLadder the
+ * remaining question is *how far down* each of those sites can go.
+ * greedyDemotionPass() answers it with the ladder-aware neighborhood
+ * from the issue: starting from a passing configuration, repeatedly
+ * propose every one-rung demotion of a single already-lowered site,
+ * batch-evaluate the candidates, and commit the first passing one —
+ * until no single demotion passes. Sites a StaticPrior caps below the
+ * candidate rung are never proposed.
+ *
+ * The pass is only invoked when the problem's maxLevel() > 1, so
+ * two-rung campaigns never see it and their trajectories stay
+ * bit-identical to the pre-ladder code.
+ */
+
+#include "search/config.h"
+#include "search/context.h"
+
+namespace hpcmixp::search {
+
+/**
+ * Greedily demote @p start one rung at a time. @p start must be a
+ * passing configuration. Returns the deepest passing configuration
+ * reached (possibly @p start itself). May throw BudgetExhausted.
+ */
+Config greedyDemotionPass(SearchContext& ctx, Config start);
+
+} // namespace hpcmixp::search
+
+#endif // HPCMIXP_SEARCH_DEMOTION_H_

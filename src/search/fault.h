@@ -148,6 +148,8 @@ class FaultyProblem final : public SearchProblem {
 
     std::size_t siteCount() const override { return inner_.siteCount(); }
 
+    std::size_t maxLevel() const override { return inner_.maxLevel(); }
+
     const StructureNode* structure() const override
     {
         return inner_.structure();

@@ -42,11 +42,23 @@ GeneticSearch::run(SearchContext& ctx)
 
     support::Pcg32 rng(opt.seed);
     const StaticPrior* prior = ctx.prior();
+    // Ladder depth; every multi-rung branch below is gated on
+    // maxLevel > 1 so the binary campaign draws the exact RNG stream
+    // (and therefore trajectory) of the pre-ladder code.
+    std::size_t maxLevel = ctx.maxLevel();
 
     auto randomConfig = [&] {
         Config cfg(n);
-        for (std::size_t i = 0; i < n; ++i)
-            cfg.set(i, rng.chance(0.5));
+        if (maxLevel == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                cfg.set(i, rng.chance(0.5));
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                cfg.setLevel(i,
+                             static_cast<std::uint8_t>(rng.nextBounded(
+                                 static_cast<std::uint32_t>(maxLevel +
+                                                            1))));
+        }
         return cfg;
     };
 
@@ -114,13 +126,36 @@ GeneticSearch::run(SearchContext& ctx)
             const Individual& p2 = tournament();
             Config child = p1.config;
             if (rng.chance(opt.crossoverRate)) {
+                // Uniform crossover copies the parent's *level*; for
+                // binary configs this is the historical bit copy.
                 for (std::size_t i = 0; i < n; ++i)
                     if (rng.chance(0.5))
-                        child.set(i, p2.config.test(i));
+                        child.setLevel(i, p2.config.level(i));
             }
-            for (std::size_t i = 0; i < n; ++i)
-                if (rng.chance(opt.mutationRate))
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!rng.chance(opt.mutationRate))
+                    continue;
+                if (maxLevel == 1) {
                     child.set(i, !child.test(i));
+                    continue;
+                }
+                // Ladder-aware mutation steps one rung at a time:
+                // up or down with equal probability, the only legal
+                // way at the ladder's ends. The direction draw only
+                // happens in the interior, which only exists when
+                // maxLevel > 1 — the binary stream is untouched.
+                std::uint8_t level = child.level(i);
+                std::uint8_t next;
+                if (level == 0)
+                    next = 1;
+                else if (level >= maxLevel)
+                    next = static_cast<std::uint8_t>(level - 1);
+                else
+                    next = rng.chance(0.5)
+                               ? static_cast<std::uint8_t>(level + 1)
+                               : static_cast<std::uint8_t>(level - 1);
+                child.setLevel(i, next);
+            }
             children.push_back(std::move(child));
         }
         if (prior)

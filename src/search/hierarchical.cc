@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "search/demotion.h"
 #include "support/logging.h"
 
 namespace hpcmixp::search {
@@ -83,13 +84,19 @@ HierarchicalSearch::run(SearchContext& ctx)
 
     // Combine every individually passing group. When the union fails
     // (groups interact), greedily drop the group with the smallest
-    // individual speedup until the combination passes.
+    // individual speedup until the combination passes. Under a deeper
+    // ladder the settled combination then descends one rung at a time
+    // (greedyDemotionPass; gated, so binary trajectories hold).
     while (!accepted.empty()) {
         Config combined(n);
         for (const ComponentGroup& group : accepted)
             combined =
                 combined.unionWith(Config::withLowered(n, group.sites));
         const Evaluation& eval = ctx.evaluate(combined);
+        if (eval.passed() && ctx.maxLevel() > 1) {
+            greedyDemotionPass(ctx, std::move(combined));
+            break;
+        }
         if (eval.passed() || accepted.size() == 1)
             break;
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "search/demotion.h"
 #include "search/hierarchical.h"
 
 namespace hpcmixp::search {
@@ -16,8 +17,14 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
     // Phase 1: hierarchical discovery of replaceable components
     // (batched level by level inside collectPassingComponents).
     auto components = collectPassingComponents(ctx);
-    if (components.size() <= 1)
+    if (components.size() <= 1) {
+        // A lone component cannot compose, but under a deeper ladder
+        // it can still descend rung by rung.
+        if (components.size() == 1 && ctx.maxLevel() > 1)
+            greedyDemotionPass(
+                ctx, Config::withLowered(n, components[0].sites));
         return;
+    }
 
     // Phase 2: compositional combination of the component configs.
     // As in CompositionalSearch, each worklist entry's compositions
@@ -59,6 +66,12 @@ HierarchicalCompositionalSearch::run(SearchContext& ctx)
         }
         tryBatch(batch);
     }
+
+    // Under a deeper ladder, descend from the best passing
+    // composition one rung at a time (gated, so binary trajectories
+    // are untouched).
+    if (ctx.maxLevel() > 1 && ctx.hasBest())
+        greedyDemotionPass(ctx, ctx.bestConfig());
 }
 
 } // namespace hpcmixp::search

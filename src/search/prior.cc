@@ -34,20 +34,39 @@ parsePriorMode(const std::string& text)
 StaticPrior::StaticPrior(PriorMode mode, std::vector<bool> pinned,
                          std::vector<bool> narrow,
                          std::vector<int> scores)
-    : mode_(mode), pinned_(std::move(pinned)),
-      narrow_(std::move(narrow)), scores_(std::move(scores))
+    : mode_(mode), narrow_(std::move(narrow)),
+      scores_(std::move(scores))
 {
-    HPCMIXP_ASSERT(pinned_.size() == narrow_.size() &&
-                       pinned_.size() == scores_.size(),
+    caps_.reserve(pinned.size());
+    for (bool p : pinned)
+        caps_.push_back(p ? 0 : kUnbounded);
+    HPCMIXP_ASSERT(caps_.size() == narrow_.size() &&
+                       caps_.size() == scores_.size(),
                    "static prior vectors disagree on site count");
+}
+
+StaticPrior
+StaticPrior::withCaps(PriorMode mode, std::vector<std::uint8_t> caps,
+                      std::vector<bool> narrow,
+                      std::vector<int> scores)
+{
+    StaticPrior prior;
+    prior.mode_ = mode;
+    prior.caps_ = std::move(caps);
+    prior.narrow_ = std::move(narrow);
+    prior.scores_ = std::move(scores);
+    HPCMIXP_ASSERT(prior.caps_.size() == prior.narrow_.size() &&
+                       prior.caps_.size() == prior.scores_.size(),
+                   "static prior vectors disagree on site count");
+    return prior;
 }
 
 std::size_t
 StaticPrior::pinnedCount() const
 {
     std::size_t n = 0;
-    for (bool p : pinned_)
-        if (p)
+    for (std::uint8_t cap : caps_)
+        if (cap == 0)
             ++n;
     return n;
 }
@@ -56,9 +75,9 @@ std::vector<std::size_t>
 StaticPrior::freeSites() const
 {
     std::vector<std::size_t> free;
-    free.reserve(pinned_.size());
-    for (std::size_t i = 0; i < pinned_.size(); ++i)
-        if (!pinned_[i])
+    free.reserve(caps_.size());
+    for (std::size_t i = 0; i < caps_.size(); ++i)
+        if (caps_[i] != 0)
             free.push_back(i);
     return free;
 }
@@ -66,9 +85,9 @@ StaticPrior::freeSites() const
 Config
 StaticPrior::seedConfig() const
 {
-    Config config(pinned_.size());
+    Config config(caps_.size());
     for (std::size_t i = 0; i < narrow_.size(); ++i)
-        if (narrow_[i] && !pinned_[i])
+        if (narrow_[i] && caps_[i] != 0)
             config.set(i);
     return config;
 }
@@ -76,9 +95,9 @@ StaticPrior::seedConfig() const
 bool
 StaticPrior::violates(const Config& config) const
 {
-    for (std::size_t i = 0; i < pinned_.size() && i < config.size();
+    for (std::size_t i = 0; i < caps_.size() && i < config.size();
          ++i)
-        if (pinned_[i] && config.test(i))
+        if (config.level(i) > caps_[i])
             return true;
     return false;
 }
@@ -86,10 +105,10 @@ StaticPrior::violates(const Config& config) const
 Config
 StaticPrior::clamped(Config config) const
 {
-    for (std::size_t i = 0; i < pinned_.size() && i < config.size();
+    for (std::size_t i = 0; i < caps_.size() && i < config.size();
          ++i)
-        if (pinned_[i] && config.test(i))
-            config.set(i, false);
+        if (config.level(i) > caps_[i])
+            config.setLevel(i, caps_[i]);
     return config;
 }
 

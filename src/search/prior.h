@@ -18,6 +18,13 @@
  *  - per-site *scores* order hierarchical traversal by descending
  *    sensitivity, so HR/HC visit the risky components first.
  *
+ * Under a multi-rung PrecisionLadder each verdict generalizes to a
+ * per-site *level cap* — the deepest ladder level the site may take.
+ * A pin is simply cap 0; an Unknown verdict caps at level 1 (float);
+ * SafeToNarrow leaves the site unbounded. Strategies never propose a
+ * level above a site's cap, and clamped()/violates() enforce caps on
+ * configurations arriving from outside (cache imports, resume files).
+ *
  * Modes (harness `--static-prior`):
  *  - Off:    no prior; trajectories are bit-identical to a build
  *            without this subsystem.
@@ -28,6 +35,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,13 +59,28 @@ class StaticPrior {
     StaticPrior() = default;
 
     /**
-     * A prior over @p sites sites. @p pinned marks KeepDouble sites,
-     * @p narrow marks SafeToNarrow sites, @p scores carries the
-     * per-site sensitivity scores (higher = more sensitive). All
-     * three vectors must have @p sites entries.
+     * A binary-campaign prior. @p pinned marks KeepDouble sites
+     * (level cap 0), @p narrow marks SafeToNarrow sites, @p scores
+     * carries the per-site sensitivity scores (higher = more
+     * sensitive). All three vectors must agree on the site count.
+     * Non-pinned sites are unbounded (cap kUnbounded).
      */
     StaticPrior(PriorMode mode, std::vector<bool> pinned,
                 std::vector<bool> narrow, std::vector<int> scores);
+
+    /**
+     * A ladder-aware prior with an explicit per-site level cap
+     * (0 = pinned to double, kUnbounded = any rung). A named factory
+     * rather than an overloaded constructor: brace-initialized
+     * bool/uint8_t lists would be ambiguous between the two.
+     */
+    static StaticPrior withCaps(PriorMode mode,
+                                std::vector<std::uint8_t> caps,
+                                std::vector<bool> narrow,
+                                std::vector<int> scores);
+
+    /** Cap value meaning "no floor — any ladder rung is allowed". */
+    static constexpr std::uint8_t kUnbounded = 255;
 
     /** True when the prior participates in search (mode != Off). */
     bool enabled() const { return mode_ != PriorMode::Off; }
@@ -68,10 +91,13 @@ class StaticPrior {
     PriorMode mode() const { return mode_; }
 
     /** Number of sites this prior was built for. */
-    std::size_t siteCount() const { return pinned_.size(); }
+    std::size_t siteCount() const { return caps_.size(); }
 
-    /** Is site @p i pinned to double? */
-    bool pinned(std::size_t i) const { return pinned_[i]; }
+    /** Is site @p i pinned to double (level cap 0)? */
+    bool pinned(std::size_t i) const { return caps_[i] == 0; }
+
+    /** Deepest ladder level site @p i may take. */
+    std::uint8_t levelCap(std::size_t i) const { return caps_[i]; }
 
     /** Number of pinned sites. */
     std::size_t pinnedCount() const;
@@ -85,10 +111,10 @@ class StaticPrior {
     /** GA seed: the SafeToNarrow mask (never includes pinned sites). */
     Config seedConfig() const;
 
-    /** True when @p config lowers any pinned site. */
+    /** True when any site of @p config exceeds its level cap. */
     bool violates(const Config& config) const;
 
-    /** @p config with every pinned site forced back to double. */
+    /** @p config with every site clamped to its level cap. */
     Config clamped(Config config) const;
 
     /** Sum of member scores over @p sites (hierarchical ordering). */
@@ -96,7 +122,7 @@ class StaticPrior {
 
   private:
     PriorMode mode_ = PriorMode::Off;
-    std::vector<bool> pinned_;
+    std::vector<std::uint8_t> caps_; ///< per-site level cap
     std::vector<bool> narrow_;
     std::vector<int> scores_;
 };

@@ -92,6 +92,15 @@ class SearchProblem {
      * hierarchy (cluster-level problems). Required by HR and HC.
      */
     virtual const StructureNode* structure() const { return nullptr; }
+
+    /**
+     * Deepest ladder level a site may take (= PrecisionLadder
+     * rungs - 1). The default of 1 is the classic binary
+     * double-vs-float campaign; every strategy's multi-rung logic is
+     * gated behind maxLevel() > 1, keeping two-rung trajectories
+     * bit-identical to the pre-ladder code (property-pinned).
+     */
+    virtual std::size_t maxLevel() const { return 1; }
 };
 
 } // namespace hpcmixp::search

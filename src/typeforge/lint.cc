@@ -24,6 +24,17 @@ sensitivityName(Sensitivity s)
 }
 
 const char*
+sensitivityFloor(Sensitivity s)
+{
+    switch (s) {
+    case Sensitivity::KeepDouble: return "double";
+    case Sensitivity::SafeToNarrow: return "half";
+    case Sensitivity::Unknown: return "float";
+    }
+    return "float";
+}
+
+const char*
 lintSeverityName(LintSeverity s)
 {
     switch (s) {
@@ -149,6 +160,7 @@ lint(const model::ProgramModel& program, const ClusterSet& clusters)
             verdict.sensitivity = Sensitivity::SafeToNarrow;
         else
             verdict.sensitivity = Sensitivity::Unknown;
+        verdict.floor = sensitivityFloor(verdict.sensitivity);
         report.clusters.push_back(std::move(verdict));
     }
     return report;
@@ -174,7 +186,7 @@ printLintReport(std::ostream& os, const SensitivityReport& report)
     for (const auto& verdict : report.clusters) {
         os << "  cluster " << verdict.cluster << " ["
            << sensitivityName(verdict.sensitivity) << ", score "
-           << verdict.score << "] {";
+           << verdict.score << ", floor " << verdict.floor << "] {";
         for (std::size_t i = 0; i < verdict.members.size(); ++i) {
             if (i)
                 os << ", ";
@@ -220,6 +232,7 @@ lintReportToJson(const SensitivityReport& report)
               Value::number(static_cast<double>(verdict.cluster)));
         c.set("sensitivity",
               Value::string(sensitivityName(verdict.sensitivity)));
+        c.set("floor", Value::string(verdict.floor));
         c.set("score",
               Value::number(static_cast<double>(verdict.score)));
         Value members = Value::array();

@@ -47,6 +47,15 @@ enum class Sensitivity {
 /** Stable lowercase name ("keep-double", ...). */
 const char* sensitivityName(Sensitivity s);
 
+/**
+ * Precision floor implied by a verdict under a multi-rung ladder:
+ * the lowest rung the search may bind the cluster to. KeepDouble
+ * floors at "double" (pinned), Unknown at "float" (the classic
+ * conservative narrowing), SafeToNarrow at "half" (any 16-bit rung).
+ * The search layer maps these to StaticPrior level caps.
+ */
+const char* sensitivityFloor(Sensitivity s);
+
 /** Severity of one lint rule. */
 enum class LintSeverity { Info, Warning, Critical };
 
@@ -84,6 +93,7 @@ struct LintFinding {
 struct ClusterVerdict {
     std::size_t cluster = 0; ///< index into the ClusterSet
     Sensitivity sensitivity = Sensitivity::Unknown;
+    std::string floor;       ///< sensitivityFloor(sensitivity)
     int score = 0;
     std::vector<std::string> members; ///< qualified names
     std::vector<std::string> ruleIds; ///< rules firing in this cluster

@@ -6,10 +6,12 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "runtime/half.h"
 #include "support/rng.h"
 #include "verify/metrics.h"
 
@@ -114,6 +116,77 @@ TEST_P(MetricProperty, WorseningOnePointNeverImprovesMae)
     // Push the first element further from the reference.
     worse[0] += (worse[0] >= v_.ref[0]) ? 1.0 : -1.0;
     EXPECT_GE(mae.compute(v_.ref, worse), before);
+}
+
+/**
+ * The fused single-pass ErrorStats must agree with every individual
+ * metric when the test vector is a 16-bit degradation of the
+ * reference — the exact shape a half / bfloat16 ladder rung produces.
+ */
+TEST_P(MetricProperty, FusedStatsMatchMetricsOnHalfDegradedOutput)
+{
+    using hpcmixp::runtime::BFloat16;
+    using hpcmixp::runtime::Half;
+    for (int format = 0; format < 2; ++format) {
+        std::vector<double> narrowed(v_.ref.size());
+        for (std::size_t i = 0; i < v_.ref.size(); ++i) {
+            float f = static_cast<float>(v_.ref[i]);
+            narrowed[i] = format == 0
+                              ? static_cast<float>(Half(f))
+                              : static_cast<float>(BFloat16(f));
+        }
+        ErrorStats stats = computeErrorStats(v_.ref, narrowed);
+        EXPECT_EQ(stats.n, v_.ref.size());
+        EXPECT_DOUBLE_EQ(
+            stats.mae(),
+            MeanAbsoluteError().compute(v_.ref, narrowed));
+        EXPECT_DOUBLE_EQ(
+            stats.mse(), MeanSquareError().compute(v_.ref, narrowed));
+        EXPECT_DOUBLE_EQ(
+            stats.rmse(),
+            RootMeanSquareError().compute(v_.ref, narrowed));
+        EXPECT_NEAR(stats.r2(),
+                    CoefficientOfDetermination().compute(v_.ref,
+                                                         narrowed),
+                    1e-9);
+        EXPECT_DOUBLE_EQ(
+            stats.mcr(),
+            MisclassificationRate().compute(v_.ref, narrowed));
+        // A 16-bit rounding of values in [-10, 10] is small but not
+        // free: the loss must be positive yet bounded by the format's
+        // ulp at the largest magnitude (2^-8 for half, 2^-5 for bf16).
+        EXPECT_GT(stats.mae(), 0.0);
+        EXPECT_LT(stats.mae(), format == 0 ? 0x1p-8 : 0x1p-5);
+    }
+}
+
+/**
+ * Overflow-on-narrow poisoning: when a ladder rung overflows a value
+ * to infinity (binary16 tops out at 65504), the fused stats must go
+ * non-finite so the comparator can never accept the run.
+ */
+TEST_P(MetricProperty, FusedStatsPropagateNarrowOverflowAndNan)
+{
+    using hpcmixp::runtime::Half;
+    std::vector<double> ref = v_.ref;
+    ref[3] = 70000.0; // beyond binary16 range
+    std::vector<double> narrowed(ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        narrowed[i] = static_cast<float>(
+            Half(static_cast<float>(ref[i])));
+    ASSERT_TRUE(std::isinf(narrowed[3]));
+
+    ErrorStats overflow = computeErrorStats(ref, narrowed);
+    EXPECT_TRUE(std::isinf(overflow.mae()) ||
+                std::isnan(overflow.mae()));
+    EXPECT_FALSE(overflow.rmse() < 1.0); // NaN/Inf never compares below
+
+    std::vector<double> poisoned = v_.test;
+    poisoned[5] = std::numeric_limits<double>::quiet_NaN();
+    ErrorStats nan = computeErrorStats(v_.ref, poisoned);
+    EXPECT_TRUE(std::isnan(nan.mae()));
+    EXPECT_TRUE(std::isnan(nan.rmse()));
+    EXPECT_FALSE(nan.r2() >= 1.0 - 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty,

@@ -302,6 +302,337 @@ TEST_P(SearchProperty, ParallelBudgetTruncationMatchesSerial)
     }
 }
 
+/** StructuredRandomProblem that records every cache-miss evaluation
+ *  in submission order. Cache hits never reach evaluate(), so they
+ *  are invisible to the trajectory — exactly the view the pre-ladder
+ *  golden capture used. */
+class TrajectoryProblem : public StructuredRandomProblem {
+  public:
+    using StructuredRandomProblem::StructuredRandomProblem;
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        trajectory.push_back(config.toString());
+        return StructuredRandomProblem::evaluate(config);
+    }
+
+    std::vector<std::string> trajectory;
+};
+
+std::uint64_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct TrajectoryPin {
+    const char* code;
+    std::uint64_t seed;
+    std::uint64_t hash;
+};
+
+/**
+ * Golden hashes captured at the last pre-ladder commit: FNV-1a over
+ * (trajectory keys, winner, canonical exported cache) for every
+ * strategy run serially on StructuredRandomProblem(7, seed) with an
+ * unbounded budget. The multi-rung generalization must keep a
+ * default two-rung campaign bit-identical to these — any drift means
+ * ladder logic leaked into the maxLevel()==1 path.
+ */
+constexpr TrajectoryPin kPreLadderPins[] = {
+    {"CB", 1u, 0xe41e77d7a16ef669ull},
+    {"CB", 2u, 0x240b4e726cf2994full},
+    {"CB", 3u, 0x66a6e5d497332e89ull},
+    {"CB", 5u, 0x1f6c1a3033a8ccd4ull},
+    {"CB", 8u, 0x3bfe5d5d610448c0ull},
+    {"CB", 13u, 0x00f443ebc949ed86ull},
+    {"CB", 21u, 0x55ca32d089f8b4b4ull},
+    {"CB", 34u, 0x2c7fed7da08f83f1ull},
+    {"CB", 55u, 0xee2d645a5544d1d8ull},
+    {"CB", 89u, 0xe41e77d7a16ef669ull},
+    {"CM", 1u, 0x6e7f23b30403b6eaull},
+    {"CM", 2u, 0x10179868b6c17f76ull},
+    {"CM", 3u, 0x3417646d3ac2d25cull},
+    {"CM", 5u, 0xcb334f04bf56ebb4ull},
+    {"CM", 8u, 0xdae91e1202797c3cull},
+    {"CM", 13u, 0x928f0c500538d4deull},
+    {"CM", 21u, 0x59da92fe94adafccull},
+    {"CM", 34u, 0xe787200c0c00f15aull},
+    {"CM", 55u, 0xd688c13ebc9a394cull},
+    {"CM", 89u, 0x6e7f23b30403b6eaull},
+    {"DD", 1u, 0x37a40a91e2e335e7ull},
+    {"DD", 2u, 0x4e1730d51127befdull},
+    {"DD", 3u, 0x630815735bbc721cull},
+    {"DD", 5u, 0x0454f954225051baull},
+    {"DD", 8u, 0xdb83bb9fc02a65f5ull},
+    {"DD", 13u, 0x8d753ee4d0e4e17dull},
+    {"DD", 21u, 0xf74ed7f39648f1eeull},
+    {"DD", 34u, 0x8ebcac9c410ad7d3ull},
+    {"DD", 55u, 0x703ae36d42fe243bull},
+    {"DD", 89u, 0x37a40a91e2e335e7ull},
+    {"HR", 1u, 0xa739e631934079fbull},
+    {"HR", 2u, 0x83cfe0fe719fa23cull},
+    {"HR", 3u, 0xcf8d223dd9da0ac6ull},
+    {"HR", 5u, 0xfbb9ec3f8d9d8e46ull},
+    {"HR", 8u, 0xdb83bb9fc02a65f5ull},
+    {"HR", 13u, 0x89dc9ce980e85a78ull},
+    {"HR", 21u, 0x3b1d662e2fb52a6eull},
+    {"HR", 34u, 0x9f6ff9ef6cff9bccull},
+    {"HR", 55u, 0xd4dec53a058e6782ull},
+    {"HR", 89u, 0xa739e631934079fbull},
+    {"HC", 1u, 0xa7349147e5924973ull},
+    {"HC", 2u, 0x83cfe0fe719fa23cull},
+    {"HC", 3u, 0xe85d165b17978f7eull},
+    {"HC", 5u, 0x6ea5a0c77ee1d5beull},
+    {"HC", 8u, 0xdb83bb9fc02a65f5ull},
+    {"HC", 13u, 0x4b2da60acd6a1db4ull},
+    {"HC", 21u, 0x3b1d662e2fb52a6eull},
+    {"HC", 34u, 0xdae632e30749d2ccull},
+    {"HC", 55u, 0x366714028db321ceull},
+    {"HC", 89u, 0xa7349147e5924973ull},
+    {"GA", 1u, 0x6946b360545a99d0ull},
+    {"GA", 2u, 0xeebfe0da9e248990ull},
+    {"GA", 3u, 0x73ae751317adcec5ull},
+    {"GA", 5u, 0x08c93e510d24a14aull},
+    {"GA", 8u, 0xafa7796c3eaff243ull},
+    {"GA", 13u, 0x8763ae657939d83aull},
+    {"GA", 21u, 0xeebfe0da9e248990ull},
+    {"GA", 34u, 0x08c93e510d24a14aull},
+    {"GA", 55u, 0xc95b5f0f891a2694ull},
+    {"GA", 89u, 0x6946b360545a99d0ull},
+};
+
+/**
+ * The headline pin of the precision-ladder generalization: with the
+ * default two-rung ladder (maxLevel()==1), every strategy's full
+ * trajectory, winner, and exported evaluation cache must be
+ * bit-identical to the pre-ladder implementation, per seed.
+ */
+TEST_P(SearchProperty, DefaultLadderMatchesPreLadderTrajectoryGolden)
+{
+    using hpcmixp::support::json::Value;
+    const std::uint64_t seed = GetParam();
+    for (const char* code : {"CB", "CM", "DD", "HR", "HC", "GA"}) {
+        TrajectoryProblem problem(7, seed);
+        Value cache;
+        SearchRunOptions run;
+        run.checkpointSink = [&cache](const Value& v) { cache = v; };
+        auto result = runSearch(problem, code, bigBudget(), run);
+
+        std::string blob;
+        for (const auto& key : problem.trajectory) {
+            blob += key;
+            blob += ',';
+        }
+        blob += "|best=";
+        blob += result.foundImprovement ? result.best.toString()
+                                        : std::string("-");
+        blob += "|cache=";
+        for (const auto& dump : canonicalCache(cache)) {
+            blob += dump;
+            blob += ';';
+        }
+
+        const TrajectoryPin* pin = nullptr;
+        for (const auto& p : kPreLadderPins)
+            if (std::string(p.code) == code && p.seed == seed)
+                pin = &p;
+        ASSERT_NE(pin, nullptr) << code << " seed=" << seed;
+        EXPECT_EQ(fnv1a(blob), pin->hash)
+            << code << " seed=" << seed
+            << ": two-rung trajectory drifted from the pre-ladder "
+               "golden";
+    }
+}
+
+/**
+ * A randomized ladder problem: each site independently tolerates
+ * narrowing down to a per-site level `tolerance[i]` in [0, rungs];
+ * a configuration passes iff no site sits below its tolerance rung.
+ * Speedup grows with total demotion depth, so the unique optimum is
+ * the tolerance vector itself.
+ */
+class LadderProblem : public SearchProblem {
+  public:
+    LadderProblem(std::size_t sites, std::size_t rungs,
+                  std::uint64_t seed)
+        : sites_(sites), rungs_(rungs), tolerance_(sites)
+    {
+        Pcg32 rng(seed ^ 0x1adde5u);
+        for (std::size_t i = 0; i < sites; ++i)
+            tolerance_[i] = static_cast<std::uint8_t>(
+                rng.nextBounded(static_cast<std::uint32_t>(rungs) + 1));
+    }
+
+    std::size_t siteCount() const override { return sites_; }
+    std::size_t maxLevel() const override { return rungs_; }
+
+    bool
+    passes(const Config& config) const
+    {
+        for (std::size_t i = 0; i < sites_; ++i)
+            if (config.level(i) > tolerance_[i])
+                return false;
+        return true;
+    }
+
+    Evaluation
+    evaluate(const Config& config) override
+    {
+        std::size_t depth = 0;
+        for (std::size_t i = 0; i < sites_; ++i)
+            depth += config.level(i);
+        Evaluation eval;
+        eval.speedup = 1.0 + 0.05 * static_cast<double>(depth);
+        eval.runtimeSeconds = 1.0 / eval.speedup;
+        eval.status = passes(config) ? EvalStatus::Pass
+                                     : EvalStatus::QualityFail;
+        eval.qualityLoss = eval.passed() ? 0.0 : 1.0;
+        return eval;
+    }
+
+    std::uint8_t tolerance(std::size_t i) const
+    {
+        return tolerance_[i];
+    }
+
+    /** Sum of tolerances = total demotion depth of the optimum. */
+    std::size_t
+    optimumDepth() const
+    {
+        std::size_t depth = 0;
+        for (std::uint8_t t : tolerance_)
+            depth += t;
+        return depth;
+    }
+
+  private:
+    std::size_t sites_;
+    std::size_t rungs_;
+    std::vector<std::uint8_t> tolerance_;
+};
+
+/** LadderProblem plus a two-module structure tree for HR / HC. */
+class StructuredLadderProblem : public LadderProblem {
+  public:
+    StructuredLadderProblem(std::size_t sites, std::size_t rungs,
+                            std::uint64_t seed)
+        : LadderProblem(sites, rungs, seed)
+    {
+        tree_.name = "prog";
+        StructureNode left, right;
+        left.name = "modA";
+        right.name = "modB";
+        for (std::size_t i = 0; i < sites; ++i) {
+            tree_.sites.push_back(i);
+            StructureNode leaf;
+            leaf.name = "v" + std::to_string(i);
+            leaf.sites = {i};
+            StructureNode& half = i < sites / 2 ? left : right;
+            half.sites.push_back(i);
+            half.children.push_back(std::move(leaf));
+        }
+        tree_.children = {std::move(left), std::move(right)};
+    }
+
+    const StructureNode* structure() const override { return &tree_; }
+
+  private:
+    StructureNode tree_;
+};
+
+/**
+ * With independent per-site tolerances the tolerance vector is the
+ * unique optimum; CB's level odometer enumerates the full ladder
+ * space and must land exactly on it.
+ */
+TEST_P(SearchProperty, ThreeRungCombinationalFindsTheOptimum)
+{
+    LadderProblem problem(4, 2, GetParam());
+    auto result = runSearch(problem, "CB", bigBudget());
+    if (problem.optimumDepth() == 0) {
+        EXPECT_FALSE(result.foundImprovement);
+        return;
+    }
+    ASSERT_TRUE(result.foundImprovement);
+    EXPECT_TRUE(problem.passes(result.best));
+    for (std::size_t i = 0; i < problem.siteCount(); ++i)
+        EXPECT_EQ(result.best.level(i), problem.tolerance(i))
+            << "site " << i;
+}
+
+/**
+ * DD and CM both end in (or compose to) the per-site deepest
+ * tolerated level: DD via the greedy demotion pass, CM via
+ * per-(site, level) singles unioned with per-site max.
+ */
+TEST_P(SearchProperty, ThreeRungDemotionReachesPerSiteTolerance)
+{
+    for (const char* code : {"DD", "CM"}) {
+        LadderProblem problem(6, 2, GetParam());
+        if (problem.optimumDepth() == 0)
+            continue;
+        auto result = runSearch(problem, code, bigBudget());
+        ASSERT_TRUE(result.foundImprovement) << code;
+        for (std::size_t i = 0; i < problem.siteCount(); ++i)
+            EXPECT_EQ(result.best.level(i), problem.tolerance(i))
+                << code << " site " << i;
+    }
+}
+
+/** Every strategy's winner must pass on a three-rung ladder. */
+TEST_P(SearchProperty, ThreeRungWinnersAlwaysPass)
+{
+    for (const char* code : {"CB", "CM", "DD", "HR", "HC", "GA"}) {
+        StructuredLadderProblem problem(6, 2, GetParam());
+        auto result = runSearch(problem, code, bigBudget());
+        if (result.foundImprovement) {
+            EXPECT_TRUE(problem.passes(result.best)) << code;
+        }
+    }
+}
+
+/**
+ * Per-site prior caps bound every proposed level: with site i capped
+ * at i % 3 rungs, no strategy may return (or even cache) a
+ * configuration exceeding a cap.
+ */
+TEST_P(SearchProperty, ThreeRungPriorCapsAreNeverExceeded)
+{
+    using hpcmixp::support::json::Value;
+    const std::size_t sites = 6;
+    std::vector<std::uint8_t> caps(sites);
+    for (std::size_t i = 0; i < sites; ++i)
+        caps[i] = static_cast<std::uint8_t>(i % 3);
+    StaticPrior prior = StaticPrior::withCaps(
+        PriorMode::On, caps, std::vector<bool>(sites, false),
+        std::vector<int>(sites, 0));
+
+    for (const char* code : {"CB", "CM", "DD", "HR", "HC"}) {
+        StructuredLadderProblem problem(sites, 2, GetParam());
+        Value cache;
+        SearchRunOptions run;
+        run.prior = prior;
+        run.checkpointSink = [&cache](const Value& v) { cache = v; };
+        auto result = runSearch(problem, code, bigBudget(), run);
+        for (std::size_t i = 0; i < sites; ++i)
+            EXPECT_LE(result.best.level(i), caps[i])
+                << code << " site " << i;
+        for (const auto& e : cache.at("evaluations").items()) {
+            Config cfg =
+                Config::fromString(e.at("config").asString());
+            EXPECT_FALSE(prior.violates(cfg))
+                << code << " cached " << cfg.toString();
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SearchProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
                                            21u, 34u, 55u, 89u));

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -14,6 +15,8 @@
 
 #include "runtime/buffer.h"
 #include "runtime/dispatch.h"
+#include "runtime/half.h"
+#include "runtime/ladder.h"
 #include "runtime/mp_io.h"
 #include "support/logging.h"
 
@@ -23,12 +26,199 @@ using namespace hpcmixp::runtime;
 
 TEST(Precision, ByteSizesAndNames)
 {
+    EXPECT_EQ(byteSize(Precision::BFloat16), 2u);
+    EXPECT_EQ(byteSize(Precision::Float16), 2u);
     EXPECT_EQ(byteSize(Precision::Float32), 4u);
     EXPECT_EQ(byteSize(Precision::Float64), 8u);
+    EXPECT_EQ(precisionName(Precision::BFloat16), "bfloat16");
+    EXPECT_EQ(precisionName(Precision::Float16), "half");
     EXPECT_EQ(precisionName(Precision::Float32), "float");
     EXPECT_EQ(precisionName(Precision::Float64), "double");
+    EXPECT_EQ(precisionOf<BFloat16>(), Precision::BFloat16);
+    EXPECT_EQ(precisionOf<Half>(), Precision::Float16);
     EXPECT_EQ(precisionOf<float>(), Precision::Float32);
     EXPECT_EQ(precisionOf<double>(), Precision::Float64);
+}
+
+/**
+ * Pins the enum ordering contract the search layer leans on: a lower
+ * enumerator value means a lower precision, where "lower" is ordered
+ * by significand width (bfloat16 < half < float < double). This
+ * resolves the precision.h open question in favor of accuracy order,
+ * not range or storage-size order — bfloat16 and half tie on bytes
+ * but must not tie on rank.
+ */
+TEST(Precision, OrderingContractTracksSignificandWidth)
+{
+    EXPECT_LT(static_cast<int>(Precision::BFloat16),
+              static_cast<int>(Precision::Float16));
+    EXPECT_LT(static_cast<int>(Precision::Float16),
+              static_cast<int>(Precision::Float32));
+    EXPECT_LT(static_cast<int>(Precision::Float32),
+              static_cast<int>(Precision::Float64));
+    EXPECT_LT(significandBits(Precision::BFloat16),
+              significandBits(Precision::Float16));
+    EXPECT_LT(significandBits(Precision::Float16),
+              significandBits(Precision::Float32));
+    EXPECT_LT(significandBits(Precision::Float32),
+              significandBits(Precision::Float64));
+    // Byte size is NOT a precision order: the two 16-bit formats tie.
+    EXPECT_EQ(byteSize(Precision::BFloat16),
+              byteSize(Precision::Float16));
+}
+
+TEST(Ladder, DefaultIsTwoTierAndDescribesCompatibly)
+{
+    PrecisionLadder ladder;
+    EXPECT_EQ(ladder.rungs(), 2u);
+    EXPECT_EQ(ladder.maxLevel(), 1u);
+    EXPECT_EQ(ladder.at(0), Precision::Float64);
+    EXPECT_EQ(ladder.at(1), Precision::Float32);
+    // Must match the historical MemoFingerprint default so two-tier
+    // memo segments and checkpoints stay loadable.
+    EXPECT_EQ(ladder.describe(), "f64:f32");
+    EXPECT_EQ(PrecisionLadder::parse("double,float"), ladder);
+}
+
+TEST(Ladder, ParsesThreeRungSpecsAndAliases)
+{
+    PrecisionLadder half = PrecisionLadder::parse("double,float,half");
+    EXPECT_EQ(half.maxLevel(), 2u);
+    EXPECT_EQ(half.at(2), Precision::Float16);
+    EXPECT_EQ(half.describe(), "f64:f32:f16");
+    EXPECT_EQ(PrecisionLadder::parse("f64,f32,fp16"), half);
+
+    PrecisionLadder bf16 =
+        PrecisionLadder::parse("double,float,bf16");
+    EXPECT_EQ(bf16.at(2), Precision::BFloat16);
+    EXPECT_EQ(bf16.describe(), "f64:f32:bf16");
+    EXPECT_EQ(PrecisionLadder::parse("double,single,bfloat16"), bf16);
+}
+
+TEST(Ladder, RejectsNonDescendingOrUnknownSpecs)
+{
+    using hpcmixp::support::FatalError;
+    EXPECT_THROW(PrecisionLadder::parse("float,double"), FatalError);
+    EXPECT_THROW(PrecisionLadder::parse("double,half,float"),
+                 FatalError);
+    EXPECT_THROW(PrecisionLadder::parse("double,double"), FatalError);
+    EXPECT_THROW(PrecisionLadder::parse("double,fp8"), FatalError);
+    EXPECT_THROW(PrecisionLadder::parse(""), FatalError);
+}
+
+/**
+ * Every non-NaN binary16 pattern must survive the widen-to-float /
+ * round-back cycle bit-for-bit (float holds all half values
+ * exactly); NaN patterns must stay NaN (payloads may canonicalize).
+ */
+TEST(HalfTest, ExhaustiveWidenRoundTrip)
+{
+    for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+        Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        float widened = static_cast<float>(h);
+        Half back(widened);
+        bool isNan = ((b >> 10) & 0x1fu) == 0x1fu && (b & 0x3ffu);
+        if (isNan) {
+            EXPECT_TRUE(std::isnan(widened)) << "bits " << b;
+            EXPECT_TRUE(std::isnan(static_cast<float>(back)))
+                << "bits " << b;
+        } else {
+            EXPECT_EQ(back.bits, b) << "bits " << b;
+        }
+    }
+}
+
+TEST(HalfTest, ExhaustiveBf16WidenRoundTrip)
+{
+    for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+        BFloat16 v = BFloat16::fromBits(static_cast<std::uint16_t>(b));
+        float widened = static_cast<float>(v);
+        BFloat16 back(widened);
+        bool isNan = ((b >> 7) & 0xffu) == 0xffu && (b & 0x7fu);
+        if (isNan) {
+            EXPECT_TRUE(std::isnan(widened)) << "bits " << b;
+            EXPECT_TRUE(std::isnan(static_cast<float>(back)))
+                << "bits " << b;
+        } else {
+            EXPECT_EQ(back.bits, b) << "bits " << b;
+        }
+    }
+}
+
+TEST(HalfTest, RoundsToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10: the tie
+    // goes to the even mantissa, 1.0.
+    EXPECT_EQ(static_cast<float>(Half(1.0f + 0x1p-11f)), 1.0f);
+    // 1 + 3*2^-11 ties between odd 1 + 2^-10 and even 1 + 2^-9.
+    EXPECT_EQ(static_cast<float>(Half(1.0f + 3 * 0x1p-11f)),
+              1.0f + 0x1p-9f);
+    // bfloat16: halfway between 1 and 1 + 2^-7 rounds to even 1.0.
+    EXPECT_EQ(static_cast<float>(BFloat16(1.0f + 0x1p-8f)), 1.0f);
+    EXPECT_EQ(static_cast<float>(BFloat16(1.0f + 3 * 0x1p-8f)),
+              1.0f + 0x1p-6f);
+}
+
+TEST(HalfTest, SubnormalsRoundCorrectly)
+{
+    // 2^-24 is the smallest binary16 subnormal.
+    EXPECT_EQ(static_cast<float>(Half(0x1p-24f)), 0x1p-24f);
+    EXPECT_EQ(Half(0x1p-24f).bits, 0x0001u);
+    // Halfway between 0 and 2^-24 underflows to the even side, +0.
+    EXPECT_EQ(Half(0x1p-25f).bits, 0x0000u);
+    // Anything past halfway rounds up into the subnormal range.
+    EXPECT_EQ(Half(1.5f * 0x1p-25f).bits, 0x0001u);
+    // Largest subnormal, then the smallest normal.
+    EXPECT_EQ(static_cast<float>(Half::fromBits(0x03ffu)),
+              0x3ffp-24f);
+    EXPECT_EQ(static_cast<float>(Half::fromBits(0x0400u)), 0x1p-14f);
+}
+
+/**
+ * Narrowing values beyond the 16-bit format's range must overflow to
+ * infinity (never wrap or saturate silently), and NaN / Inf inputs
+ * must stay NaN / Inf — the quality comparator depends on the fused
+ * ErrorStats seeing those poisoned outputs.
+ */
+TEST(HalfTest, OverflowOnNarrowProducesInfinity)
+{
+    EXPECT_EQ(static_cast<float>(Half(65504.0f)), 65504.0f); // max
+    EXPECT_TRUE(std::isinf(static_cast<float>(Half(65520.0f))));
+    EXPECT_TRUE(std::isinf(static_cast<float>(Half(-1e6f))));
+    EXPECT_LT(static_cast<float>(Half(-1e6f)), 0.0f);
+    // double -> half goes through float; hugely out of range stays Inf.
+    EXPECT_TRUE(std::isinf(static_cast<float>(Half(1e300))));
+
+    // bfloat16 keeps float range: float max survives, but a value
+    // that rounds past it overflows to Inf.
+    EXPECT_FALSE(std::isinf(static_cast<float>(BFloat16(0x1.fep127f))));
+    EXPECT_TRUE(std::isinf(static_cast<float>(
+        BFloat16(std::numeric_limits<float>::max()))));
+    EXPECT_TRUE(std::isinf(static_cast<float>(BFloat16(1e300))));
+
+    // NaN / Inf propagate through a narrow.
+    float qnan = std::numeric_limits<float>::quiet_NaN();
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isnan(static_cast<float>(Half(qnan))));
+    EXPECT_TRUE(std::isnan(static_cast<float>(BFloat16(qnan))));
+    EXPECT_TRUE(std::isinf(static_cast<float>(Half(inf))));
+    EXPECT_TRUE(std::isinf(static_cast<float>(BFloat16(inf))));
+    EXPECT_GT(static_cast<float>(Half(inf)), 0.0f);
+}
+
+TEST(HalfTest, CompoundAssignRoundsOnStore)
+{
+    Half h(1.0f);
+    h += 0x1p-11f; // rounds back to 1.0 (tie to even)
+    EXPECT_EQ(static_cast<float>(h), 1.0f);
+    h += 0x1p-10f;
+    EXPECT_EQ(static_cast<float>(h), 1.0f + 0x1p-10f);
+
+    BFloat16 b(256.0f);
+    b *= 0.5f;
+    EXPECT_EQ(static_cast<float>(b), 128.0f);
+    b += 0.25f; // 128.25 is below bf16 resolution at 128
+    EXPECT_EQ(static_cast<float>(b), 128.0f);
 }
 
 TEST(BufferTest, AllocatesZeroFilled)
@@ -162,10 +352,17 @@ TEST(Dispatch, Dispatch1SelectsMatchingType)
     EXPECT_EQ(kind, Precision::Float64);
 }
 
-TEST(Dispatch, Dispatch2CoversAllFourCombinations)
+constexpr Precision kAllPrecisions[] = {
+    Precision::BFloat16,
+    Precision::Float16,
+    Precision::Float32,
+    Precision::Float64,
+};
+
+TEST(Dispatch, Dispatch2CoversAll16Combinations)
 {
-    for (auto a : {Precision::Float32, Precision::Float64}) {
-        for (auto b : {Precision::Float32, Precision::Float64}) {
+    for (auto a : kAllPrecisions) {
+        for (auto b : kAllPrecisions) {
             auto got = dispatch2(a, b, [](auto ta, auto tb) {
                 using A = typename decltype(ta)::type;
                 using B = typename decltype(tb)::type;
@@ -190,16 +387,63 @@ TEST(Dispatch, PromotionInsideDispatchMatchesCxxRules)
     EXPECT_EQ(sum, sizeof(double));
 }
 
-TEST(Dispatch, Dispatch4Covers16Combinations)
+TEST(Dispatch, Dispatch4Covers256Combinations)
 {
     int count = 0;
-    for (auto a : {Precision::Float32, Precision::Float64})
-        for (auto b : {Precision::Float32, Precision::Float64})
-            for (auto c : {Precision::Float32, Precision::Float64})
-                for (auto d : {Precision::Float32, Precision::Float64})
+    for (auto a : kAllPrecisions)
+        for (auto b : kAllPrecisions)
+            for (auto c : kAllPrecisions)
+                for (auto d : kAllPrecisions)
                     dispatch4(a, b, c, d,
                               [&](auto, auto, auto, auto) { ++count; });
-    EXPECT_EQ(count, 16);
+    EXPECT_EQ(count, 256);
+}
+
+TEST(BufferTest, HalfLaneQuartersDoubleFootprint)
+{
+    Buffer d(1000, Precision::Float64);
+    Buffer h(1000, Precision::Float16);
+    Buffer b(1000, Precision::BFloat16);
+    EXPECT_EQ(h.bytes() * 4, d.bytes());
+    EXPECT_EQ(b.bytes(), h.bytes());
+}
+
+TEST(BufferTest, HalfLanesConvertOnStoreAndLoad)
+{
+    std::vector<double> data{1.0, 1.0 / 3.0, 65504.0, 1e6, -2.5};
+    Buffer h = Buffer::fromDoubles(data, Precision::Float16);
+    Buffer b = Buffer::fromDoubles(data, Precision::BFloat16);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        float f = static_cast<float>(data[i]);
+        EXPECT_EQ(h.loadDouble(i),
+                  static_cast<double>(static_cast<float>(Half(f))))
+            << i;
+        EXPECT_EQ(b.loadDouble(i),
+                  static_cast<double>(static_cast<float>(BFloat16(f))))
+            << i;
+    }
+    // 1e6 exceeds binary16 range: the stored lane reads back as Inf.
+    EXPECT_TRUE(std::isinf(h.loadDouble(3)));
+    EXPECT_FALSE(std::isinf(b.loadDouble(3)));
+
+    Buffer w(1, Precision::Float16);
+    w.storeDouble(0, 1.0 / 3.0);
+    auto view = w.as<Half>();
+    EXPECT_EQ(view[0].bits, Half(1.0f / 3.0f).bits);
+}
+
+TEST(MpIo, HalfLaneFileRoundTrip)
+{
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "hpcmixp_io_half.bin").string();
+    std::vector<double> data{0.5, -0.25, 1.0 / 3.0, 1024.0};
+    Buffer source = Buffer::fromDoubles(data, Precision::Float16);
+    mpWriteFile(source, Precision::Float64, path);
+    Buffer loaded =
+        mpReadFile(path, Precision::Float64, 4, Precision::Float16);
+    EXPECT_EQ(loaded.toDoubles(), source.toDoubles());
+    fs::remove(path);
 }
 
 } // namespace
