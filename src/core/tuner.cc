@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
 
@@ -11,6 +12,7 @@
 #include "support/memo_log.h"
 #include "support/shm_arena.h"
 #include "support/timer.h"
+#include "support/worker_pool.h"
 #include "typeforge/lint.h"
 #include "verify/metrics.h"
 
@@ -141,6 +143,19 @@ struct SandboxPayload {
     verify::ErrorStats stats;
 };
 
+/**
+ * Fixed header of a pool job record: [PoolJobHeader][config chars].
+ * The configuration crosses as its digit-per-site toString() image —
+ * the same canonical key the memo layer uses — so the wire format is
+ * independent of Config's in-memory layout.
+ */
+struct PoolJobHeader {
+    std::uint32_t reps = 0;
+    std::uint32_t rawFault = 0;  ///< search::RawFault drawn in the parent
+    std::uint32_t keyLength = 0; ///< config chars following the header
+    std::uint32_t pad = 0;
+};
+
 } // namespace
 
 bool
@@ -198,7 +213,8 @@ BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
     // (FaultyProblem re-checks via the sandboxed flag), and a raw hang
     // spins forever unless a deadline arms the parent's SIGKILL.
     options_.faultPlan.sandboxed =
-        options_.isolation == support::IsolationMode::Fork;
+        options_.isolation == support::IsolationMode::Fork ||
+        options_.isolation == support::IsolationMode::Pool;
     if (options_.faultPlan.rawHangRate > 0.0 &&
         options_.resilience.deadlineSeconds <= 0.0)
         support::fatal(
@@ -230,6 +246,26 @@ BenchmarkTuner::BenchmarkTuner(const benchmarks::Benchmark& benchmark,
             *clusterProblem_, options_.faultPlan);
         faultyVariable_ = std::make_unique<search::FaultyProblem>(
             *variableProblem_, options_.faultPlan);
+    }
+
+    // Pre-fork the sandbox workers now, after runBaseline(): every
+    // worker inherits the reference output and the benchmark's warmed
+    // CachedInput through the fork, and the per-campaign fd budget
+    // (rings + doorbells) is paid once here — the count stays constant
+    // through the whole campaign, respawns included.
+    if (options_.isolation == support::IsolationMode::Pool) {
+        std::size_t workers =
+            options_.poolWorkers > 0
+                ? options_.poolWorkers
+                : std::max<std::size_t>(options_.searchJobs, 1);
+        workerPool_ = std::make_unique<support::WorkerPool>(
+            workers, sizeof(PoolJobHeader) + clusterCount(),
+            sizeof(SandboxPayload),
+            [this](const void* job, std::size_t jobSize, void* result,
+                   std::size_t resultCapacity) {
+                return poolChildRun(job, jobSize, result,
+                                    resultCapacity);
+            });
     }
 }
 
@@ -352,6 +388,8 @@ BenchmarkTuner::evaluateClusterConfig(const Config& cfg,
 {
     if (options_.isolation == support::IsolationMode::Fork)
         return evaluateSandboxed(cfg, reps);
+    if (options_.isolation == support::IsolationMode::Pool)
+        return evaluatePooled(cfg, reps);
 
     Evaluation eval;
     PrecisionMap pm = precisionMapFor(cfg);
@@ -423,20 +461,8 @@ BenchmarkTuner::evaluateSandboxed(const Config& cfg, std::size_t reps)
     eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
     eval.memoizable = false;
 
-    if (options_.isolationMaxCrashes > 0) {
-        std::lock_guard<std::mutex> lock(sandboxMutex_);
-        if (sandbox_.crashedChildren() >= options_.isolationMaxCrashes) {
-            ++sandbox_.fastFailed;
-            if (!crashLoopWarned_) {
-                crashLoopWarned_ = true;
-                support::warn(support::strCat(
-                    benchmark_.name(), ": ", sandbox_.crashedChildren(),
-                    " crashed children reached --isolation-max-crashes; "
-                    "failing further sandboxed attempts without forking"));
-            }
-            return eval;
-        }
-    }
+    if (crashCutoffTripped())
+        return eval;
 
     support::ShmArena arena(sizeof(SandboxPayload));
     support::ChildOutcome child;
@@ -547,6 +573,196 @@ BenchmarkTuner::evaluateSandboxed(const Config& cfg, std::size_t reps)
     return eval;
 }
 
+/**
+ * Crash-loop cutoff shared by both sandboxed paths. Returns true (and
+ * marks one fast-fail) once crashed children reach the configured cap;
+ * the caller then publishes its pre-initialized fast-fail RuntimeFail.
+ */
+bool
+BenchmarkTuner::crashCutoffTripped()
+{
+    if (options_.isolationMaxCrashes == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(sandboxMutex_);
+    if (sandbox_.crashedChildren() < options_.isolationMaxCrashes)
+        return false;
+    ++sandbox_.fastFailed;
+    if (!crashLoopWarned_) {
+        crashLoopWarned_ = true;
+        support::warn(support::strCat(
+            benchmark_.name(), ": ", sandbox_.crashedChildren(),
+            " crashed children reached --isolation-max-crashes; "
+            "failing further sandboxed attempts without forking"));
+    }
+    return true;
+}
+
+/**
+ * Pool-worker job handler: runs inside a pre-forked worker child.
+ *
+ * Unlike the per-attempt fork path, prepare() must happen here, in the
+ * worker — the workers forked at construction time and copy-on-write
+ * only shares pages that existed then, so a RunPlan prepared later in
+ * the parent would be invisible. The cost amortizes the same way it
+ * does in the parent: CachedInput and the thread_local workspace stay
+ * warm inside the long-lived worker across every job it serves.
+ *
+ * Exceptions (prepare failures, RefineDiverged) propagate out into the
+ * WorkerPool trampoline, which reports kChildBodyThrew — the same
+ * classification the fork path produces for a throwing child.
+ */
+std::size_t
+BenchmarkTuner::poolChildRun(const void* job, std::size_t jobSize,
+                             void* result, std::size_t resultCapacity)
+{
+    HPCMIXP_ASSERT(resultCapacity >= sizeof(SandboxPayload),
+                   "pool result ring smaller than the payload");
+    PoolJobHeader header;
+    HPCMIXP_ASSERT(jobSize >= sizeof header, "torn pool job header");
+    std::memcpy(&header, job, sizeof header);
+    HPCMIXP_ASSERT(jobSize == sizeof header + header.keyLength,
+                   "pool job length mismatch");
+    const std::string key(
+        static_cast<const char*>(job) + sizeof header, header.keyLength);
+
+    support::WallTimer childTimer;
+    search::executeRawFault(
+        static_cast<search::RawFault>(header.rawFault));
+
+    const Config cfg = Config::fromString(key);
+    const bool refined = useRefinement(cfg);
+    PrecisionMap pm = precisionMapFor(cfg);
+    benchmarks::RunPlan plan = benchmark_.prepare(pm);
+    runtime::RunWorkspace& ws = evalWorkspace();
+
+    benchmarks::RunOutput output;
+    std::size_t timedReps = std::max<std::size_t>(header.reps, 1);
+    std::vector<double> samples;
+    samples.reserve(timedReps);
+    for (std::size_t i = 0; i < timedReps; ++i) {
+        support::WallTimer timer;
+        benchmarks::RunOutput repOutput =
+            executeForConfig(plan, ws, refined);
+        samples.push_back(timer.seconds());
+        if (i == 0)
+            output = std::move(repOutput);
+    }
+
+    SandboxPayload payload;
+    payload.runtimeSeconds = support::trimmedMean(std::move(samples));
+    payload.stats =
+        verify::computeErrorStats(reference_, output.values);
+    verify::Verdict verdict =
+        comparator_.fusible()
+            ? comparator_.verifyStats(payload.stats)
+            : comparator_.verify(reference_, output.values);
+    payload.passed = verdict.passed ? 1 : 0;
+    payload.loss = verdict.loss;
+    payload.rawValue = verdict.rawValue;
+    payload.childWallSeconds = childTimer.seconds();
+    std::memcpy(result, &payload, sizeof payload);
+    return sizeof payload;
+}
+
+/**
+ * One evaluation attempt dispatched to a persistent pool worker.
+ *
+ * Mirrors evaluateSandboxed() classification for classification —
+ * clean-with-payload, thrown-and-contained, crashed, killed on
+ * deadline, spawn-starved — so a campaign under --isolation=pool
+ * publishes the same evaluations (and memo entries) the fork path
+ * would, while paying a ring write instead of a fork per attempt
+ * (DESIGN.md §15).
+ */
+Evaluation
+BenchmarkTuner::evaluatePooled(const Config& cfg, std::size_t reps)
+{
+    const search::RawFault rawFault = search::takePendingRawFault();
+
+    Evaluation eval;
+    eval.status = EvalStatus::RuntimeFail;
+    eval.qualityLoss = std::numeric_limits<double>::quiet_NaN();
+    eval.memoizable = false;
+
+    if (crashCutoffTripped())
+        return eval;
+
+    const std::string key = cfg.toString();
+    PoolJobHeader header;
+    header.reps = static_cast<std::uint32_t>(reps);
+    header.rawFault = static_cast<std::uint32_t>(rawFault);
+    header.keyLength = static_cast<std::uint32_t>(key.size());
+    std::vector<unsigned char> job(sizeof header + key.size());
+    std::memcpy(job.data(), &header, sizeof header);
+    std::memcpy(job.data() + sizeof header, key.data(), key.size());
+
+    SandboxPayload payload;
+    support::PoolOutcome outcome = workerPool_->run(
+        job.data(), job.size(), &payload, sizeof payload,
+        options_.resilience.deadlineSeconds);
+
+    {
+        std::lock_guard<std::mutex> lock(sandboxMutex_);
+        switch (outcome.exit) {
+          case support::ChildExit::Clean:
+            if (outcome.resultValid) {
+                ++sandbox_.cleanExits;
+                spawnOverheadSum_ += std::max(
+                    0.0,
+                    outcome.wallSeconds - payload.childWallSeconds);
+            } else {
+                // Worker answered but the result record is torn:
+                // untrustworthy, same as a corrupt fork arena.
+                ++sandbox_.arenaCorrupt;
+            }
+            break;
+          case support::ChildExit::NonZeroExit:
+            ++sandbox_.nonZeroExits;
+            break;
+          case support::ChildExit::Signaled:
+            ++sandbox_.signaled;
+            break;
+          case support::ChildExit::KilledOnDeadline:
+            ++sandbox_.killedOnDeadline;
+            break;
+          case support::ChildExit::SpawnFailed:
+            ++sandbox_.spawnFailed;
+            break;
+        }
+    }
+
+    if (outcome.exit == support::ChildExit::KilledOnDeadline) {
+        eval.deadlineMiss = true;
+        return eval;
+    }
+    if (outcome.exit == support::ChildExit::NonZeroExit &&
+        outcome.detail == support::kChildBodyThrew) {
+        // The handler threw and the worker trampoline contained it —
+        // the worker itself lives on. Memoizable for trajectory and
+        // memo-content identity with fork and in-process evaluation.
+        eval.memoizable = true;
+        return eval;
+    }
+    if (outcome.exit != support::ChildExit::Clean ||
+        !outcome.resultValid)
+        return eval; // crashed / signaled / torn: quarantine fodder
+
+    eval.memoizable = true;
+    eval.runtimeSeconds = payload.runtimeSeconds;
+    eval.speedup = baselineSeconds_ / payload.runtimeSeconds;
+    eval.qualityLoss = payload.loss;
+    eval.status = payload.passed != 0 ? EvalStatus::Pass
+                                      : EvalStatus::QualityFail;
+    return eval;
+}
+
+std::vector<pid_t>
+BenchmarkTuner::poolWorkerPids() const
+{
+    return workerPool_ ? workerPool_->workerPids()
+                       : std::vector<pid_t>{};
+}
+
 SandboxStats
 BenchmarkTuner::sandboxStats() const
 {
@@ -556,6 +772,14 @@ BenchmarkTuner::sandboxStats() const
         stats.cleanExits > 0
             ? spawnOverheadSum_ / static_cast<double>(stats.cleanExits)
             : 0.0;
+    if (workerPool_) {
+        // Pool-mode bookkeeping lives in the pool itself; fold it in
+        // so `forks` keeps meaning "fork() calls" across modes.
+        support::WorkerPoolStats pool = workerPool_->stats();
+        stats.forks = pool.forks;
+        stats.poolDispatches = pool.dispatched;
+        stats.workerRespawns = pool.respawns;
+    }
     return stats;
 }
 

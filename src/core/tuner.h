@@ -34,6 +34,10 @@
 #include "typeforge/clustering.h"
 #include "verify/comparator.h"
 
+namespace hpcmixp::support {
+class WorkerPool;
+} // namespace hpcmixp::support
+
 namespace hpcmixp::core {
 
 /** Tuning options: quality bound, timing protocol, search budget. */
@@ -100,9 +104,11 @@ struct TunerOptions {
 
     /**
      * Where each search evaluation attempt executes (harness
-     * --isolation): in this process, or in a forked child per attempt
+     * --isolation): in this process, in a forked child per attempt
      * so a configuration that SIGSEGVs, aborts or hangs is contained
-     * and quarantined instead of killing the tuner (DESIGN.md §13).
+     * and quarantined instead of killing the tuner (DESIGN.md §13),
+     * or on a persistent pre-forked worker pool that amortizes the
+     * spawn cost across the whole campaign (DESIGN.md §15).
      * Final measurements always run in-process — only configurations
      * that already survived the sandbox reach them.
      */
@@ -111,9 +117,19 @@ struct TunerOptions {
     /**
      * Crash-loop cutoff (harness --isolation-max-crashes): once this
      * many children have crashed or been killed, further sandboxed
-     * attempts fail fast without forking. 0 = unlimited.
+     * attempts fail fast without forking. 0 = unlimited. Under
+     * isolation = Pool this also caps worker re-forks: each dead
+     * worker is re-forked, but once the cutoff trips no further jobs
+     * are dispatched.
      */
     std::size_t isolationMaxCrashes = 0;
+
+    /**
+     * Worker processes under isolation = Pool (harness
+     * --pool-workers); 0 sizes the pool to searchJobs, so each batch
+     * evaluation thread has a sandbox worker to itself.
+     */
+    std::size_t poolWorkers = 0;
 };
 
 /**
@@ -133,8 +149,16 @@ struct SandboxStats {
     std::size_t spawnFailed = 0;      ///< fork() itself failed
     std::size_t fastFailed = 0;       ///< crash-loop cutoff short-circuits
 
+    /// Pool-mode extras (isolation = Pool); zero otherwise. Under the
+    /// pool, `forks` counts actual fork() calls (initial spawn plus
+    /// respawns) while dispatches counts jobs served over the rings.
+    std::size_t poolDispatches = 0;   ///< jobs handed to pool workers
+    std::size_t workerRespawns = 0;   ///< workers re-forked after a death
+
     /** Mean fork+reap overhead per clean child (parent wall clock
-     *  minus child-side execution wall clock). */
+     *  minus child-side execution wall clock). Under isolation = Pool
+     *  this is the per-job dispatch overhead (ring write + doorbell +
+     *  result read), the number the spawn-amortization bench gates. */
     double spawnOverheadMeanSeconds = 0.0;
 
     /** Children that produced no usable result. */
@@ -268,6 +292,11 @@ class BenchmarkTuner {
      *  isolation = None). */
     SandboxStats sandboxStats() const;
 
+    /** Pids of the live pool workers (isolation = Pool; empty
+     *  otherwise, -1 for a currently dead slot). Exposed so tests can
+     *  kill a worker mid-campaign and watch the pool recover. */
+    std::vector<pid_t> poolWorkerPids() const;
+
     /**
      * Final measurement: interleaves finalReps baseline runs with
      * finalReps configuration runs (alternating) and reports the
@@ -330,6 +359,12 @@ class BenchmarkTuner {
         bool refined) const;
     search::Evaluation evaluateSandboxed(const search::Config& cfg,
                                          std::size_t reps);
+    search::Evaluation evaluatePooled(const search::Config& cfg,
+                                      std::size_t reps);
+    /** WorkerPool job handler; runs inside a pool worker child. */
+    std::size_t poolChildRun(const void* job, std::size_t jobSize,
+                             void* result, std::size_t resultCapacity);
+    bool crashCutoffTripped();
 
     const benchmarks::Benchmark& benchmark_;
     TunerOptions options_;
@@ -350,6 +385,12 @@ class BenchmarkTuner {
     SandboxStats sandbox_;
     double spawnOverheadSum_ = 0.0;
     bool crashLoopWarned_ = false;
+
+    /// Pre-forked sandbox workers (isolation = Pool). Created eagerly
+    /// in the constructor — after the baseline, so workers inherit the
+    /// reference output and warmed input caches — and held for the
+    /// tuner's lifetime, so the process fd count is campaign-constant.
+    std::unique_ptr<support::WorkerPool> workerPool_;
 };
 
 } // namespace hpcmixp::core

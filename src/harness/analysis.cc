@@ -59,6 +59,7 @@ fillSearchCounters(AnalysisResult& result,
     result.retries = searchResult.retries;
     result.deadlineMisses = searchResult.deadlineMisses;
     result.quarantined = searchResult.quarantined;
+    result.steals = searchResult.steals;
     result.timedOut = searchResult.timedOut;
 }
 
@@ -71,6 +72,7 @@ fillSandboxStats(AnalysisResult& result, const core::SandboxStats& stats)
     result.childNonZeroExits = stats.nonZeroExits;
     result.childSignaled = stats.signaled;
     result.childArenaCorrupt = stats.arenaCorrupt;
+    result.childRespawns = stats.workerRespawns;
     result.childSpawnMeanSeconds = stats.spawnOverheadMeanSeconds;
 }
 

@@ -43,16 +43,18 @@ struct AnalysisResult {
     std::size_t retries = 0;     ///< transient-failure re-attempts
     std::size_t deadlineMisses = 0; ///< attempts discarded as stragglers
     std::size_t quarantined = 0; ///< configs failed after retries
+    std::size_t steals = 0;      ///< batch evals run by a stealing worker
     bool timedOut = false;
     std::string configuration;   ///< winning cluster config bits
 
-    /// Sandbox accounting (--isolation=fork); all zero otherwise.
+    /// Sandbox accounting (--isolation=fork|pool); all zero otherwise.
     std::size_t childForks = 0;       ///< forked evaluation children
     std::size_t childKills = 0;       ///< SIGKILLed on deadline
     std::size_t childNonZeroExits = 0; ///< quarantined: nonzero exit
     std::size_t childSignaled = 0;    ///< quarantined: died by signal
     std::size_t childArenaCorrupt = 0; ///< quarantined: torn result arena
-    double childSpawnMeanSeconds = 0.0; ///< mean fork+reap overhead
+    std::size_t childRespawns = 0;    ///< pool workers re-forked after death
+    double childSpawnMeanSeconds = 0.0; ///< mean fork+reap/dispatch overhead
 };
 
 /** Base class for harness analyses (the paper's plugin interface). */

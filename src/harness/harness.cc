@@ -110,6 +110,7 @@ analysisResultToJson(const AnalysisResult& r)
           Value::number(static_cast<double>(r.deadlineMisses)));
     v.set("quarantined",
           Value::number(static_cast<double>(r.quarantined)));
+    v.set("steals", Value::number(static_cast<double>(r.steals)));
     v.set("timed_out", Value::boolean(r.timedOut));
     v.set("configuration", Value::string(r.configuration));
     v.set("child_forks",
@@ -122,6 +123,8 @@ analysisResultToJson(const AnalysisResult& r)
           Value::number(static_cast<double>(r.childSignaled)));
     v.set("child_arena_corrupt",
           Value::number(static_cast<double>(r.childArenaCorrupt)));
+    v.set("child_respawns",
+          Value::number(static_cast<double>(r.childRespawns)));
     v.set("child_spawn_mean_seconds",
           Value::number(r.childSpawnMeanSeconds));
     return v;
@@ -149,6 +152,8 @@ analysisResultFromJson(const Value& v)
     r.retries = count("retries");
     r.deadlineMisses = count("deadline_misses");
     r.quarantined = count("quarantined");
+    // Absent in pre-stealing checkpoints; defaults to zero.
+    r.steals = count("steals");
     r.timedOut = v.at("timed_out").asBool();
     r.configuration = v.at("configuration").asString();
     // Sandbox fields are absent in pre-sandbox checkpoints; count()
@@ -158,6 +163,7 @@ analysisResultFromJson(const Value& v)
     r.childNonZeroExits = count("child_nonzero_exits");
     r.childSignaled = count("child_signaled");
     r.childArenaCorrupt = count("child_arena_corrupt");
+    r.childRespawns = count("child_respawns");
     r.childSpawnMeanSeconds =
         v.has("child_spawn_mean_seconds")
             ? v.at("child_spawn_mean_seconds").asNumber()
@@ -459,12 +465,16 @@ resultsToJson(const std::vector<JobResult>& results)
         entry.set("quarantined",
                   Value::number(
                       static_cast<double>(r.result.quarantined)));
+        entry.set("steals",
+                  Value::number(
+                      static_cast<double>(r.result.steals)));
         entry.set("timed_out", Value::boolean(r.result.timedOut));
         entry.set("restored", Value::boolean(r.restored));
         entry.set("configuration",
                   Value::string(r.result.configuration));
-        // Sandbox breakdown (--isolation=fork): quarantines by child
-        // exit class plus the mean fork+reap overhead per clean child.
+        // Sandbox breakdown (--isolation=fork|pool): quarantines by
+        // child exit class plus the mean fork+reap (fork) or dispatch
+        // (pool) overhead per clean child.
         Value sandbox = Value::object();
         sandbox.set("forks",
                     Value::number(
@@ -481,6 +491,9 @@ resultsToJson(const std::vector<JobResult>& results)
         sandbox.set("arena_corrupt",
                     Value::number(static_cast<double>(
                         r.result.childArenaCorrupt)));
+        sandbox.set("respawns",
+                    Value::number(static_cast<double>(
+                        r.result.childRespawns)));
         sandbox.set("spawn_overhead_mean_seconds",
                     Value::number(r.result.childSpawnMeanSeconds));
         entry.set("sandbox", std::move(sandbox));
@@ -494,11 +507,12 @@ printResults(std::ostream& os, const std::vector<JobResult>& results)
 {
     support::Table table({"benchmark", "analysis", "algorithm",
                           "speedup", "quality", "EV", "cache", "memo",
-                          "retries", "kills", "spawn_ms", "status"});
+                          "retries", "steals", "kills", "spawn_ms",
+                          "status"});
     for (const auto& r : results) {
         if (!r.error.empty()) {
             table.addRow({r.spec.benchmark, r.spec.analysis, "-", "-",
-                          "-", "-", "-", "-", "-", "-", "-",
+                          "-", "-", "-", "-", "-", "-", "-", "-",
                           strCat("error: ", r.error)});
             continue;
         }
@@ -517,6 +531,8 @@ printResults(std::ostream& os, const std::vector<JobResult>& results)
                           static_cast<long>(r.result.memoHits)),
                       support::Table::cell(
                           static_cast<long>(r.result.retries)),
+                      support::Table::cell(
+                          static_cast<long>(r.result.steals)),
                       support::Table::cell(
                           static_cast<long>(r.result.childKills)),
                       support::Table::cell(

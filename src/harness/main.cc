@@ -6,8 +6,8 @@
  *                     [--search-jobs N] [--reps R]
  *                     [--budget E] [--seed S] [--retries N]
  *                     [--deadline S] [--fault-rate P]
- *                     [--isolation none|fork]
- *                     [--isolation-max-crashes N]
+ *                     [--isolation none|fork|pool]
+ *                     [--isolation-max-crashes N] [--pool-workers N]
  *                     [--checkpoint F] [--resume F]
  *                     [--memo-cache DIR] [--portfolio]
  *                     [--portfolio-mode best|race]
@@ -42,7 +42,8 @@ main(int argc, char** argv)
                "  --config      YAML configuration (Listing-4 schema)\n"
                "  --jobs        parallel analysis jobs (default 1)\n"
                "  --search-jobs parallel in-search evaluations per job"
-               " (default 1; 0 = hardware)\n"
+               " (default 1; 0 = auto-detect hardware concurrency,"
+               " clamped against --jobs)\n"
                "  --reps        timing repetitions per evaluation"
                " (default 3)\n"
                "  --budget      max evaluated configurations per search"
@@ -61,15 +62,18 @@ main(int argc, char** argv)
                " (default 0)\n"
                "  --fault-seed  fault decision seed (default --seed)\n"
                "  --fault-raw-crash-rate  child abort() probability"
-               " (fork isolation only)\n"
+               " (fork/pool isolation only)\n"
                "  --fault-raw-hang-rate   child spin-hang probability"
-               " (fork isolation + --deadline)\n"
+               " (fork/pool isolation + --deadline)\n"
                "  --fault-raw-segv-rate   child SIGSEGV probability"
-               " (fork isolation only)\n"
-               "  --isolation   evaluation sandbox: none or fork"
-               " (default none)\n"
+               " (fork/pool isolation only)\n"
+               "  --isolation   evaluation sandbox: none, fork (one"
+               " child per attempt) or pool (persistent pre-forked"
+               " workers) (default none)\n"
                "  --isolation-max-crashes  fail fast after this many"
                " crashed children (default 0 = unlimited)\n"
+               "  --pool-workers  persistent sandbox workers under"
+               " --isolation=pool (default 0 = --search-jobs)\n"
                "  --checkpoint  write campaign progress to this file\n"
                "  --resume      restore an interrupted campaign from"
                " this file\n"
@@ -139,6 +143,8 @@ main(int argc, char** argv)
             cl.getString("isolation", "none"));
         options.tuner.isolationMaxCrashes = static_cast<std::size_t>(
             cl.getLong("isolation-max-crashes", 0));
+        options.tuner.poolWorkers = static_cast<std::size_t>(
+            cl.getLong("pool-workers", 0));
 
         options.tuner.staticPrior = search::parsePriorMode(
             cl.getString("static-prior", "off"));

@@ -1,6 +1,8 @@
 #include "search/context.h"
 
+#include <algorithm>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "support/logging.h"
@@ -89,8 +91,16 @@ SearchContext::setCheckpointHook(std::size_t everyExecutions,
 void
 SearchContext::setSearchJobs(std::size_t jobs)
 {
+    if (jobs == 0) {
+        // 0 means "use the machine": auto-detect instead of silently
+        // degrading to a serial search. Callers that need the nested-
+        // parallelism clamp (jobs × searchJobs ≤ hardware) apply it on
+        // top, as the harness does.
+        jobs = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
     std::lock_guard<std::mutex> lock(mutex_);
-    searchJobs_ = jobs > 0 ? jobs : 1;
+    searchJobs_ = jobs;
 }
 
 std::size_t
@@ -98,6 +108,27 @@ SearchContext::searchJobs() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return searchJobs_;
+}
+
+void
+SearchContext::setBatchScheduling(BatchScheduling scheduling)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduling_ = scheduling;
+}
+
+SearchContext::BatchScheduling
+SearchContext::batchScheduling() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scheduling_;
+}
+
+std::size_t
+SearchContext::stealCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retiredSteals_ + (pool_ ? pool_->stealCount() : 0);
 }
 
 void
@@ -353,10 +384,21 @@ SearchContext::evaluateBatch(std::span<const Config> configs)
     std::vector<Evaluation> results(freshCount);
     std::vector<TaskCounters> counters(freshCount);
     if (freshCount > 0) {
-        if (pool_ && pool_->workerCount() != jobs)
-            pool_.reset();
-        if (!pool_)
-            pool_ = std::make_unique<support::ThreadPool>(jobs);
+        const support::ThreadPool::Scheduling mode =
+            batchScheduling() == BatchScheduling::Fifo
+                ? support::ThreadPool::Scheduling::Fifo
+                : support::ThreadPool::Scheduling::Steal;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (pool_ && (pool_->workerCount() != jobs ||
+                          pool_->scheduling() != mode)) {
+                retiredSteals_ += pool_->stealCount();
+                pool_.reset();
+            }
+            if (!pool_)
+                pool_ = std::make_unique<support::ThreadPool>(jobs,
+                                                              mode);
+        }
         std::vector<std::future<void>> futures;
         futures.reserve(freshCount);
         for (std::size_t i = 0; i < plan.size(); ++i) {

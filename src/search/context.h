@@ -137,11 +137,31 @@ class SearchContext {
 
     /**
      * Degree of intra-search parallelism used by evaluateBatch();
-     * 1 (the default) evaluates batches serially. The worker pool is
-     * created lazily on the first parallel batch.
+     * 1 (the default) evaluates batches serially, 0 auto-detects the
+     * hardware concurrency. The worker pool is created lazily on the
+     * first parallel batch.
      */
     void setSearchJobs(std::size_t jobs);
     std::size_t searchJobs() const;
+
+    /** Scheduling mode of the evaluateBatch thread pool. */
+    enum class BatchScheduling {
+        Fifo,  ///< static round-robin dealing, no stealing
+        Steal, ///< same dealing plus work stealing (default)
+    };
+
+    /**
+     * Select the batch scheduler. Trajectories are bit-identical
+     * either way — results commit in submission order regardless of
+     * execution order — so this is a performance knob (and the lever
+     * the equivalence tests pull). Takes effect at the next batch.
+     */
+    void setBatchScheduling(BatchScheduling scheduling);
+    BatchScheduling batchScheduling() const;
+
+    /** Batch evaluations executed by a pool worker other than the one
+     *  they were dealt to; always 0 under Fifo. */
+    std::size_t stealCount() const;
 
     /**
      * Install a static sensitivity prior (DESIGN.md Section 11).
@@ -302,6 +322,8 @@ class SearchContext {
     CheckpointSink checkpointSink_;
 
     std::size_t searchJobs_ = 1;
+    BatchScheduling scheduling_ = BatchScheduling::Steal;
+    std::size_t retiredSteals_ = 0; ///< steals of discarded pools
     std::unique_ptr<support::ThreadPool> pool_;
 };
 

@@ -52,6 +52,7 @@ runSearch(SearchProblem& problem, SearchStrategy& strategy,
     result.retries = ctx.retryCount();
     result.deadlineMisses = ctx.deadlineMissCount();
     result.quarantined = ctx.quarantinedCount();
+    result.steals = ctx.stealCount();
     result.searchSeconds = ctx.elapsedSeconds();
 
     if (ctx.hasBest()) {

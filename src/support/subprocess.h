@@ -28,18 +28,21 @@
 #include <functional>
 #include <string>
 
+#include <sys/types.h>
+
 namespace hpcmixp::support {
 
 /** Where an evaluation attempt executes (harness --isolation). */
 enum class IsolationMode {
     None, ///< in the tuner process (the historical behavior)
     Fork, ///< in a forked child per attempt, crash-contained
+    Pool, ///< on a persistent pre-forked worker (see WorkerPool)
 };
 
-/** Parse "none" / "fork"; throws FatalError on anything else. */
+/** Parse "none" / "fork" / "pool"; throws FatalError on anything else. */
 IsolationMode parseIsolationMode(const std::string& text);
 
-/** Canonical name of an IsolationMode ("none", "fork"). */
+/** Canonical name of an IsolationMode ("none", "fork", "pool"). */
 const char* isolationModeName(IsolationMode mode);
 
 /** How a sandboxed child terminated. */
@@ -68,6 +71,14 @@ struct ChildOutcome {
 
 /** Exit code used by runInFork's child when @p body throws. */
 inline constexpr int kChildBodyThrew = 61;
+
+/**
+ * Open a pidfd for @p pid (pidfd_open(2)), or -1 when the kernel does
+ * not support it. A pidfd polls readable once the process exits, which
+ * lets a parent sleep in ppoll() until exactly the child's death or a
+ * deadline — no reap-poll wakeups. The caller owns the descriptor.
+ */
+int pidfdOpen(pid_t pid);
 
 /**
  * Run @p body in a forked child and reap it.

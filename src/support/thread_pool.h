@@ -3,26 +3,51 @@
 
 /**
  * @file
- * Fixed-size thread pool.
+ * Fixed-size thread pool with work-stealing scheduling.
  *
  * Substitutes for the paper's SLURM cluster scheduling: the harness
  * offloads each application/algorithm analysis job to a pool worker,
  * and SearchContext::evaluateBatch offloads in-search configuration
- * evaluations (DESIGN.md, Sections 2 and 9).
+ * evaluations (DESIGN.md, Sections 2, 9 and 15).
+ *
+ * Jobs are dealt round-robin onto per-worker FIFO deques (replacing
+ * the original single mutex-guarded queue, whose one lock every
+ * submit and pop had to cross). Two scheduling modes differ only in
+ * what an idle worker does:
+ *
+ *  - Fifo: static dealing. Each job runs on the worker it was dealt
+ *    to, in submission order for that worker. An idle worker sleeps
+ *    even while a sibling's deque is loaded, so uneven job latencies
+ *    convoy behind the unluckiest worker — kept as the ablation
+ *    baseline that shows what stealing buys.
+ *  - Steal (the default): same dealing, but a worker whose own deque
+ *    is empty raids the back of a loaded sibling's deque (Chase–Lev
+ *    ends: owner front, thief back, so they only collide on a deque
+ *    holding one job). The deques are mutex-per-deque rather than
+ *    lock-free — honest about what it is, trivially TSan-clean, and
+ *    each lock is touched by 1/N of the traffic the old global
+ *    queue's was.
+ *
+ * Result order never depends on the mode: submit() returns a future
+ * per job, and callers that need deterministic aggregation (e.g.
+ * evaluateBatch's commit-in-submission-order rule) impose it when they
+ * harvest the futures.
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace hpcmixp::support {
 
-/** A fixed-size pool of worker threads executing queued jobs in FIFO order. */
+/** A fixed-size pool of worker threads executing queued jobs. */
 class ThreadPool {
   public:
     /** What happens to still-queued jobs when the pool shuts down. */
@@ -31,8 +56,15 @@ class ThreadPool {
         Cancel, ///< drop queued jobs (their futures break), then join
     };
 
+    /** How queued jobs are distributed to workers (file comment). */
+    enum class Scheduling {
+        Fifo,  ///< static round-robin dealing, no stealing
+        Steal, ///< same dealing plus work stealing (default)
+    };
+
     /** Start @p workers threads (0 means hardware concurrency). */
-    explicit ThreadPool(std::size_t workers);
+    explicit ThreadPool(std::size_t workers,
+                        Scheduling scheduling = Scheduling::Steal);
 
     /** Equivalent to shutdown(Shutdown::Drain). */
     ~ThreadPool();
@@ -61,17 +93,44 @@ class ThreadPool {
     /** Jobs discarded by a Cancel shutdown. */
     std::size_t cancelledCount() const { return cancelled_; }
 
-  private:
-    void workerLoop();
+    /** The scheduling mode this pool was built with. */
+    Scheduling scheduling() const { return scheduling_; }
 
+    /** Jobs executed by a thread other than the one whose deque they
+     *  were dealt to (always 0 under Fifo). */
+    std::size_t stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One worker's deque; owner pops the front, thieves the back. */
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<std::packaged_task<void()>> jobs;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popTask(std::size_t self, std::packaged_task<void()>& task);
+    bool ownQueueEmpty(std::size_t self);
+    void noteIdleIfDone();
+
+    const Scheduling scheduling_;
     std::vector<std::thread> threads_;
-    std::deque<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+    std::mutex mutex_; ///< stop flag, sleep/wake, idle tracking
     std::condition_variable cv_;
     std::condition_variable idleCv_;
-    std::size_t active_ = 0;
+    std::atomic<std::size_t> pending_{0}; ///< queued, not yet started
+    std::atomic<std::size_t> active_{0};  ///< currently running
+    std::atomic<std::size_t> sleepers_{0}; ///< workers waiting on cv_
+    std::atomic<std::size_t> steals_{0};
+    std::atomic<std::size_t> nextQueue_{0}; ///< round-robin dealer
     std::size_t cancelled_ = 0;
-    bool stop_ = false;
+    /// Written under mutex_; atomic so the lock-free submit fast path
+    /// and sleep predicates may read it without the lock.
+    std::atomic<bool> stop_{false};
 };
 
 } // namespace hpcmixp::support

@@ -1,0 +1,158 @@
+#ifndef HPCMIXP_SUPPORT_WORKER_POOL_H_
+#define HPCMIXP_SUPPORT_WORKER_POOL_H_
+
+/**
+ * @file
+ * Persistent pre-forked sandbox worker pool (DESIGN.md, Section 15).
+ *
+ * Where runInFork() pays a fresh fork()+copy-on-write fault storm per
+ * evaluation, a WorkerPool forks N long-lived children once, at
+ * campaign start, and feeds them over per-worker shared-memory job
+ * rings. One evaluation then costs a ring write plus an eventfd
+ * doorbell kick instead of a process spawn, and each worker keeps its
+ * process-local caches (prepared inputs, thread-local workspaces) warm
+ * across the evaluations it serves.
+ *
+ * Per worker the parent owns:
+ *
+ *     job ring     (ShmArena)  parent commits [op | job bytes]
+ *     result ring  (ShmArena)  child commits  [status | result bytes]
+ *     job doorbell (eventfd)   parent kicks, child blocks on read()
+ *     done doorbell (eventfd)  child kicks after committing a result
+ *     pidfd                    polled for child death and deadlines
+ *
+ * Both rings use the ShmArena commit protocol — magic, capacity,
+ * payload size, FNV-1a checksum, then an atomic state flip as the last
+ * store — so a reader on either side of the process boundary sees a
+ * complete checksummed message or nothing, never a torn one.
+ *
+ * A handler that crashes, spins past the deadline or _exit()s takes
+ * only its worker with it: the parent classifies the death with the
+ * runInFork ChildExit taxonomy, reaps the corpse, and re-forks a fresh
+ * worker on the same rings and doorbells (the shared mappings and
+ * parent-side eventfds survive the child), so the pool's file
+ * descriptor count is constant for the life of the pool. A handler
+ * that merely throws is contained in-worker (status kChildBodyThrew)
+ * and the worker keeps serving.
+ *
+ * run() hands each job to the lowest-indexed free worker, which keeps
+ * dispatch order deterministic for single-threaded submitters; callers
+ * that dispatch from several threads block on a condition variable
+ * until a worker frees up.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "support/subprocess.h"
+
+namespace hpcmixp::support {
+
+/** Classified outcome of one WorkerPool::run() dispatch. */
+struct PoolOutcome {
+    /** Reuses the runInFork taxonomy: Clean means the worker committed
+     *  a result envelope and kept running; NonZeroExit with detail
+     *  kChildBodyThrew means the handler threw (contained in-worker);
+     *  other NonZeroExit / Signaled / KilledOnDeadline / SpawnFailed
+     *  mean the worker died serving this job and was re-forked. */
+    ChildExit exit = ChildExit::Clean;
+
+    /** Exit code, terminating signal, or errno — as in ChildOutcome. */
+    int detail = 0;
+
+    /** Parent wall clock from dispatch to classified completion. */
+    double wallSeconds = 0.0;
+
+    /** True when the caller's result buffer holds a checksum-valid
+     *  handler result of exactly the requested size. */
+    bool resultValid = false;
+};
+
+/** Pool-lifetime accounting. */
+struct WorkerPoolStats {
+    std::size_t forks = 0;      ///< fork() calls: initial spawn + respawns
+    std::size_t dispatched = 0; ///< jobs handed to a worker
+    std::size_t respawns = 0;   ///< workers re-forked after a death
+    std::size_t spawnFailures = 0; ///< fork() failures (spawn or respawn)
+};
+
+/** N pre-forked sandbox workers fed over shared-memory job rings. */
+class WorkerPool {
+  public:
+    /**
+     * Job handler, executed inside a worker child. Receives the job
+     * bytes, writes up to @p resultCapacity result bytes into
+     * @p result and returns how many it wrote. A thrown exception is
+     * contained in-worker and surfaces to run() as NonZeroExit with
+     * detail kChildBodyThrew. Anything the handler touches must have
+     * existed before the pool was constructed: workers are forked in
+     * the constructor and never see parent memory created afterwards.
+     */
+    using Handler = std::function<std::size_t(
+        const void* job, std::size_t jobSize, void* result,
+        std::size_t resultCapacity)>;
+
+    /**
+     * Fork @p workers children ready to run @p handler on jobs of up
+     * to @p jobCapacity bytes producing up to @p resultCapacity result
+     * bytes. @p workers must be >= 1.
+     */
+    WorkerPool(std::size_t workers, std::size_t jobCapacity,
+               std::size_t resultCapacity, Handler handler);
+
+    /** Stops every worker (stop op + doorbell, SIGKILL stragglers),
+     *  reaps them all and closes every descriptor. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /**
+     * Dispatch one job and block until it completes, the worker dies,
+     * or @p deadlineSeconds expires (<= 0 waits forever; on expiry the
+     * worker is SIGKILLed and reported KilledOnDeadline, like
+     * runInFork). On Clean completion the handler's result is copied
+     * into @p result when its size is exactly @p resultSize —
+     * resultValid says whether it was. A dead worker is reaped,
+     * classified and re-forked before run() returns; if the re-fork
+     * fails the next dispatch retries it, and only when no worker can
+     * be (re)spawned at all does run() report SpawnFailed.
+     */
+    PoolOutcome run(const void* job, std::size_t jobSize, void* result,
+                    std::size_t resultSize, double deadlineSeconds);
+
+    /** Number of worker slots (fixed at construction). */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /** Snapshot of the pool-lifetime accounting. */
+    WorkerPoolStats stats() const;
+
+    /** Current worker pids, by slot; -1 for a slot whose respawn
+     *  failed. For tests that kill a worker mid-campaign. */
+    std::vector<pid_t> workerPids() const;
+
+  private:
+    struct Worker;
+
+    bool spawnLocked(Worker& w);
+    void stopWorker(Worker& w);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    Handler handler_;
+    std::size_t jobCapacity_ = 0;
+    std::size_t resultCapacity_ = 0;
+
+    mutable std::mutex mutex_; ///< guards worker busy/alive + stats
+    std::condition_variable freeCv_;
+    WorkerPoolStats stats_;
+};
+
+} // namespace hpcmixp::support
+
+#endif // HPCMIXP_SUPPORT_WORKER_POOL_H_

@@ -12,14 +12,19 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -34,6 +39,7 @@
 #include "support/string_util.h"
 #include "support/subprocess.h"
 #include "support/timer.h"
+#include "support/worker_pool.h"
 
 namespace {
 
@@ -98,6 +104,29 @@ TEST(RunInFork, GenuineSpinHangIsKilledOnDeadline)
     EXPECT_GE(out.wallSeconds, 0.25);
     // The kill is prompt: nowhere near a blocking wait.
     EXPECT_LT(timer.seconds(), 10.0);
+}
+
+TEST(RunInFork, DeadlineWaitDoesNotBusyPoll)
+{
+    // The parent's deadline wait sleeps in ppoll() on a pidfd (or a
+    // widely backed-off WNOHANG loop on ancient kernels) — waiting for
+    // a slow child must not burn parent CPU.
+    struct rusage before{}, after{};
+    ASSERT_EQ(::getrusage(RUSAGE_SELF, &before), 0);
+    ChildOutcome out = support::runInFork(
+        [] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(350));
+        },
+        5.0);
+    ASSERT_EQ(::getrusage(RUSAGE_SELF, &after), 0);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    auto cpuSeconds = [](const rusage& r) {
+        return r.ru_utime.tv_sec + r.ru_stime.tv_sec +
+               (r.ru_utime.tv_usec + r.ru_stime.tv_usec) * 1e-6;
+    };
+    // The child slept 350ms; the parent's own CPU over the wait stays
+    // far below that (generous bound for loaded CI machines).
+    EXPECT_LT(cpuSeconds(after) - cpuSeconds(before), 0.1);
 }
 
 // ---- ShmArena ----------------------------------------------------------
@@ -491,6 +520,352 @@ TEST(SandboxTuner, BatchParallelForkMatchesSerialFork)
     EXPECT_EQ(parallel.search.evaluated, serial.search.evaluated);
     EXPECT_EQ(parallel.search.best, serial.search.best);
     EXPECT_EQ(parallel.clusterConfig, serial.clusterConfig);
+}
+
+// ---- WorkerPool --------------------------------------------------------
+
+/** Echo-or-misbehave handler: doubles the int job; negative jobs
+ *  throw, kMagicExit _exit()s, kMagicSpin spins forever. */
+constexpr int kMagicExit = 1000001;
+constexpr int kMagicSpin = 1000002;
+
+support::WorkerPool::Handler
+hostileHandler()
+{
+    return [](const void* job, std::size_t jobSize, void* result,
+              std::size_t resultCapacity) -> std::size_t {
+        int v = 0;
+        EXPECT_EQ(jobSize, sizeof v);
+        EXPECT_GE(resultCapacity, sizeof v);
+        std::memcpy(&v, job, sizeof v);
+        if (v < 0)
+            throw std::runtime_error("hostile job");
+        if (v == kMagicExit)
+            ::_exit(5);
+        if (v == kMagicSpin)
+            search::executeRawFault(search::RawFault::Hang);
+        v *= 2;
+        std::memcpy(result, &v, sizeof v);
+        return sizeof v;
+    };
+}
+
+support::PoolOutcome
+runInt(support::WorkerPool& pool, int job, int& result,
+       double deadline = 0.0)
+{
+    return pool.run(&job, sizeof job, &result, sizeof result, deadline);
+}
+
+TEST(WorkerPoolTest, DispatchesJobsToPersistentWorkers)
+{
+    support::WorkerPool pool(2, sizeof(int), sizeof(int),
+                             hostileHandler());
+    for (int i = 1; i <= 10; ++i) {
+        int result = 0;
+        support::PoolOutcome out = runInt(pool, i, result);
+        EXPECT_EQ(out.exit, ChildExit::Clean);
+        ASSERT_TRUE(out.resultValid);
+        EXPECT_EQ(result, 2 * i);
+        EXPECT_GE(out.wallSeconds, 0.0);
+    }
+    support::WorkerPoolStats stats = pool.stats();
+    // Ten jobs, two forks: the whole point of the pool.
+    EXPECT_EQ(stats.forks, 2u);
+    EXPECT_EQ(stats.dispatched, 10u);
+    EXPECT_EQ(stats.respawns, 0u);
+}
+
+TEST(WorkerPoolTest, ThrowingHandlerIsContainedInWorker)
+{
+    support::WorkerPool pool(1, sizeof(int), sizeof(int),
+                             hostileHandler());
+    int result = 0;
+    support::PoolOutcome out = runInt(pool, -1, result);
+    EXPECT_EQ(out.exit, ChildExit::NonZeroExit);
+    EXPECT_EQ(out.detail, support::kChildBodyThrew);
+    EXPECT_FALSE(out.resultValid);
+
+    // The worker contained the exception and kept serving: the next
+    // job runs on the same child, no re-fork.
+    out = runInt(pool, 21, result);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(pool.stats().forks, 1u);
+    EXPECT_EQ(pool.stats().respawns, 0u);
+}
+
+TEST(WorkerPoolTest, DyingWorkerIsReapedClassifiedAndReforked)
+{
+    support::WorkerPool pool(1, sizeof(int), sizeof(int),
+                             hostileHandler());
+    int result = 0;
+    support::PoolOutcome out = runInt(pool, kMagicExit, result);
+    EXPECT_EQ(out.exit, ChildExit::NonZeroExit);
+    EXPECT_EQ(out.detail, 5);
+    EXPECT_FALSE(out.resultValid);
+
+    // The corpse was reaped and a fresh worker forked onto the same
+    // rings and doorbells.
+    out = runInt(pool, 4, result);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    EXPECT_EQ(result, 8);
+    EXPECT_EQ(pool.stats().forks, 2u);
+    EXPECT_EQ(pool.stats().respawns, 1u);
+}
+
+TEST(WorkerPoolTest, SpinningHandlerIsKilledOnDeadline)
+{
+    support::WorkerPool pool(1, sizeof(int), sizeof(int),
+                             hostileHandler());
+    int result = 0;
+    support::WallTimer timer;
+    support::PoolOutcome out = runInt(pool, kMagicSpin, result, 0.25);
+    EXPECT_EQ(out.exit, ChildExit::KilledOnDeadline);
+    EXPECT_EQ(out.detail, SIGKILL);
+    EXPECT_GE(out.wallSeconds, 0.25);
+    EXPECT_LT(timer.seconds(), 10.0);
+
+    out = runInt(pool, 3, result);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    EXPECT_EQ(result, 6);
+    EXPECT_EQ(pool.stats().respawns, 1u);
+}
+
+TEST(WorkerPoolTest, SigkilledIdleWorkerIsDetectedOnNextDispatch)
+{
+    support::WorkerPool pool(1, sizeof(int), sizeof(int),
+                             hostileHandler());
+    int result = 0;
+    ASSERT_EQ(runInt(pool, 1, result).exit, ChildExit::Clean);
+
+    std::vector<pid_t> pids = pool.workerPids();
+    ASSERT_EQ(pids.size(), 1u);
+    ASSERT_GT(pids[0], 0);
+    ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+
+    // The next dispatch lands on the corpse, classifies the death and
+    // re-forks; the one after runs on the replacement.
+    support::PoolOutcome out = runInt(pool, 2, result);
+    EXPECT_EQ(out.exit, ChildExit::Signaled);
+    EXPECT_EQ(out.detail, SIGKILL);
+    out = runInt(pool, 5, result);
+    EXPECT_EQ(out.exit, ChildExit::Clean);
+    EXPECT_EQ(result, 10);
+    EXPECT_EQ(pool.stats().respawns, 1u);
+    EXPECT_NE(pool.workerPids()[0], pids[0]);
+}
+
+TEST(WorkerPoolTest, PoolLifecycleLeaksNoFdsOrZombies)
+{
+    const std::size_t before = openFdCount();
+    {
+        support::WorkerPool pool(3, sizeof(int), sizeof(int),
+                                 hostileHandler());
+        EXPECT_GT(openFdCount(), before); // rings + doorbells live
+        int result = 0;
+        for (int i = 0; i < 6; ++i)
+            EXPECT_EQ(runInt(pool, i + 1, result).exit,
+                      ChildExit::Clean);
+        (void)runInt(pool, kMagicExit, result); // force one respawn
+    }
+    // Destruction stops the workers, reaps every child and closes
+    // every descriptor.
+    EXPECT_EQ(openFdCount(), before);
+    int status = 0;
+    EXPECT_EQ(::waitpid(-1, &status, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+// ---- Tuner-level pool isolation ----------------------------------------
+
+core::TunerOptions
+poolOptions()
+{
+    core::TunerOptions opt = sandboxOptions();
+    opt.isolation = IsolationMode::Pool;
+    return opt;
+}
+
+TEST(PoolTuner, SegvIsContainedAndWorkerRespawned)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Segv);
+    core::BenchmarkTuner tuner(bench, poolOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(dataCluster(tuner, bench));
+
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+    EXPECT_FALSE(eval.memoizable);
+
+    auto stats = tuner.sandboxStats();
+    EXPECT_EQ(stats.signaled + stats.nonZeroExits, 1u);
+    EXPECT_EQ(stats.workerRespawns, 1u);
+    EXPECT_EQ(stats.poolDispatches, 1u);
+}
+
+TEST(PoolTuner, AbortingCampaignCompletesWithValidWinner)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Abort);
+    core::BenchmarkTuner tuner(bench, poolOptions());
+    auto outcome = tuner.tune("DD");
+
+    EXPECT_GT(outcome.search.quarantined, 0u);
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster(tuner, bench)));
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+    auto stats = tuner.sandboxStats();
+    EXPECT_GT(stats.signaled + stats.nonZeroExits, 0u);
+    EXPECT_GT(stats.workerRespawns, 0u);
+}
+
+TEST(PoolTuner, GenuineHangIsKilledOnDeadline)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Spin);
+    core::TunerOptions opt = poolOptions();
+    opt.resilience.deadlineSeconds = 0.25;
+    core::BenchmarkTuner tuner(bench, opt);
+    auto outcome = tuner.tune("DD");
+
+    EXPECT_GT(outcome.search.deadlineMisses, 0u);
+    EXPECT_GT(outcome.search.quarantined, 0u);
+    EXPECT_FALSE(outcome.clusterConfig.test(dataCluster(tuner, bench)));
+    EXPECT_LE(outcome.finalQualityLoss, 1e-6);
+    auto stats = tuner.sandboxStats();
+    EXPECT_GT(stats.killedOnDeadline, 0u);
+    EXPECT_EQ(stats.killedOnDeadline, outcome.search.deadlineMisses);
+}
+
+TEST(PoolTuner, ThrowIsContainedWithoutKillingTheWorker)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Throw);
+    core::BenchmarkTuner tuner(bench, poolOptions());
+    Config cfg(tuner.clusterCount());
+    cfg.set(dataCluster(tuner, bench));
+
+    auto eval = tuner.evaluateClusterConfig(cfg, 1);
+    EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    EXPECT_TRUE(std::isnan(eval.qualityLoss));
+    EXPECT_TRUE(eval.memoizable);
+    auto stats = tuner.sandboxStats();
+    EXPECT_EQ(stats.nonZeroExits, 1u);
+    EXPECT_EQ(stats.workerRespawns, 0u);
+}
+
+TEST(PoolTuner, TwoHundredEvalsLeakNoFdsOrZombies)
+{
+    const std::size_t preTuner = openFdCount();
+    {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Exit3);
+        core::BenchmarkTuner tuner(bench, poolOptions());
+        Config clean(tuner.clusterCount());
+        Config toxic(tuner.clusterCount());
+        toxic.set(dataCluster(tuner, bench));
+
+        // The pool's rings and doorbells are paid once, up front; the
+        // fd count stays campaign-constant across 200 dispatches even
+        // though half of them kill the worker and force a re-fork.
+        const std::size_t during = openFdCount();
+        EXPECT_GT(during, preTuner);
+        for (int i = 0; i < 100; ++i) {
+            (void)tuner.evaluateClusterConfig(clean, 1);
+            (void)tuner.evaluateClusterConfig(toxic, 1);
+        }
+        EXPECT_EQ(openFdCount(), during);
+        auto stats = tuner.sandboxStats();
+        EXPECT_EQ(stats.poolDispatches, 200u);
+        EXPECT_EQ(stats.workerRespawns, 100u);
+        EXPECT_EQ(stats.cleanExits, 100u);
+        EXPECT_EQ(stats.nonZeroExits, 100u);
+    }
+    // Tuner gone: descriptors returned, every child reaped.
+    EXPECT_EQ(openFdCount(), preTuner);
+    int status = 0;
+    EXPECT_EQ(::waitpid(-1, &status, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(PoolTuner, PoolAndForkAreTrajectoryIdentical)
+{
+    auto campaign = [](IsolationMode isolation,
+                       support::json::Value& cache) {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::TunerOptions opt = sandboxOptions();
+        opt.isolation = isolation;
+        opt.checkpointEvery = 1;
+        opt.checkpointSink = [&cache](const support::json::Value& v) {
+            cache = v;
+        };
+        core::BenchmarkTuner tuner(bench, opt);
+        return tuner.tune("DD");
+    };
+
+    support::json::Value poolCache, forkCache;
+    auto pooled = campaign(IsolationMode::Pool, poolCache);
+    auto forked = campaign(IsolationMode::Fork, forkCache);
+
+    // Bit-identical trajectories: the pool path publishes the same
+    // evaluations (configs, statuses, losses) the per-attempt fork
+    // path does, so the search walks the same line.
+    EXPECT_EQ(pooled.search.evaluated, forked.search.evaluated);
+    EXPECT_EQ(pooled.search.cacheHits, forked.search.cacheHits);
+    EXPECT_EQ(pooled.search.compileFailures,
+              forked.search.compileFailures);
+    EXPECT_EQ(pooled.clusterConfig, forked.clusterConfig);
+    EXPECT_EQ(pooled.search.best, forked.search.best);
+    EXPECT_DOUBLE_EQ(pooled.finalQualityLoss, forked.finalQualityLoss);
+    EXPECT_EQ(cacheSnapshot(poolCache), cacheSnapshot(forkCache));
+}
+
+TEST(PoolTuner, SurvivesMidCampaignWorkerSigkill)
+{
+    auto forkCampaign = [] {
+        RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+        core::BenchmarkTuner tuner(bench, sandboxOptions());
+        return tuner.tune("DD");
+    };
+    auto forked = forkCampaign();
+
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Clean);
+    core::BenchmarkTuner tuner(bench, poolOptions());
+    std::vector<pid_t> pids = tuner.poolWorkerPids();
+    ASSERT_FALSE(pids.empty());
+    ASSERT_GT(pids[0], 0);
+    ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+
+    auto pooled = tuner.tune("DD");
+
+    // The murdered worker costs exactly one classified failure, which
+    // the resilience layer retries on the re-forked replacement — the
+    // campaign's trajectory is otherwise identical to fork isolation.
+    EXPECT_EQ(pooled.search.evaluated, forked.search.evaluated);
+    EXPECT_EQ(pooled.search.cacheHits, forked.search.cacheHits);
+    EXPECT_EQ(pooled.clusterConfig, forked.clusterConfig);
+    EXPECT_EQ(pooled.search.best, forked.search.best);
+    EXPECT_EQ(pooled.search.retries, forked.search.retries + 1);
+    EXPECT_EQ(pooled.search.quarantined, forked.search.quarantined);
+    auto stats = tuner.sandboxStats();
+    EXPECT_GE(stats.workerRespawns, 1u);
+    EXPECT_EQ(stats.signaled, 1u);
+}
+
+TEST(PoolTuner, CrashLoopCutoffStopsDispatching)
+{
+    RawHostileBenchmark bench(RawHostileBenchmark::Mode::Abort);
+    core::TunerOptions opt = poolOptions();
+    opt.isolationMaxCrashes = 3;
+    core::BenchmarkTuner tuner(bench, opt);
+
+    Config toxic(tuner.clusterCount());
+    toxic.set(dataCluster(tuner, bench));
+    for (int i = 0; i < 10; ++i) {
+        auto eval = tuner.evaluateClusterConfig(toxic, 1);
+        EXPECT_EQ(eval.status, EvalStatus::RuntimeFail);
+    }
+    auto stats = tuner.sandboxStats();
+    EXPECT_EQ(stats.poolDispatches, 3u);
+    EXPECT_EQ(stats.crashedChildren(), 3u);
+    EXPECT_EQ(stats.fastFailed, 7u);
 }
 
 // ---- Memo-cache publication rules -------------------------------------

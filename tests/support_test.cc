@@ -388,6 +388,126 @@ TEST(ThreadPool, ShutdownIsIdempotent)
     EXPECT_EQ(pool.cancelledCount(), 0u);
 }
 
+TEST(ThreadPool, DefaultsToStealScheduling)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.scheduling(), ThreadPool::Scheduling::Steal);
+    ThreadPool fifo(2, ThreadPool::Scheduling::Fifo);
+    EXPECT_EQ(fifo.scheduling(), ThreadPool::Scheduling::Fifo);
+    EXPECT_EQ(fifo.stealCount(), 0u);
+}
+
+TEST(ThreadPool, FifoModeRunsAllJobsWithoutSteals)
+{
+    ThreadPool pool(4, ThreadPool::Scheduling::Fifo);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i)
+        futs.push_back(pool.submit([&] { ++count; }));
+    for (auto& f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_EQ(pool.stealCount(), 0u);
+}
+
+TEST(ThreadPool, UnevenLoadTriggersSteals)
+{
+    // Two workers, round-robin dealing: worker 0's deque gets every
+    // even-indexed job. Job 0 blocks worker 0 on the gate, so worker 1
+    // must steal from worker 0's deque to drain the rest.
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    std::atomic<int> count{0};
+
+    std::vector<std::future<void>> futs;
+    futs.push_back(pool.submit([&, opened] {
+        opened.wait();
+        ++count;
+    }));
+    for (int i = 0; i < 31; ++i)
+        futs.push_back(pool.submit([&] { ++count; }));
+
+    // The thief drains every runnable job while the owner is blocked.
+    WallTimer timer;
+    while (count.load() < 31 && timer.seconds() < 10.0)
+        std::this_thread::yield();
+    EXPECT_EQ(count.load(), 31);
+    EXPECT_GT(pool.stealCount(), 0u);
+
+    gate.set_value();
+    for (auto& f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, StealModeDrainShutdownRunsQueuedJobs)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    std::atomic<bool> started{false};
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    pool.submit([&, opened] {
+        started = true;
+        opened.wait();
+        ++count;
+    });
+    while (!started)
+        std::this_thread::yield();
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] { ++count; });
+
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        gate.set_value();
+    });
+    pool.shutdown(ThreadPool::Shutdown::Drain);
+    releaser.join();
+
+    EXPECT_EQ(count.load(), 9);
+    EXPECT_EQ(pool.cancelledCount(), 0u);
+}
+
+TEST(ThreadPool, StealModeCancelDropsQueuedJobsFromEveryDeque)
+{
+    ThreadPool pool(2);
+    std::atomic<int> startedCount{0};
+    std::atomic<int> count{0};
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    // Block both workers so every further submit stays queued in one
+    // of the per-worker deques.
+    std::vector<std::future<void>> running;
+    for (int i = 0; i < 2; ++i)
+        running.push_back(pool.submit([&, opened] {
+            ++startedCount;
+            opened.wait();
+            ++count;
+        }));
+    while (startedCount.load() < 2)
+        std::this_thread::yield();
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 8; ++i)
+        queued.push_back(pool.submit([&] { ++count; }));
+
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        gate.set_value();
+    });
+    pool.shutdown(ThreadPool::Shutdown::Cancel);
+    releaser.join();
+
+    EXPECT_EQ(count.load(), 2);
+    EXPECT_EQ(pool.cancelledCount(), 8u);
+    for (auto& f : running)
+        f.get();
+    for (auto& f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+}
+
 
 // ---- stats --------------------------------------------------------------
 
