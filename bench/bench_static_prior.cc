@@ -12,6 +12,16 @@
  * the search would have profitably lowered is a regression, not an
  * optimisation.
  *
+ * A second section isolates the certified caps: on the four-rung
+ * ladder (double,float,half,bfloat16) where cluster caps actually
+ * bite, every range-annotated benchmark is tuned with the prior on
+ * twice — certified caps off (the pure fact-score heuristic) and on.
+ * Certificates only ever tighten a cluster's cap, so EV with the
+ * certified caps must be no larger, and on benchmarks where a
+ * heuristically-unbounded cluster is certified through float only it
+ * is strictly smaller — at unchanged accuracy, because the pruned
+ * rungs are exactly the ones the interval analysis proved unsafe.
+ *
  * Extra flag beyond the common set:
  *   --json F   write the full result document to F
  *              (default BENCH_static_prior.json)
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "runtime/ladder.h"
 #include "support/json.h"
 #include "support/logging.h"
 
@@ -39,6 +50,19 @@ struct PriorRun {
     double qualityOff = 0.0;
     double qualityOn = 0.0;
     double speedupOn = 1.0;
+};
+
+/** One certified-vs-heuristic A/B on the four-rung ladder. */
+struct CertifiedRun {
+    std::string benchmark;
+    std::string strategy;
+    std::size_t evHeuristic = 0;
+    std::size_t evCertified = 0;
+    double reduction = 0.0; ///< 1 - evCertified/evHeuristic
+    bool acMatch = false;   ///< both winners meet the threshold
+    double qualityHeuristic = 0.0;
+    double qualityCertified = 0.0;
+    double speedupCertified = 1.0;
 };
 
 } // namespace
@@ -112,6 +136,74 @@ main(int argc, char** argv)
               << options.tuner.budget.maxEvaluations << ")\n";
     benchutil::emit(table, options);
 
+    // ---- certified caps vs the heuristic prior -----------------------
+    // The range-annotated benchmarks, where the abstract interpreter
+    // has intervals to certify. Measured on the four-rung ladder: with
+    // only double->float the heuristic caps (KeepDouble -> 0, Unknown
+    // -> 1) already exclude every sub-float rung and the certificates
+    // have nothing left to tighten.
+    const std::string kCertLadder = "double,float,half,bfloat16";
+    std::vector<std::string> certNames{"innerprod", "diff-predictor",
+                                       "eos", "planckian",
+                                       "int-predict"};
+    core::TunerOptions certTunerOptions = options.tuner;
+    certTunerOptions.ladder = runtime::PrecisionLadder::parse(kCertLadder);
+
+    std::vector<CertifiedRun> certRuns;
+    support::Table certTable({"benchmark", "strategy", "EV heur",
+                              "EV cert", "saved", "AC", "speedup"});
+    std::size_t evHeuristicTotal = 0;
+    std::size_t evCertifiedTotal = 0;
+    for (const std::string& name : certNames) {
+        auto benchmark =
+            benchmarks::BenchmarkRegistry::instance().create(name);
+        core::BenchmarkTuner tuner(*benchmark, certTunerOptions);
+        tuner.setStaticPriorMode(search::PriorMode::On);
+        for (const std::string& code : strategies) {
+            CertifiedRun run;
+            run.benchmark = name;
+            run.strategy = code;
+
+            tuner.setCertifiedCaps(false);
+            core::TuneOutcome heur = tuner.tune(code);
+            tuner.setCertifiedCaps(true);
+            core::TuneOutcome cert = tuner.tune(code);
+
+            run.evHeuristic = heur.search.evaluated;
+            run.evCertified = cert.search.evaluated;
+            run.reduction =
+                run.evHeuristic == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(run.evCertified) /
+                                static_cast<double>(run.evHeuristic);
+            run.qualityHeuristic = heur.finalQualityLoss;
+            run.qualityCertified = cert.finalQualityLoss;
+            run.speedupCertified = cert.finalSpeedup;
+            run.acMatch =
+                heur.finalQualityLoss <= options.tuner.threshold &&
+                cert.finalQualityLoss <= options.tuner.threshold;
+            evHeuristicTotal += run.evHeuristic;
+            evCertifiedTotal += run.evCertified;
+            certRuns.push_back(run);
+
+            certTable.addRow(
+                {name, code,
+                 support::Table::cell(
+                     static_cast<long>(run.evHeuristic)),
+                 support::Table::cell(
+                     static_cast<long>(run.evCertified)),
+                 support::Table::cell(100.0 * run.reduction, 1),
+                 run.acMatch ? "yes" : "NO",
+                 support::Table::cell(run.speedupCertified, 2)});
+        }
+    }
+
+    std::cout << "\nCertified caps vs heuristic prior (ladder "
+              << kCertLadder << ", prior on)\n";
+    benchutil::emit(certTable, options);
+    std::cout << "total EV: heuristic " << evHeuristicTotal
+              << ", certified " << evCertifiedTotal << '\n';
+
     using support::json::Value;
     Value doc = Value::object();
     doc.set("threshold", Value::number(options.tuner.threshold));
@@ -133,6 +225,35 @@ main(int argc, char** argv)
         rows.push(std::move(row));
     }
     doc.set("runs", std::move(rows));
+
+    Value certDoc = Value::object();
+    certDoc.set("ladder", Value::string(kCertLadder));
+    certDoc.set("ev_heuristic_total",
+                Value::number(static_cast<double>(evHeuristicTotal)));
+    certDoc.set("ev_certified_total",
+                Value::number(static_cast<double>(evCertifiedTotal)));
+    Value certRows = Value::array();
+    for (const CertifiedRun& run : certRuns) {
+        Value row = Value::object();
+        row.set("benchmark", Value::string(run.benchmark));
+        row.set("strategy", Value::string(run.strategy));
+        row.set("ev_heuristic",
+                Value::number(static_cast<double>(run.evHeuristic)));
+        row.set("ev_certified",
+                Value::number(static_cast<double>(run.evCertified)));
+        row.set("reduction", Value::number(run.reduction));
+        row.set("ac_match", Value::boolean(run.acMatch));
+        row.set("quality_heuristic",
+                Value::number(run.qualityHeuristic));
+        row.set("quality_certified",
+                Value::number(run.qualityCertified));
+        row.set("speedup_certified",
+                Value::number(run.speedupCertified));
+        certRows.push(std::move(row));
+    }
+    certDoc.set("runs", std::move(certRows));
+    doc.set("certified", std::move(certDoc));
+
     std::ofstream out(jsonPath);
     if (!out)
         support::fatal("cannot open --json output file");

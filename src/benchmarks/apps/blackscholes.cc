@@ -160,12 +160,12 @@ class Blackscholes final : public Benchmark {
         plan.setKnob(kLocals, pm.get(keyLocals_));
         plan.setKnob(kCndf, pm.get(keyCndf_));
         plan.setKnob(kPrices, pm.get(keyPrices_));
-        bindInput(plan, kSpt, sptData_, pm.get(keySpt_), options);
+        bindInput(plan, kSpt, sptData_, pm.get(keySpt_), options, keySpt_);
         bindInput(plan, kStrike, strikeData_, pm.get(keyStrike_),
-                  options);
-        bindInput(plan, kRate, rateData_, pm.get(keyRate_), options);
-        bindInput(plan, kVol, volData_, pm.get(keyVol_), options);
-        bindInput(plan, kOtime, timeData_, pm.get(keyOtime_), options);
+                  options, keyStrike_);
+        bindInput(plan, kRate, rateData_, pm.get(keyRate_), options, keyRate_);
+        bindInput(plan, kVol, volData_, pm.get(keyVol_), options, keyVol_);
+        bindInput(plan, kOtime, timeData_, pm.get(keyOtime_), options, keyOtime_);
         return plan;
     }
 

@@ -176,9 +176,9 @@ class Cfd final : public Benchmark {
         plan.setKnob(kFluxes, pm.get(keyFluxes_));
         plan.setKnob(kStepFactors, pm.get(keyStepFactors_));
         bindInput(plan, kInitState, initState_,
-                  pm.get(keyVariables_), options);
+                  pm.get(keyVariables_), options, keyVariables_);
         bindInput(plan, kNormals, normalData_, pm.get(keyNormals_),
-                  options);
+                  options, keyNormals_);
         return plan;
     }
 

@@ -111,9 +111,9 @@ class Hotspot final : public Benchmark {
             const PrepareOptions& options) const override
     {
         RunPlan plan;
-        bindInput(plan, kTemp, tempData_, pm.get(keyTemp_), options);
+        bindInput(plan, kTemp, tempData_, pm.get(keyTemp_), options, keyTemp_);
         bindInput(plan, kPower, powerData_, pm.get(keyPower_),
-                  options);
+                  options, keyPower_);
         return plan;
     }
 

@@ -113,8 +113,8 @@ class Hpccg final : public Benchmark {
         plan.setKnob(kX, pv);
         plan.setKnob(kScalars, pm.get(keyScalars_));
         bindInput(plan, kValues, valueData_, pm.get(keyMatrix_),
-                  options);
-        bindInput(plan, kB, bData_, pv, options);
+                  options, keyMatrix_);
+        bindInput(plan, kB, bData_, pv, options, keyVectors_);
         return plan;
     }
 

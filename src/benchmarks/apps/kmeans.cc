@@ -106,9 +106,9 @@ class Kmeans final : public Benchmark {
     {
         RunPlan plan;
         bindInput(plan, kFeatures, featureData_, pm.get(keyFeatures_),
-                  options);
+                  options, keyFeatures_);
         bindInput(plan, kCentroids, centroidData_,
-                  pm.get(keyClusters_), options);
+                  pm.get(keyClusters_), options, keyClusters_);
         return plan;
     }
 

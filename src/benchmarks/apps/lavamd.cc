@@ -176,8 +176,8 @@ class LavaMd final : public Benchmark {
     {
         RunPlan plan;
         plan.setKnob(kFv, pm.get(keyFv_));
-        bindInput(plan, kRv, rvData_, pm.get(keyRv_), options);
-        bindInput(plan, kQv, qvData_, pm.get(keyQv_), options);
+        bindInput(plan, kRv, rvData_, pm.get(keyRv_), options, keyRv_);
+        bindInput(plan, kQv, qvData_, pm.get(keyQv_), options, keyQv_);
         return plan;
     }
 

@@ -48,6 +48,7 @@
 #include "model/program_model.h"
 #include "runtime/buffer.h"
 #include "runtime/precision.h"
+#include "runtime/profiler.h"
 #include "runtime/workspace.h"
 
 namespace hpcmixp::benchmarks {
@@ -208,6 +209,34 @@ bindInput(RunPlan& plan, std::size_t slot, const CachedInput& input,
         plan.bindInput(slot, input.view(p));
     else
         plan.adoptInput(slot, input.convert(p));
+}
+
+/**
+ * As above, additionally logging the input's observed min/max under
+ * the bind key @p key when the profiler's value-range recording is
+ * active (one branch when it is not). The recorded ranges feed the
+ * typeforge absint soundness cross-check: every statically derived
+ * interval must contain what the benchmark actually binds.
+ */
+inline void
+bindInput(RunPlan& plan, std::size_t slot, const CachedInput& input,
+          runtime::Precision p, const PrepareOptions& options,
+          model::BindKeyId key)
+{
+    if (runtime::Profiler::instance().rangeRecording()) {
+        std::span<const double> values = input.doubles();
+        if (!values.empty()) {
+            double lo = values[0];
+            double hi = values[0];
+            for (double v : values) {
+                lo = v < lo ? v : lo;
+                hi = v > hi ? v : hi;
+            }
+            runtime::Profiler::instance().recordRange(
+                model::bindKeyName(key), lo, hi, values.size());
+        }
+    }
+    bindInput(plan, slot, input, p, options);
 }
 
 /**

@@ -68,8 +68,8 @@ class BandedLinEq final : public KernelBase {
             const PrepareOptions& options) const override
     {
         RunPlan plan;
-        bindInput(plan, kX, xData_, pm.get(keyX_), options);
-        bindInput(plan, kY, yData_, pm.get(keyY_), options);
+        bindInput(plan, kX, xData_, pm.get(keyX_), options, keyX_);
+        bindInput(plan, kY, yData_, pm.get(keyY_), options, keyY_);
         return plan;
     }
 

@@ -76,8 +76,8 @@ class DiffPredictor final : public KernelBase {
         RunPlan plan;
         runtime::Precision pp = pm.get(keyPx_);
         plan.setKnob(kPx, pp);
-        bindInput(plan, kPx0, pxData_, pp, options);
-        bindInput(plan, kCx, cxData_, pm.get(keyCx_), options);
+        bindInput(plan, kPx0, pxData_, pp, options, keyPx_);
+        bindInput(plan, kCx, cxData_, pm.get(keyCx_), options, keyCx_);
         return plan;
     }
 
@@ -117,6 +117,29 @@ class DiffPredictor final : public KernelBase {
         VarId pcx = model_.addParameter(k, "pcx", realPointer(), "cx");
         model_.addCallBind(gpx, ppx);
         model_.addCallBind(gcx, pcx);
+
+        // The px matrix is overwritten by a cascade of first
+        // differences of its own columns — the classic cancellation /
+        // loop-carried pairing.
+        model_.markFact(ppx, DataflowFact::Cancellation);
+        model_.markFact(ppx, DataflowFact::LoopCarried);
+        model_.setRange(pcx, 0.0, 0.05);
+        // px starts as the pristine input copy...
+        model_.addArith(ppx, ArithOp::Id, arithLitRange(0.0, 0.05));
+        // ...then each row chains differences of px into px. The
+        // self-referential subtraction has no annotated trip bound,
+        // so the analysis widens it — exactly right: the cascade's
+        // range doubles per column and its error amplification is
+        // unbounded in the worst case.
+        {
+            ArithFact fd;
+            fd.dst = ppx;
+            fd.op = ArithOp::Sub;
+            fd.lhs = arithVar(ppx);
+            fd.rhs = arithVar(ppx);
+            fd.inLoop = true;
+            model_.addArith(fd);
+        }
     }
 
     std::size_t rows_;

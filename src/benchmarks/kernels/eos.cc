@@ -67,10 +67,10 @@ class Eos final : public KernelBase {
         RunPlan plan;
         plan.setKnob(kX, pm.get(keyX_));
         runtime::Precision pyz = pm.get(keyYz_);
-        bindInput(plan, kU, uData_, pm.get(keyU_), options);
-        bindInput(plan, kY, yData_, pyz, options);
-        bindInput(plan, kZ, zData_, pyz, options);
-        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options);
+        bindInput(plan, kU, uData_, pm.get(keyU_), options, keyU_);
+        bindInput(plan, kY, yData_, pyz, options, keyYz_);
+        bindInput(plan, kZ, zData_, pyz, options, keyYz_);
+        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options, keyCoef_);
         return plan;
     }
 
@@ -132,6 +132,25 @@ class Eos final : public KernelBase {
         model_.addCallBind(gy, py);
         model_.addCallBind(gz, pz);
         model_.addCallBind(gc, pc);
+
+        // Input ranges mirror the driver's uniformVector bounds.
+        model_.setRange(pu, 0.0, 0.05);
+        model_.setRange(py, 0.0, 0.05);
+        model_.setRange(pz, 0.0, 0.05);
+        model_.setRange(pc, 0.01, 0.05);
+        // x = u + <polynomial tail in u,y,z and the coefficients>.
+        // The tail is a same-sign Horner chain: its value never
+        // exceeds r*(z + r*y) + t*(...) <= 0.006 on the ranges above,
+        // and computing it costs at most 12 extra roundings.
+        {
+            ArithFact fx;
+            fx.dst = px;
+            fx.op = ArithOp::Add;
+            fx.lhs = arithVar(pu);
+            fx.rhs = arithLitRange(0.0, 0.006);
+            fx.extraAmp = 12.0;
+            model_.addArith(fx);
+        }
     }
 
     std::size_t n_;

@@ -56,8 +56,8 @@ class GenLinRecur final : public KernelBase {
             const PrepareOptions& options) const override
     {
         RunPlan plan;
-        bindInput(plan, kW, wData_, pm.get(keyW_), options);
-        bindInput(plan, kB, bData_, pm.get(keyB_), options);
+        bindInput(plan, kW, wData_, pm.get(keyW_), options, keyW_);
+        bindInput(plan, kB, bData_, pm.get(keyB_), options, keyB_);
         return plan;
     }
 

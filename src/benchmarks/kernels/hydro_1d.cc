@@ -58,9 +58,9 @@ class Hydro1d final : public KernelBase {
     {
         RunPlan plan;
         plan.setKnob(kX, pm.get(keyX_));
-        bindInput(plan, kY, yData_, pm.get(keyY_), options);
-        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
-        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options);
+        bindInput(plan, kY, yData_, pm.get(keyY_), options, keyY_);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options, keyZ_);
+        bindInput(plan, kCoef, coefData_, pm.get(keyCoef_), options, keyCoef_);
         return plan;
     }
 

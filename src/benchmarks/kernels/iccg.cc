@@ -65,8 +65,8 @@ class Iccg final : public KernelBase {
         RunPlan plan;
         runtime::Precision px = pm.get(keyX_);
         plan.setKnob(kX, px);
-        bindInput(plan, kX0, xData_, px, options);
-        bindInput(plan, kV, vData_, pm.get(keyV_), options);
+        bindInput(plan, kX0, xData_, px, options, keyX_);
+        bindInput(plan, kV, vData_, pm.get(keyV_), options, keyV_);
         return plan;
     }
 

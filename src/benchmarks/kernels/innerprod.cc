@@ -56,8 +56,8 @@ class Innerprod final : public KernelBase {
     {
         RunPlan plan;
         plan.setKnob(kQ, pm.get(keyQ_));
-        bindInput(plan, kX, xData_, pm.get(keyX_), options);
-        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
+        bindInput(plan, kX, xData_, pm.get(keyX_), options, keyX_);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options, keyZ_);
         return plan;
     }
 
@@ -107,6 +107,25 @@ class Innerprod final : public KernelBase {
         model_.markFact(gq, DataflowFact::Accumulator);
         model_.markFact(gq, DataflowFact::LoopCarried);
         model_.markDataflowAnalyzed();
+
+        // Input ranges mirror the driver's uniformVector bounds.
+        model_.setRange(px, 0.0, 0.05);
+        model_.setRange(pz, 0.0, 0.05);
+        // q += z[k] * x[k] over the full array: n_ nonnegative
+        // per-trip contributions, so the certified error bound grows
+        // with the trip count — the static proof of what MP001 only
+        // heuristically flags.
+        {
+            ArithFact fq;
+            fq.dst = gq;
+            fq.op = ArithOp::Mul;
+            fq.lhs = arithVar(pz);
+            fq.rhs = arithVar(px);
+            fq.accumulate = true;
+            fq.inLoop = true;
+            fq.trips = n_;
+            model_.addArith(fq);
+        }
     }
 
     std::size_t n_;

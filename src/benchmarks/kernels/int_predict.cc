@@ -59,8 +59,8 @@ class IntPredict final : public KernelBase {
             const PrepareOptions& options) const override
     {
         RunPlan plan;
-        bindInput(plan, kPx, pxData_, pm.get(keyPx_), options);
-        bindInput(plan, kDm, dmData_, pm.get(keyDm_), options);
+        bindInput(plan, kPx, pxData_, pm.get(keyPx_), options, keyPx_);
+        bindInput(plan, kDm, dmData_, pm.get(keyDm_), options, keyDm_);
         return plan;
     }
 
@@ -99,6 +99,28 @@ class IntPredict final : public KernelBase {
         VarId pdm = model_.addParameter(k, "pdm", realPointer(), "dm");
         model_.addCallBind(gpx, ppx);
         model_.addCallBind(gdm, pdm);
+
+        // Input ranges mirror the driver's uniformVector bounds.
+        model_.setRange(pdm, 0.0, 0.05);
+        // The px matrix holds the pristine input columns...
+        model_.addArith(ppx, ArithOp::Id, arithLitRange(0.0, 0.05));
+        // ...and column 0, the weighted row reduction
+        // sum(dm[j] * row[col]) + row[2]. Writes never feed reads
+        // (only column 0 is written, columns 2..12 are read), so the
+        // update is expressed against the input intervals, not
+        // self-referentially: row[2] in [0, 0.05] plus a tail of ten
+        // nonnegative products bounded by 0.0275. The reduction costs
+        // ten products and ten same-sign adds over kappa = 1 inputs —
+        // under 25 extra roundings.
+        {
+            ArithFact f0;
+            f0.dst = ppx;
+            f0.op = ArithOp::Add;
+            f0.lhs = arithLitRange(0.0, 0.05);
+            f0.rhs = arithLitRange(0.0, 0.0275);
+            f0.extraAmp = 25.0;
+            model_.addArith(f0);
+        }
     }
 
     std::size_t rows_;

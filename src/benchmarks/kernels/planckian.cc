@@ -60,9 +60,9 @@ class Planckian final : public KernelBase {
         RunPlan plan;
         runtime::Precision pin = pm.get(keyIn_);
         plan.setKnob(kW, pm.get(keyOut_));
-        bindInput(plan, kX, xData_, pin, options);
-        bindInput(plan, kU, uData_, pin, options);
-        bindInput(plan, kV, vData_, pin, options);
+        bindInput(plan, kX, xData_, pin, options, keyIn_);
+        bindInput(plan, kU, uData_, pin, options, keyIn_);
+        bindInput(plan, kV, vData_, pin, options, keyIn_);
         return plan;
     }
 
@@ -129,6 +129,29 @@ class Planckian final : public KernelBase {
         model_.addCallBind(gv, pv);
         model_.addCallBind(gw, pw);
         model_.addCallBind(gy, py);
+
+        // Input ranges mirror the driver's uniformVector bounds.
+        model_.setRange(px, 0.0, 0.05);
+        model_.setRange(pu, 0.5, 2.0);
+        model_.setRange(pv, 1.0, 2.0);
+        // y = u / v.
+        model_.addArith(py, ArithOp::Div, arithVar(pu), arithVar(pv));
+        // w = x / (exp(y) - 1). The denominator is folded into a
+        // literal interval [e^0.25 - 1, e^2 - 1]; its round-off
+        // contribution is covered by extraAmp: the relative error of
+        // exp(y) - 1 is at most (y e^y/(e^y-1)) * kappa_y * u
+        // (<= 2.32 * 3 u on y in [0.25, 2]) for the propagated part,
+        // plus e^y/(e^y-1) <= 4.6 u for exp's own rounding and one
+        // rounding for the subtraction — under 13 u, 15 with margin.
+        {
+            ArithFact fw;
+            fw.dst = pw;
+            fw.op = ArithOp::Div;
+            fw.lhs = arithVar(px);
+            fw.rhs = arithLitRange(0.284, 6.389);
+            fw.extraAmp = 15.0;
+            model_.addArith(fw);
+        }
     }
 
     std::size_t n_;

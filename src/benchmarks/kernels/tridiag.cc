@@ -56,9 +56,9 @@ class Tridiag final : public KernelBase {
             const PrepareOptions& options) const override
     {
         RunPlan plan;
-        bindInput(plan, kX, xData_, pm.get(keyX_), options);
-        bindInput(plan, kY, yData_, pm.get(keyY_), options);
-        bindInput(plan, kZ, zData_, pm.get(keyZ_), options);
+        bindInput(plan, kX, xData_, pm.get(keyX_), options, keyX_);
+        bindInput(plan, kY, yData_, pm.get(keyY_), options, keyY_);
+        bindInput(plan, kZ, zData_, pm.get(keyZ_), options, keyZ_);
         return plan;
     }
 

@@ -840,16 +840,25 @@ BenchmarkTuner::staticPrior(search::Granularity granularity) const
     if (options_.staticPrior == search::PriorMode::Off)
         return {};
 
-    typeforge::SensitivityReport report =
-        typeforge::lint(benchmark_.programModel(), clusters_);
+    // Lint under the campaign's own ladder and quality threshold so
+    // the certified caps speak about the rungs this search will
+    // actually propose.
+    typeforge::AbsintOptions absOptions;
+    absOptions.ladder = options_.ladder;
+    absOptions.threshold = options_.threshold;
+    typeforge::SensitivityReport report = typeforge::lint(
+        benchmark_.programModel(), clusters_, absOptions);
 
     // Per-cluster verdicts, indexed by cluster.
     std::vector<typeforge::Sensitivity> verdict(
         clusterCount(), typeforge::Sensitivity::Unknown);
     std::vector<int> clusterScore(clusterCount(), 0);
+    std::vector<std::uint8_t> certifiedCap(clusterCount(),
+                                           typeforge::kNoCap);
     for (const auto& cv : report.clusters) {
         verdict[cv.cluster] = cv.sensitivity;
         clusterScore[cv.cluster] = cv.score;
+        certifiedCap[cv.cluster] = cv.certifiedCap;
     }
 
     bool variableLevel = granularity == search::Granularity::Variable;
@@ -880,6 +889,12 @@ BenchmarkTuner::staticPrior(search::Granularity granularity) const
             caps[i] = 1;
             break;
         }
+        // Certified absint caps only tighten: a rung with a proof of
+        // overflow or budget blowout is excluded even for a cluster
+        // the heuristics called safe; they never deepen a heuristic
+        // floor, so the search space shrinks or stays put.
+        if (options_.certifiedCaps)
+            caps[i] = std::min(caps[i], certifiedCap[c]);
         scores[i] = clusterScore[c];
     }
     return search::StaticPrior::withCaps(

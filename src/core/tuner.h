@@ -95,6 +95,16 @@ struct TunerOptions {
     search::PriorMode staticPrior = search::PriorMode::Off;
 
     /**
+     * Fold the abstract interpreter's certified per-rung level caps
+     * into the static prior (harness --certified-caps). Certificates
+     * only ever *tighten* the heuristic caps — a rung proven to
+     * overflow or to blow the error budget is excluded before any
+     * evaluation runs — so turning this off recovers the PR 5
+     * heuristic prior exactly. No effect when staticPrior is Off.
+     */
+    bool certifiedCaps = true;
+
+    /**
      * Persistent cross-run memo-cache (harness --memo-cache). When
      * set, every search consults the benchmark-fingerprinted table
      * before executing a configuration and publishes what it ran;
@@ -325,6 +335,10 @@ class BenchmarkTuner {
     {
         options_.staticPrior = mode;
     }
+
+    /** Toggle certified absint caps between tune() calls, so one
+     *  tuner can A/B the certified prior against the heuristic one. */
+    void setCertifiedCaps(bool on) { options_.certifiedCaps = on; }
 
     /** Swap the memo store between tune() calls, so one tuner (one
      *  baseline) can A/B cold and warm campaigns. Null detaches. */

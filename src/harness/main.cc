@@ -12,6 +12,7 @@
  *                     [--memo-cache DIR] [--portfolio]
  *                     [--portfolio-mode best|race]
  *                     [--static-prior on|off|strict]
+ *                     [--certified-caps on|off]
  *                     [--ladder SPEC] [--refine on|off] [--verbose]
  *
  * Reads a Listing-4-style YAML configuration, runs every declared
@@ -85,6 +86,9 @@ main(int argc, char** argv)
                " (first finisher cancels the rest)\n"
                "  --static-prior  mixp-lint search prior: on, off or"
                " strict (default off)\n"
+               "  --certified-caps  fold certified absint level caps"
+               " into the prior: on or off (default on; off recovers"
+               " the heuristic-only prior)\n"
                "  --ladder      precision ladder, deepest last, e.g."
                " double,float,half or double,float,bf16"
                " (default double,float)\n"
@@ -148,6 +152,12 @@ main(int argc, char** argv)
 
         options.tuner.staticPrior = search::parsePriorMode(
             cl.getString("static-prior", "off"));
+        {
+            std::string cc = cl.getString("certified-caps", "on");
+            if (cc != "on" && cc != "off")
+                support::fatal("--certified-caps expects on or off");
+            options.tuner.certifiedCaps = cc == "on";
+        }
 
         options.tuner.ladder = runtime::PrecisionLadder::parse(
             cl.getString("ladder", "double,float"));

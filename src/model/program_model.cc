@@ -22,6 +22,21 @@ dataflowFactName(DataflowFact fact)
     return "unknown";
 }
 
+const char*
+arithOpName(ArithOp op)
+{
+    switch (op) {
+    case ArithOp::Id: return "id";
+    case ArithOp::Add: return "add";
+    case ArithOp::Sub: return "sub";
+    case ArithOp::Mul: return "mul";
+    case ArithOp::Div: return "div";
+    case ArithOp::Exp: return "exp";
+    case ArithOp::Sqrt: return "sqrt";
+    }
+    return "unknown";
+}
+
 ModuleId
 ProgramModel::addModule(const std::string& name)
 {
@@ -142,6 +157,62 @@ ProgramModel::markFact(VarId var, DataflowFact fact)
     HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
     variables_[var].facts |= static_cast<std::uint8_t>(fact);
     dataflowAnalyzed_ = true;
+}
+
+void
+ProgramModel::setRange(VarId var, double lo, double hi)
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    HPCMIXP_ASSERT(lo <= hi, "range lower bound exceeds upper");
+    variables_[var].range = {lo, hi, true};
+}
+
+void
+ProgramModel::addArith(VarId dst, ArithOp op, ArithOperand lhs,
+                       ArithOperand rhs)
+{
+    ArithFact fact;
+    fact.dst = dst;
+    fact.op = op;
+    fact.lhs = lhs;
+    fact.rhs = rhs;
+    addArith(fact);
+}
+
+void
+ProgramModel::addArith(const ArithFact& fact)
+{
+    HPCMIXP_ASSERT(fact.dst < variables_.size(),
+                   "arith fact targets an unknown variable");
+    HPCMIXP_ASSERT(fact.lhs.isLiteral ||
+                       fact.lhs.var < variables_.size(),
+                   "arith fact reads an unknown lhs variable");
+    HPCMIXP_ASSERT(fact.rhs.isLiteral ||
+                       fact.rhs.var == kInvalidId ||
+                       fact.rhs.var < variables_.size(),
+                   "arith fact reads an unknown rhs variable");
+    arith_.push_back(fact);
+}
+
+void
+ProgramModel::markOpaque(VarId var)
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    variables_[var].opaque = true;
+}
+
+const ValueRange&
+ProgramModel::range(VarId var) const
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    return variables_[var].range;
+}
+
+bool
+ProgramModel::isOpaque(VarId var) const
+{
+    HPCMIXP_ASSERT(var < variables_.size(), "bad variable id");
+    return variables_[var].opaque;
 }
 
 bool

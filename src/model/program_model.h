@@ -103,6 +103,94 @@ inline constexpr DataflowFact kAllDataflowFacts[] = {
     DataflowFact::LiteralInit,  DataflowFact::LoopCarried,
 };
 
+/**
+ * A closed interval of values a variable may take, recorded by an
+ * annotation (builder models, `__range()` in the mini-C frontend).
+ * The abstract interpreter (typeforge/absint.h) seeds its analysis
+ * from these; variables without a recorded range start at top.
+ */
+struct ValueRange {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool known = false;
+};
+
+/** Operators of an arithmetic dataflow fact. */
+enum class ArithOp {
+    Id,   ///< dst = lhs (rhs ignored)
+    Add,  ///< dst = lhs + rhs
+    Sub,  ///< dst = lhs - rhs
+    Mul,  ///< dst = lhs * rhs
+    Div,  ///< dst = lhs / rhs
+    Exp,  ///< dst = exp(lhs) (rhs ignored)
+    Sqrt, ///< dst = sqrt(lhs) (rhs ignored)
+};
+
+/** Stable lowercase name of one operator ("add", "mul", ...). */
+const char* arithOpName(ArithOp op);
+
+/**
+ * One operand of an arithmetic fact: a variable, a literal value, or
+ * a literal *interval* — an annotator-supplied bound for a folded
+ * subexpression (interval arithmetic is sub-distributive, so folding
+ * a bounded subtree into its interval is a sound over-approximation
+ * of the exact expression).
+ */
+struct ArithOperand {
+    VarId var = kInvalidId;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool isLiteral = false;
+};
+
+/** Operand referring to variable @p v. */
+inline ArithOperand
+arithVar(VarId v)
+{
+    return {v, 0.0, 0.0, false};
+}
+
+/** Literal operand with value @p x. */
+inline ArithOperand
+arithLit(double x)
+{
+    return {kInvalidId, x, x, true};
+}
+
+/** Literal interval operand covering [@p lo, @p hi]. */
+inline ArithOperand
+arithLitRange(double lo, double hi)
+{
+    return {kInvalidId, lo, hi, true};
+}
+
+/**
+ * One arithmetic dataflow fact: how a value of @p dst is computed.
+ *
+ * Plain facts record `dst = lhs op rhs`; when several plain facts
+ * target the same dst, the abstract interpreter joins (unions) their
+ * results — a def-set over-approximation. Accumulate facts record
+ * `dst += scale * (lhs op rhs)` repeated @p trips times (trips == 0
+ * inside a loop of unknown count: the interpreter widens). The
+ * @p scale literal lets annotations fold bounded coefficients of
+ * deeper expression trees into a single binary fact soundly (interval
+ * arithmetic is sub-distributive, so the decomposed form always
+ * contains the exact one).
+ */
+struct ArithFact {
+    VarId dst = kInvalidId;
+    ArithOp op = ArithOp::Id;
+    ArithOperand lhs;
+    ArithOperand rhs;
+    bool accumulate = false; ///< dst += scale*(lhs op rhs)
+    double scale = 1.0;      ///< literal multiplier (accumulate only)
+    bool inLoop = false;     ///< fact executes inside a loop
+    std::size_t trips = 0;   ///< loop trip count; 0 = unknown
+    /** Extra round-off amplification contributed by subexpressions
+     *  the annotator folded into a literal-interval operand. */
+    double extraAmp = 0.0;
+};
+
 /** Kinds of type-dependence edges between two variables. */
 enum class DependenceKind {
     Assign,    ///< dst = src (or compound assignment)
@@ -129,6 +217,8 @@ struct Variable {
     bool isParameter = false;
     std::string bindKey; ///< runtime knob name; empty = cold variable
     std::uint8_t facts = 0; ///< DataflowFact bitmask
+    ValueRange range;       ///< annotated input value range
+    bool opaque = false;    ///< has writes no arith fact expresses
 };
 
 /** A function containing variables. */
@@ -199,6 +289,29 @@ class ProgramModel {
      *  (frontend-parsed programs may legitimately have none). */
     void markDataflowAnalyzed() { dataflowAnalyzed_ = true; }
 
+    /**
+     * Annotate the value range of @p var (for a pointer variable: the
+     * element range of the array it addresses). Seeds the abstract
+     * interpreter; soundness of everything derived from it is
+     * relative to the annotation containing the real input values —
+     * the profiler cross-check (absint.h) verifies exactly that.
+     */
+    void setRange(VarId var, double lo, double hi);
+
+    /** Record an arithmetic fact `dst = lhs op rhs`. */
+    void addArith(VarId dst, ArithOp op, ArithOperand lhs,
+                  ArithOperand rhs = {});
+
+    /** Record a full arithmetic fact (accumulations, loop trips). */
+    void addArith(const ArithFact& fact);
+
+    /**
+     * Mark @p var as receiving writes no recorded arith fact
+     * expresses. The abstract interpreter keeps opaque variables at
+     * top instead of trusting a partial def set.
+     */
+    void markOpaque(VarId var);
+
     // --- queries ----------------------------------------------------
 
     const std::string& name() const { return name_; }
@@ -227,6 +340,18 @@ class ProgramModel {
     /** Fact bitmask of @p var. */
     std::uint8_t facts(VarId var) const;
 
+    /** Annotated range of @p var (known == false when absent). */
+    const ValueRange& range(VarId var) const;
+
+    /** True when @p var has opaque (unmodeled) writes. */
+    bool isOpaque(VarId var) const;
+
+    /** All recorded arithmetic facts, in recording order. */
+    const std::vector<ArithFact>& arithFacts() const
+    {
+        return arith_;
+    }
+
     /** True when facts were recorded (or analysis explicitly ran). */
     bool dataflowAnalyzed() const { return dataflowAnalyzed_; }
 
@@ -241,6 +366,7 @@ class ProgramModel {
     std::vector<Function> functions_;
     std::vector<Variable> variables_;
     std::vector<Dependence> deps_;
+    std::vector<ArithFact> arith_;
     bool dataflowAnalyzed_ = false;
 };
 

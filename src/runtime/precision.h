@@ -84,6 +84,62 @@ static_assert(significandBits(Precision::Float32) <
                   significandBits(Precision::Float64),
               "enum order must track significand width");
 
+/**
+ * Largest finite value representable at @p p. Note the ordering
+ * inversion the four-rung ladder exposes: bfloat16 keeps float's
+ * 8-bit exponent, so its range vastly exceeds binary16's despite the
+ * narrower significand — per-rung range safety is NOT monotone in
+ * the precision order.
+ */
+constexpr double
+finiteMax(Precision p)
+{
+    switch (p) {
+    case Precision::BFloat16:
+        return 3.38953138925153547590470800371487867e+38;
+    case Precision::Float16:
+        return 65504.0;
+    case Precision::Float32:
+        return 3.40282346638528859811704183484516925e+38;
+    case Precision::Float64:
+        break;
+    }
+    return 1.79769313486231570814527423731704357e+308;
+}
+
+/** Smallest positive normal value at @p p. */
+constexpr double
+minNormal(Precision p)
+{
+    switch (p) {
+    case Precision::BFloat16:
+    case Precision::Float32:
+        return 1.17549435082228750796873653722224568e-38;
+    case Precision::Float16:
+        return 6.103515625e-05; // 2^-14
+    case Precision::Float64:
+        break;
+    }
+    return 2.22507385850720138309023271733240406e-308;
+}
+
+/** Unit roundoff u = 2^-significandBits (round-to-nearest). */
+constexpr double
+unitRoundoff(Precision p)
+{
+    switch (p) {
+    case Precision::BFloat16:
+        return 0.00390625; // 2^-8
+    case Precision::Float16:
+        return 4.8828125e-04; // 2^-11
+    case Precision::Float32:
+        return 5.9604644775390625e-08; // 2^-24
+    case Precision::Float64:
+        break;
+    }
+    return 1.1102230246251565404236316680908203125e-16; // 2^-53
+}
+
 /** Human-readable name ("bfloat16" / "half" / "float" / "double"). */
 inline std::string
 precisionName(Precision p)

@@ -1,5 +1,7 @@
 #include "runtime/profiler.h"
 
+#include <algorithm>
+
 namespace hpcmixp::runtime {
 
 Profiler&
@@ -47,6 +49,55 @@ Profiler::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     regions_.clear();
+}
+
+void
+Profiler::setRangeRecording(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rangeRecording_ = enabled;
+}
+
+void
+Profiler::recordRange(const std::string& site, double lo, double hi,
+                      std::size_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!rangeRecording_)
+        return;
+    RangeStats& stats = ranges_[site];
+    if (stats.samples == 0) {
+        stats.lo = lo;
+        stats.hi = hi;
+    } else {
+        stats.lo = std::min(stats.lo, lo);
+        stats.hi = std::max(stats.hi, hi);
+    }
+    stats.samples += n;
+}
+
+RangeStats
+Profiler::observedRange(const std::string& site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ranges_.find(site);
+    return it == ranges_.end() ? RangeStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, RangeStats>>
+Profiler::allRanges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ranges_.begin(), ranges_.end()};
+}
+
+void
+Profiler::resetRanges()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranges_.clear();
 }
 
 } // namespace hpcmixp::runtime

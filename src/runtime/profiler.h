@@ -32,6 +32,13 @@ struct RegionStats {
     double totalSeconds = 0.0;
 };
 
+/** Observed min/max of one value-recording site. */
+struct RangeStats {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t samples = 0; ///< 0 = site never recorded
+};
+
 /** Process-wide, thread-safe region profile. */
 class Profiler {
   public:
@@ -56,12 +63,39 @@ class Profiler {
     /** Drop all collected data. */
     void reset();
 
+    /**
+     * Enable or disable per-site value-range recording (disabled by
+     * default; independent of region timing). While active, the
+     * bindInput hook in benchmarks logs the min/max of every input
+     * vector it binds, keyed by the model's bind key — the dynamic
+     * side of the typeforge absint soundness cross-check.
+     */
+    void setRangeRecording(bool enabled);
+
+    /** True when value-range recording is active. */
+    bool rangeRecording() const { return rangeRecording_; }
+
+    /** Fold @p n values spanning [@p lo, @p hi] into @p site. */
+    void recordRange(const std::string& site, double lo, double hi,
+                     std::size_t n);
+
+    /** Observed range of @p site (samples == 0 when never seen). */
+    RangeStats observedRange(const std::string& site) const;
+
+    /** All recording sites with data, sorted by name. */
+    std::vector<std::pair<std::string, RangeStats>> allRanges() const;
+
+    /** Drop the recorded value ranges (keeps region timings). */
+    void resetRanges();
+
   private:
     Profiler() = default;
 
     mutable std::mutex mutex_;
     bool enabled_ = false;
+    bool rangeRecording_ = false;
     std::map<std::string, RegionStats> regions_;
+    std::map<std::string, RangeStats> ranges_;
 };
 
 /** RAII timer attributing its lifetime to a named region. */

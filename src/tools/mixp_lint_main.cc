@@ -2,7 +2,9 @@
  * @file
  * mixp-lint — standalone static precision-sensitivity linter.
  *
- *   mixp-lint [--json] [--benchmark <name>] [--all] [file.c ...]
+ *   mixp-lint [--json] [--ranges] [--certify] [--benchmark <name>]
+ *             [--all] [--ladder SPEC] [--threshold T]
+ *             [--werror] [--no-gate] [file.c ...]
  *
  * Runs the lint rule catalog (typeforge/lint.h) over the program
  * models of the built-in benchmarks and/or source files written in
@@ -10,6 +12,13 @@
  * files are parsed tolerantly: syntax errors become diagnostics, the
  * recovered part of the model is still linted, and the exit status is
  * non-zero so CI catches them.
+ *
+ * The linter doubles as a CI gate: when any Critical finding
+ * (MP001 accumulator, MP007 certified range overflow) is present the
+ * exit status is 3, and --werror extends the gate to Warnings.
+ * --no-gate restores the report-only behavior — the suite's own
+ * benchmark models legitimately contain Critical accumulators, so
+ * the `lint_models` smoke test runs ungated.
  */
 
 #include <fstream>
@@ -21,6 +30,7 @@
 #include "benchmarks/registry.h"
 #include "support/cli.h"
 #include "support/logging.h"
+#include "typeforge/clustering.h"
 #include "typeforge/frontend/parser.h"
 #include "typeforge/lint.h"
 
@@ -28,24 +38,47 @@ namespace {
 
 using namespace hpcmixp;
 
+/** Options shared by every linted target. */
+struct LintRun {
+    typeforge::AbsintOptions absint;
+    bool json = false;
+    bool ranges = false;
+    bool certify = false;
+    bool first = true;
+    std::size_t criticals = 0;
+    std::size_t warnings = 0;
+};
+
 void
-emit(const typeforge::SensitivityReport& report, bool json, bool& first)
+emit(const typeforge::SensitivityReport& report, LintRun& run)
 {
-    if (json) {
+    run.criticals +=
+        report.countSeverity(typeforge::LintSeverity::Critical);
+    run.warnings +=
+        report.countSeverity(typeforge::LintSeverity::Warning);
+    if (run.json) {
         // Reports stream as a JSON array so multiple targets stay one
         // parseable document.
-        std::cout << (first ? "[\n" : ",\n")
+        std::cout << (run.first ? "[\n" : ",\n")
                   << typeforge::lintReportToJson(report).dump(2);
     } else {
-        if (!first)
+        if (!run.first)
             std::cout << '\n';
-        typeforge::printLintReport(std::cout, report);
+        typeforge::printLintReport(std::cout, report, run.ranges,
+                                   run.certify);
     }
-    first = false;
+    run.first = false;
+}
+
+void
+lintModel(const model::ProgramModel& model, LintRun& run)
+{
+    emit(typeforge::lint(model, typeforge::analyze(model), run.absint),
+         run);
 }
 
 int
-lintFile(const std::string& path, bool json, bool& first)
+lintFile(const std::string& path, LintRun& run)
 {
     std::ifstream in(path);
     if (!in) {
@@ -60,7 +93,7 @@ lintFile(const std::string& path, bool json, bool& first)
     for (const auto& d : parsed.diagnostics)
         std::cerr << path << ':' << d.line << ':' << d.column << ": "
                   << d.message << '\n';
-    emit(typeforge::lint(parsed.model), json, first);
+    lintModel(parsed.model, run);
     return parsed.ok() ? 0 : 1;
 }
 
@@ -77,16 +110,36 @@ main(int argc, char** argv)
                "  --benchmark <name>  lint one built-in benchmark\n"
                "  --all               lint every built-in benchmark\n"
                "  --json              emit JSON instead of text\n"
-               "  file ...            lint mirror-language source files\n"
-               "Exit status is 1 when any file has syntax errors.\n";
+               "  --ranges            include derived value ranges\n"
+               "  --certify           include per-rung certificates\n"
+               "  --ladder SPEC       precision ladder, deepest last"
+               " (default double,float,half,bfloat16)\n"
+               "  --threshold T       error budget for MP008"
+               " (default 1e-6)\n"
+               "  --werror            gate on Warnings too\n"
+               "  --no-gate           report only, never exit 3\n"
+               "  file ...            lint mirror-language source"
+               " files\n"
+               "Exit status: 1 on syntax errors, 2 on usage errors,\n"
+               "3 when gated findings are present (Critical, or any\n"
+               "Warning under --werror).\n";
         return 0;
     }
 
-    bool json = cl.getBool("json", false);
+    LintRun run;
+    run.json = cl.getBool("json", false);
+    run.ranges = cl.getBool("ranges", false);
+    run.certify = cl.getBool("certify", false);
+    bool werror = cl.getBool("werror", false);
+    bool gate = !cl.getBool("no-gate", false);
     int status = 0;
-    bool first = true;
 
     try {
+        if (cl.has("ladder"))
+            run.absint.ladder = runtime::PrecisionLadder::parse(
+                cl.getString("ladder", ""));
+        run.absint.threshold = cl.getDouble("threshold", 1e-6);
+
         auto& registry = benchmarks::BenchmarkRegistry::instance();
         std::vector<std::string> names;
         if (cl.getBool("all", false))
@@ -101,17 +154,24 @@ main(int argc, char** argv)
 
         for (const std::string& name : names) {
             auto benchmark = registry.create(name);
-            emit(typeforge::lint(benchmark->programModel()), json,
-                 first);
+            lintModel(benchmark->programModel(), run);
         }
         for (const std::string& path : cl.positional())
-            status |= lintFile(path, json, first);
+            status |= lintFile(path, run);
 
-        if (json)
+        if (run.json)
             std::cout << "\n]\n";
     } catch (const support::FatalError& e) {
         std::cerr << "mixp-lint: " << e.what() << '\n';
         return 1;
+    }
+
+    if (gate && (run.criticals > 0 || (werror && run.warnings > 0))) {
+        std::cerr << "mixp-lint: gate failed (" << run.criticals
+                  << " critical, " << run.warnings
+                  << " warning finding"
+                  << (run.warnings == 1 ? "" : "s") << ")\n";
+        return 3;
     }
     return status;
 }

@@ -1,0 +1,683 @@
+#include "typeforge/absint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "runtime/precision.h"
+#include "support/logging.h"
+#include "typeforge/report.h"
+
+namespace hpcmixp::typeforge {
+
+using model::ArithFact;
+using model::ArithOp;
+using model::ArithOperand;
+using model::DependenceKind;
+using model::ProgramModel;
+using model::VarId;
+using runtime::Precision;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** inf-safe product treating 0 * inf as 0 (an interval endpoint of
+ *  zero annihilates regardless of the other side's extent). */
+double
+prod(double a, double b)
+{
+    if (a == 0.0 || b == 0.0)
+        return 0.0;
+    return a * b;
+}
+
+} // namespace
+
+Interval
+Interval::top()
+{
+    return {-kInf, kInf};
+}
+
+bool
+Interval::bounded() const
+{
+    return std::isfinite(lo) && std::isfinite(hi);
+}
+
+double
+Interval::magnitude() const
+{
+    return std::max(std::abs(lo), std::abs(hi));
+}
+
+double
+Interval::minMagnitude() const
+{
+    if (lo <= 0.0 && hi >= 0.0)
+        return 0.0;
+    return std::min(std::abs(lo), std::abs(hi));
+}
+
+bool
+Interval::contains(double l, double h) const
+{
+    return lo <= l && h <= hi;
+}
+
+Interval
+Interval::join(const Interval& o) const
+{
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+Interval
+Interval::add(const Interval& o) const
+{
+    return {lo + o.lo, hi + o.hi};
+}
+
+Interval
+Interval::sub(const Interval& o) const
+{
+    return {lo - o.hi, hi - o.lo};
+}
+
+Interval
+Interval::mul(const Interval& o) const
+{
+    double a = prod(lo, o.lo);
+    double b = prod(lo, o.hi);
+    double c = prod(hi, o.lo);
+    double d = prod(hi, o.hi);
+    return {std::min(std::min(a, b), std::min(c, d)),
+            std::max(std::max(a, b), std::max(c, d))};
+}
+
+Interval
+Interval::div(const Interval& o) const
+{
+    if (o.lo <= 0.0 && o.hi >= 0.0)
+        return top();
+    double a = 1.0 / o.lo;
+    double b = 1.0 / o.hi;
+    return mul({std::min(a, b), std::max(a, b)});
+}
+
+Interval
+Interval::exp() const
+{
+    return {std::exp(lo), std::exp(hi)};
+}
+
+Interval
+Interval::sqrt() const
+{
+    return {std::sqrt(std::max(0.0, lo)),
+            std::sqrt(std::max(0.0, hi))};
+}
+
+Interval
+Interval::scale(double s) const
+{
+    double a = prod(s, lo);
+    double b = prod(s, hi);
+    return {std::min(a, b), std::max(a, b)};
+}
+
+AbsintOptions::AbsintOptions()
+    : ladder(runtime::PrecisionLadder::parse(
+          "double,float,half,bfloat16"))
+{
+}
+
+namespace {
+
+/** An abstract value mid-flight: interval + amplification factor +
+ *  absolute error mass errMag = kappa * |v| (the first-order absolute
+ *  error per unit roundoff). errMag is tracked separately because at
+ *  a JOIN the sound bound is max over the defs' error masses, which
+ *  is tighter than joined-amp * joined-magnitude: a storage pool may
+ *  alias one array with high amplification but tiny values and
+ *  another with large values computed almost exactly. */
+struct AbsVal {
+    Interval range;
+    double amp = 0.0;
+    double errMag = 0.0;
+    bool known = false;
+};
+
+AbsVal
+joinVal(const AbsVal& a, const AbsVal& b)
+{
+    if (!a.known)
+        return b;
+    if (!b.known)
+        return a;
+    return {a.range.join(b.range), std::max(a.amp, b.amp),
+            std::max(a.errMag, b.errMag), true};
+}
+
+bool
+sameSign(const Interval& a, const Interval& b)
+{
+    return (a.lo >= 0.0 && b.lo >= 0.0) ||
+           (a.hi <= 0.0 && b.hi <= 0.0);
+}
+
+/** The fixpoint engine over one program. */
+class Interpreter {
+  public:
+    Interpreter(const ProgramModel& program, const ClusterSet& clusters,
+                const AbsintOptions& options)
+        : program_(program), clusters_(clusters), options_(options),
+          state_(program.variables().size())
+    {
+    }
+
+    AbsintResult run();
+
+  private:
+    AbsVal evalOperand(const ArithOperand& op) const;
+    AbsVal evalFact(const ArithFact& fact, const AbsVal& base);
+    AbsVal recompute(VarId v);
+    void deriveVerdicts(AbsintResult& result);
+
+    const ProgramModel& program_;
+    const ClusterSet& clusters_;
+    const AbsintOptions& options_;
+    std::vector<AbsVal> state_;
+    std::vector<bool> widenedVar_ =
+        std::vector<bool>(program_.variables().size(), false);
+    // Sticky cancellation witnesses: a Sub (or mixed-sign Add) whose
+    // operand intervals were bounded and overlapping at evaluation
+    // time. Recorded before widening can erase the evidence.
+    std::vector<bool> cancelWitness_ =
+        std::vector<bool>(program_.variables().size(), false);
+};
+
+AbsVal
+Interpreter::evalOperand(const ArithOperand& op) const
+{
+    if (op.isLiteral)
+        return {{op.lo, op.hi}, 0.0, 0.0, true};
+    return state_[op.var];
+}
+
+AbsVal
+Interpreter::evalFact(const ArithFact& fact, const AbsVal& base)
+{
+    AbsVal a = evalOperand(fact.lhs);
+    AbsVal b = fact.op == ArithOp::Id || fact.op == ArithOp::Exp ||
+                       fact.op == ArithOp::Sqrt
+                   ? AbsVal{{0.0, 0.0}, 0.0, 0.0, true}
+                   : evalOperand(fact.rhs);
+    if (!a.known || !b.known)
+        return {};
+
+    AbsVal r;
+    r.known = true;
+    switch (fact.op) {
+    case ArithOp::Id:
+        r.range = a.range;
+        r.amp = a.amp + 1.0;
+        break;
+    case ArithOp::Add:
+    case ArithOp::Sub: {
+        bool subtractive = fact.op == ArithOp::Sub
+                               ? true
+                               : !sameSign(a.range, b.range);
+        r.range = fact.op == ArithOp::Sub ? a.range.sub(b.range)
+                                          : a.range.add(b.range);
+        if (!subtractive) {
+            r.amp = std::max(a.amp, b.amp) + 1.0;
+        } else {
+            // Operands may (partially) cancel: the relative error of
+            // the difference is the operands' scaled by the ratio of
+            // their magnitudes to the smallest possible result.
+            double minMag = r.range.minMagnitude();
+            Interval negB{-b.range.hi, -b.range.lo};
+            const Interval& eff =
+                fact.op == ArithOp::Sub ? b.range : negB;
+            bool overlap = a.range.bounded() && b.range.bounded() &&
+                           a.range.lo <= eff.hi && eff.lo <= a.range.hi;
+            if (overlap)
+                cancelWitness_[fact.dst] = true;
+            if (minMag == 0.0) {
+                r.amp = kInf;
+            } else {
+                double blowup =
+                    (a.range.magnitude() + b.range.magnitude()) /
+                    minMag;
+                r.amp = blowup * std::max(a.amp, b.amp) + 1.0;
+            }
+        }
+        break;
+    }
+    case ArithOp::Mul:
+        r.range = a.range.mul(b.range);
+        r.amp = a.amp + b.amp + 1.0;
+        break;
+    case ArithOp::Div:
+        r.range = a.range.div(b.range);
+        r.amp = r.range.bounded() || a.range.bounded()
+                    ? a.amp + b.amp + 1.0
+                    : kInf;
+        if (b.range.lo <= 0.0 && b.range.hi >= 0.0)
+            r.amp = kInf;
+        break;
+    case ArithOp::Exp:
+        r.range = a.range.exp();
+        r.amp = a.range.magnitude() * a.amp + 1.0;
+        break;
+    case ArithOp::Sqrt:
+        r.range = a.range.sqrt();
+        r.amp = a.amp / 2.0 + 1.0;
+        break;
+    }
+    r.amp += fact.extraAmp;
+
+    if (fact.accumulate) {
+        // dst += scale * (lhs op rhs), `trips` times. The per-trip
+        // contribution c gives a summed interval [n*c.lo, n*c.hi]
+        // (one-sided when c has a fixed sign); an unknown trip count
+        // can grow without bound and widens immediately.
+        Interval c = r.range.scale(fact.scale);
+        double perTripAmp = r.amp;
+        Interval init =
+            base.known ? base.range : Interval::point(0.0);
+        double initAmp = base.known ? base.amp : 0.0;
+        if (fact.trips == 0) {
+            double lo = c.lo < 0.0 ? -kInf : init.lo;
+            double hi = c.hi > 0.0 ? kInf : init.hi;
+            r.range = {std::min(lo, init.lo), std::max(hi, init.hi)};
+            r.amp = kInf;
+        } else {
+            double n = static_cast<double>(fact.trips);
+            Interval total{prod(n, c.lo), prod(n, c.hi)};
+            r.range = init.add(
+                {std::min(0.0, total.lo), std::max(0.0, total.hi)});
+            bool mixedSign = c.lo < 0.0 && c.hi > 0.0;
+            r.amp = mixedSign
+                        ? kInf
+                        : n + perTripAmp + initAmp;
+        }
+    }
+    r.errMag = prod(r.amp, r.range.magnitude());
+    return r;
+}
+
+AbsVal
+Interpreter::recompute(VarId v)
+{
+    const auto& var = program_.variable(v);
+    if (var.opaque)
+        return {Interval::top(), kInf, kInf, true};
+    if (widenedVar_[v])
+        return {Interval::top(), kInf, kInf, true};
+    // An annotated range is authoritative: it claims to cover every
+    // value the variable takes, so dependence edges (which may carry
+    // informational flows wider than the annotation's contract) and
+    // arith facts do not dilute it.
+    if (var.range.known) {
+        Interval r{var.range.lo, var.range.hi};
+        return {r, 1.0, r.magnitude(), true};
+    }
+
+    AbsVal next;
+    for (const auto& dep : program_.dependences()) {
+        VarId from = model::kInvalidId;
+        VarId to = model::kInvalidId;
+        bool bidir = false;
+        switch (dep.kind) {
+        case DependenceKind::Assign:
+            from = dep.b;
+            to = dep.a;
+            // Pointer-to-pointer assignment aliases storage (pool
+            // carving): element values flow both ways.
+            bidir = program_.variable(dep.a).type.isPointer() &&
+                    program_.variable(dep.b).type.isPointer();
+            break;
+        case DependenceKind::CallBind:
+            from = dep.a;
+            to = dep.b;
+            // A pointer argument aliases the parameter: writes in the
+            // callee surface in the caller's array and vice versa.
+            bidir = program_.variable(dep.a).type.isPointer();
+            break;
+        case DependenceKind::AddressOf:
+            from = dep.a;
+            to = dep.b;
+            bidir = true;
+            break;
+        case DependenceKind::Return:
+            from = dep.b;
+            to = dep.a;
+            break;
+        case DependenceKind::SameType:
+            continue;
+        }
+        if (to == v && state_[from].known)
+            next = joinVal(next, state_[from]);
+        if (bidir && from == v && state_[to].known)
+            next = joinVal(next, state_[to]);
+    }
+    for (const auto& fact : program_.arithFacts()) {
+        if (fact.dst != v || fact.accumulate)
+            continue;
+        next = joinVal(next, evalFact(fact, {}));
+    }
+    // Accumulations fold on top of the joined plain definitions (the
+    // accumulator's initial value), defaulting to zero-init.
+    for (const auto& fact : program_.arithFacts()) {
+        if (fact.dst != v || !fact.accumulate)
+            continue;
+        AbsVal acc = evalFact(fact, next);
+        if (acc.known)
+            next = acc;
+    }
+    return next;
+}
+
+void
+Interpreter::deriveVerdicts(AbsintResult& result)
+{
+    const auto& ladder = options_.ladder;
+    double threshold = options_.threshold;
+
+    // Per-variable per-rung classification.
+    std::size_t nvars = program_.variables().size();
+    std::vector<std::uint8_t> cap(nvars, kNoCap);
+    std::vector<std::uint8_t> safeThrough(nvars, 0);
+    std::vector<bool> certified(nvars, false);
+
+    for (VarId v : program_.realVariables()) {
+        const AbsVal& s = state_[v];
+        if (cancelWitness_[v]) {
+            AbsintFinding f;
+            f.ruleId = "MP009-proven-cancellation";
+            f.var = v;
+            f.level = 0;
+            f.detail = "operand intervals overlap; the difference can "
+                       "lose every significant digit";
+            result.findings.push_back(std::move(f));
+        }
+        if (!s.known || !s.range.bounded())
+            continue;
+        double mag = s.range.magnitude();
+        double minMag = s.range.minMagnitude();
+        certified[v] = std::isfinite(s.errMag);
+
+        bool safeRun = true;
+        for (std::size_t l = 1; l <= ladder.maxLevel(); ++l) {
+            Precision p = ladder.at(l);
+            bool overflow = mag > runtime::finiteMax(p);
+            bool flushed =
+                minMag > 0.0 && mag < runtime::minNormal(p);
+            double bound = std::isfinite(s.errMag)
+                               ? s.errMag * runtime::unitRoundoff(p)
+                               : kInf;
+            bool budget =
+                std::isfinite(s.errMag) && bound > threshold;
+            if ((overflow || flushed) && cap[v] == kNoCap) {
+                cap[v] = static_cast<std::uint8_t>(l - 1);
+                AbsintFinding f;
+                f.ruleId = "MP007-range-overflow-at-rung";
+                f.var = v;
+                f.level = l;
+                std::ostringstream os;
+                os << "interval [" << s.range.lo << ", " << s.range.hi
+                   << "] " << (overflow ? "exceeds" : "flushes below")
+                   << " the " << runtime::precisionName(p)
+                   << " finite range";
+                f.detail = os.str();
+                result.findings.push_back(std::move(f));
+            } else if (budget && cap[v] == kNoCap) {
+                cap[v] = static_cast<std::uint8_t>(l - 1);
+                AbsintFinding f;
+                f.ruleId = "MP008-error-budget-exceeded";
+                f.var = v;
+                f.level = l;
+                std::ostringstream os;
+                os << "first-order bound " << bound << " at "
+                   << runtime::precisionName(p)
+                   << " exceeds the quality threshold " << threshold;
+                f.detail = os.str();
+                result.findings.push_back(std::move(f));
+            }
+            bool safeHere = !overflow && !flushed &&
+                            std::isfinite(s.errMag) &&
+                            bound <= threshold;
+            if (safeRun && safeHere)
+                safeThrough[v] = static_cast<std::uint8_t>(l);
+            else
+                safeRun = false;
+        }
+    }
+
+    // Cluster aggregation + certificates.
+    for (std::size_t c = 0; c < clusters_.clusterCount(); ++c) {
+        ClusterCaps caps;
+        caps.cluster = c;
+        caps.certified = !clusters_.members(c).empty();
+        std::uint8_t minSafe = 255;
+        for (VarId v : clusters_.members(c)) {
+            caps.certifiedCap = std::min(caps.certifiedCap, cap[v]);
+            minSafe = std::min(
+                minSafe, certified[v] ? safeThrough[v]
+                                      : std::uint8_t{0});
+            caps.certified = caps.certified && certified[v];
+        }
+        caps.safeThrough = caps.certified ? minSafe : 0;
+
+        if (caps.certified) {
+            for (std::size_t l = 1; l <= ladder.maxLevel(); ++l) {
+                Precision p = ladder.at(l);
+                // Witness: the member with the worst (largest) bound
+                // at this rung; ties break to the lowest VarId.
+                VarId witness = clusters_.members(c).front();
+                double worst = -1.0;
+                for (VarId v : clusters_.members(c)) {
+                    const AbsVal& s = state_[v];
+                    double bound =
+                        s.errMag * runtime::unitRoundoff(p);
+                    bool overMax =
+                        s.range.magnitude() > runtime::finiteMax(p);
+                    if (overMax)
+                        bound = kInf;
+                    if (bound > worst) {
+                        worst = bound;
+                        witness = v;
+                    }
+                }
+                const AbsVal& w = state_[witness];
+                double mag = w.range.magnitude();
+                // The recorded amplification is the *effective* one
+                // at the witness magnitude, errMag / |v|, so that
+                // checkCertificate() can re-derive the bound from
+                // (lo, hi, amp, rung) alone. They differ when the
+                // state is a join over defs with different error
+                // masses (pool carving).
+                double effAmp = mag > 0.0 ? w.errMag / mag : 0.0;
+                double bound = w.errMag * runtime::unitRoundoff(p);
+                RungCertificate cert;
+                cert.variable = qualifiedName(program_, witness);
+                cert.cluster = c;
+                cert.level = l;
+                cert.rung = runtime::precisionName(p);
+                cert.lo = w.range.lo;
+                cert.hi = w.range.hi;
+                cert.amp = effAmp;
+                cert.errBound = bound;
+                if (mag > runtime::finiteMax(p) ||
+                    (w.range.minMagnitude() > 0.0 &&
+                     mag < runtime::minNormal(p))) {
+                    cert.rule = "MP007-range-overflow-at-rung";
+                    cert.limit = runtime::finiteMax(p);
+                    cert.claim = "unsafe";
+                } else if (bound > threshold) {
+                    cert.rule = "MP008-error-budget-exceeded";
+                    cert.limit = threshold;
+                    cert.claim = "unsafe";
+                } else {
+                    cert.rule = "safe";
+                    cert.limit = threshold;
+                    cert.claim = "safe";
+                }
+                result.certificates.push_back(std::move(cert));
+            }
+        }
+        result.clusters.push_back(caps);
+    }
+}
+
+AbsintResult
+Interpreter::run()
+{
+    AbsintResult result;
+    std::size_t pass = 0;
+    bool changed = true;
+    while (changed && pass < options_.maxPasses) {
+        ++pass;
+        changed = false;
+        std::vector<bool> moved(state_.size(), false);
+        for (const auto& var : program_.variables()) {
+            if (var.type.base != model::BaseType::Real)
+                continue;
+            AbsVal next = recompute(var.id);
+            AbsVal joined = joinVal(state_[var.id], next);
+            const AbsVal& cur = state_[var.id];
+            bool delta = joined.known != cur.known ||
+                         (joined.known &&
+                          (joined.range.lo != cur.range.lo ||
+                           joined.range.hi != cur.range.hi ||
+                           joined.amp != cur.amp ||
+                           joined.errMag != cur.errMag));
+            if (delta) {
+                state_[var.id] = joined;
+                moved[var.id] = true;
+                changed = true;
+            }
+        }
+        if (changed && pass >= options_.wideningDelay) {
+            // Still-growing variables sit on a loop-carried cycle the
+            // trip counts do not bound: widen them to top so the next
+            // pass is the last in which they can move.
+            for (std::size_t v = 0; v < state_.size(); ++v) {
+                if (!moved[v] || widenedVar_[v])
+                    continue;
+                widenedVar_[v] = true;
+                state_[v] = {Interval::top(), kInf, kInf, true};
+                result.widened = true;
+            }
+        }
+    }
+    result.passes = pass;
+
+    result.vars.resize(state_.size());
+    for (std::size_t v = 0; v < state_.size(); ++v) {
+        result.vars[v].range = state_[v].range;
+        result.vars[v].amp = state_[v].amp;
+        result.vars[v].known = state_[v].known;
+        result.vars[v].widened = widenedVar_[v];
+    }
+    deriveVerdicts(result);
+    return result;
+}
+
+} // namespace
+
+AbsintResult
+interpret(const model::ProgramModel& program,
+          const ClusterSet& clusters, const AbsintOptions& options)
+{
+    return Interpreter(program, clusters, options).run();
+}
+
+bool
+checkCertificate(const RungCertificate& cert)
+{
+    Precision p;
+    if (cert.rung == "double")
+        p = Precision::Float64;
+    else if (cert.rung == "float")
+        p = Precision::Float32;
+    else if (cert.rung == "half")
+        p = Precision::Float16;
+    else if (cert.rung == "bfloat16")
+        p = Precision::BFloat16;
+    else
+        return false;
+    if (!(cert.lo <= cert.hi) || cert.amp < 0.0)
+        return false;
+
+    Interval range{cert.lo, cert.hi};
+    double mag = range.magnitude();
+    double bound = cert.amp * runtime::unitRoundoff(p) * mag;
+    // The recorded bound must be re-derivable from the recorded
+    // operands (tolerating the round-off of the certificate's own
+    // arithmetic).
+    if (std::isfinite(bound) &&
+        std::abs(bound - cert.errBound) >
+            1e-9 * std::max(1.0, std::abs(bound)))
+        return false;
+
+    bool overflow = mag > runtime::finiteMax(p);
+    bool flushed = range.minMagnitude() > 0.0 &&
+                   mag < runtime::minNormal(p);
+    if (cert.rule == "MP007-range-overflow-at-rung")
+        return cert.claim == "unsafe" && (overflow || flushed);
+    if (cert.rule == "MP008-error-budget-exceeded")
+        return cert.claim == "unsafe" && !overflow &&
+               bound > cert.limit;
+    if (cert.rule == "safe")
+        return cert.claim == "safe" && !overflow && !flushed &&
+               std::isfinite(bound) && bound <= cert.limit;
+    return false;
+}
+
+std::vector<CrossCheckViolation>
+crossCheckRanges(const model::ProgramModel& program,
+                 const AbsintResult& result,
+                 const std::vector<ObservedRange>& observed)
+{
+    std::vector<CrossCheckViolation> violations;
+    for (const auto& obs : observed) {
+        // The key's static claim is the join over every variable
+        // bound to it: pool carving maps several arrays to one key,
+        // and the observed range is the union over the pool.
+        bool any = false;
+        bool top = false;
+        Interval claim{0.0, 0.0};
+        VarId witness = model::kInvalidId;
+        for (const auto& var : program.variables()) {
+            if (var.bindKey != obs.bindKey ||
+                var.type.base != model::BaseType::Real)
+                continue;
+            const VarAbs& s = result.vars[var.id];
+            if (!s.known || !s.range.bounded()) {
+                top = true; // claims everything
+                continue;
+            }
+            claim = any ? claim.join(s.range) : s.range;
+            if (!any)
+                witness = var.id;
+            any = true;
+        }
+        if (!any || top || claim.contains(obs.lo, obs.hi))
+            continue;
+        CrossCheckViolation v;
+        v.bindKey = obs.bindKey;
+        v.var = witness;
+        v.observedLo = obs.lo;
+        v.observedHi = obs.hi;
+        v.staticLo = claim.lo;
+        v.staticHi = claim.hi;
+        violations.push_back(std::move(v));
+    }
+    return violations;
+}
+
+} // namespace hpcmixp::typeforge

@@ -1,0 +1,221 @@
+#ifndef HPCMIXP_TYPEFORGE_ABSINT_H_
+#define HPCMIXP_TYPEFORGE_ABSINT_H_
+
+/**
+ * @file
+ * Abstract-interpretation value-range and round-off error analysis.
+ *
+ * A forward pass over the ProgramModel dataflow graph propagates, per
+ * variable,
+ *
+ *  - an *interval* of values the variable may take, seeded from the
+ *    input-range annotations (ProgramModel::setRange) and pushed
+ *    through the recorded arithmetic facts and type-dependence edges;
+ *  - a first-order *round-off amplification factor* kappa: computing
+ *    the variable with every operation rounded at unit roundoff u
+ *    keeps its relative error within kappa * u (to first order).
+ *
+ * Both are joined over all recorded definitions of a variable, so the
+ * result is a sound over-approximation whenever the recorded def set
+ * covers the real ones — which is the annotator's contract, enforced
+ * dynamically by crossCheckRanges() against profiler-observed ranges
+ * and by ProgramModel::markOpaque for writes no fact expresses.
+ * Loop-carried definitions (self-referential facts, accumulations of
+ * unknown trip count) are *widened* to the unbounded interval after a
+ * fixed number of passes, guaranteeing termination.
+ *
+ * From the per-variable state the pass derives, per Typeforge cluster
+ * and per rung of a PrecisionLadder, a *certified verdict*:
+ *
+ *  - MP007 range-overflow-at-rung: the interval reaches beyond the
+ *    rung's finite range (fp16 overflow past 65504) or lies entirely
+ *    in its subnormal-flush region;
+ *  - MP008 error-budget-exceeded: the first-order bound
+ *    kappa * u_rung * magnitude crosses the campaign quality
+ *    threshold;
+ *  - MP009 proven-cancellation: a subtraction whose operand intervals
+ *    overlap, so the result can lose all significant digits.
+ *
+ * Verdicts become per-cluster level *caps* for search::StaticPrior
+ * (rungs at or past the first provable failure are never evaluated)
+ * and *safe-through* levels (deepest rung every member is certified
+ * safe at — the claim the soundness property test exercises). Every
+ * per-rung claim carries a machine-checkable RungCertificate that
+ * records the numbers the claim was derived from; checkCertificate()
+ * re-derives the inequality from scratch.
+ *
+ * Scope: a certificate talks about the error of computing *this
+ * cluster's variables* at the rung, operands taken exact — the
+ * PROMISE-style local verdict. Downstream amplification of an input
+ * perturbation (a condition-number property of the consumers) is out
+ * of scope; the dynamic verification layer still vets every
+ * configuration the search actually runs.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/program_model.h"
+#include "runtime/ladder.h"
+#include "typeforge/clustering.h"
+
+namespace hpcmixp::typeforge {
+
+/** A closed interval; infinite endpoints encode unbounded sides. */
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    static Interval top();
+    static Interval point(double x) { return {x, x}; }
+
+    bool bounded() const;
+
+    /** max(|lo|, |hi|); +inf when unbounded. */
+    double magnitude() const;
+
+    /** min |x| over the interval; 0 when it spans zero. */
+    double minMagnitude() const;
+
+    bool contains(double lo, double hi) const;
+
+    Interval join(const Interval& o) const;
+    Interval add(const Interval& o) const;
+    Interval sub(const Interval& o) const;
+    Interval mul(const Interval& o) const;
+    Interval div(const Interval& o) const; ///< top when o spans 0
+    Interval exp() const;
+    Interval sqrt() const;
+    Interval scale(double s) const;
+};
+
+/** Abstract state of one variable after the fixpoint. */
+struct VarAbs {
+    Interval range;    ///< meaningful only when known
+    double amp = 0.0;  ///< kappa; +inf = unbounded amplification
+    bool known = false; ///< range was derived (else treat as top)
+    bool widened = false; ///< loop widening forced this var to top
+};
+
+/** Analysis knobs. */
+struct AbsintOptions {
+    AbsintOptions();
+
+    /** Ladder the per-rung verdicts are issued against. Defaults to
+     *  the full four-rung double,float,half,bfloat16 ladder. */
+    runtime::PrecisionLadder ladder;
+
+    /** Quality budget the MP008 bound is compared against. */
+    double threshold = 1e-6;
+
+    /** Fixpoint passes before still-changing variables widen. */
+    std::size_t wideningDelay = 4;
+
+    /** Hard cap on fixpoint passes. */
+    std::size_t maxPasses = 64;
+};
+
+/** Cap value meaning "no rung constraint was proven". */
+inline constexpr std::uint8_t kNoCap = 255;
+
+/** Per-cluster certified verdict. */
+struct ClusterCaps {
+    std::size_t cluster = 0;
+    /** Deepest level the cluster may take: rungs past the first
+     *  provable MP007/MP008 failure are excluded. kNoCap = nothing
+     *  proven. Note: a failure at level l also excludes deeper rungs
+     *  even if individually fine (bfloat16's wide range after a
+     *  failing fp16), because StaticPrior caps are a prefix. */
+    std::uint8_t certifiedCap = kNoCap;
+    /** Deepest level L with every member certified safe at all
+     *  levels 1..L. 0 = only the double rung is certified. */
+    std::uint8_t safeThrough = 0;
+    /** True when every member had a bounded range and finite amp —
+     *  i.e. safeThrough is a real claim, not a vacuous 0. */
+    bool certified = false;
+};
+
+/** One absint rule firing (lint turns these into findings). */
+struct AbsintFinding {
+    const char* ruleId; ///< "MP007-..." / "MP008-..." / "MP009-..."
+    model::VarId var = model::kInvalidId;
+    std::size_t level = 0; ///< first failing rung (MP007/MP008)
+    std::string detail;    ///< numbers behind the claim
+};
+
+/**
+ * A machine-checkable per-rung claim. checkCertificate() re-derives
+ * the bound from (lo, hi, amp, rung) and re-evaluates the claimed
+ * inequality, so a certificate can be audited with no access to the
+ * model or the analysis.
+ */
+struct RungCertificate {
+    std::string rule;     ///< "MP007-range-overflow-at-rung",
+                          ///< "MP008-error-budget-exceeded" or "safe"
+    std::string variable; ///< qualified witness-member name
+    std::size_t cluster = 0;
+    std::size_t level = 0; ///< ladder rung index
+    std::string rung;      ///< precisionName() of the rung
+    double lo = 0.0;       ///< witness interval
+    double hi = 0.0;
+    double amp = 0.0;      ///< witness kappa
+    double errBound = 0.0; ///< amp * unitRoundoff(rung) * magnitude
+    double limit = 0.0;    ///< threshold (MP008/safe) or finite max
+    std::string claim;     ///< "safe" or "unsafe"
+};
+
+/** Re-derive and validate @p cert; false on any inconsistency. */
+bool checkCertificate(const RungCertificate& cert);
+
+/** Full result of one analysis. */
+struct AbsintResult {
+    std::vector<VarAbs> vars; ///< indexed by VarId
+    std::vector<ClusterCaps> clusters; ///< indexed by cluster
+    std::vector<AbsintFinding> findings;
+    std::vector<RungCertificate> certificates;
+    std::size_t passes = 0; ///< fixpoint passes used
+    bool widened = false;   ///< any variable was widened
+};
+
+/** Run the analysis over @p program with @p clusters. */
+AbsintResult interpret(const model::ProgramModel& program,
+                       const ClusterSet& clusters,
+                       const AbsintOptions& options = {});
+
+/** A dynamically observed per-site value range (runtime profiler). */
+struct ObservedRange {
+    std::string bindKey;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** One soundness violation: observed values escaped the interval. */
+struct CrossCheckViolation {
+    std::string bindKey;
+    model::VarId var = model::kInvalidId; ///< one var of the key
+    double observedLo = 0.0;
+    double observedHi = 0.0;
+    double staticLo = 0.0; ///< join of the key's static intervals
+    double staticHi = 0.0;
+};
+
+/**
+ * Check the statically derived intervals against the dynamically
+ * observed range of each bind key. Several arrays can share one bind
+ * key (pool carving: planckian's x/u/v all live in the "in" pool), so
+ * the observed range is the union over the pool and the sound claim
+ * checked is containment by the *join* of all static intervals bound
+ * to the key. A key any of whose variables is unknown or unbounded
+ * claims top and passes trivially; so does a key no variable carries.
+ * Empty result = sound.
+ */
+std::vector<CrossCheckViolation>
+crossCheckRanges(const model::ProgramModel& program,
+                 const AbsintResult& result,
+                 const std::vector<ObservedRange>& observed);
+
+} // namespace hpcmixp::typeforge
+
+#endif // HPCMIXP_TYPEFORGE_ABSINT_H_

@@ -1,5 +1,7 @@
 #include "typeforge/frontend/parser.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -37,6 +39,9 @@ struct Value {
     VarId var = model::kInvalidId; ///< for Var / AddressOf
     std::string callee;            ///< for Call
     bool literal = false;          ///< numeric literal (possibly cast/negated)
+    /** Numeric value when `literal`; NaN when the value was lost to
+     *  an operator the folder does not model (%, shifts, ...). */
+    double litValue = 0.0;
     /** Array variable whose element this value is (arr[i], *arr);
      *  survives direct subscripting only, not arithmetic. */
     VarId rootArray = model::kInvalidId;
@@ -957,8 +962,28 @@ class Parser {
             advance();
             Value rhs = parseBinary(prec + 1);
             noteBinaryFacts(op, lhs, rhs);
-            lhs = combine(lhs, rhs);
+            Value merged = combine(lhs, rhs);
+            if (merged.literal)
+                merged.litValue =
+                    foldLiteral(op, lhs.litValue, rhs.litValue);
+            lhs = merged;
         }
+    }
+
+    /** Constant-fold a literal-literal combination; NaN when the
+     *  operator is outside the arithmetic subset annotations need. */
+    static double
+    foldLiteral(const std::string& op, double a, double b)
+    {
+        if (op == "+")
+            return a + b;
+        if (op == "-")
+            return a - b;
+        if (op == "*")
+            return a * b;
+        if (op == "/")
+            return a / b;
+        return std::nan("");
     }
 
     /**
@@ -1006,10 +1031,13 @@ class Parser {
             noteTargetRef(elem.rootArray);
             return elem;
         }
-        if (acceptPunct("-") || acceptPunct("+")) {
+        if (peek().isPunct("-") || peek().isPunct("+")) {
+            bool negate = peek().isPunct("-");
+            advance();
             Value v = parseUnary();
             Value r = Value::other();
             r.literal = v.literal; // -1.0 is still a literal
+            r.litValue = negate ? -v.litValue : v.litValue;
             return r;
         }
         if (acceptPunct("!") || acceptPunct("~")) {
@@ -1088,6 +1116,70 @@ class Parser {
         }
     }
 
+    /**
+     * Annotation intrinsics for the abstract interpreter:
+     * `__range(var, lo, hi)` seeds var's input interval and
+     * `__opaque(var)` pins it to top. Both accept a Real scalar, a
+     * Real array, or an element of one, evaluate to no value, and on
+     * misuse report a diagnostic and drop the annotation — the
+     * benchmark sources stay compilable as plain C by defining the
+     * intrinsics away to `(void)0`.
+     */
+    Value
+    parseAnnotationCall(const std::string& callee)
+    {
+        const Token& open = peek();
+        int callLine = open.line;
+        int callColumn = open.column;
+        expectPunct("(");
+        std::vector<Value> args;
+        if (!peek().isPunct(")")) {
+            do {
+                args.push_back(parseAssignmentExpr());
+            } while (acceptPunct(","));
+        }
+        expectPunct(")");
+
+        auto annotated = [&](const Value& v) -> VarId {
+            if (v.kind == Value::Kind::Var) {
+                const auto& var = model_.variable(v.var);
+                return var.type.base == BaseType::Real
+                           ? v.var
+                           : model::kInvalidId;
+            }
+            return factTarget(v); // element access -> root array
+        };
+        auto misuse = [&](const char* what) {
+            report({callLine, callColumn,
+                    strCat("'", callee, "' ", what)});
+            return Value::other();
+        };
+
+        if (callee == "__opaque") {
+            if (args.size() != 1)
+                return misuse("expects exactly one argument");
+            VarId target = annotated(args[0]);
+            if (target == model::kInvalidId)
+                return misuse("argument must name a real variable");
+            model_.markOpaque(target);
+            return Value::other();
+        }
+        if (args.size() != 3)
+            return misuse("expects (var, lo, hi)");
+        VarId target = annotated(args[0]);
+        if (target == model::kInvalidId)
+            return misuse("first argument must name a real variable");
+        const Value& lo = args[1];
+        const Value& hi = args[2];
+        if (!lo.literal || !hi.literal ||
+            !std::isfinite(lo.litValue) || !std::isfinite(hi.litValue))
+            return misuse("bounds must be finite numeric literals");
+        if (lo.litValue > hi.litValue)
+            return misuse("bounds must satisfy lo <= hi");
+        model_.setRange(target, lo.litValue, hi.litValue);
+        return Value::other();
+    }
+
     /** True when '(' opens a cast, i.e. is followed by a type name. */
     bool
     atCast() const
@@ -1113,9 +1205,11 @@ class Parser {
             return v;
         }
         if (peek().is(TokenKind::Number)) {
-            advance();
+            const Token& t = advance();
             Value v = Value::other();
             v.literal = true;
+            // strtod stops at C suffixes (1.0f, 100u) and reads hex.
+            v.litValue = std::strtod(t.text.c_str(), nullptr);
             return v;
         }
         if (peek().is(TokenKind::String)) {
@@ -1142,6 +1236,8 @@ class Parser {
                 return Value::other();
             }
             if (peek().isPunct("(")) {
+                if (name == "__range" || name == "__opaque")
+                    return parseAnnotationCall(name);
                 parseCallArguments(name);
                 return Value::call(name);
             }

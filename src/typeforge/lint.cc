@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/precision.h"
 #include "support/logging.h"
 #include "typeforge/report.h"
 
@@ -81,12 +82,42 @@ lintRules()
     return kRules;
 }
 
+const std::vector<CertifiedRule>&
+certifiedRules()
+{
+    // MP007/MP008 carry weight 0: they already act through the
+    // certified cap, so double-counting them into the heuristic score
+    // would shadow it. MP009 is evidence of cancellation the annotated
+    // facts may have missed and scores like MP002.
+    static const std::vector<CertifiedRule> kRules = {
+        {"MP007-range-overflow-at-rung", LintSeverity::Critical, 0,
+         "proven value range does not fit the rung's finite range"},
+        {"MP008-error-budget-exceeded", LintSeverity::Warning, 0,
+         "certified first-order error bound exceeds the quality "
+         "threshold at the rung"},
+        {"MP009-proven-cancellation", LintSeverity::Warning, 2,
+         "operand intervals overlap, so the subtraction can cancel "
+         "catastrophically"},
+    };
+    return kRules;
+}
+
 std::size_t
 SensitivityReport::count(Sensitivity s) const
 {
     std::size_t n = 0;
     for (const auto& c : clusters)
         if (c.sensitivity == s)
+            ++n;
+    return n;
+}
+
+std::size_t
+SensitivityReport::countSeverity(LintSeverity s) const
+{
+    std::size_t n = 0;
+    for (const auto& f : findings)
+        if (f.severity == s)
             ++n;
     return n;
 }
@@ -118,9 +149,19 @@ lint(const model::ProgramModel& program)
 SensitivityReport
 lint(const model::ProgramModel& program, const ClusterSet& clusters)
 {
+    return lint(program, clusters, AbsintOptions{});
+}
+
+SensitivityReport
+lint(const model::ProgramModel& program, const ClusterSet& clusters,
+     const AbsintOptions& options)
+{
     SensitivityReport report;
     report.program = program.name();
     report.analyzed = program.dataflowAnalyzed();
+    report.ladder = options.ladder.describe();
+
+    AbsintResult abs = interpret(program, clusters, options);
 
     // Findings: every rule firing on every Real variable, ordered by
     // VarId then catalog order (deterministic for golden files).
@@ -138,6 +179,39 @@ lint(const model::ProgramModel& program, const ClusterSet& clusters)
         }
     }
 
+    // Certified findings follow, in the absint pass's deterministic
+    // order (variable order, MP009 before the first-failing-rung
+    // rules).
+    for (const auto& af : abs.findings) {
+        const CertifiedRule* rule = nullptr;
+        for (const CertifiedRule& r : certifiedRules())
+            if (af.ruleId == std::string(r.id))
+                rule = &r;
+        HPCMIXP_ASSERT(rule, "absint finding with unknown rule id");
+        LintFinding finding;
+        finding.ruleId = af.ruleId;
+        finding.severity = rule->severity;
+        finding.var = af.var;
+        finding.location = lintLocation(program, af.var);
+        finding.message = af.detail;
+        report.findings.push_back(std::move(finding));
+    }
+
+    // Statically derived ranges, variable order.
+    for (VarId var : program.realVariables()) {
+        const VarAbs& s = abs.vars[var];
+        if (!s.known)
+            continue;
+        VarRangeLine line;
+        line.name = qualifiedName(program, var);
+        line.lo = s.range.lo;
+        line.hi = s.range.hi;
+        line.amp = s.amp;
+        line.widened = s.widened;
+        report.ranges.push_back(std::move(line));
+    }
+    report.certificates = abs.certificates;
+
     // Cluster verdicts: aggregate member scores.
     for (std::size_t i = 0; i < clusters.clusterCount(); ++i) {
         ClusterVerdict verdict;
@@ -153,6 +227,19 @@ lint(const model::ProgramModel& program, const ClusterSet& clusters)
                               rule.id) == verdict.ruleIds.end())
                     verdict.ruleIds.push_back(rule.id);
             }
+            for (const auto& af : abs.findings) {
+                if (af.var != var)
+                    continue;
+                for (const CertifiedRule& r : certifiedRules()) {
+                    if (af.ruleId != std::string(r.id))
+                        continue;
+                    verdict.score += r.weight;
+                    if (std::find(verdict.ruleIds.begin(),
+                                  verdict.ruleIds.end(),
+                                  r.id) == verdict.ruleIds.end())
+                        verdict.ruleIds.push_back(r.id);
+                }
+            }
         }
         if (verdict.score >= kKeepDoubleScore)
             verdict.sensitivity = Sensitivity::KeepDouble;
@@ -161,13 +248,21 @@ lint(const model::ProgramModel& program, const ClusterSet& clusters)
         else
             verdict.sensitivity = Sensitivity::Unknown;
         verdict.floor = sensitivityFloor(verdict.sensitivity);
+        const ClusterCaps& caps = abs.clusters[i];
+        verdict.certifiedCap = caps.certifiedCap;
+        verdict.safeThrough = caps.safeThrough;
+        verdict.certified = caps.certified;
+        if (caps.certifiedCap != kNoCap)
+            verdict.capName = runtime::precisionName(
+                options.ladder.at(caps.certifiedCap));
         report.clusters.push_back(std::move(verdict));
     }
     return report;
 }
 
 void
-printLintReport(std::ostream& os, const SensitivityReport& report)
+printLintReport(std::ostream& os, const SensitivityReport& report,
+                bool ranges, bool certificates)
 {
     os << "mixp-lint report for '" << report.program << "'\n";
     os << "dataflow facts: "
@@ -178,6 +273,22 @@ printLintReport(std::ostream& os, const SensitivityReport& report)
            << lintSeverityName(finding.severity) << " "
            << finding.location << " - " << finding.message << "\n";
     }
+    if (ranges && !report.ranges.empty()) {
+        std::size_t widened = 0;
+        for (const auto& line : report.ranges)
+            if (line.widened)
+                ++widened;
+        os << "ranges (" << report.ladder << "): "
+           << report.ranges.size() << " derived, " << widened
+           << " widened\n";
+        for (const auto& line : report.ranges) {
+            os << "  " << line.name << " in [" << line.lo << ", "
+               << line.hi << "] amp " << line.amp;
+            if (line.widened)
+                os << " (widened)";
+            os << "\n";
+        }
+    }
     os << "clusters: " << report.clusters.size() << " ("
        << report.count(Sensitivity::KeepDouble) << " keep-double, "
        << report.count(Sensitivity::SafeToNarrow)
@@ -186,7 +297,13 @@ printLintReport(std::ostream& os, const SensitivityReport& report)
     for (const auto& verdict : report.clusters) {
         os << "  cluster " << verdict.cluster << " ["
            << sensitivityName(verdict.sensitivity) << ", score "
-           << verdict.score << ", floor " << verdict.floor << "] {";
+           << verdict.score << ", floor " << verdict.floor;
+        if (verdict.certifiedCap != kNoCap)
+            os << ", cap " << verdict.capName;
+        if (verdict.certified)
+            os << ", certified<=" << static_cast<int>(
+                   verdict.safeThrough);
+        os << "] {";
         for (std::size_t i = 0; i < verdict.members.size(); ++i) {
             if (i)
                 os << ", ";
@@ -202,6 +319,17 @@ printLintReport(std::ostream& os, const SensitivityReport& report)
             }
         }
         os << "\n";
+    }
+    if (certificates && !report.certificates.empty()) {
+        os << "certificates: " << report.certificates.size() << "\n";
+        for (const auto& cert : report.certificates) {
+            os << "  cluster " << cert.cluster << " level "
+               << cert.level << " (" << cert.rung << "): "
+               << cert.claim << " [" << cert.rule << "] witness "
+               << cert.variable << " in [" << cert.lo << ", "
+               << cert.hi << "] amp " << cert.amp << " bound "
+               << cert.errBound << " limit " << cert.limit << "\n";
+        }
     }
 }
 
@@ -225,6 +353,19 @@ lintReportToJson(const SensitivityReport& report)
     }
     root.set("findings", std::move(findings));
 
+    Value ranges = Value::array();
+    for (const auto& line : report.ranges) {
+        Value r = Value::object();
+        r.set("variable", Value::string(line.name));
+        r.set("lo", Value::number(line.lo));
+        r.set("hi", Value::number(line.hi));
+        r.set("amp", Value::number(line.amp));
+        r.set("widened", Value::boolean(line.widened));
+        ranges.push(std::move(r));
+    }
+    root.set("ladder", Value::string(report.ladder));
+    root.set("ranges", std::move(ranges));
+
     Value clusters = Value::array();
     for (const auto& verdict : report.clusters) {
         Value c = Value::object();
@@ -235,6 +376,14 @@ lintReportToJson(const SensitivityReport& report)
         c.set("floor", Value::string(verdict.floor));
         c.set("score",
               Value::number(static_cast<double>(verdict.score)));
+        c.set("certified", Value::boolean(verdict.certified));
+        c.set("certified_cap",
+              Value::number(
+                  static_cast<double>(verdict.certifiedCap)));
+        c.set("safe_through",
+              Value::number(static_cast<double>(verdict.safeThrough)));
+        if (!verdict.capName.empty())
+            c.set("cap_rung", Value::string(verdict.capName));
         Value members = Value::array();
         for (const auto& member : verdict.members)
             members.push(Value::string(member));
@@ -246,6 +395,26 @@ lintReportToJson(const SensitivityReport& report)
         clusters.push(std::move(c));
     }
     root.set("clusters", std::move(clusters));
+
+    Value certs = Value::array();
+    for (const auto& cert : report.certificates) {
+        Value v = Value::object();
+        v.set("rule", Value::string(cert.rule));
+        v.set("variable", Value::string(cert.variable));
+        v.set("cluster",
+              Value::number(static_cast<double>(cert.cluster)));
+        v.set("level",
+              Value::number(static_cast<double>(cert.level)));
+        v.set("rung", Value::string(cert.rung));
+        v.set("lo", Value::number(cert.lo));
+        v.set("hi", Value::number(cert.hi));
+        v.set("amp", Value::number(cert.amp));
+        v.set("err_bound", Value::number(cert.errBound));
+        v.set("limit", Value::number(cert.limit));
+        v.set("claim", Value::string(cert.claim));
+        certs.push(std::move(v));
+    }
+    root.set("certificates", std::move(certs));
 
     Value summary = Value::object();
     summary.set("keep_double",

@@ -33,6 +33,7 @@
 
 #include "model/program_model.h"
 #include "support/json.h"
+#include "typeforge/absint.h"
 #include "typeforge/clustering.h"
 
 namespace hpcmixp::typeforge {
@@ -77,6 +78,22 @@ struct LintRule {
 /** The fixed rule catalog, in id order. */
 const std::vector<LintRule>& lintRules();
 
+/**
+ * One rule of the *certified* catalog: fired not by an annotated
+ * dataflow fact but by the abstract-interpretation pass (absint.h),
+ * so every firing is backed by a machine-checkable derivation. Kept
+ * out of lintRules() because those are keyed by DataflowFact.
+ */
+struct CertifiedRule {
+    const char* id;      ///< "MP007-range-overflow-at-rung", ...
+    LintSeverity severity;
+    int weight;          ///< score contribution, as for LintRule
+    const char* summary;
+};
+
+/** The fixed certified-rule catalog (MP007..MP009), in id order. */
+const std::vector<CertifiedRule>& certifiedRules();
+
 /** Cluster score at or above which a cluster is KeepDouble. */
 inline constexpr int kKeepDoubleScore = 3;
 
@@ -97,6 +114,26 @@ struct ClusterVerdict {
     int score = 0;
     std::vector<std::string> members; ///< qualified names
     std::vector<std::string> ruleIds; ///< rules firing in this cluster
+
+    /** Certified per-rung verdict from the absint pass: deepest
+     *  ladder level the cluster may take (kNoCap = unconstrained). */
+    std::uint8_t certifiedCap = kNoCap;
+    /** Deepest level the cluster is *proven* safe through (only a
+     *  real claim when certified is true). */
+    std::uint8_t safeThrough = 0;
+    /** Every member had a bounded interval and finite amplification. */
+    bool certified = false;
+    /** Rung name of certifiedCap ("" when unconstrained). */
+    std::string capName;
+};
+
+/** One statically derived variable range (for the report). */
+struct VarRangeLine {
+    std::string name; ///< qualified name
+    double lo = 0.0;
+    double hi = 0.0;
+    double amp = 0.0; ///< first-order amplification factor
+    bool widened = false;
 };
 
 /** Full lint result for one program. */
@@ -106,8 +143,18 @@ struct SensitivityReport {
     std::vector<LintFinding> findings;
     std::vector<ClusterVerdict> clusters;
 
+    /** Ladder the certified verdicts were issued against. */
+    std::string ladder;
+    /** Statically derived ranges (empty when nothing is annotated). */
+    std::vector<VarRangeLine> ranges;
+    /** Machine-checkable per-rung certificates. */
+    std::vector<RungCertificate> certificates;
+
     /** Number of clusters with verdict @p s. */
     std::size_t count(Sensitivity s) const;
+
+    /** Number of findings at severity @p s. */
+    std::size_t countSeverity(LintSeverity s) const;
 };
 
 /** Run the rules over @p program with a fresh clustering. */
@@ -117,9 +164,18 @@ SensitivityReport lint(const model::ProgramModel& program);
 SensitivityReport lint(const model::ProgramModel& program,
                        const ClusterSet& clusters);
 
-/** Render the fixed-format text report (golden-file stable). */
+/** Run the rules with explicit absint options (ladder, threshold). */
+SensitivityReport lint(const model::ProgramModel& program,
+                       const ClusterSet& clusters,
+                       const AbsintOptions& options);
+
+/** Render the fixed-format text report (golden-file stable). When
+ *  @p ranges is set the derived per-variable interval table is
+ *  included; @p certificates adds the per-rung certificate table. */
 void printLintReport(std::ostream& os,
-                     const SensitivityReport& report);
+                     const SensitivityReport& report,
+                     bool ranges = false,
+                     bool certificates = false);
 
 /** Render the report as a JSON document. */
 support::json::Value lintReportToJson(const SensitivityReport& report);

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Abstract interpreter unit tests: interval arithmetic, the kappa
+ * transfer functions, widening termination on adversarial loop-carried
+ * models, machine-checkable certificates (including tamper detection),
+ * and the profiler cross-check.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "typeforge/absint.h"
+#include "typeforge/clustering.h"
+
+namespace {
+
+using namespace hpcmixp;
+using model::ArithFact;
+using model::ArithOp;
+using model::arithLitRange;
+using model::arithVar;
+using model::VarId;
+using typeforge::AbsintOptions;
+using typeforge::AbsintResult;
+using typeforge::Interval;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+AbsintResult
+interpretModel(const model::ProgramModel& m,
+               const AbsintOptions& options = {})
+{
+    return typeforge::interpret(m, typeforge::analyze(m), options);
+}
+
+// ---- interval arithmetic -----------------------------------------------
+
+TEST(Interval, MagnitudeAndMinMagnitude)
+{
+    Interval spanning{-2.0, 3.0};
+    EXPECT_DOUBLE_EQ(spanning.magnitude(), 3.0);
+    EXPECT_DOUBLE_EQ(spanning.minMagnitude(), 0.0);
+
+    Interval negative{-5.0, -1.0};
+    EXPECT_DOUBLE_EQ(negative.magnitude(), 5.0);
+    EXPECT_DOUBLE_EQ(negative.minMagnitude(), 1.0);
+
+    EXPECT_TRUE(std::isinf(Interval::top().magnitude()));
+}
+
+TEST(Interval, JoinAndContains)
+{
+    Interval a{0.0, 1.0};
+    Interval b{-1.0, 0.5};
+    Interval j = a.join(b);
+    EXPECT_DOUBLE_EQ(j.lo, -1.0);
+    EXPECT_DOUBLE_EQ(j.hi, 1.0);
+    EXPECT_TRUE(j.contains(-0.5, 0.25));
+    EXPECT_FALSE(j.contains(-0.5, 1.5));
+}
+
+TEST(Interval, ArithmeticEndpoints)
+{
+    Interval a{1.0, 2.0};
+    Interval b{-3.0, 4.0};
+
+    Interval sum = a.add(b);
+    EXPECT_DOUBLE_EQ(sum.lo, -2.0);
+    EXPECT_DOUBLE_EQ(sum.hi, 6.0);
+
+    Interval diff = a.sub(b);
+    EXPECT_DOUBLE_EQ(diff.lo, -3.0);
+    EXPECT_DOUBLE_EQ(diff.hi, 5.0);
+
+    Interval prod = a.mul(b);
+    EXPECT_DOUBLE_EQ(prod.lo, -6.0);
+    EXPECT_DOUBLE_EQ(prod.hi, 8.0);
+}
+
+TEST(Interval, DivisionByZeroSpanningIntervalIsTop)
+{
+    Interval a{1.0, 2.0};
+    Interval denom{-1.0, 1.0};
+    Interval q = a.div(denom);
+    EXPECT_TRUE(std::isinf(q.magnitude()));
+
+    Interval safeDenom{0.5, 2.0};
+    Interval r = a.div(safeDenom);
+    EXPECT_DOUBLE_EQ(r.lo, 0.5);
+    EXPECT_DOUBLE_EQ(r.hi, 4.0);
+}
+
+TEST(Interval, ExpAndSqrtAreMonotone)
+{
+    Interval a{0.0, 1.0};
+    Interval e = a.exp();
+    EXPECT_DOUBLE_EQ(e.lo, 1.0);
+    EXPECT_DOUBLE_EQ(e.hi, std::exp(1.0));
+
+    Interval s = Interval{4.0, 9.0}.sqrt();
+    EXPECT_DOUBLE_EQ(s.lo, 2.0);
+    EXPECT_DOUBLE_EQ(s.hi, 3.0);
+}
+
+// ---- transfer functions ------------------------------------------------
+
+/** One function with annotated inputs a, b and a derived c. */
+struct TransferModel {
+    model::ProgramModel m{"transfer"};
+    VarId a;
+    VarId b;
+    VarId c;
+
+    TransferModel()
+    {
+        model::ModuleId mod = m.addModule("transfer.c");
+        model::FunctionId f = m.addFunction(mod, "f");
+        a = m.addVariable(f, "a", model::realScalar());
+        b = m.addVariable(f, "b", model::realScalar());
+        c = m.addVariable(f, "c", model::realScalar());
+    }
+};
+
+TEST(Transfer, SameSignAddIsBenign)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 1.0, 2.0);
+    t.m.setRange(t.b, 3.0, 4.0);
+    t.m.addArith(t.c, ArithOp::Add, arithVar(t.a), arithVar(t.b));
+    auto r = interpretModel(t.m);
+
+    const auto& c = r.vars[t.c];
+    ASSERT_TRUE(c.known);
+    EXPECT_DOUBLE_EQ(c.range.lo, 4.0);
+    EXPECT_DOUBLE_EQ(c.range.hi, 6.0);
+    // Same-sign addition: max operand kappa (1) plus one rounding.
+    EXPECT_DOUBLE_EQ(c.amp, 2.0);
+    // No cancellation can be proven for same-sign operands.
+    for (const auto& f : r.findings)
+        EXPECT_NE(std::string(f.ruleId).substr(0, 5), "MP009");
+}
+
+TEST(Transfer, OverlappingSubtractionProvesCancellation)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 1.0, 2.0);
+    t.m.setRange(t.b, 1.5, 2.5);
+    t.m.addArith(t.c, ArithOp::Sub, arithVar(t.a), arithVar(t.b));
+    auto r = interpretModel(t.m);
+
+    // The difference spans zero: amplification is unbounded and the
+    // MP009 proven-cancellation rule fires on the destination.
+    EXPECT_TRUE(std::isinf(r.vars[t.c].amp));
+    bool mp009 = false;
+    for (const auto& f : r.findings)
+        if (std::string(f.ruleId).rfind("MP009", 0) == 0 &&
+            f.var == t.c)
+            mp009 = true;
+    EXPECT_TRUE(mp009);
+}
+
+TEST(Transfer, SeparatedSubtractionStaysBounded)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 10.0, 11.0);
+    t.m.setRange(t.b, 1.0, 2.0);
+    t.m.addArith(t.c, ArithOp::Sub, arithVar(t.a), arithVar(t.b));
+    auto r = interpretModel(t.m);
+
+    const auto& c = r.vars[t.c];
+    EXPECT_DOUBLE_EQ(c.range.lo, 8.0);
+    EXPECT_DOUBLE_EQ(c.range.hi, 10.0);
+    EXPECT_TRUE(std::isfinite(c.amp));
+    for (const auto& f : r.findings)
+        EXPECT_NE(std::string(f.ruleId).substr(0, 5), "MP009");
+}
+
+TEST(Transfer, MultiplicationAddsKappas)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 1.0, 2.0);
+    t.m.setRange(t.b, 1.0, 3.0);
+    t.m.addArith(t.c, ArithOp::Mul, arithVar(t.a), arithVar(t.b));
+    auto r = interpretModel(t.m);
+
+    const auto& c = r.vars[t.c];
+    EXPECT_DOUBLE_EQ(c.range.lo, 1.0);
+    EXPECT_DOUBLE_EQ(c.range.hi, 6.0);
+    // kappa_a + kappa_b + 1 rounding.
+    EXPECT_DOUBLE_EQ(c.amp, 3.0);
+}
+
+TEST(Transfer, KnownTripAccumulationScalesWithTrips)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 0.0, 0.5);
+    ArithFact f;
+    f.dst = t.c;
+    f.op = ArithOp::Id;
+    f.lhs = arithVar(t.a);
+    f.accumulate = true;
+    f.inLoop = true;
+    f.trips = 100;
+    t.m.addArith(f);
+    auto r = interpretModel(t.m);
+
+    const auto& c = r.vars[t.c];
+    ASSERT_TRUE(c.known);
+    EXPECT_DOUBLE_EQ(c.range.lo, 0.0);
+    EXPECT_DOUBLE_EQ(c.range.hi, 50.0);
+    // The kappa of an n-term same-sign sum grows with n.
+    EXPECT_GE(c.amp, 100.0);
+    EXPECT_TRUE(std::isfinite(c.amp));
+}
+
+TEST(Transfer, OpaqueVariableIsTop)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 1.0, 2.0);
+    t.m.markOpaque(t.b);
+    auto r = interpretModel(t.m);
+    EXPECT_TRUE(std::isinf(r.vars[t.b].range.magnitude()));
+    EXPECT_TRUE(std::isinf(r.vars[t.b].amp));
+}
+
+// ---- widening ----------------------------------------------------------
+
+TEST(Widening, SelfReferentialLoopTerminatesAndWidens)
+{
+    // The diff-predictor shape: a seed interval plus an unbounded
+    // self-referential subtraction that doubles the range each pass.
+    TransferModel t;
+    t.m.addArith(t.c, ArithOp::Id, arithLitRange(0.0, 1.0));
+    ArithFact f;
+    f.dst = t.c;
+    f.op = ArithOp::Sub;
+    f.lhs = arithVar(t.c);
+    f.rhs = arithVar(t.c);
+    f.inLoop = true;
+    t.m.addArith(f);
+
+    AbsintOptions options;
+    auto r = interpretModel(t.m, options);
+    EXPECT_TRUE(r.widened);
+    EXPECT_TRUE(r.vars[t.c].widened);
+    EXPECT_TRUE(std::isinf(r.vars[t.c].range.magnitude()));
+    EXPECT_LE(r.passes, options.maxPasses);
+}
+
+TEST(Widening, MutualRecursionTerminates)
+{
+    // a feeds b feeds a, each step growing both: no finite fixpoint.
+    TransferModel t;
+    t.m.addArith(t.a, ArithOp::Id, arithLitRange(0.0, 1.0));
+    t.m.addArith(t.b, ArithOp::Id, arithLitRange(0.0, 1.0));
+    ArithFact ab;
+    ab.dst = t.a;
+    ab.op = ArithOp::Add;
+    ab.lhs = arithVar(t.b);
+    ab.rhs = arithLitRange(1.0, 1.0);
+    ab.inLoop = true;
+    t.m.addArith(ab);
+    ArithFact ba;
+    ba.dst = t.b;
+    ba.op = ArithOp::Add;
+    ba.lhs = arithVar(t.a);
+    ba.rhs = arithLitRange(1.0, 1.0);
+    ba.inLoop = true;
+    t.m.addArith(ba);
+
+    AbsintOptions options;
+    auto r = interpretModel(t.m, options);
+    EXPECT_TRUE(r.widened);
+    EXPECT_LE(r.passes, options.maxPasses);
+}
+
+TEST(Widening, StableLoopDoesNotWiden)
+{
+    // A loop-carried fact whose abstract state reaches its fixpoint
+    // immediately (idempotent update) must not be widened.
+    TransferModel t;
+    t.m.setRange(t.a, 0.0, 1.0);
+    ArithFact f;
+    f.dst = t.c;
+    f.op = ArithOp::Id;
+    f.lhs = arithVar(t.a);
+    f.inLoop = true;
+    t.m.addArith(f);
+    auto r = interpretModel(t.m);
+    EXPECT_FALSE(r.widened);
+    EXPECT_FALSE(r.vars[t.c].widened);
+    EXPECT_DOUBLE_EQ(r.vars[t.c].range.hi, 1.0);
+}
+
+// ---- certificates ------------------------------------------------------
+
+TEST(Certificates, EmittedCertificatesAllCheck)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 0.0, 0.05);
+    t.m.setRange(t.b, 1.0, 2.0);
+    t.m.addArith(t.c, ArithOp::Mul, arithVar(t.a), arithVar(t.b));
+    auto r = interpretModel(t.m);
+    ASSERT_FALSE(r.certificates.empty());
+    for (const auto& cert : r.certificates)
+        EXPECT_TRUE(typeforge::checkCertificate(cert))
+            << cert.rule << " for " << cert.variable << " at "
+            << cert.rung;
+}
+
+TEST(Certificates, TamperedCertificateIsRejected)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 0.0, 0.05);
+    auto r = interpretModel(t.m);
+    ASSERT_FALSE(r.certificates.empty());
+
+    // Inconsistent bound: errBound no longer derives from
+    // (lo, hi, amp, rung).
+    auto forgedBound = r.certificates.front();
+    forgedBound.errBound *= 10.0;
+    EXPECT_FALSE(typeforge::checkCertificate(forgedBound));
+
+    // Flipped claim: the re-derived inequality contradicts it.
+    auto forgedClaim = r.certificates.front();
+    forgedClaim.claim =
+        forgedClaim.claim == "safe" ? "unsafe" : "safe";
+    EXPECT_FALSE(typeforge::checkCertificate(forgedClaim));
+
+    // Unknown rung name.
+    auto forgedRung = r.certificates.front();
+    forgedRung.rung = "float128";
+    EXPECT_FALSE(typeforge::checkCertificate(forgedRung));
+}
+
+TEST(Certificates, Fp16OverflowIsProvenAtTheHalfRung)
+{
+    TransferModel t;
+    t.m.setRange(t.a, 0.0, 1.0e6); // beyond fp16's 65504
+    // A generous budget keeps MP008 quiet at every rung, so the first
+    // provable failure is the fp16 range overflow itself.
+    AbsintOptions options;
+    options.threshold = 1.0e9;
+    auto r = interpretModel(t.m, options);
+
+    bool mp007 = false;
+    for (const auto& f : r.findings)
+        if (std::string(f.ruleId).rfind("MP007", 0) == 0 &&
+            f.var == t.a)
+            mp007 = true;
+    EXPECT_TRUE(mp007);
+
+    // The cluster cap excludes half and everything past it.
+    bool capped = false;
+    for (const auto& cc : r.clusters)
+        if (cc.certifiedCap != typeforge::kNoCap &&
+            cc.certifiedCap <= 1)
+            capped = true;
+    EXPECT_TRUE(capped);
+}
+
+// ---- profiler cross-check ----------------------------------------------
+
+/** A model with one bind key carried by two pool-aliased arrays. */
+struct PoolModel {
+    model::ProgramModel m{"pool"};
+    VarId x; ///< bind key "in", annotated [0, 1]
+    VarId u; ///< bind key "in", annotated [2, 5]
+
+    PoolModel()
+    {
+        model::ModuleId mod = m.addModule("pool.c");
+        x = m.addGlobal(mod, "x", model::realPointer(), "in");
+        u = m.addGlobal(mod, "u", model::realPointer(), "in");
+        m.setRange(x, 0.0, 1.0);
+        m.setRange(u, 2.0, 5.0);
+    }
+};
+
+TEST(CrossCheck, ContainedObservationIsSound)
+{
+    PoolModel p;
+    auto r = interpretModel(p.m);
+    auto violations = typeforge::crossCheckRanges(
+        p.m, r, {{"in", 0.5, 0.9}});
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(CrossCheck, PoolObservationChecksAgainstTheJoin)
+{
+    // The observed pool range [0, 5] is wider than either member's
+    // interval but inside their join — sound, not a violation.
+    PoolModel p;
+    auto r = interpretModel(p.m);
+    auto violations = typeforge::crossCheckRanges(
+        p.m, r, {{"in", 0.0, 5.0}});
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(CrossCheck, EscapingObservationIsReported)
+{
+    PoolModel p;
+    auto r = interpretModel(p.m);
+    auto violations = typeforge::crossCheckRanges(
+        p.m, r, {{"in", 0.0, 7.5}});
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].bindKey, "in");
+    EXPECT_DOUBLE_EQ(violations[0].observedHi, 7.5);
+    EXPECT_DOUBLE_EQ(violations[0].staticLo, 0.0);
+    EXPECT_DOUBLE_EQ(violations[0].staticHi, 5.0);
+}
+
+TEST(CrossCheck, UnannotatedKeyClaimsTopAndPasses)
+{
+    PoolModel p;
+    auto r = interpretModel(p.m);
+    auto violations = typeforge::crossCheckRanges(
+        p.m, r, {{"unknown-key", -1e30, 1e30}});
+    EXPECT_TRUE(violations.empty());
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Soundness-in-practice of the certified verdicts.
+ *
+ *  - Property: a cluster certified safe through level L never
+ *    produces a verification FAIL when run at any rung 1..L, alone or
+ *    composed with the other certified clusters, across 10 seeds of
+ *    randomized rung assignments.
+ *  - Profiler cross-check: one double-precision run of every
+ *    benchmark with range recording on; every statically derived
+ *    interval must contain the observed per-bind-key range.
+ */
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmark.h"
+#include "benchmarks/registry.h"
+#include "runtime/profiler.h"
+#include "typeforge/absint.h"
+#include "typeforge/clustering.h"
+#include "verify/comparator.h"
+
+namespace {
+
+using namespace hpcmixp;
+using benchmarks::PrecisionMap;
+using typeforge::AbsintOptions;
+
+/** Bind keys of every variable in @p cluster. */
+std::vector<std::string>
+clusterKeys(const model::ProgramModel& model,
+            const typeforge::ClusterSet& clusters, std::size_t cluster)
+{
+    std::vector<std::string> keys;
+    for (const auto& var : model.variables())
+        if (!var.bindKey.empty() &&
+            clusters.clusterOf(var.id) == cluster)
+            keys.push_back(var.bindKey);
+    return keys;
+}
+
+class Certified : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Certified, SafeThroughRungsNeverFailVerification)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create(GetParam());
+    const auto& model = bench->programModel();
+    auto clusters = typeforge::analyze(model);
+    AbsintOptions options; // 4-rung ladder, threshold 1e-6
+    auto abs = typeforge::interpret(model, clusters, options);
+
+    std::vector<const typeforge::ClusterCaps*> certified;
+    for (const auto& cc : abs.clusters)
+        if (cc.certified && cc.safeThrough >= 1 &&
+            !clusterKeys(model, clusters, cc.cluster).empty())
+            certified.push_back(&cc);
+    if (certified.empty())
+        GTEST_SKIP() << "no certified clusters with bind keys";
+
+    auto reference = bench->run(PrecisionMap{});
+    verify::OutputComparator cmp(bench->qualityMetric(),
+                                 options.threshold);
+
+    // Each certified cluster alone, at every rung it is certified
+    // safe through.
+    for (const auto* cc : certified) {
+        for (std::size_t rung = 1; rung <= cc->safeThrough; ++rung) {
+            PrecisionMap pm;
+            for (const auto& key :
+                 clusterKeys(model, clusters, cc->cluster))
+                pm.set(key, options.ladder.at(rung));
+            auto verdict =
+                cmp.verify(reference.values, bench->run(pm).values);
+            EXPECT_TRUE(verdict.passed)
+                << GetParam() << " cluster " << cc->cluster
+                << " rung " << rung << ": certified safe but loss "
+                << verdict.loss << " > " << options.threshold;
+        }
+    }
+
+    // Ten seeds of random certified-rung compositions: every
+    // certified cluster at an independently drawn rung within its
+    // safe-through range, everything else at double.
+    for (std::uint32_t seed = 0; seed < 10; ++seed) {
+        std::mt19937 rng(seed);
+        PrecisionMap pm;
+        for (const auto* cc : certified) {
+            std::uniform_int_distribution<std::size_t> pick(
+                0, cc->safeThrough);
+            std::size_t rung = pick(rng);
+            if (rung == 0)
+                continue; // double is the reference rung
+            for (const auto& key :
+                 clusterKeys(model, clusters, cc->cluster))
+                pm.set(key, options.ladder.at(rung));
+        }
+        auto verdict =
+            cmp.verify(reference.values, bench->run(pm).values);
+        EXPECT_TRUE(verdict.passed)
+            << GetParam() << " seed " << seed
+            << ": certified composition failed with loss "
+            << verdict.loss;
+    }
+}
+
+TEST_P(Certified, StaticIntervalsContainObservedRanges)
+{
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create(GetParam());
+    const auto& model = bench->programModel();
+    auto clusters = typeforge::analyze(model);
+    auto abs = typeforge::interpret(model, clusters);
+
+    auto& profiler = runtime::Profiler::instance();
+    profiler.resetRanges();
+    profiler.setRangeRecording(true);
+    bench->run(PrecisionMap{}); // reference rung observes the inputs
+    profiler.setRangeRecording(false);
+
+    std::vector<typeforge::ObservedRange> observed;
+    for (const auto& [site, stats] : profiler.allRanges())
+        observed.push_back({site, stats.lo, stats.hi});
+    profiler.resetRanges();
+    // srad synthesizes its image inside the timed region and binds no
+    // cached inputs; everything else records at least one site.
+    if (observed.empty())
+        GTEST_SKIP() << "no bound inputs to record";
+
+    auto violations =
+        typeforge::crossCheckRanges(model, abs, observed);
+    for (const auto& v : violations)
+        ADD_FAILURE() << GetParam() << " bind key '" << v.bindKey
+                      << "': observed [" << v.observedLo << ", "
+                      << v.observedHi << "] escapes static ["
+                      << v.staticLo << ", " << v.staticHi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Certified,
+    ::testing::ValuesIn(
+        benchmarks::BenchmarkRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace

@@ -488,6 +488,74 @@ TEST(Frontend, ArrayElementUpdatesAreNotAccumulators)
                            model::DataflowFact::Accumulator));
 }
 
+TEST(Frontend, RangeAnnotationsSeedTheModel)
+{
+    auto m = parseOk("void f(double *x, double s) {\n"
+                     "    __range(x, 0.0, 0.05);\n"
+                     "    __range(s, -1.5, 2.5e0);\n"
+                     "}\n",
+                     "t.c");
+    auto rx = m.range(m.findVariable("f", "x"));
+    ASSERT_TRUE(rx.known);
+    EXPECT_DOUBLE_EQ(rx.lo, 0.0);
+    EXPECT_DOUBLE_EQ(rx.hi, 0.05);
+    auto rs = m.range(m.findVariable("f", "s"));
+    ASSERT_TRUE(rs.known);
+    EXPECT_DOUBLE_EQ(rs.lo, -1.5);
+    EXPECT_DOUBLE_EQ(rs.hi, 2.5);
+}
+
+TEST(Frontend, RangeBoundsFoldLiteralArithmetic)
+{
+    auto m = parseOk("void f(double v) {\n"
+                     "    __range(v, 0.0, 1.0 / 4.0);\n"
+                     "}\n",
+                     "t.c");
+    auto r = m.range(m.findVariable("f", "v"));
+    ASSERT_TRUE(r.known);
+    EXPECT_DOUBLE_EQ(r.hi, 0.25);
+}
+
+TEST(Frontend, OpaqueAnnotationMarksTheVariable)
+{
+    auto m = parseOk("void f(double *buf) {\n"
+                     "    __opaque(buf);\n"
+                     "}\n",
+                     "t.c");
+    EXPECT_TRUE(m.isOpaque(m.findVariable("f", "buf")));
+}
+
+TEST(Frontend, MalformedAnnotationsReportDiagnostics)
+{
+    // Out-of-order bounds.
+    EXPECT_FALSE(parseProgram("void f(double v) {\n"
+                              "    __range(v, 2.0, 1.0);\n"
+                              "}\n",
+                              "bad.c")
+                     .ok());
+    // Non-literal bound.
+    EXPECT_FALSE(parseProgram("void f(double v, double w) {\n"
+                              "    __range(v, 0.0, w);\n"
+                              "}\n",
+                              "bad.c")
+                     .ok());
+    // Wrong arity.
+    EXPECT_FALSE(parseProgram("void f(double v) {\n"
+                              "    __opaque(v, 1.0);\n"
+                              "}\n",
+                              "bad.c")
+                     .ok());
+    // Unknown target still recovers and keeps parsing.
+    auto result = parseProgram("void f(double v) {\n"
+                               "    __range(mystery, 0.0, 1.0);\n"
+                               "    v = 1.0;\n"
+                               "}\n",
+                               "bad.c");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.model.findVariable("f", "v"),
+              model::kInvalidId);
+}
+
 TEST(Frontend, FrontendModelMatchesBuilderModelOnListing1)
 {
     // The frontend-derived model and a hand-built model must agree on

@@ -83,6 +83,43 @@ TEST(Lint, RuleCatalogHasUniqueIdsAndCoversEveryFact)
     }
 }
 
+TEST(Lint, CertifiedRuleCatalogHasUniqueWeightedIds)
+{
+    const auto& rules = typeforge::certifiedRules();
+    ASSERT_EQ(rules.size(), 3u);
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        EXPECT_GE(rules[i].weight, 0);
+        for (std::size_t j = i + 1; j < rules.size(); ++j)
+            EXPECT_STRNE(rules[i].id, rules[j].id);
+        // Certified ids must not collide with the fact rules either.
+        for (const auto& fact : typeforge::lintRules())
+            EXPECT_STRNE(rules[i].id, fact.id);
+    }
+}
+
+TEST(Lint, CertifiedCapsSurfaceOnAnnotatedBenchmarks)
+{
+    // innerprod: the accumulator cluster is statically pinned (its
+    // float-rung bound is provably past any realistic budget) while
+    // the input arrays are certified through float.
+    auto bench =
+        benchmarks::BenchmarkRegistry::instance().create("innerprod");
+    auto report = typeforge::lint(bench->programModel());
+    const auto& q = verdictOf(report, "::q");
+    EXPECT_TRUE(q.certified);
+    EXPECT_EQ(q.certifiedCap, 0);
+    EXPECT_EQ(q.safeThrough, 0);
+    const auto& x = verdictOf(report, "::x");
+    EXPECT_TRUE(x.certified);
+    EXPECT_EQ(x.certifiedCap, 1);
+    EXPECT_EQ(x.safeThrough, 1);
+    EXPECT_EQ(x.capName, "float");
+    // Certificates are emitted and all self-check.
+    EXPECT_FALSE(report.certificates.empty());
+    for (const auto& cert : report.certificates)
+        EXPECT_TRUE(typeforge::checkCertificate(cert));
+}
+
 TEST(Lint, UnanalyzedModelIsAllUnknown)
 {
     TwoScalarModel probe;
@@ -218,8 +255,12 @@ compareOrRegen(const std::string& file, const std::string& actual)
 std::string
 renderText(const typeforge::SensitivityReport& report)
 {
+    // Goldens pin the full report including the derived ranges and
+    // certificate tables, so any drift in the abstract interpreter's
+    // numbers shows up in review.
     std::ostringstream os;
-    typeforge::printLintReport(os, report);
+    typeforge::printLintReport(os, report, /*ranges=*/true,
+                               /*certificates=*/true);
     return os.str();
 }
 
